@@ -1,0 +1,26 @@
+//! # oftm-algo2 — Algorithm 2: an OFTM from fo-consensus and registers
+//!
+//! This crate implements the construction of Lemma 8 of *On
+//! Obstruction-Free Transactions*: a software transactional memory whose
+//! only synchronization primitives are **fo-consensus objects and
+//! registers** — no CAS. Combined with `oftm-foc`'s [`SplitterFoc`]
+//! (fo-consensus from one-shot test-and-set + registers), this
+//! constructively realizes the paper's claim that an OFTM can be built from
+//! *one-shot objects of consensus number 2 and registers*, pinning the
+//! OFTM's consensus number at exactly 2 (Corollary 11).
+//!
+//! As the paper notes (footnote 6), the construction uses unbounded arrays
+//! and has high time complexity: "its sole purpose is to prove the
+//! equivalence result". We keep it executable and *correct* — it passes
+//! the same serializability/opacity/obstruction-freedom checkers as the
+//! practical DSTM — but it is not the crate you want for throughput (see
+//! the `exp_alg2_opacity` experiment for measured cell counts and the
+//! bench suite for the gap).
+//!
+//! [`SplitterFoc`]: oftm_foc::SplitterFoc
+
+pub mod registry;
+pub mod stm;
+
+pub use registry::Registry;
+pub use stm::{Algo2Stm, Algo2Tx, Fate, FocKind};

@@ -1,0 +1,686 @@
+//! **Algorithm 2** of the paper: an OFTM from fo-consensus objects and
+//! registers (Lemma 8), line-by-line.
+//!
+//! ```text
+//! uses: Owner, State – arrays of fo-consensus; TVar, Aborted, V – registers
+//! initially: Aborted[Tk] = false, V[x] = ⊥, wset = ∅
+//!
+//! upon read of x by Tk:      return acquire(Tk, x)
+//! upon write of v to x by Tk: s ← acquire(Tk, x); if s = Ak return Ak;
+//!                             TVar[x,Tk] ← v; return ok
+//! procedure acquire(Tk, x):
+//!   if x ∉ wset:
+//!     version ← 1; state ← initial state of x; v ← V[x]
+//!     repeat
+//!       owner ← Owner[x,version].propose(Tk)
+//!       if owner = ⊥ then return Ak
+//!       if owner ≠ Tk then
+//!         s ← State[owner].propose(aborted)
+//!         if s = ⊥ then return Ak
+//!         if s = committed then state ← TVar[x,owner]
+//!         else Aborted[owner] ← true
+//!       if V[x] ≠ v then return Ak
+//!       version ← version + 1
+//!     until owner = Tk
+//!     wset ← wset ∪ {x}; TVar[x,Tk] ← state; V[x] ← Tk
+//!   else state ← TVar[x,Tk]
+//!   if Aborted[Tk] then return Ak
+//!   return state
+//! upon tryC: s ← State[Tk].propose(committed);
+//!            return (s = committed) ? Ck : Ak
+//! upon tryA: return Ak
+//! ```
+//!
+//! Each version of a t-variable is mapped to one owning transaction via the
+//! fo-consensus `Owner[x, version]`; committing/aborting `T_k` is proposing
+//! `committed`/`aborted` to `State[T_k]` — the losing proposal learns the
+//! winner, giving exactly DSTM's revocable-ownership semantics without CAS.
+//! The two "important implementation details" the paper calls out — the
+//! final `Aborted[T_k]` re-check and the `V[x]` change check inside the
+//! scan loop (wait-freedom) — are both present and covered by tests.
+
+use crate::registry::Registry;
+use oftm_core::api::{TxError, TxResult, WordStm, WordTx};
+use oftm_core::record::{fresh_base_id, Recorder};
+use oftm_foc::{CasFoc, FoConsensus, SplitterFoc};
+use oftm_histories::{Access, BaseObjId, TVarId, TmOp, TmResp, TxId, Value};
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Transaction fate values proposed to `State[T_k]`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fate {
+    Committed,
+    Aborted,
+}
+
+/// Which fo-consensus implementation backs the `Owner` and `State` arrays.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FocKind {
+    /// CAS-backed (never aborts) — the practical configuration.
+    Cas,
+    /// Registers + one-shot test-and-set — the "consensus number 2
+    /// objects only" configuration from the paper's introduction.
+    SplitterTas,
+}
+
+/// A fo-consensus cell of either kind, with a base-object identity.
+pub(crate) struct FocCell<T: Clone + Send + Sync + 'static> {
+    foc: AnyFoc<T>,
+    base: BaseObjId,
+}
+
+enum AnyFoc<T: Clone + Send + Sync + 'static> {
+    Cas(CasFoc<T>),
+    Splitter(SplitterFoc<T>),
+}
+
+impl<T: Clone + Send + Sync + 'static> FocCell<T> {
+    fn new(kind: FocKind) -> Self {
+        FocCell {
+            foc: match kind {
+                FocKind::Cas => AnyFoc::Cas(CasFoc::new()),
+                FocKind::SplitterTas => AnyFoc::Splitter(SplitterFoc::new()),
+            },
+            base: fresh_base_id(),
+        }
+    }
+
+    fn propose(&self, proc: u32, v: T) -> Option<T> {
+        match &self.foc {
+            AnyFoc::Cas(f) => f.propose(proc, v),
+            AnyFoc::Splitter(f) => f.propose(proc, v),
+        }
+    }
+}
+
+/// A register cell with a base-object identity.
+pub(crate) struct RegCell {
+    val: AtomicU64,
+    base: BaseObjId,
+}
+
+impl RegCell {
+    fn new(v: u64) -> Self {
+        RegCell {
+            val: AtomicU64::new(v),
+            base: fresh_base_id(),
+        }
+    }
+}
+
+/// A boolean register cell.
+pub(crate) struct FlagCell {
+    val: AtomicBool,
+    base: BaseObjId,
+}
+
+impl FlagCell {
+    fn new() -> Self {
+        FlagCell {
+            val: AtomicBool::new(false),
+            base: fresh_base_id(),
+        }
+    }
+}
+
+fn encode_tx(t: TxId) -> u64 {
+    (u64::from(t.proc) << 32) | u64::from(t.seq)
+}
+
+fn decode_tx(v: u64) -> TxId {
+    TxId::new((v >> 32) as u32, (v & 0xffff_ffff) as u32)
+}
+
+/// `V[x]` sentinel for ⊥ (no owner yet).
+const V_BOTTOM: u64 = u64::MAX;
+
+/// The Algorithm 2 STM instance.
+pub struct Algo2Stm {
+    kind: FocKind,
+    /// `Owner[x, version]`.
+    owner: Registry<(TVarId, u64), FocCell<u64>>,
+    /// `State[T_k]`.
+    state: Registry<TxId, FocCell<u8>>,
+    /// `TVar[x, T_k]`.
+    tvar: Registry<(TVarId, TxId), RegCell>,
+    /// `Aborted[T_k]`.
+    aborted: Registry<TxId, FlagCell>,
+    /// `V[x]`.
+    v: Registry<TVarId, RegCell>,
+    /// Initial states of t-variables.
+    initial: Registry<TVarId, u64>,
+    tx_seq: AtomicU32,
+    recorder: Option<Arc<Recorder>>,
+    /// Ablation switch: disables the paper's "essential implementation
+    /// detail" #1 — the `Aborted[Tk]` re-check at the end of `acquire`.
+    /// Exists only so tests can demonstrate *why* the paper calls it
+    /// essential (a revoked transaction keeps observing state and can see
+    /// inconsistent snapshots). Never enable outside tests.
+    #[doc(hidden)]
+    pub ablate_aborted_check: bool,
+}
+
+impl Algo2Stm {
+    pub fn new(kind: FocKind) -> Self {
+        Algo2Stm {
+            kind,
+            owner: Registry::new(),
+            state: Registry::new(),
+            tvar: Registry::new(),
+            aborted: Registry::new(),
+            v: Registry::new(),
+            initial: Registry::new(),
+            tx_seq: AtomicU32::new(0),
+            recorder: None,
+            ablate_aborted_check: false,
+        }
+    }
+
+    pub fn with_recorder(mut self, rec: Arc<Recorder>) -> Self {
+        self.recorder = Some(rec);
+        self
+    }
+
+    /// Space diagnostics: materialized (owner-cells, state-cells).
+    pub fn cells(&self) -> (usize, usize) {
+        (self.owner.len(), self.state.len())
+    }
+
+    fn state_cell(&self, t: TxId) -> Arc<FocCell<u8>> {
+        self.state.get_or_create(&t, || FocCell::new(self.kind))
+    }
+
+    fn owner_cell(&self, x: TVarId, version: u64) -> Arc<FocCell<u64>> {
+        self.owner
+            .get_or_create(&(x, version), || FocCell::new(self.kind))
+    }
+
+    fn initial_of(&self, x: TVarId) -> u64 {
+        self.initial
+            .get(&x)
+            .map(|v| *v)
+            .unwrap_or(oftm_histories::INITIAL_VALUE)
+    }
+}
+
+/// A live Algorithm 2 transaction `T_k`.
+pub struct Algo2Tx<'s> {
+    stm: &'s Algo2Stm,
+    id: TxId,
+    /// The write set `wset` (t-variables this transaction owns).
+    wset: HashSet<TVarId>,
+    completed: bool,
+}
+
+impl<'s> Algo2Tx<'s> {
+    fn rstep(&self, obj: BaseObjId, access: Access) {
+        if let Some(rec) = &self.stm.recorder {
+            rec.step(self.id.process(), Some(self.id), obj, access);
+        }
+    }
+
+    fn rinvoke(&self, op: TmOp) {
+        if let Some(rec) = &self.stm.recorder {
+            rec.invoke(self.id, op);
+        }
+    }
+
+    fn rrespond(&self, resp: TmResp) {
+        if let Some(rec) = &self.stm.recorder {
+            rec.respond(self.id, resp);
+        }
+    }
+
+    /// `procedure acquire(Tk, x)` — returns the current state of `x` or
+    /// `A_k`.
+    fn acquire(&mut self, x: TVarId) -> TxResult<Value> {
+        let state = if !self.wset.contains(&x) {
+            // version ← 1; state ← initial state of x; v ← V[x]
+            let mut version: u64 = 1;
+            let mut state = self.stm.initial_of(x);
+            let v_cell = self.stm.v.get_or_create(&x, || RegCell::new(V_BOTTOM));
+            let v_snapshot = v_cell.val.load(Ordering::Acquire);
+            self.rstep(v_cell.base, Access::Read);
+
+            // repeat … until owner = Tk
+            loop {
+                let owner_cell = self.stm.owner_cell(x, version);
+                let owner = owner_cell.propose(self.id.proc, encode_tx(self.id));
+                self.rstep(owner_cell.base, Access::Modify);
+                let owner = match owner {
+                    None => return Err(TxError::Aborted), // owner = ⊥
+                    Some(o) => decode_tx(o),
+                };
+                if owner != self.id {
+                    // s ← State[owner].propose(aborted)
+                    let sc = self.stm.state_cell(owner);
+                    let s = sc.propose(self.id.proc, Fate::Aborted as u8);
+                    self.rstep(sc.base, Access::Modify);
+                    match s {
+                        None => return Err(TxError::Aborted), // s = ⊥
+                        Some(s) if s == Fate::Committed as u8 => {
+                            // state ← TVar[x, owner]
+                            let cell = self
+                                .stm
+                                .tvar
+                                .get_or_create(&(x, owner), || RegCell::new(0));
+                            state = cell.val.load(Ordering::Acquire);
+                            self.rstep(cell.base, Access::Read);
+                        }
+                        Some(_) => {
+                            // Aborted[owner] ← true
+                            let flag =
+                                self.stm.aborted.get_or_create(&owner, FlagCell::new);
+                            flag.val.store(true, Ordering::Release);
+                            self.rstep(flag.base, Access::Modify);
+                        }
+                    }
+                }
+                // if V[x] ≠ v then return Ak  (wait-freedom guard)
+                let now = v_cell.val.load(Ordering::Acquire);
+                self.rstep(v_cell.base, Access::Read);
+                if now != v_snapshot {
+                    return Err(TxError::Aborted);
+                }
+                version += 1;
+                if owner == self.id {
+                    break;
+                }
+            }
+
+            // wset ← wset ∪ {x}; TVar[x,Tk] ← state; V[x] ← Tk
+            self.wset.insert(x);
+            let own_cell = self
+                .stm
+                .tvar
+                .get_or_create(&(x, self.id), || RegCell::new(0));
+            own_cell.val.store(state, Ordering::Release);
+            self.rstep(own_cell.base, Access::Modify);
+            v_cell.val.store(encode_tx(self.id), Ordering::Release);
+            self.rstep(v_cell.base, Access::Modify);
+            state
+        } else {
+            // state ← TVar[x, Tk]
+            let cell = self
+                .stm
+                .tvar
+                .get_or_create(&(x, self.id), || RegCell::new(0));
+            let s = cell.val.load(Ordering::Acquire);
+            self.rstep(cell.base, Access::Read);
+            s
+        };
+
+        // if Aborted[Tk] then return Ak  ("essential detail" #1)
+        if !self.stm.ablate_aborted_check {
+            let flag = self.stm.aborted.get_or_create(&self.id, FlagCell::new);
+            let dead = flag.val.load(Ordering::Acquire);
+            self.rstep(flag.base, Access::Read);
+            if dead {
+                return Err(TxError::Aborted);
+            }
+        }
+        Ok(state)
+    }
+}
+
+impl WordTx for Algo2Tx<'_> {
+    fn id(&self) -> TxId {
+        self.id
+    }
+
+    /// `upon read of t-variable x by Tk do return acquire(Tk, x)`.
+    fn read(&mut self, x: TVarId) -> TxResult<Value> {
+        self.rinvoke(TmOp::Read(x));
+        let r = self.acquire(x);
+        match &r {
+            Ok(v) => self.rrespond(TmResp::Value(*v)),
+            Err(_) => {
+                self.completed = true;
+                self.rrespond(TmResp::Aborted);
+            }
+        }
+        r
+    }
+
+    /// `upon write of value v to t-variable x by Tk`.
+    fn write(&mut self, x: TVarId, v: Value) -> TxResult<()> {
+        self.rinvoke(TmOp::Write(x, v));
+        match self.acquire(x) {
+            Err(e) => {
+                self.completed = true;
+                self.rrespond(TmResp::Aborted);
+                Err(e)
+            }
+            Ok(_s) => {
+                // TVar[x, Tk] ← v
+                let cell = self
+                    .stm
+                    .tvar
+                    .get_or_create(&(x, self.id), || RegCell::new(0));
+                cell.val.store(v, Ordering::Release);
+                self.rstep(cell.base, Access::Modify);
+                self.rrespond(TmResp::Ok);
+                Ok(())
+            }
+        }
+    }
+
+    /// `upon tryCk: s ← State[Tk].propose(committed)`.
+    fn try_commit(mut self: Box<Self>) -> TxResult<()> {
+        self.rinvoke(TmOp::TryCommit);
+        self.completed = true;
+        let sc = self.stm.state_cell(self.id);
+        let s = sc.propose(self.id.proc, Fate::Committed as u8);
+        self.rstep(sc.base, Access::Modify);
+        match s {
+            Some(v) if v == Fate::Committed as u8 => {
+                self.rrespond(TmResp::Committed);
+                Ok(())
+            }
+            _ => {
+                self.rrespond(TmResp::Aborted);
+                Err(TxError::Aborted)
+            }
+        }
+    }
+
+    /// `upon tryAk: return Ak` — and make the abort durable so peers stop
+    /// scanning our versions (propose `aborted` to our own State).
+    fn try_abort(mut self: Box<Self>) {
+        self.rinvoke(TmOp::TryAbort);
+        self.completed = true;
+        let sc = self.stm.state_cell(self.id);
+        let _ = sc.propose(self.id.proc, Fate::Aborted as u8);
+        self.rstep(sc.base, Access::Modify);
+        self.rrespond(TmResp::Aborted);
+    }
+}
+
+impl Drop for Algo2Tx<'_> {
+    fn drop(&mut self) {
+        // A transaction abandoned without tryC/tryA must not stay live
+        // forever (its ownerships would still be revocable, but settling
+        // the State cell immediately is tidier).
+        if !self.completed {
+            let sc = self.stm.state_cell(self.id);
+            let _ = sc.propose(self.id.proc, Fate::Aborted as u8);
+        }
+    }
+}
+
+impl WordStm for Algo2Stm {
+    fn name(&self) -> &'static str {
+        match self.kind {
+            FocKind::Cas => "algo2-cas",
+            FocKind::SplitterTas => "algo2-splitter",
+        }
+    }
+
+    fn register_tvar(&self, x: TVarId, initial: Value) {
+        self.initial.get_or_create(&x, || initial);
+    }
+
+    fn begin(&self, proc: u32) -> Box<dyn WordTx + '_> {
+        let seq = self.tx_seq.fetch_add(1, Ordering::Relaxed);
+        Box::new(Algo2Tx {
+            stm: self,
+            id: TxId::new(proc, seq),
+            wset: HashSet::new(),
+            completed: false,
+        })
+    }
+
+    fn is_obstruction_free(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oftm_core::api::run_transaction;
+
+    const X: TVarId = TVarId(0);
+    const Y: TVarId = TVarId(1);
+
+    fn stm(kind: FocKind) -> Algo2Stm {
+        let s = Algo2Stm::new(kind);
+        s.register_tvar(X, 10);
+        s.register_tvar(Y, 20);
+        s
+    }
+
+    #[test]
+    fn tx_encoding_roundtrip() {
+        let t = TxId::new(7, 99);
+        assert_eq!(decode_tx(encode_tx(t)), t);
+    }
+
+    #[test]
+    fn read_initial_values() {
+        for kind in [FocKind::Cas, FocKind::SplitterTas] {
+            let s = stm(kind);
+            let mut tx = s.begin(0);
+            assert_eq!(tx.read(X).unwrap(), 10);
+            assert_eq!(tx.read(Y).unwrap(), 20);
+            tx.try_commit().unwrap();
+        }
+    }
+
+    #[test]
+    fn write_visible_after_commit_only() {
+        let s = stm(FocKind::Cas);
+        let mut t1 = s.begin(0);
+        t1.write(X, 99).unwrap();
+        // Concurrent T2 must abort T1 (revocable ownership) and read the
+        // old value.
+        let mut t2 = s.begin(1);
+        assert_eq!(t2.read(X).unwrap(), 10);
+        t2.try_commit().unwrap();
+        // T1 is now doomed.
+        assert!(t1.try_commit().is_err());
+        // A fresh reader still sees 10.
+        let mut t3 = s.begin(2);
+        assert_eq!(t3.read(X).unwrap(), 10);
+        t3.try_commit().unwrap();
+    }
+
+    #[test]
+    fn committed_write_becomes_current_state() {
+        let s = stm(FocKind::Cas);
+        let mut t1 = s.begin(0);
+        t1.write(X, 42).unwrap();
+        t1.try_commit().unwrap();
+        let mut t2 = s.begin(1);
+        assert_eq!(t2.read(X).unwrap(), 42);
+        t2.try_commit().unwrap();
+    }
+
+    #[test]
+    fn read_own_write() {
+        let s = stm(FocKind::Cas);
+        let mut tx = s.begin(0);
+        tx.write(X, 5).unwrap();
+        assert_eq!(tx.read(X).unwrap(), 5);
+        tx.try_commit().unwrap();
+    }
+
+    #[test]
+    fn reads_acquire_ownership_too() {
+        // In Algorithm 2 a read acquires the variable (acquire is used for
+        // both): a later writer aborts the reader.
+        let s = stm(FocKind::Cas);
+        let mut t1 = s.begin(0);
+        assert_eq!(t1.read(X).unwrap(), 10);
+        let mut t2 = s.begin(1);
+        t2.write(X, 7).unwrap();
+        t2.try_commit().unwrap();
+        assert!(t1.try_commit().is_err());
+    }
+
+    #[test]
+    fn try_abort_discards() {
+        let s = stm(FocKind::Cas);
+        let mut t1 = s.begin(0);
+        t1.write(X, 77).unwrap();
+        t1.try_abort();
+        let mut t2 = s.begin(1);
+        assert_eq!(t2.read(X).unwrap(), 10);
+        t2.try_commit().unwrap();
+    }
+
+    #[test]
+    fn forcefully_aborted_tx_sees_abort_on_next_access() {
+        // "Essential detail" #1: the Aborted[Tk] re-check.
+        let s = stm(FocKind::Cas);
+        let mut t1 = s.begin(0);
+        t1.write(X, 1).unwrap();
+        let mut t2 = s.begin(1);
+        t2.write(X, 2).unwrap(); // aborts T1, sets Aborted[T1]? (T1 learns on next access)
+        // T1 touches a *different* variable — must still observe its abort
+        // no later than the commit attempt.
+        let r = t1.write(Y, 3);
+        let doomed = r.is_err() || t1.try_commit().is_err();
+        assert!(doomed, "forcefully aborted T1 must not commit");
+        t2.try_commit().unwrap();
+    }
+
+    #[test]
+    fn version_scan_adopts_committed_values() {
+        // Multiple committed owners in sequence: a late reader scans
+        // versions 1..n and must end with the last committed value.
+        let s = stm(FocKind::Cas);
+        for (p, v) in [(0u32, 100u64), (1, 200), (2, 300)] {
+            let (_, attempts) = run_transaction(&s, p, |tx| tx.write(X, v));
+            assert_eq!(attempts, 1);
+        }
+        let mut t = s.begin(3);
+        assert_eq!(t.read(X).unwrap(), 300);
+        t.try_commit().unwrap();
+        let (owners, _) = s.cells();
+        assert!(owners >= 3, "one Owner cell per version, got {owners}");
+    }
+
+    #[test]
+    fn concurrent_counter_linearizes() {
+        for kind in [FocKind::Cas, FocKind::SplitterTas] {
+            let s = Arc::new(stm(kind));
+            std::thread::scope(|sc| {
+                for p in 0..4u32 {
+                    let s = Arc::clone(&s);
+                    sc.spawn(move || {
+                        for _ in 0..50 {
+                            run_transaction(&*s, p, |tx| {
+                                let v = tx.read(X)?;
+                                tx.write(X, v + 1)
+                            });
+                        }
+                    });
+                }
+            });
+            let mut t = s.begin(9);
+            assert_eq!(t.read(X).unwrap(), 10 + 4 * 50, "kind {kind:?}");
+            t.try_commit().unwrap();
+        }
+    }
+
+    #[test]
+    fn recorded_history_is_serializable_and_of() {
+        let rec = Arc::new(Recorder::new());
+        let s = Algo2Stm::new(FocKind::Cas).with_recorder(Arc::clone(&rec));
+        s.register_tvar(X, 0);
+        s.register_tvar(Y, 0);
+        std::thread::scope(|sc| {
+            for p in 0..3u32 {
+                let s = &s;
+                sc.spawn(move || {
+                    for _ in 0..5 {
+                        run_transaction(s, p, |tx| {
+                            let v = tx.read(X)?;
+                            tx.write(Y, v + 1)?;
+                            tx.write(X, v + 1)
+                        });
+                    }
+                });
+            }
+        });
+        let h = rec.snapshot();
+        assert!(
+            oftm_histories::conflict_serializable(&h),
+            "Algorithm 2 run must be (conflict-)serializable"
+        );
+        // Obstruction-freedom (Definition 2): every forcefully aborted
+        // transaction encountered step contention.
+        let violations = oftm_histories::check_of(&h);
+        assert!(violations.is_empty(), "OF violations: {violations:?}");
+    }
+
+    #[test]
+    fn ablation_aborted_check_is_essential() {
+        // The paper: "this is to ensure that Tk completes as soon as
+        // possible after Tk loses an ownership". Without the check, a
+        // revoked transaction keeps reading and can observe a snapshot
+        // inconsistent with its earlier reads (an opacity violation for
+        // the live transaction); with the check it aborts instead.
+
+        // With the check (faithful algorithm): T1's next access aborts.
+        let s = stm(FocKind::Cas);
+        let mut t1 = s.begin(0);
+        assert_eq!(t1.read(X).unwrap(), 10);
+        let mut t2 = s.begin(1);
+        t2.write(X, 111).unwrap();
+        t2.write(Y, 222).unwrap();
+        t2.try_commit().unwrap();
+        assert!(
+            t1.read(Y).is_err(),
+            "faithful Algorithm 2 must stop T1 at its next access"
+        );
+
+        // Ablated: T1 reads on and sees the torn snapshot {x=10, y=222}.
+        let mut s = stm(FocKind::Cas);
+        s.ablate_aborted_check = true;
+        let mut t1 = s.begin(0);
+        assert_eq!(t1.read(X).unwrap(), 10);
+        let mut t2 = s.begin(1);
+        t2.write(X, 111).unwrap();
+        t2.write(Y, 222).unwrap();
+        t2.try_commit().unwrap();
+        let y = t1.read(Y).expect("ablated T1 keeps going");
+        assert_eq!(
+            y, 222,
+            "ablated T1 observes y after T2 while having read x before T2 — \
+             exactly the inconsistency the Aborted[Tk] check prevents"
+        );
+        // Safety net: T1 still cannot commit (State[T1] is decided).
+        assert!(t1.try_commit().is_err());
+    }
+
+    #[test]
+    fn two_var_invariant() {
+        let s = Arc::new(stm(FocKind::Cas));
+        // X starts 10, Y starts 20; preserve X+Y = 30.
+        std::thread::scope(|sc| {
+            for p in 0..3u32 {
+                let s = Arc::clone(&s);
+                sc.spawn(move || {
+                    for i in 0..30u64 {
+                        let d = i % 5;
+                        run_transaction(&*s, p, |tx| {
+                            let x = tx.read(X)?;
+                            let y = tx.read(Y)?;
+                            if x >= d {
+                                tx.write(X, x - d)?;
+                                tx.write(Y, y + d)?;
+                            }
+                            Ok(())
+                        });
+                    }
+                });
+            }
+        });
+        let (total, _) = run_transaction(&*s, 7, |tx| Ok(tx.read(X)? + tx.read(Y)?));
+        assert_eq!(total, 30);
+    }
+}

@@ -1,0 +1,244 @@
+//! Coarse-grained global-lock TM: the simplest correct baseline.
+//!
+//! One mutex serializes every transaction. Trivially serializable and
+//! opaque, maximally *not* disjoint-access-parallel (every pair of
+//! transactions conflicts on the lock word), and blocking: a preempted
+//! lock holder stalls the whole system — the exact failure mode the
+//! paper's introduction motivates obstruction-freedom with (E9 measures
+//! it).
+
+use oftm_core::api::{TxResult, WordStm, WordTx};
+use oftm_core::record::{fresh_base_id, Recorder};
+use oftm_histories::{Access, BaseObjId, TVarId, TmOp, TmResp, TxId, Value};
+use parking_lot::{Mutex, MutexGuard};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+/// Global-mutex TM.
+pub struct CoarseStm {
+    store: Mutex<HashMap<TVarId, Value>>,
+    /// Base-object identity of the lock word.
+    lock_base: BaseObjId,
+    tx_seq: AtomicU32,
+    recorder: Option<Arc<Recorder>>,
+}
+
+impl Default for CoarseStm {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CoarseStm {
+    pub fn new() -> Self {
+        CoarseStm {
+            store: Mutex::new(HashMap::new()),
+            lock_base: fresh_base_id(),
+            tx_seq: AtomicU32::new(0),
+            recorder: None,
+        }
+    }
+
+    pub fn with_recorder(mut self, rec: Arc<Recorder>) -> Self {
+        self.recorder = Some(rec);
+        self
+    }
+
+    /// Non-transactional oracle read.
+    pub fn peek(&self, x: TVarId) -> Option<Value> {
+        self.store.lock().get(&x).copied()
+    }
+}
+
+struct CoarseTx<'s> {
+    stm: &'s CoarseStm,
+    id: TxId,
+    /// The guard is held for the whole transaction: coarse two-phase
+    /// locking degenerated to a single lock.
+    guard: Option<MutexGuard<'s, HashMap<TVarId, Value>>>,
+    /// Undo log for tryA.
+    undo: Vec<(TVarId, Value)>,
+}
+
+impl CoarseTx<'_> {
+    fn rec(&self) -> Option<&Recorder> {
+        self.stm.recorder.as_deref()
+    }
+
+    fn rstep(&self, access: Access) {
+        if let Some(r) = self.rec() {
+            r.step(self.id.process(), Some(self.id), self.stm.lock_base, access);
+        }
+    }
+}
+
+impl WordTx for CoarseTx<'_> {
+    fn id(&self) -> TxId {
+        self.id
+    }
+
+    fn read(&mut self, x: TVarId) -> TxResult<Value> {
+        if let Some(r) = self.rec() {
+            r.invoke(self.id, TmOp::Read(x));
+        }
+        let v = *self
+            .guard
+            .as_ref()
+            .expect("transaction completed")
+            .get(&x)
+            .unwrap_or_else(|| panic!("t-variable {x} not registered"));
+        if let Some(r) = self.rec() {
+            r.respond(self.id, TmResp::Value(v));
+        }
+        Ok(v)
+    }
+
+    fn write(&mut self, x: TVarId, v: Value) -> TxResult<()> {
+        if let Some(r) = self.rec() {
+            r.invoke(self.id, TmOp::Write(x, v));
+        }
+        let g = self.guard.as_mut().expect("transaction completed");
+        let slot = g
+            .get_mut(&x)
+            .unwrap_or_else(|| panic!("t-variable {x} not registered"));
+        self.undo.push((x, *slot));
+        *slot = v;
+        if let Some(r) = self.rec() {
+            r.respond(self.id, TmResp::Ok);
+        }
+        Ok(())
+    }
+
+    fn try_commit(mut self: Box<Self>) -> TxResult<()> {
+        if let Some(r) = self.rec() {
+            r.invoke(self.id, TmOp::TryCommit);
+        }
+        self.rstep(Access::Modify); // lock release is a modifying step
+        self.guard = None; // release
+        if let Some(r) = self.rec() {
+            r.respond(self.id, TmResp::Committed);
+        }
+        Ok(())
+    }
+
+    fn try_abort(mut self: Box<Self>) {
+        if let Some(r) = self.rec() {
+            r.invoke(self.id, TmOp::TryAbort);
+        }
+        if let Some(g) = self.guard.as_mut() {
+            for (x, v) in self.undo.drain(..).rev() {
+                g.insert(x, v);
+            }
+        }
+        self.rstep(Access::Modify);
+        self.guard = None;
+        if let Some(r) = self.rec() {
+            r.respond(self.id, TmResp::Aborted);
+        }
+    }
+}
+
+impl WordStm for CoarseStm {
+    fn name(&self) -> &'static str {
+        "coarse"
+    }
+
+    fn register_tvar(&self, x: TVarId, initial: Value) {
+        self.store.lock().insert(x, initial);
+    }
+
+    fn begin(&self, proc: u32) -> Box<dyn WordTx + '_> {
+        let seq = self.tx_seq.fetch_add(1, Ordering::Relaxed);
+        let id = TxId::new(proc, seq);
+        // Acquiring the global lock is a modifying step on the lock word.
+        let guard = self.store.lock();
+        if let Some(r) = self.recorder.as_deref() {
+            r.step(id.process(), Some(id), self.lock_base, Access::Modify);
+        }
+        Box::new(CoarseTx {
+            stm: self,
+            id,
+            guard: Some(guard),
+            undo: Vec::new(),
+        })
+    }
+
+    fn is_obstruction_free(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oftm_core::api::run_transaction;
+
+    const X: TVarId = TVarId(0);
+    const Y: TVarId = TVarId(1);
+
+    fn stm() -> CoarseStm {
+        let s = CoarseStm::new();
+        s.register_tvar(X, 1);
+        s.register_tvar(Y, 2);
+        s
+    }
+
+    #[test]
+    fn read_write_commit() {
+        let s = stm();
+        let (v, _) = run_transaction(&s, 0, |tx| {
+            let v = tx.read(X)?;
+            tx.write(Y, v + 10)?;
+            Ok(v)
+        });
+        assert_eq!(v, 1);
+        assert_eq!(s.peek(Y), Some(11));
+    }
+
+    #[test]
+    fn abort_rolls_back() {
+        let s = stm();
+        let mut tx = s.begin(0);
+        tx.write(X, 100).unwrap();
+        tx.write(X, 200).unwrap();
+        tx.try_abort();
+        assert_eq!(s.peek(X), Some(1));
+    }
+
+    #[test]
+    fn serial_under_threads() {
+        let s = Arc::new(stm());
+        std::thread::scope(|sc| {
+            for p in 0..4u32 {
+                let s = Arc::clone(&s);
+                sc.spawn(move || {
+                    for _ in 0..100 {
+                        run_transaction(&*s, p, |tx| {
+                            let v = tx.read(X)?;
+                            tx.write(X, v + 1)
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(s.peek(X), Some(401));
+    }
+
+    #[test]
+    fn every_pair_conflicts_on_lock_word() {
+        let rec = Arc::new(Recorder::new());
+        let s = CoarseStm::new().with_recorder(Arc::clone(&rec));
+        s.register_tvar(X, 0);
+        s.register_tvar(Y, 0);
+        // Two transactions on disjoint t-variables.
+        run_transaction(&s, 0, |tx| tx.write(X, 1));
+        run_transaction(&s, 1, |tx| tx.write(Y, 1));
+        let h = rec.snapshot();
+        let violations = oftm_histories::check_strict_dap(&h);
+        assert!(
+            !violations.is_empty(),
+            "coarse lock must violate strict DAP on disjoint transactions"
+        );
+    }
+}

@@ -1,0 +1,29 @@
+//! # oftm-baselines — the lock-based TMs the paper contrasts OFTMs against
+//!
+//! Section 1 of *On Obstruction-Free Transactions* positions OFTMs against
+//! lock-based STMs on two axes:
+//!
+//! * **Progress** — lock-based TMs block: a preempted lock holder stalls
+//!   peers (the real-time/kernel motivation for obstruction-freedom).
+//! * **Disjoint-access-parallelism** — most lock-based TMs (two-phase
+//!   locking à la TL \[11\]) are *strictly* disjoint-access-parallel, which
+//!   Theorem 13 proves impossible for any OFTM; the global-clock designs
+//!   (TL2 \[10\], TinySTM \[13\]) are the lock-based exception.
+//!
+//! Three baselines, all implementing the shared
+//! [`WordStm`](oftm_core::api::WordStm) interface and the low-level
+//! recorder, so the checkers and benchmarks treat them uniformly:
+//!
+//! | impl | progress | strictly DAP? |
+//! |------|----------|----------------|
+//! | [`CoarseStm`] | blocking (one global lock) | no (the lock) |
+//! | [`TlStm`]     | blocking (commit-time per-object locks) | **yes** |
+//! | [`Tl2Stm`]    | blocking + global version clock | no (the clock) |
+
+pub mod coarse;
+pub mod tl;
+pub mod tl2;
+
+pub use coarse::CoarseStm;
+pub use tl::TlStm;
+pub use tl2::Tl2Stm;

@@ -1,0 +1,436 @@
+//! TL2-style lock-based STM: commit-time locking with a **global version
+//! clock** (after Dice, Shalev & Shavit \[10\]).
+//!
+//! The paper (Section 1) names TL2 and TinySTM as the notable lock-based
+//! exceptions to strict disjoint-access-parallelism: *"every transaction
+//! has to access a common memory location to determine its timestamp"*.
+//! This implementation reproduces that design point faithfully — the
+//! global clock is a recorded base object, so `exp_conflict_density`
+//! exhibits unrelated-transaction conflicts on it (writers bump it with
+//! `fetch_add`), while reads validate against it cheaply.
+
+use oftm_core::api::{TxError, TxResult, WordStm, WordTx};
+use oftm_core::record::{fresh_base_id, Recorder};
+use oftm_histories::{Access, BaseObjId, TVarId, TmOp, TmResp, TxId, Value};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+const LOCK_BIT: u64 = 1 << 63;
+
+struct ClockVar {
+    /// High bit: locked; low bits: version (a global-clock timestamp).
+    lock: AtomicU64,
+    value: AtomicU64,
+    lock_base: BaseObjId,
+    value_base: BaseObjId,
+}
+
+impl ClockVar {
+    fn new(initial: Value) -> Self {
+        ClockVar {
+            lock: AtomicU64::new(0),
+            value: AtomicU64::new(initial),
+            lock_base: fresh_base_id(),
+            value_base: fresh_base_id(),
+        }
+    }
+}
+
+/// TL2-style STM with a shared version clock.
+pub struct Tl2Stm {
+    vars: RwLock<Arc<HashMap<TVarId, Arc<ClockVar>>>>,
+    clock: AtomicU64,
+    clock_base: BaseObjId,
+    tx_seq: AtomicU32,
+    recorder: Option<Arc<Recorder>>,
+    pub lock_patience: u32,
+}
+
+impl Default for Tl2Stm {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Tl2Stm {
+    pub fn new() -> Self {
+        Tl2Stm {
+            vars: RwLock::new(Arc::new(HashMap::new())),
+            clock: AtomicU64::new(0),
+            clock_base: fresh_base_id(),
+            tx_seq: AtomicU32::new(0),
+            recorder: None,
+            lock_patience: 4096,
+        }
+    }
+
+    pub fn with_recorder(mut self, rec: Arc<Recorder>) -> Self {
+        self.recorder = Some(rec);
+        self
+    }
+
+    pub fn peek(&self, x: TVarId) -> Option<Value> {
+        let vars = self.vars.read().unwrap().clone();
+        vars.get(&x).map(|v| v.value.load(Ordering::Acquire))
+    }
+
+    /// Current clock value (diagnostics).
+    pub fn clock_now(&self) -> u64 {
+        self.clock.load(Ordering::Acquire)
+    }
+}
+
+struct Tl2Tx<'s> {
+    stm: &'s Tl2Stm,
+    id: TxId,
+    vars: Arc<HashMap<TVarId, Arc<ClockVar>>>,
+    /// Read version: clock sample at begin.
+    rv: u64,
+    reads: Vec<(Arc<ClockVar>, TVarId)>,
+    writes: Vec<(TVarId, Value)>,
+    dead: bool,
+}
+
+impl Tl2Tx<'_> {
+    fn rstep(&self, obj: BaseObjId, access: Access) {
+        if let Some(r) = self.stm.recorder.as_deref() {
+            r.step(self.id.process(), Some(self.id), obj, access);
+        }
+    }
+
+    fn rinvoke(&self, op: TmOp) {
+        if let Some(r) = self.stm.recorder.as_deref() {
+            r.invoke(self.id, op);
+        }
+    }
+
+    fn rrespond(&self, resp: TmResp) {
+        if let Some(r) = self.stm.recorder.as_deref() {
+            r.respond(self.id, resp);
+        }
+    }
+
+    fn var(&self, x: TVarId) -> Arc<ClockVar> {
+        Arc::clone(
+            self.vars
+                .get(&x)
+                .unwrap_or_else(|| panic!("t-variable {x} not registered")),
+        )
+    }
+
+    fn buffered(&self, x: TVarId) -> Option<Value> {
+        self.writes
+            .iter()
+            .rev()
+            .find(|(w, _)| *w == x)
+            .map(|(_, v)| *v)
+    }
+}
+
+impl WordTx for Tl2Tx<'_> {
+    fn id(&self) -> TxId {
+        self.id
+    }
+
+    fn read(&mut self, x: TVarId) -> TxResult<Value> {
+        self.rinvoke(TmOp::Read(x));
+        if self.dead {
+            self.rrespond(TmResp::Aborted);
+            return Err(TxError::Aborted);
+        }
+        if let Some(v) = self.buffered(x) {
+            self.rrespond(TmResp::Value(v));
+            return Ok(v);
+        }
+        let var = self.var(x);
+        // TL2 read: value is valid iff the variable is unlocked and its
+        // version is at most our read version.
+        self.rstep(var.lock_base, Access::Read);
+        let v1 = var.lock.load(Ordering::Acquire);
+        let val = var.value.load(Ordering::Acquire);
+        self.rstep(var.value_base, Access::Read);
+        let v2 = var.lock.load(Ordering::Acquire);
+        if v1 & LOCK_BIT != 0 || v1 != v2 || v1 > self.rv {
+            self.dead = true;
+            self.rrespond(TmResp::Aborted);
+            return Err(TxError::Aborted);
+        }
+        self.reads.push((var, x));
+        self.rrespond(TmResp::Value(val));
+        Ok(val)
+    }
+
+    fn write(&mut self, x: TVarId, v: Value) -> TxResult<()> {
+        self.rinvoke(TmOp::Write(x, v));
+        if self.dead {
+            self.rrespond(TmResp::Aborted);
+            return Err(TxError::Aborted);
+        }
+        let _ = self.var(x);
+        self.writes.push((x, v));
+        self.rrespond(TmResp::Ok);
+        Ok(())
+    }
+
+    fn try_commit(self: Box<Self>) -> TxResult<()> {
+        self.rinvoke(TmOp::TryCommit);
+        if self.dead {
+            self.rrespond(TmResp::Aborted);
+            return Err(TxError::Aborted);
+        }
+        if self.writes.is_empty() {
+            // Read-only fast path: reads were validated against rv at read
+            // time; nothing else to do (TL2's read-only optimization).
+            self.rrespond(TmResp::Committed);
+            return Ok(());
+        }
+
+        let mut last: HashMap<TVarId, Value> = HashMap::new();
+        for (x, v) in &self.writes {
+            last.insert(*x, *v);
+        }
+        let mut targets: Vec<(TVarId, Value)> = last.into_iter().collect();
+        targets.sort_by_key(|(x, _)| *x);
+
+        let mut locked: Vec<(Arc<ClockVar>, u64)> = Vec::with_capacity(targets.len());
+        let unlock_all = |locked: &[(Arc<ClockVar>, u64)]| {
+            for (var, prev) in locked.iter().rev() {
+                var.lock.store(*prev, Ordering::Release);
+            }
+        };
+
+        for (x, _) in &targets {
+            let var = self.var(*x);
+            let mut patience = self.stm.lock_patience;
+            loop {
+                self.rstep(var.lock_base, Access::Modify);
+                let cur = var.lock.load(Ordering::Acquire);
+                if cur & LOCK_BIT == 0
+                    && var
+                        .lock
+                        .compare_exchange(cur, cur | LOCK_BIT, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                {
+                    locked.push((Arc::clone(&var), cur));
+                    break;
+                }
+                patience = patience.saturating_sub(1);
+                if patience == 0 {
+                    unlock_all(&locked);
+                    self.rrespond(TmResp::Aborted);
+                    return Err(TxError::Aborted);
+                }
+                std::hint::spin_loop();
+            }
+        }
+
+        // The global-clock increment: THE shared hot spot (Section 1).
+        let wv = self.stm.clock.fetch_add(1, Ordering::AcqRel) + 1;
+        self.rstep(self.stm.clock_base, Access::Modify);
+
+        // Validate the read-set against rv.
+        for (var, _x) in &self.reads {
+            self.rstep(var.lock_base, Access::Read);
+            let cur = var.lock.load(Ordering::Acquire);
+            let ours = locked.iter().any(|(l, _)| Arc::ptr_eq(l, var));
+            let version = if ours {
+                locked
+                    .iter()
+                    .find(|(l, _)| Arc::ptr_eq(l, var))
+                    .map(|(_, prev)| *prev)
+                    .unwrap()
+            } else {
+                if cur & LOCK_BIT != 0 {
+                    unlock_all(&locked);
+                    self.rrespond(TmResp::Aborted);
+                    return Err(TxError::Aborted);
+                }
+                cur
+            };
+            if version > self.rv {
+                unlock_all(&locked);
+                self.rrespond(TmResp::Aborted);
+                return Err(TxError::Aborted);
+            }
+        }
+
+        // Apply writes and release with the new write version.
+        for ((x, v), (var, _prev)) in targets.iter().zip(&locked) {
+            debug_assert!(self.vars.contains_key(x));
+            var.value.store(*v, Ordering::Release);
+            self.rstep(var.value_base, Access::Modify);
+            var.lock.store(wv, Ordering::Release);
+            self.rstep(var.lock_base, Access::Modify);
+        }
+        self.rrespond(TmResp::Committed);
+        Ok(())
+    }
+
+    fn try_abort(self: Box<Self>) {
+        self.rinvoke(TmOp::TryAbort);
+        self.rrespond(TmResp::Aborted);
+    }
+}
+
+impl WordStm for Tl2Stm {
+    fn name(&self) -> &'static str {
+        "tl2"
+    }
+
+    fn register_tvar(&self, x: TVarId, initial: Value) {
+        let mut g = self.vars.write().unwrap();
+        let mut m = HashMap::clone(&g);
+        m.insert(x, Arc::new(ClockVar::new(initial)));
+        *g = Arc::new(m);
+    }
+
+    fn begin(&self, proc: u32) -> Box<dyn WordTx + '_> {
+        let seq = self.tx_seq.fetch_add(1, Ordering::Relaxed);
+        let id = TxId::new(proc, seq);
+        // Sampling the clock is a (read) step on the shared clock cell.
+        let rv = self.clock.load(Ordering::Acquire);
+        if let Some(r) = self.recorder.as_deref() {
+            r.step(id.process(), Some(id), self.clock_base, Access::Read);
+        }
+        Box::new(Tl2Tx {
+            stm: self,
+            id,
+            vars: self.vars.read().unwrap().clone(),
+            rv,
+            reads: Vec::new(),
+            writes: Vec::new(),
+            dead: false,
+        })
+    }
+
+    fn is_obstruction_free(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oftm_core::api::run_transaction;
+
+    const X: TVarId = TVarId(0);
+    const Y: TVarId = TVarId(1);
+
+    fn stm() -> Tl2Stm {
+        let s = Tl2Stm::new();
+        s.register_tvar(X, 0);
+        s.register_tvar(Y, 0);
+        s
+    }
+
+    #[test]
+    fn roundtrip_and_clock_advance() {
+        let s = stm();
+        assert_eq!(s.clock_now(), 0);
+        run_transaction(&s, 0, |tx| tx.write(X, 3));
+        assert_eq!(s.clock_now(), 1);
+        let (v, _) = run_transaction(&s, 0, |tx| tx.read(X));
+        assert_eq!(v, 3);
+        // Read-only commit does not advance the clock.
+        assert_eq!(s.clock_now(), 1);
+    }
+
+    #[test]
+    fn stale_snapshot_aborts_on_read() {
+        let s = stm();
+        let mut t1 = s.begin(0); // rv = 0
+        run_transaction(&s, 1, |tx| tx.write(X, 9)); // version(X) = 1 > 0
+        assert!(t1.read(X).is_err(), "TL2 must reject too-new versions");
+    }
+
+    #[test]
+    fn concurrent_counter() {
+        let s = Arc::new(stm());
+        std::thread::scope(|sc| {
+            for p in 0..4u32 {
+                let s = Arc::clone(&s);
+                sc.spawn(move || {
+                    for _ in 0..200 {
+                        run_transaction(&*s, p, |tx| {
+                            let v = tx.read(X)?;
+                            tx.write(X, v + 1)
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(s.peek(X), Some(800));
+    }
+
+    #[test]
+    fn disjoint_writers_conflict_on_the_clock() {
+        // The paper's point about TL2: disjoint transactions still meet at
+        // the global clock — NOT strictly disjoint-access-parallel.
+        let rec = Arc::new(Recorder::new());
+        let s = Tl2Stm::new().with_recorder(Arc::clone(&rec));
+        s.register_tvar(X, 0);
+        s.register_tvar(Y, 0);
+        run_transaction(&s, 0, |tx| tx.write(X, 1));
+        run_transaction(&s, 1, |tx| tx.write(Y, 1));
+        let h = rec.snapshot();
+        let violations = oftm_histories::check_strict_dap(&h);
+        assert!(
+            violations.iter().any(|v| !v.tx_a.proc.eq(&v.tx_b.proc)),
+            "TL2 disjoint writers must conflict on the clock, got {violations:?}"
+        );
+    }
+
+    #[test]
+    fn invariant_across_two_vars() {
+        let s = Arc::new(stm());
+        run_transaction(&*s, 0, |tx| {
+            tx.write(X, 500)?;
+            tx.write(Y, 500)
+        });
+        std::thread::scope(|sc| {
+            for p in 0..4u32 {
+                let s = Arc::clone(&s);
+                sc.spawn(move || {
+                    for i in 0..100u64 {
+                        let d = i % 9;
+                        run_transaction(&*s, p, |tx| {
+                            let x = tx.read(X)?;
+                            let y = tx.read(Y)?;
+                            if x >= d {
+                                tx.write(X, x - d)?;
+                                tx.write(Y, y + d)?;
+                            }
+                            Ok(())
+                        });
+                    }
+                });
+            }
+        });
+        let (sum, _) = run_transaction(&*s, 9, |tx| Ok(tx.read(X)? + tx.read(Y)?));
+        assert_eq!(sum, 1000);
+    }
+
+    #[test]
+    fn recorded_histories_serializable() {
+        let rec = Arc::new(Recorder::new());
+        let s = Arc::new(Tl2Stm::new().with_recorder(Arc::clone(&rec)));
+        s.register_tvar(X, 0);
+        s.register_tvar(Y, 0);
+        std::thread::scope(|sc| {
+            for p in 0..3u32 {
+                let s = Arc::clone(&s);
+                sc.spawn(move || {
+                    for _ in 0..10 {
+                        run_transaction(&*s, p, |tx| {
+                            let x = tx.read(X)?;
+                            tx.write(Y, x + 1)?;
+                            tx.write(X, x + 1)
+                        });
+                    }
+                });
+            }
+        });
+        assert!(oftm_histories::conflict_serializable(&rec.snapshot()));
+    }
+}

@@ -1,0 +1,44 @@
+//! Criterion bench: contention-manager ablation on the DSTM OFTM (the
+//! measured companion of experiment E10).
+//!
+//! `cm_shared/{manager}` — 4 threads incrementing one counter;
+//! `cm_transfer/{manager}` — 4 threads transferring among 16 accounts.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use oftm_bench::{make_dstm_with_cm, run_workload, Workload, CM_NAMES};
+use std::time::Duration;
+
+fn cm_shared(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cm_shared");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    for cm in CM_NAMES {
+        g.bench_function(*cm, |b| {
+            b.iter(|| {
+                let stm = make_dstm_with_cm(cm);
+                run_workload(&*stm, Workload::SharedCounter, 4, 1_000)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn cm_transfer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cm_transfer");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    for cm in CM_NAMES {
+        g.bench_function(*cm, |b| {
+            b.iter(|| {
+                let stm = make_dstm_with_cm(cm);
+                run_workload(&*stm, Workload::Transfer { accounts: 16 }, 4, 1_000)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, cm_shared, cm_transfer);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Criterion bench: STM throughput across workloads and thread counts
+//! (the measured companion of experiment E8 / the paper's hot-spot
+//! predictions).
+//!
+//! Groups:
+//! * `disjoint/{stm}/{threads}` — per-thread private counters (strict-DAP
+//!   best case; TL should lead, TL2 pays the clock, DSTM the descriptors);
+//! * `shared/{stm}/{threads}` — one global counter (conflict-bound);
+//! * `readmostly/{stm}/{threads}` — 8 reads + 1 write over 64 vars.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oftm_bench::{make_stm, run_workload, Workload};
+use std::time::Duration;
+
+fn bench_workload(c: &mut Criterion, group: &str, workload: Workload, ops: u64) {
+    let mut g = c.benchmark_group(group);
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    for name in ["dstm", "tl", "tl2", "coarse"] {
+        for threads in [1usize, 2, 4] {
+            g.bench_with_input(
+                BenchmarkId::new(name.to_string(), threads),
+                &threads,
+                |b, &t| {
+                    b.iter(|| {
+                        let stm = make_stm(name, None);
+                        run_workload(&*stm, workload, t, ops)
+                    });
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn throughput(c: &mut Criterion) {
+    bench_workload(c, "disjoint", Workload::DisjointCounters, 2_000);
+    bench_workload(c, "shared", Workload::SharedCounter, 1_000);
+    bench_workload(
+        c,
+        "readmostly",
+        Workload::ReadMostly { vars: 64, reads: 8 },
+        1_000,
+    );
+}
+
+fn algo2_gap(c: &mut Criterion) {
+    // Algorithm 2 vs DSTM on a tiny sequential workload — the "rather
+    // impractical" factor from footnote 6, measured.
+    let mut g = c.benchmark_group("algo2_gap");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    for name in ["dstm", "algo2-cas", "algo2-splitter"] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let stm = make_stm(name, None);
+                run_workload(&*stm, Workload::SharedCounter, 1, 200)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, throughput, algo2_gap);
+criterion_main!(benches);

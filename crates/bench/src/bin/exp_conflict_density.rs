@@ -1,0 +1,73 @@
+//! **E11 — conflict density** (Section 5's "artificial hot spots",
+//! quantified).
+//!
+//! Random transactions over disjoint variable blocks — by construction,
+//! most transaction pairs share no t-variable. For each STM we record the
+//! low-level history and count conflicting pairs, split into *related*
+//! (sharing a t-variable: legitimate) and *unrelated* (disjoint: strict-DAP
+//! violations). Expected shape:
+//!
+//! * `tl`: zero unrelated conflicts (strictly DAP — the paper's Section 1
+//!   claim about two-phase-locking TMs);
+//! * `tl2`: unrelated conflicts on the global clock;
+//! * `dstm`: unrelated conflicts on shared transaction descriptors
+//!   (Theorem 13's inevitability, visible statistically);
+//! * `coarse`: everything conflicts (the lock).
+
+use oftm_bench::{make_stm, print_header, print_row};
+use oftm_core::api::run_transaction;
+use oftm_core::record::Recorder;
+use oftm_histories::{conflict_density, TVarId};
+use std::sync::Arc;
+
+fn main() {
+    println!("== E11: base-object conflict density between transactions ==\n");
+    // Chained workload: thread t repeatedly writes variables {t, t+1}.
+    // Threads t and t+2 access disjoint t-variables, but both are directly
+    // connected to thread t+1 — exactly the indirect-connection pattern of
+    // Section 5 (a descriptor owned by the middle transaction is touched
+    // by both ends). Many rounds raise the chance of catching a middle
+    // transaction live from both sides.
+    print_header(&[
+        "stm",
+        "conflicting pairs (related)",
+        "conflicting pairs (unrelated = strict-DAP violations)",
+    ]);
+    const THREADS: u32 = 6;
+    const ROUNDS: u64 = 200;
+    for name in ["tl", "tl2", "dstm", "coarse"] {
+        let rec = Arc::new(Recorder::new());
+        let stm = make_stm(name, Some(Arc::clone(&rec)));
+        for v in 0..=u64::from(THREADS) {
+            stm.register_tvar(TVarId(v), 0);
+        }
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let stm = &stm;
+                s.spawn(move || {
+                    let (a, b) = (u64::from(t), u64::from(t) + 1);
+                    for _ in 0..ROUNDS {
+                        run_transaction(&**stm, t, |tx| {
+                            let va = tx.read(TVarId(a))?;
+                            let vb = tx.read(TVarId(b))?;
+                            tx.write(TVarId(a), va + 1)?;
+                            tx.write(TVarId(b), vb + 1)
+                        });
+                    }
+                });
+            }
+        });
+        let h = rec.snapshot();
+        let d = conflict_density(&h);
+        print_row(&[
+            name.to_string(),
+            d.related_pairs.to_string(),
+            d.unrelated_pairs.to_string(),
+        ]);
+    }
+
+    println!("\nReading: TL shows 0 unrelated conflicts (strictly DAP). TL2's clock and");
+    println!("DSTM's descriptors make t-variable-disjoint transactions collide — the");
+    println!("\"useless cache invalidations\" of Section 5, and for the OFTM the");
+    println!("unavoidable cost proven by Theorem 13.");
+}

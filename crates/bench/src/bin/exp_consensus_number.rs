@@ -1,0 +1,135 @@
+//! **E3 — Theorem 9 / Corollary 11**: the consensus number of an OFTM is 2.
+//!
+//! Three artifacts:
+//!
+//! * **Lower bound (n = 2 decides)**: exhaustive exploration of the
+//!   TAS-based 2-process consensus — every schedule terminates with
+//!   agreement and validity; plus threaded retry-consensus over each real
+//!   fo-consensus implementation for n = 2.
+//! * **Upper bound (n = 3 cannot)**: exhaustive exploration of retry
+//!   consensus over the adversarial fo-consensus model — the explorer
+//!   returns a *bivalent cycle*: a concrete infinite execution in which no
+//!   process ever decides, the executable core of Theorem 9's valency
+//!   argument. The Claim 10 inductive step (every bivalent configuration
+//!   has a bivalent extension) is verified over the whole reachable graph.
+//! * **Safety for any n**: agreement/validity hold in every terminal
+//!   configuration — only liveness dies at n ≥ 3.
+
+use oftm_foc::{FoConsensus, FocConsensus};
+use oftm_sim::{explore, FocRetryConsensus, TasTwoConsensus};
+use std::collections::BTreeSet;
+use std::sync::Mutex;
+
+fn threaded_consensus(foc: &dyn FoConsensus<u64>, n: u32) -> (BTreeSet<u64>, u64) {
+    let decisions = Mutex::new(BTreeSet::new());
+    let aborts = std::sync::atomic::AtomicU64::new(0);
+    std::thread::scope(|s| {
+        for p in 0..n {
+            let decisions = &decisions;
+            let aborts = &aborts;
+            s.spawn(move || {
+                let c = FocConsensus::new(foc);
+                let (d, a) = c.propose(p, 100 + u64::from(p));
+                aborts.fetch_add(a, std::sync::atomic::Ordering::Relaxed);
+                decisions.lock().unwrap().insert(d);
+            });
+        }
+    });
+    (
+        decisions.into_inner().unwrap(),
+        aborts.load(std::sync::atomic::Ordering::Relaxed),
+    )
+}
+
+fn main() {
+    println!("== E3a: lower bound — 2-process consensus always decides ==\n");
+    let e = explore(TasTwoConsensus::new([10, 20]), 1_000_000);
+    let terms = e.terminals();
+    let mut ok = true;
+    for (_, ds) in &terms {
+        let v: Vec<u64> = ds.iter().filter_map(|d| *d).collect();
+        ok &= v.len() == 2 && v[0] == v[1] && (v[0] == 10 || v[0] == 20);
+    }
+    println!(
+        "TAS 2-consensus: {} reachable configurations, {} terminal; all decide+agree: {}; \
+         non-deciding infinite runs: {}",
+        e.states.len(),
+        terms.len(),
+        ok,
+        e.bivalent_cycle().is_some()
+    );
+
+    println!("\nThreaded retry-consensus over real fo-consensus objects (n = 2, 20 trials each):");
+    oftm_bench::print_header(&["foc implementation", "all agreed", "total aborts"]);
+    for make in ["cas", "splitter", "algo1"] {
+        let mut agreed = true;
+        let mut total_aborts = 0;
+        for _ in 0..20 {
+            let (d, a) = match make {
+                "cas" => threaded_consensus(&oftm_foc::CasFoc::new(), 2),
+                "splitter" => threaded_consensus(&oftm_foc::SplitterFoc::new(), 2),
+                _ => threaded_consensus(
+                    &oftm_foc::OftmFoc::new(oftm_core::Dstm::default()),
+                    2,
+                ),
+            };
+            agreed &= d.len() == 1;
+            total_aborts += a;
+        }
+        oftm_bench::print_row(&[
+            make.to_string(),
+            agreed.to_string(),
+            total_aborts.to_string(),
+        ]);
+    }
+
+    println!("\n== E3b: upper bound — adversarial foc model, n = 3 ==\n");
+    let e3 = explore(FocRetryConsensus::new(vec![0, 1, 1]), 2_000_000);
+    println!(
+        "configurations: {}; bivalent: {}",
+        e3.states.len(),
+        e3.bivalent_count()
+    );
+    println!(
+        "initial configuration bivalent: {}",
+        e3.bivalent(e3.initial)
+    );
+    let claim10 = e3.bivalent_extension_property();
+    println!(
+        "Claim 10 inductive step (every bivalent config has a bivalent extension): {}",
+        if claim10.is_empty() { "HOLDS" } else { "FAILS" }
+    );
+    match e3.bivalent_cycle() {
+        Some(cycle) => {
+            println!(
+                "bivalent cycle of length {} found — an infinite execution in which every \
+                 process keeps taking steps and nobody ever decides (Theorem 9's witness):",
+                cycle.len()
+            );
+            for (st, (p, choice)) in cycle.iter().take(8) {
+                println!("  state #{st}: process p{p} steps (outcome {choice})");
+            }
+        }
+        None => println!("no bivalent cycle (unexpected — see Theorem 9)"),
+    }
+
+    println!("\n== E3c: safety holds for any n (only liveness dies) ==\n");
+    for n in [2usize, 3] {
+        let inputs: Vec<u64> = (0..n as u64).map(|i| i % 2).collect();
+        let e = explore(FocRetryConsensus::new(inputs), 2_000_000);
+        let mut agree = true;
+        for (_, ds) in e.terminals() {
+            let v: Vec<u64> = ds.iter().filter_map(|d| *d).collect();
+            agree &= v.windows(2).all(|w| w[0] == w[1]);
+        }
+        println!(
+            "n = {n}: {} configurations, agreement in every terminal: {agree}, livelock possible: {}",
+            e.states.len(),
+            e.bivalent_cycle().is_some()
+        );
+    }
+
+    println!("\nConclusion: 2 processes decide under every schedule (consensus number ≥ 2);");
+    println!("for 3 processes an adversarial-but-legal fo-consensus admits infinite bivalent");
+    println!("executions (consensus number ≤ 2). Corollary 11: consensus number = 2.");
+}

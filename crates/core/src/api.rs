@@ -1,0 +1,107 @@
+//! The uniform word-level STM interface (`WordStm`) shared by every STM in
+//! the workspace.
+//!
+//! The paper compares classes of STM implementations (OFTMs, lock-based
+//! TMs, Algorithm 2). To run identical workloads and the same
+//! history-checkers over all of them, each implementation exposes this
+//! minimal interface over word-sized t-variables, mirroring the TM
+//! operations of Section 2.2: `read`, `write`, `tryC`, `tryA`. The richer
+//! typed API (`TVar<T>`) of the DSTM implementation is layered separately.
+
+use oftm_histories::{TVarId, TxId, Value};
+use std::fmt;
+
+/// Why a transactional operation did not produce a result.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TxError {
+    /// The transaction received the abort event `A_k`. It must not perform
+    /// further operations; the application may retry with a *new*
+    /// transaction (paper, Section 2.2: restarts use fresh identifiers).
+    Aborted,
+}
+
+impl fmt::Display for TxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TxError::Aborted => write!(f, "transaction aborted"),
+        }
+    }
+}
+
+impl std::error::Error for TxError {}
+
+/// Result alias for transactional operations.
+pub type TxResult<T> = Result<T, TxError>;
+
+/// A transaction handle bound to one word-level STM instance.
+///
+/// Handles are single-threaded (the paper's model: each transaction is
+/// executed by one process); they are deliberately `!Sync` by containing
+/// interior state.
+pub trait WordTx {
+    /// This transaction's identifier.
+    fn id(&self) -> TxId;
+
+    /// Reads t-variable `x` within the transaction.
+    fn read(&mut self, x: TVarId) -> TxResult<Value>;
+
+    /// Writes `v` to t-variable `x` within the transaction.
+    fn write(&mut self, x: TVarId, v: Value) -> TxResult<()>;
+
+    /// `tryC`: requests commitment. `Ok(())` is the commit event `C_k`;
+    /// `Err(Aborted)` is `A_k`.
+    fn try_commit(self: Box<Self>) -> TxResult<()>;
+
+    /// `tryA`: requests abortion; always succeeds.
+    fn try_abort(self: Box<Self>);
+}
+
+/// A word-level software transactional memory.
+pub trait WordStm: Send + Sync {
+    /// Human-readable implementation name (used in experiment tables).
+    fn name(&self) -> &'static str;
+
+    /// Declares a t-variable with an initial value. All t-variables must be
+    /// registered before transactions run (Algorithm 2's arrays are indexed
+    /// by t-variable, footnote 6 of the paper: static allocation).
+    fn register_tvar(&self, x: TVarId, initial: Value);
+
+    /// Begins a transaction on behalf of process `proc`.
+    fn begin(&self, proc: u32) -> Box<dyn WordTx + '_>;
+
+    /// True if this implementation claims obstruction-freedom (Definition
+    /// 2). Used by experiments to decide which checkers apply.
+    fn is_obstruction_free(&self) -> bool;
+}
+
+/// Runs `body` inside transactions until one commits, in the standard
+/// retry-loop style. Each retry uses a fresh transaction identifier.
+/// Returns the committed body result together with the number of attempts.
+pub fn run_transaction<R>(
+    stm: &dyn WordStm,
+    proc: u32,
+    mut body: impl FnMut(&mut dyn WordTx) -> TxResult<R>,
+) -> (R, u32) {
+    let mut attempts = 0;
+    loop {
+        attempts += 1;
+        let mut tx = stm.begin(proc);
+        match body(tx.as_mut()) {
+            Ok(r) => match tx.try_commit() {
+                Ok(()) => return (r, attempts),
+                Err(TxError::Aborted) => continue,
+            },
+            Err(TxError::Aborted) => continue,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tx_error_display() {
+        assert_eq!(TxError::Aborted.to_string(), "transaction aborted");
+    }
+}

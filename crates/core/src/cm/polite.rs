@@ -1,0 +1,89 @@
+//! The Polite contention manager: exponential backoff, then abort.
+//!
+//! Mirrors the "back off for some fixed time (maybe random) to give `T_i` a
+//! chance" behaviour described in Section 1 of the paper, with the mandatory
+//! escape hatch: after `max_attempts` rounds of waiting the other
+//! transaction is aborted, preserving obstruction-freedom.
+
+use super::{expo_backoff, ContentionManager, Resolution};
+use crate::dstm::descriptor::Descriptor;
+use std::time::Duration;
+
+/// Exponential-backoff-then-abort policy.
+#[derive(Clone, Copy, Debug)]
+pub struct Polite {
+    /// Backoff rounds before giving up on the owner.
+    pub max_attempts: u32,
+    /// First backoff duration; doubles each round.
+    pub base: Duration,
+    /// Upper bound on a single backoff.
+    pub cap: Duration,
+}
+
+impl Default for Polite {
+    fn default() -> Self {
+        Polite {
+            max_attempts: 8,
+            base: Duration::from_micros(2),
+            cap: Duration::from_micros(512),
+        }
+    }
+}
+
+impl ContentionManager for Polite {
+    fn name(&self) -> &'static str {
+        "polite"
+    }
+
+    fn resolve(&self, _me: &Descriptor, _other: &Descriptor, attempt: u32) -> Resolution {
+        if attempt >= self.max_attempts {
+            Resolution::AbortOther
+        } else {
+            Resolution::Backoff(expo_backoff(self.base, attempt, self.cap))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oftm_histories::TxId;
+
+    #[test]
+    fn backs_off_then_aborts() {
+        let cm = Polite::default();
+        let me = Descriptor::new(TxId::new(1, 0), 0);
+        let other = Descriptor::new(TxId::new(2, 0), 0);
+        let mut saw_backoff = false;
+        for attempt in 0..cm.max_attempts {
+            match cm.resolve(&me, &other, attempt) {
+                Resolution::Backoff(d) => {
+                    saw_backoff = true;
+                    assert!(d <= cm.cap);
+                }
+                Resolution::AbortOther => panic!("aborted too early at attempt {attempt}"),
+            }
+        }
+        assert!(saw_backoff);
+        assert_eq!(
+            cm.resolve(&me, &other, cm.max_attempts),
+            Resolution::AbortOther
+        );
+    }
+
+    #[test]
+    fn backoff_durations_grow() {
+        let cm = Polite::default();
+        let me = Descriptor::new(TxId::new(1, 0), 0);
+        let other = Descriptor::new(TxId::new(2, 0), 0);
+        let d0 = match cm.resolve(&me, &other, 0) {
+            Resolution::Backoff(d) => d,
+            _ => unreachable!(),
+        };
+        let d3 = match cm.resolve(&me, &other, 3) {
+            Resolution::Backoff(d) => d,
+            _ => unreachable!(),
+        };
+        assert!(d3 > d0);
+    }
+}

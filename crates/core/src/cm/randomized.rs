@@ -1,0 +1,103 @@
+//! The Randomized contention manager: flip a coin between aborting the
+//! owner and backing off a random duration.
+//!
+//! Randomization breaks the symmetric livelock two Aggressive transactions
+//! can fall into, without any bookkeeping. A deterministic attempt cap
+//! keeps the manager obstruction-free even with an adversarial RNG.
+
+use super::{ContentionManager, Resolution};
+use crate::dstm::descriptor::Descriptor;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::cell::RefCell;
+use std::time::Duration;
+
+/// Coin-flip policy.
+#[derive(Clone, Copy, Debug)]
+pub struct Randomized {
+    /// Probability (in percent) of aborting the owner at each attempt.
+    pub abort_percent: u8,
+    pub max_backoff: Duration,
+    pub max_attempts: u32,
+}
+
+impl Default for Randomized {
+    fn default() -> Self {
+        Randomized {
+            abort_percent: 50,
+            max_backoff: Duration::from_micros(128),
+            max_attempts: 12,
+        }
+    }
+}
+
+thread_local! {
+    static RNG: RefCell<SmallRng> = RefCell::new(SmallRng::from_entropy());
+}
+
+impl ContentionManager for Randomized {
+    fn name(&self) -> &'static str {
+        "randomized"
+    }
+
+    fn resolve(&self, _me: &Descriptor, _other: &Descriptor, attempt: u32) -> Resolution {
+        if attempt >= self.max_attempts {
+            return Resolution::AbortOther;
+        }
+        RNG.with(|rng| {
+            let mut rng = rng.borrow_mut();
+            if rng.gen_range(0..100u8) < self.abort_percent {
+                Resolution::AbortOther
+            } else {
+                let nanos = rng.gen_range(0..self.max_backoff.as_nanos() as u64);
+                Resolution::Backoff(Duration::from_nanos(nanos))
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oftm_histories::TxId;
+
+    #[test]
+    fn cap_enforced() {
+        let cm = Randomized::default();
+        let me = Descriptor::new(TxId::new(1, 0), 0);
+        let other = Descriptor::new(TxId::new(2, 0), 0);
+        assert_eq!(
+            cm.resolve(&me, &other, cm.max_attempts),
+            Resolution::AbortOther
+        );
+    }
+
+    #[test]
+    fn always_abort_with_p100() {
+        let cm = Randomized {
+            abort_percent: 100,
+            ..Default::default()
+        };
+        let me = Descriptor::new(TxId::new(1, 0), 0);
+        let other = Descriptor::new(TxId::new(2, 0), 0);
+        for a in 0..8 {
+            assert_eq!(cm.resolve(&me, &other, a), Resolution::AbortOther);
+        }
+    }
+
+    #[test]
+    fn backoff_bounded_with_p0() {
+        let cm = Randomized {
+            abort_percent: 0,
+            ..Default::default()
+        };
+        let me = Descriptor::new(TxId::new(1, 0), 0);
+        let other = Descriptor::new(TxId::new(2, 0), 0);
+        for a in 0..cm.max_attempts {
+            match cm.resolve(&me, &other, a) {
+                Resolution::Backoff(d) => assert!(d <= cm.max_backoff),
+                Resolution::AbortOther => panic!("p=0 must not abort before the cap"),
+            }
+        }
+    }
+}

@@ -1,0 +1,236 @@
+//! Transaction descriptors and their status word.
+//!
+//! The descriptor is the heart of a DSTM-style OFTM (Section 1 of the
+//! paper): every object owned by a live transaction `T_i` points to `T_i`'s
+//! descriptor, and the transaction's fate is decided by a single CAS on the
+//! descriptor's status word — `Live → Committed` by `T_i` itself, or
+//! `Live → Aborted` by any transaction that needs to revoke `T_i`'s
+//! ownership. This one shared word is also exactly the "artificial hot
+//! spot" of Section 5: unrelated transactions touching different
+//! t-variables owned by the same `T_m` contend on `T_m`'s descriptor, which
+//! is what Theorem 13 proves unavoidable.
+
+use oftm_histories::{BaseObjId, TxId};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+
+/// The three states of a transaction (paper, Section 1: "indicates whether
+/// `T_i` is still live, already committed or aborted").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum TxState {
+    Live = 0,
+    Committed = 1,
+    Aborted = 2,
+}
+
+impl TxState {
+    fn from_u8(v: u8) -> TxState {
+        match v {
+            0 => TxState::Live,
+            1 => TxState::Committed,
+            _ => TxState::Aborted,
+        }
+    }
+}
+
+/// A transaction descriptor.
+///
+/// Shared via `Arc` between the owning transaction and every locator it
+/// installs. All fields are either immutable after construction or atomic.
+pub struct Descriptor {
+    id: TxId,
+    status: AtomicU8,
+    /// Base-object identity of the status word, for the low-level recorder.
+    base: BaseObjId,
+    /// Birth timestamp (nanoseconds since the STM epoch) — Greedy manager.
+    birth: u64,
+    /// Work-based priority — Karma manager.
+    karma: AtomicU64,
+    /// First time (nanos since STM epoch) some other transaction wanted to
+    /// abort this one; 0 = never. Used by the eventual-ic variant's grace
+    /// period (Definition 4).
+    first_conflict: AtomicU64,
+}
+
+impl Descriptor {
+    /// Creates a live descriptor.
+    pub fn new(id: TxId, birth: u64) -> Self {
+        Descriptor {
+            id,
+            status: AtomicU8::new(TxState::Live as u8),
+            base: crate::record::fresh_base_id(),
+            birth,
+            karma: AtomicU64::new(0),
+            first_conflict: AtomicU64::new(0),
+        }
+    }
+
+    /// Creates an already-committed descriptor (used for the initial
+    /// locator of every t-variable: the "initializing transaction T_0").
+    pub fn committed(id: TxId) -> Self {
+        let d = Descriptor::new(id, 0);
+        d.status.store(TxState::Committed as u8, Ordering::Release);
+        d
+    }
+
+    pub fn id(&self) -> TxId {
+        self.id
+    }
+
+    pub fn base(&self) -> BaseObjId {
+        self.base
+    }
+
+    pub fn birth(&self) -> u64 {
+        self.birth
+    }
+
+    /// Current status.
+    ///
+    /// `Acquire`: observing `Committed` must synchronize with the owner's
+    /// releasing commit CAS so that the tentative value it published (the
+    /// locator's `new` field) is visible to us.
+    pub fn status(&self) -> TxState {
+        TxState::from_u8(self.status.load(Ordering::Acquire))
+    }
+
+    /// Attempts the commit CAS `Live → Committed`.
+    ///
+    /// `AcqRel` on success: `Release` publishes every pre-commit write
+    /// (tentative values) to readers that subsequently `Acquire` the
+    /// status; `Acquire` orders the preceding read-set validation before
+    /// the state change. Returns `true` iff this call committed the
+    /// transaction.
+    pub fn try_commit(&self) -> bool {
+        self.status
+            .compare_exchange(
+                TxState::Live as u8,
+                TxState::Committed as u8,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
+            .is_ok()
+    }
+
+    /// Attempts the abort CAS `Live → Aborted`. Any transaction may call
+    /// this on any descriptor — that revocability is what makes the
+    /// ownership scheme obstruction-free. Returns `true` iff this call
+    /// aborted the transaction (false: it was already committed/aborted).
+    pub fn try_abort(&self) -> bool {
+        self.status
+            .compare_exchange(
+                TxState::Live as u8,
+                TxState::Aborted as u8,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
+            .is_ok()
+    }
+
+    pub fn karma(&self) -> u64 {
+        self.karma.load(Ordering::Relaxed)
+    }
+
+    pub fn add_karma(&self, n: u64) {
+        self.karma.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records the first moment a peer wanted this transaction gone;
+    /// returns that (stable) first moment. Used by the grace-period policy.
+    pub fn note_conflict(&self, now: u64) -> u64 {
+        let now = now.max(1); // 0 is the "unset" sentinel
+        match self
+            .first_conflict
+            .compare_exchange(0, now, Ordering::AcqRel, Ordering::Acquire)
+        {
+            Ok(_) => now,
+            Err(prev) => prev,
+        }
+    }
+}
+
+impl std::fmt::Debug for Descriptor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Descriptor")
+            .field("id", &self.id)
+            .field("status", &self.status())
+            .field("karma", &self.karma())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle_commit() {
+        let d = Descriptor::new(TxId::new(1, 0), 5);
+        assert_eq!(d.status(), TxState::Live);
+        assert!(d.try_commit());
+        assert_eq!(d.status(), TxState::Committed);
+        // Terminal: neither abort nor a second commit may succeed.
+        assert!(!d.try_abort());
+        assert!(!d.try_commit());
+        assert_eq!(d.status(), TxState::Committed);
+    }
+
+    #[test]
+    fn lifecycle_abort() {
+        let d = Descriptor::new(TxId::new(1, 1), 5);
+        assert!(d.try_abort());
+        assert_eq!(d.status(), TxState::Aborted);
+        assert!(!d.try_commit());
+    }
+
+    #[test]
+    fn commit_abort_race_has_single_winner() {
+        use std::sync::Arc;
+        for _ in 0..64 {
+            let d = Arc::new(Descriptor::new(TxId::new(1, 2), 0));
+            let d2 = Arc::clone(&d);
+            let committer = std::thread::spawn(move || d2.try_commit());
+            let aborted = d.try_abort();
+            let committed = committer.join().unwrap();
+            assert!(
+                committed ^ aborted,
+                "exactly one of commit/abort must win (committed={committed}, aborted={aborted})"
+            );
+        }
+    }
+
+    #[test]
+    fn precommitted_descriptor() {
+        let d = Descriptor::committed(TxId::new(0, 0));
+        assert_eq!(d.status(), TxState::Committed);
+        assert!(!d.try_abort());
+    }
+
+    #[test]
+    fn karma_accumulates() {
+        let d = Descriptor::new(TxId::new(1, 3), 0);
+        d.add_karma(2);
+        d.add_karma(3);
+        assert_eq!(d.karma(), 5);
+    }
+
+    #[test]
+    fn first_conflict_is_sticky() {
+        let d = Descriptor::new(TxId::new(1, 4), 0);
+        assert_eq!(d.note_conflict(100), 100);
+        assert_eq!(d.note_conflict(200), 100);
+    }
+
+    #[test]
+    fn note_conflict_zero_is_clamped() {
+        let d = Descriptor::new(TxId::new(1, 5), 0);
+        assert_eq!(d.note_conflict(0), 1);
+    }
+
+    #[test]
+    fn unique_base_ids() {
+        let a = Descriptor::new(TxId::new(1, 6), 0);
+        let b = Descriptor::new(TxId::new(1, 7), 0);
+        assert_ne!(a.base(), b.base());
+    }
+}

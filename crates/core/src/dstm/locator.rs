@@ -1,0 +1,218 @@
+//! Locators: the per-acquisition indirection object of DSTM.
+//!
+//! A locator bundles `(owner, old, new)` (paper, Section 1): the owning
+//! transaction's descriptor, the last committed value (`old`) and the
+//! owner's tentative value (`new`). The *logical* value of a t-variable is
+//! a function of the locator currently installed in it and the owner's
+//! status:
+//!
+//! | owner status | logical value |
+//! |--------------|---------------|
+//! | `Committed`  | `new`         |
+//! | `Aborted`    | `old`         |
+//! | `Live`       | `old` is the last committed value; `new` is tentative and owner-private |
+//!
+//! ### Aliasing discipline (the `UnsafeCell` part)
+//!
+//! `new` is mutated by exactly one thread — the owner, strictly before its
+//! commit CAS — and read by others only after they observe `Committed` with
+//! `Acquire` ordering, which synchronizes-with the owner's `Release` commit
+//! CAS. There is therefore never a write concurrent with any other access:
+//!
+//! * while the owner is `Live`, only the owner touches `new`;
+//! * the status word flips to `Committed` exactly once, after which nobody
+//!   writes `new` again.
+//!
+//! This is the publication pattern from *Rust Atomics and Locks* (release/
+//! acquire hand-off of non-atomic data); the `unsafe` blocks below each
+//! cite which row of the table they rely on.
+
+use super::descriptor::{Descriptor, TxState};
+use oftm_histories::BaseObjId;
+use std::cell::UnsafeCell;
+use std::sync::Arc;
+
+/// A DSTM locator for values of type `T`.
+pub struct Locator<T> {
+    /// The transaction that installed this locator.
+    pub owner: Arc<Descriptor>,
+    /// Value of the t-variable before `owner`'s (tentative) update.
+    pub old: T,
+    /// `owner`'s tentative value; becomes the committed value if `owner`
+    /// commits. See the module docs for the aliasing discipline.
+    new: UnsafeCell<T>,
+    /// Base-object identity for the low-level recorder.
+    pub base: BaseObjId,
+}
+
+/// SAFETY: `Locator` is shared between threads behind epoch-protected
+/// pointers. All fields except `new` are immutable after construction
+/// (`owner` is itself `Sync`). Access to `new` follows the single-writer /
+/// post-publication-readers protocol documented on the module; the status
+/// word provides the release/acquire edge. `T: Send` is required because
+/// ownership of the contained values effectively moves between threads via
+/// commit; `T: Sync` because committed values are read by reference from
+/// many threads.
+unsafe impl<T: Send + Sync> Sync for Locator<T> {}
+unsafe impl<T: Send> Send for Locator<T> {}
+
+impl<T> Locator<T> {
+    /// Creates a locator owned by `owner` with the given last-committed and
+    /// tentative values.
+    pub fn new(owner: Arc<Descriptor>, old: T, tentative: T) -> Self {
+        Locator {
+            owner,
+            old,
+            new: UnsafeCell::new(tentative),
+            base: crate::record::fresh_base_id(),
+        }
+    }
+
+    /// Reads the committed value.
+    ///
+    /// # Safety
+    /// The caller must have observed `self.owner.status() == Committed`
+    /// (an `Acquire` load — [`Descriptor::status`] provides it). Per the
+    /// module protocol no thread writes `new` after the status becomes
+    /// `Committed`, so the shared reference cannot alias a write.
+    pub unsafe fn committed_value(&self) -> &T {
+        debug_assert_eq!(self.owner.status(), TxState::Committed);
+        &*self.new.get()
+    }
+
+    /// Reads the tentative value as the owner.
+    ///
+    /// # Safety
+    /// The caller must be the unique owning transaction (holder of the
+    /// `Transaction` that installed this locator) and the owner must still
+    /// be `Live` from its own perspective. Single-writer protocol: only the
+    /// owner thread accesses `new` while `Live`.
+    pub unsafe fn tentative_value(&self) -> &T {
+        &*self.new.get()
+    }
+
+    /// Overwrites the tentative value as the owner.
+    ///
+    /// # Safety
+    /// Same contract as [`Locator::tentative_value`]; additionally the
+    /// caller must not hold any outstanding reference obtained from it.
+    pub unsafe fn set_tentative(&self, v: T) {
+        *self.new.get() = v;
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for Locator<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Locator")
+            .field("owner", &self.owner.id())
+            .field("status", &self.owner.status())
+            .field("old", &self.old)
+            .finish()
+    }
+}
+
+/// Which field of a locator a read resolved to. Recorded in read-set
+/// entries; validation checks that re-resolving yields the same class on
+/// the same locator (see `tx.rs`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ValueClass {
+    /// Resolved to `old` (owner aborted, or unknown/live third party).
+    Old,
+    /// Resolved to `new` (owner committed).
+    New,
+    /// Resolved to the caller's own tentative value.
+    Mine,
+}
+
+/// Classifies how a locator resolves right now for transaction `me`.
+pub fn classify<T>(loc: &Locator<T>, me: &Descriptor) -> ValueClass {
+    if std::ptr::eq(Arc::as_ptr(&loc.owner), me as *const Descriptor) {
+        // Our own locator: tentative (if we aborted, validation fails via
+        // our own status check, not via the class).
+        return ValueClass::Mine;
+    }
+    match loc.owner.status() {
+        TxState::Committed => ValueClass::New,
+        TxState::Aborted => ValueClass::Old,
+        // A live foreign owner: the last committed value is `old`. Readers
+        // never use this directly (they first resolve the conflict), but
+        // validation may observe it transiently.
+        TxState::Live => ValueClass::Old,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oftm_histories::TxId;
+
+    #[test]
+    fn committed_value_visible() {
+        let owner = Arc::new(Descriptor::new(TxId::new(1, 0), 0));
+        let loc = Locator::new(Arc::clone(&owner), 10u64, 11u64);
+        assert_eq!(loc.old, 10);
+        assert!(owner.try_commit());
+        // SAFETY: status observed Committed just above.
+        assert_eq!(unsafe { *loc.committed_value() }, 11);
+    }
+
+    #[test]
+    fn owner_mutates_tentative() {
+        let owner = Arc::new(Descriptor::new(TxId::new(1, 1), 0));
+        let loc = Locator::new(Arc::clone(&owner), 0u64, 0u64);
+        // SAFETY: single-threaded test, we are the owner, owner is Live.
+        unsafe {
+            loc.set_tentative(42);
+            assert_eq!(*loc.tentative_value(), 42);
+        }
+        assert!(owner.try_commit());
+        assert_eq!(unsafe { *loc.committed_value() }, 42);
+    }
+
+    #[test]
+    fn classification_follows_status() {
+        let owner = Arc::new(Descriptor::new(TxId::new(1, 2), 0));
+        let me = Descriptor::new(TxId::new(2, 0), 0);
+        let loc = Locator::new(Arc::clone(&owner), 1u64, 2u64);
+        assert_eq!(classify(&loc, &me), ValueClass::Old); // live foreign
+        owner.try_commit();
+        assert_eq!(classify(&loc, &me), ValueClass::New);
+
+        let owner2 = Arc::new(Descriptor::new(TxId::new(1, 3), 0));
+        let loc2 = Locator::new(Arc::clone(&owner2), 1u64, 2u64);
+        owner2.try_abort();
+        assert_eq!(classify(&loc2, &me), ValueClass::Old);
+    }
+
+    #[test]
+    fn classification_detects_own_locator() {
+        let me = Arc::new(Descriptor::new(TxId::new(3, 0), 0));
+        let loc = Locator::new(Arc::clone(&me), 1u64, 2u64);
+        assert_eq!(classify(&loc, &me), ValueClass::Mine);
+    }
+
+    #[test]
+    fn cross_thread_publication() {
+        // Owner thread writes tentative then commits; reader observes
+        // Committed and must see the written value (release/acquire edge).
+        for _ in 0..100 {
+            let owner = Arc::new(Descriptor::new(TxId::new(1, 4), 0));
+            let loc = Arc::new(Locator::new(Arc::clone(&owner), 0u64, 0u64));
+            let (loc2, owner2) = (Arc::clone(&loc), Arc::clone(&owner));
+            let writer = std::thread::spawn(move || {
+                // SAFETY: we are the owner thread; owner is Live.
+                unsafe { loc2.set_tentative(7) };
+                assert!(owner2.try_commit());
+            });
+            loop {
+                if loc.owner.status() == TxState::Committed {
+                    // SAFETY: observed Committed with Acquire.
+                    assert_eq!(unsafe { *loc.committed_value() }, 7);
+                    break;
+                }
+                std::hint::spin_loop();
+            }
+            writer.join().unwrap();
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! The DSTM-style obstruction-free STM (Section 1 of the paper, after
+//! Herlihy, Luchangco, Moir & Scherer \[18\]).
+//!
+//! Module layout:
+//! * [`descriptor`] — transaction descriptors and the status-word CAS;
+//! * [`locator`] — the `(owner, old, new)` indirection object;
+//! * [`tvar`] — t-variables (epoch-managed locator pointers);
+//! * [`tx`] — the transaction engine (acquire/read/validate/commit);
+//! * [`stm`] — the [`Dstm`] instance and `atomically` retry loop;
+//! * [`word`] — the [`crate::api::WordStm`] adapter with event recording.
+
+pub mod descriptor;
+pub mod locator;
+pub mod stm;
+pub mod tvar;
+pub mod tx;
+pub mod word;
+
+pub use descriptor::{Descriptor, TxState};
+pub use locator::{Locator, ValueClass};
+pub use stm::{Dstm, Progress};
+pub use tvar::TVar;
+pub use tx::Tx;
+pub use word::DstmWord;

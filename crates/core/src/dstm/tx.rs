@@ -1,0 +1,502 @@
+//! The transaction engine: acquisition, invisible reads, incremental
+//! validation, commit and abort.
+//!
+//! This follows the DSTM recipe the paper describes in Section 1:
+//!
+//! * **writes** acquire exclusive-but-revocable ownership by CAS-ing a new
+//!   locator into the t-variable;
+//! * **reads** are invisible: they resolve the current committed value and
+//!   remember `(locator, resolution)` in a private read-set;
+//! * on *every* subsequent access and at commit, the whole read-set is
+//!   re-validated ("the state of `y` is re-read to ensure that `T_i` still
+//!   observes a consistent state"), which yields opacity, not just
+//!   serializability;
+//! * encountering a **live owner** invokes the contention manager, which
+//!   may back off but must eventually abort the owner (obstruction-
+//!   freedom);
+//! * **commit** is a single CAS on the own descriptor's status word.
+
+use super::descriptor::{Descriptor, TxState};
+use super::locator::{Locator, ValueClass};
+use super::stm::{Dstm, Progress};
+use super::tvar::{Probe, TVar, TVarDyn};
+use crate::api::{TxError, TxResult};
+use crate::cm::Resolution;
+use crossbeam_epoch::{Guard, Owned};
+use oftm_histories::{Access, ProcId, TxId};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One entry of the invisible read-set.
+struct ReadEntry {
+    tvar: Arc<dyn TVarDyn>,
+    probe: Probe,
+}
+
+/// A live transaction on a [`Dstm`] instance.
+///
+/// Not `Send`: a transaction is executed by a single process (thread), as
+/// in the paper's model. Holds an epoch pin for its whole lifetime so that
+/// read-set locator addresses cannot be reclaimed-and-reused (no ABA).
+pub struct Tx<'s> {
+    stm: &'s Dstm,
+    desc: Arc<Descriptor>,
+    guard: Guard,
+    read_set: Vec<ReadEntry>,
+    /// Number of successful acquisitions (for statistics).
+    writes: usize,
+    finished: bool,
+}
+
+impl<'s> Tx<'s> {
+    pub(crate) fn new(stm: &'s Dstm, desc: Arc<Descriptor>) -> Self {
+        Tx {
+            stm,
+            desc,
+            guard: crossbeam_epoch::pin(),
+            read_set: Vec::new(),
+            writes: 0,
+            finished: false,
+        }
+    }
+
+    /// This transaction's identifier.
+    pub fn id(&self) -> TxId {
+        self.desc.id()
+    }
+
+    fn proc(&self) -> ProcId {
+        self.desc.id().process()
+    }
+
+    /// Records a low-level step if a recorder is attached.
+    fn rstep(&self, obj: oftm_histories::BaseObjId, access: Access) {
+        if let Some(rec) = self.stm.recorder() {
+            rec.step(self.proc(), Some(self.desc.id()), obj, access);
+        }
+    }
+
+    /// Checks our own fate: a forcefully aborted transaction must stop.
+    fn check_self(&self) -> TxResult<()> {
+        if self.desc.status() == TxState::Live {
+            Ok(())
+        } else {
+            Err(TxError::Aborted)
+        }
+    }
+
+    /// Re-validates the entire read-set (incremental validation).
+    fn validate(&self) -> bool {
+        self.read_set.iter().all(|e| {
+            self.rstep(e.tvar.base(), Access::Read);
+            e.tvar.probe(&self.guard, &self.desc) == e.probe
+        })
+    }
+
+    fn validate_or_abort(&mut self) -> TxResult<()> {
+        if self.validate() {
+            Ok(())
+        } else {
+            self.abort_self();
+            Err(TxError::Aborted)
+        }
+    }
+
+    /// Marks ourselves aborted (our own doing — e.g. failed validation).
+    fn abort_self(&mut self) {
+        if self.desc.try_abort() {
+            self.rstep(self.desc.base(), Access::Modify);
+        }
+        self.stm.cm().on_abort(&self.desc);
+        self.finished = true;
+    }
+
+    /// Resolves a conflict with the live foreign `owner` per the contention
+    /// manager and the progress policy. Returns when the owner is no longer
+    /// live (aborted by us or completed by itself) or asks the caller to
+    /// re-examine the variable.
+    fn resolve_conflict(&self, owner: &Arc<Descriptor>, attempt: &mut u32) {
+        match self.stm.cm().resolve(&self.desc, owner, *attempt) {
+            Resolution::AbortOther => {
+                // The eventual-ic variant (Definition 4) refuses to kill an
+                // owner before its grace period elapsed, obstructing the
+                // caller for a bounded time instead.
+                if let Progress::EventualGrace(grace) = self.stm.progress() {
+                    let now = self.stm.now_nanos();
+                    let first = owner.note_conflict(now);
+                    if now.saturating_sub(first) < grace.as_nanos() as u64 {
+                        backoff(Duration::from_micros(5));
+                        *attempt = attempt.saturating_add(1);
+                        return;
+                    }
+                }
+                let killed = owner.try_abort();
+                self.rstep(
+                    owner.base(),
+                    if killed { Access::Modify } else { Access::Read },
+                );
+            }
+            Resolution::Backoff(d) => {
+                backoff(d);
+                *attempt = attempt.saturating_add(1);
+            }
+        }
+    }
+
+    /// Reads t-variable `v` within the transaction.
+    pub fn read<T: Clone + Send + Sync + 'static>(&mut self, v: &TVar<T>) -> TxResult<T> {
+        self.check_self()?;
+        let mut attempt = 0u32;
+        loop {
+            let shared = v.inner.load(&self.guard);
+            self.rstep(v.inner.base, Access::Read);
+            // SAFETY: loaded under our guard, locators are retired via
+            // defer_destroy only after unlinking.
+            let loc = unsafe { shared.deref() };
+
+            if Arc::ptr_eq(&loc.owner, &self.desc) {
+                // Our own tentative value.
+                self.rstep(loc.base, Access::Read);
+                // SAFETY: we are the owner and live (checked above).
+                let val = unsafe { loc.tentative_value().clone() };
+                return Ok(val);
+            }
+
+            let status = loc.owner.status();
+            self.rstep(loc.owner.base(), Access::Read);
+            let (val, class) = match status {
+                TxState::Committed => {
+                    self.rstep(loc.base, Access::Read);
+                    // SAFETY: observed Committed with Acquire.
+                    (unsafe { loc.committed_value().clone() }, ValueClass::New)
+                }
+                TxState::Aborted => {
+                    self.rstep(loc.base, Access::Read);
+                    (loc.old.clone(), ValueClass::Old)
+                }
+                TxState::Live => {
+                    // Paper: "T_i just needs to make sure that no other
+                    // transaction T_k is currently updating y; if not, then
+                    // T_i may have to eventually abort T_k."
+                    self.resolve_conflict(&loc.owner, &mut attempt);
+                    self.check_self()?;
+                    continue;
+                }
+            };
+
+            let addr = shared.as_raw() as usize;
+            self.read_set.push(ReadEntry {
+                tvar: v.inner.clone() as Arc<dyn TVarDyn>,
+                probe: Probe { addr, class },
+            });
+            self.stm.cm().on_open(&self.desc);
+            self.validate_or_abort()?;
+            return Ok(val);
+        }
+    }
+
+    /// Writes `value` to t-variable `v` within the transaction, acquiring
+    /// ownership if not already held.
+    pub fn write<T: Clone + Send + Sync + 'static>(
+        &mut self,
+        v: &TVar<T>,
+        value: T,
+    ) -> TxResult<()> {
+        self.check_self()?;
+        let mut attempt = 0u32;
+        loop {
+            let shared = v.inner.load(&self.guard);
+            self.rstep(v.inner.base, Access::Read);
+            // SAFETY: as in `read`.
+            let loc = unsafe { shared.deref() };
+
+            if Arc::ptr_eq(&loc.owner, &self.desc) {
+                // Already own it: update the tentative value in place.
+                // SAFETY: we are the live owner; no outstanding references
+                // to the tentative value exist (reads clone it out).
+                unsafe { loc.set_tentative(value) };
+                self.rstep(loc.base, Access::Modify);
+                return Ok(());
+            }
+
+            let status = loc.owner.status();
+            self.rstep(loc.owner.base(), Access::Read);
+            let old_val = match status {
+                TxState::Committed => {
+                    self.rstep(loc.base, Access::Read);
+                    // SAFETY: observed Committed with Acquire.
+                    unsafe { loc.committed_value().clone() }
+                }
+                TxState::Aborted => {
+                    self.rstep(loc.base, Access::Read);
+                    loc.old.clone()
+                }
+                TxState::Live => {
+                    self.resolve_conflict(&loc.owner, &mut attempt);
+                    self.check_self()?;
+                    continue;
+                }
+            };
+
+            // If we read this variable earlier, the value we saw must still
+            // be the one we are about to supersede — otherwise our snapshot
+            // is stale.
+            let addr = shared.as_raw() as usize;
+            if let Some(entry) = self
+                .read_set
+                .iter_mut()
+                .find(|e| e.tvar.tvar_id() == v.inner.id)
+            {
+                if entry.probe.addr != addr {
+                    self.abort_self();
+                    return Err(TxError::Aborted);
+                }
+            }
+
+            let new_loc = Owned::new(Locator::new(Arc::clone(&self.desc), old_val, value.clone()));
+            match v.inner.cas(shared, new_loc, &self.guard) {
+                Ok(new_addr) => {
+                    self.rstep(v.inner.base, Access::Modify);
+                    // Upgrade any read entry: ownership now protects it.
+                    if let Some(entry) = self
+                        .read_set
+                        .iter_mut()
+                        .find(|e| e.tvar.tvar_id() == v.inner.id)
+                    {
+                        entry.probe = Probe {
+                            addr: new_addr,
+                            class: ValueClass::Mine,
+                        };
+                    }
+                    self.writes += 1;
+                    self.stm.cm().on_open(&self.desc);
+                    self.validate_or_abort()?;
+                    return Ok(());
+                }
+                Err(_rejected) => {
+                    // Someone interposed; re-examine. (The rejected locator
+                    // is dropped here, unpublished.)
+                    continue;
+                }
+            }
+        }
+    }
+
+    /// `tryC`: validates and attempts the commit CAS. Consumes the
+    /// transaction.
+    pub fn commit(mut self) -> TxResult<()> {
+        if self.desc.status() != TxState::Live {
+            self.finished = true;
+            return Err(TxError::Aborted);
+        }
+        if !self.validate() {
+            self.abort_self();
+            return Err(TxError::Aborted);
+        }
+        let won = self.desc.try_commit();
+        self.rstep(
+            self.desc.base(),
+            if won { Access::Modify } else { Access::Read },
+        );
+        self.finished = true;
+        if won {
+            self.stm.cm().on_commit(&self.desc);
+            Ok(())
+        } else {
+            self.stm.cm().on_abort(&self.desc);
+            Err(TxError::Aborted)
+        }
+    }
+
+    /// `tryA`: voluntarily aborts. Consumes the transaction.
+    pub fn rollback(mut self) {
+        self.abort_self();
+    }
+
+    /// Number of t-variables this transaction has acquired for writing.
+    pub fn write_count(&self) -> usize {
+        self.writes
+    }
+
+    /// Number of read-set entries.
+    pub fn read_count(&self) -> usize {
+        self.read_set.len()
+    }
+}
+
+impl Drop for Tx<'_> {
+    fn drop(&mut self) {
+        // A transaction dropped without commit/rollback (e.g. on panic or
+        // early return) must not stay live: its ownerships would make peers
+        // abort it anyway, but marking it aborted immediately is cleaner.
+        if !self.finished {
+            self.abort_self();
+        }
+    }
+}
+
+/// Sleeps/spins for roughly `d`. Sub-100µs waits spin (sleep granularity is
+/// far coarser); longer waits sleep.
+fn backoff(d: Duration) {
+    if d < Duration::from_micros(100) {
+        let end = Instant::now() + d;
+        while Instant::now() < end {
+            std::hint::spin_loop();
+        }
+    } else {
+        std::thread::sleep(d);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cm::Aggressive;
+    use oftm_histories::TVarId;
+
+    fn stm() -> Dstm {
+        Dstm::new(Arc::new(Aggressive))
+    }
+
+    #[test]
+    fn read_initial_value() {
+        let s = stm();
+        let x: TVar<u64> = TVar::new(TVarId(0), 5);
+        let mut tx = s.begin(1);
+        assert_eq!(tx.read(&x).unwrap(), 5);
+        tx.commit().unwrap();
+    }
+
+    #[test]
+    fn write_then_read_own() {
+        let s = stm();
+        let x: TVar<u64> = TVar::new(TVarId(0), 5);
+        let mut tx = s.begin(1);
+        tx.write(&x, 9).unwrap();
+        assert_eq!(tx.read(&x).unwrap(), 9);
+        tx.commit().unwrap();
+        assert_eq!(x.read_atomic(), 9);
+    }
+
+    #[test]
+    fn rollback_discards_writes() {
+        let s = stm();
+        let x: TVar<u64> = TVar::new(TVarId(0), 5);
+        let tx = {
+            let mut tx = s.begin(1);
+            tx.write(&x, 9).unwrap();
+            tx
+        };
+        tx.rollback();
+        assert_eq!(x.read_atomic(), 5);
+    }
+
+    #[test]
+    fn drop_without_commit_aborts() {
+        let s = stm();
+        let x: TVar<u64> = TVar::new(TVarId(0), 5);
+        {
+            let mut tx = s.begin(1);
+            tx.write(&x, 9).unwrap();
+            // dropped here
+        }
+        assert_eq!(x.read_atomic(), 5);
+    }
+
+    #[test]
+    fn forceful_abort_stops_victim() {
+        let s = stm();
+        let x: TVar<u64> = TVar::new(TVarId(0), 5);
+        let mut t1 = s.begin(1);
+        t1.write(&x, 6).unwrap();
+        // T2 (aggressive CM) steals the variable, aborting T1.
+        let mut t2 = s.begin(2);
+        t2.write(&x, 7).unwrap();
+        t2.commit().unwrap();
+        // T1 is dead: all further operations observe the abort.
+        assert_eq!(t1.read(&x), Err(TxError::Aborted));
+        assert_eq!(t1.commit(), Err(TxError::Aborted));
+        assert_eq!(x.read_atomic(), 7);
+    }
+
+    #[test]
+    fn stale_read_detected_at_commit() {
+        let s = stm();
+        let x: TVar<u64> = TVar::new(TVarId(0), 0);
+        let mut t1 = s.begin(1);
+        assert_eq!(t1.read(&x).unwrap(), 0);
+        // T2 commits a change to x behind T1's back.
+        let mut t2 = s.begin(2);
+        t2.write(&x, 1).unwrap();
+        t2.commit().unwrap();
+        // T1's commit must fail validation.
+        assert_eq!(t1.commit(), Err(TxError::Aborted));
+    }
+
+    #[test]
+    fn stale_read_detected_on_next_access() {
+        let s = stm();
+        let x: TVar<u64> = TVar::new(TVarId(0), 0);
+        let y: TVar<u64> = TVar::new(TVarId(1), 0);
+        let mut t1 = s.begin(1);
+        assert_eq!(t1.read(&x).unwrap(), 0);
+        let mut t2 = s.begin(2);
+        t2.write(&x, 1).unwrap();
+        t2.commit().unwrap();
+        // Opacity: the very next operation of T1 must abort, it may not see
+        // y in a state inconsistent with its earlier read of x.
+        assert_eq!(t1.read(&y), Err(TxError::Aborted));
+    }
+
+    #[test]
+    fn read_write_upgrade_same_tx() {
+        let s = stm();
+        let x: TVar<u64> = TVar::new(TVarId(0), 3);
+        let mut tx = s.begin(1);
+        let v = tx.read(&x).unwrap();
+        tx.write(&x, v + 1).unwrap();
+        assert_eq!(tx.read(&x).unwrap(), 4);
+        tx.commit().unwrap();
+        assert_eq!(x.read_atomic(), 4);
+    }
+
+    #[test]
+    fn upgrade_fails_if_var_changed_since_read() {
+        let s = stm();
+        let x: TVar<u64> = TVar::new(TVarId(0), 0);
+        let mut t1 = s.begin(1);
+        let _ = t1.read(&x).unwrap();
+        let mut t2 = s.begin(2);
+        t2.write(&x, 5).unwrap();
+        t2.commit().unwrap();
+        // T1 now upgrades its read to a write: must abort (snapshot stale).
+        assert_eq!(t1.write(&x, 1), Err(TxError::Aborted));
+    }
+
+    #[test]
+    fn aborted_owner_value_resolves_to_old() {
+        let s = stm();
+        let x: TVar<u64> = TVar::new(TVarId(0), 5);
+        let mut t1 = s.begin(1);
+        t1.write(&x, 100).unwrap();
+        t1.rollback();
+        let mut t2 = s.begin(2);
+        assert_eq!(t2.read(&x).unwrap(), 5);
+        t2.commit().unwrap();
+    }
+
+    #[test]
+    fn write_counts_tracked() {
+        let s = stm();
+        let x: TVar<u64> = TVar::new(TVarId(0), 0);
+        let y: TVar<u64> = TVar::new(TVarId(1), 0);
+        let mut tx = s.begin(1);
+        tx.write(&x, 1).unwrap();
+        tx.write(&y, 1).unwrap();
+        tx.write(&x, 2).unwrap(); // same var: still one acquisition
+        let _ = tx.read(&y).unwrap(); // own var: not a read-set entry
+        assert_eq!(tx.write_count(), 2);
+        assert_eq!(tx.read_count(), 0);
+        tx.commit().unwrap();
+    }
+}

@@ -1,0 +1,234 @@
+//! Word-level adapter: exposes a [`Dstm`] through the uniform [`WordStm`]
+//! interface and records the high-level TM events (Section 2.2's
+//! invocations and responses) when a recorder is attached.
+
+use super::stm::Dstm;
+use super::tvar::TVar;
+use super::tx::Tx;
+use crate::api::{TxError, TxResult, WordStm, WordTx};
+use oftm_histories::{TVarId, TmOp, TmResp, TxId, Value};
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
+
+/// A [`Dstm`] with a word-sized t-variable table, implementing [`WordStm`].
+pub struct DstmWord {
+    stm: Dstm,
+    vars: RwLock<Arc<HashMap<TVarId, TVar<Value>>>>,
+}
+
+impl DstmWord {
+    pub fn new(stm: Dstm) -> Self {
+        DstmWord {
+            stm,
+            vars: RwLock::new(Arc::new(HashMap::new())),
+        }
+    }
+
+    /// The underlying typed STM.
+    pub fn inner(&self) -> &Dstm {
+        &self.stm
+    }
+
+    /// Reads a t-variable non-transactionally (test oracle).
+    pub fn peek(&self, x: TVarId) -> Option<Value> {
+        let vars = self.vars.read().unwrap().clone();
+        vars.get(&x).map(|v| v.read_atomic())
+    }
+}
+
+struct DstmWordTx<'s> {
+    tx: Option<Tx<'s>>,
+    vars: Arc<HashMap<TVarId, TVar<Value>>>,
+    stm: &'s Dstm,
+}
+
+impl DstmWordTx<'_> {
+    fn record_invoke(&self, op: TmOp) {
+        if let (Some(rec), Some(tx)) = (self.stm.recorder_arc(), self.tx.as_ref()) {
+            rec.invoke(tx.id(), op);
+        }
+    }
+
+    fn record_respond(&self, id: TxId, resp: TmResp) {
+        if let Some(rec) = self.stm.recorder_arc() {
+            rec.respond(id, resp);
+        }
+    }
+}
+
+impl WordTx for DstmWordTx<'_> {
+    fn id(&self) -> TxId {
+        self.tx.as_ref().expect("transaction still running").id()
+    }
+
+    fn read(&mut self, x: TVarId) -> TxResult<Value> {
+        let var = self
+            .vars
+            .get(&x)
+            .unwrap_or_else(|| panic!("t-variable {x} not registered"))
+            .clone();
+        self.record_invoke(TmOp::Read(x));
+        let id = self.id();
+        let r = self.tx.as_mut().unwrap().read(&var);
+        match &r {
+            Ok(v) => self.record_respond(id, TmResp::Value(*v)),
+            Err(TxError::Aborted) => self.record_respond(id, TmResp::Aborted),
+        }
+        r
+    }
+
+    fn write(&mut self, x: TVarId, v: Value) -> TxResult<()> {
+        let var = self
+            .vars
+            .get(&x)
+            .unwrap_or_else(|| panic!("t-variable {x} not registered"))
+            .clone();
+        self.record_invoke(TmOp::Write(x, v));
+        let id = self.id();
+        let r = self.tx.as_mut().unwrap().write(&var, v);
+        match &r {
+            Ok(()) => self.record_respond(id, TmResp::Ok),
+            Err(TxError::Aborted) => self.record_respond(id, TmResp::Aborted),
+        }
+        r
+    }
+
+    fn try_commit(mut self: Box<Self>) -> TxResult<()> {
+        let tx = self.tx.take().expect("transaction still running");
+        let id = tx.id();
+        self.record_invoke_for(id, TmOp::TryCommit);
+        let r = tx.commit();
+        match &r {
+            Ok(()) => self.record_respond(id, TmResp::Committed),
+            Err(TxError::Aborted) => self.record_respond(id, TmResp::Aborted),
+        }
+        r
+    }
+
+    fn try_abort(mut self: Box<Self>) {
+        let tx = self.tx.take().expect("transaction still running");
+        let id = tx.id();
+        self.record_invoke_for(id, TmOp::TryAbort);
+        tx.rollback();
+        self.record_respond(id, TmResp::Aborted);
+    }
+}
+
+impl DstmWordTx<'_> {
+    fn record_invoke_for(&self, id: TxId, op: TmOp) {
+        if let Some(rec) = self.stm.recorder_arc() {
+            rec.invoke(id, op);
+        }
+    }
+}
+
+impl WordStm for DstmWord {
+    fn name(&self) -> &'static str {
+        "dstm"
+    }
+
+    fn register_tvar(&self, x: TVarId, initial: Value) {
+        let mut guard = self.vars.write().unwrap();
+        let mut map = HashMap::clone(&guard);
+        map.insert(x, TVar::new(x, initial));
+        *guard = Arc::new(map);
+    }
+
+    fn begin(&self, proc: u32) -> Box<dyn WordTx + '_> {
+        let vars = self.vars.read().unwrap().clone();
+        Box::new(DstmWordTx {
+            tx: Some(self.stm.begin(proc)),
+            vars,
+            stm: &self.stm,
+        })
+    }
+
+    fn is_obstruction_free(&self) -> bool {
+        matches!(self.stm.progress(), super::stm::Progress::ObstructionFree)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::run_transaction;
+    use crate::cm::Polite;
+    use crate::record::Recorder;
+
+    fn word_stm() -> DstmWord {
+        DstmWord::new(Dstm::new(Arc::new(Polite::default())))
+    }
+
+    #[test]
+    fn word_roundtrip() {
+        let s = word_stm();
+        s.register_tvar(TVarId(0), 10);
+        let (v, _) = run_transaction(&s, 1, |tx| {
+            let v = tx.read(TVarId(0))?;
+            tx.write(TVarId(0), v + 1)?;
+            Ok(v)
+        });
+        assert_eq!(v, 10);
+        assert_eq!(s.peek(TVarId(0)), Some(11));
+    }
+
+    #[test]
+    fn word_abort_path() {
+        let s = word_stm();
+        s.register_tvar(TVarId(0), 1);
+        let mut tx = s.begin(1);
+        assert_eq!(tx.read(TVarId(0)).unwrap(), 1);
+        tx.try_abort();
+        assert_eq!(s.peek(TVarId(0)), Some(1));
+    }
+
+    #[test]
+    fn recorder_sees_high_level_events() {
+        let rec = Arc::new(Recorder::new());
+        let s = DstmWord::new(Dstm::default().with_recorder(Arc::clone(&rec)));
+        s.register_tvar(TVarId(0), 0);
+        let _ = run_transaction(&s, 1, |tx| {
+            let v = tx.read(TVarId(0))?;
+            tx.write(TVarId(0), v + 1)
+        });
+        let h = rec.snapshot();
+        let views = h.tx_views();
+        assert_eq!(views.len(), 1);
+        let v = views.values().next().unwrap();
+        assert_eq!(v.status, oftm_histories::TxStatus::Committed);
+        assert_eq!(v.read_set.len(), 1);
+        assert_eq!(v.write_set.len(), 1);
+        // Low-level steps were also recorded.
+        assert!(h.iter().any(|te| te.event.is_step()));
+        // And the run is serializable per Definition 1.
+        assert!(oftm_histories::serializable(&h, 8).is_serializable());
+    }
+
+    #[test]
+    #[should_panic(expected = "not registered")]
+    fn unregistered_var_panics() {
+        let s = word_stm();
+        let mut tx = s.begin(1);
+        let _ = tx.read(TVarId(42));
+    }
+
+    #[test]
+    fn concurrent_word_counter() {
+        let s = Arc::new(word_stm());
+        s.register_tvar(TVarId(0), 0);
+        std::thread::scope(|sc| {
+            for p in 0..4u32 {
+                let s = Arc::clone(&s);
+                sc.spawn(move || {
+                    for _ in 0..100 {
+                        run_transaction(&*s, p, |tx| {
+                            let v = tx.read(TVarId(0))?;
+                            tx.write(TVarId(0), v + 1)
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(s.peek(TVarId(0)), Some(400));
+    }
+}

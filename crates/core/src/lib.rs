@@ -1,0 +1,41 @@
+//! # oftm-core — a DSTM-style obstruction-free software transactional memory
+//!
+//! This crate is the systems half of the reproduction of Guerraoui &
+//! Kapałka, *On Obstruction-Free Transactions* (SPAA 2008): a faithful
+//! implementation of the OFTM design the paper analyses (Section 1's
+//! description of DSTM \[18\]), built on hardware CAS via `std::sync::atomic`
+//! and `crossbeam_epoch` for locator reclamation.
+//!
+//! * [`dstm`] — the STM itself: typed [`dstm::TVar`]s, transactions,
+//!   commit/abort via a single status-word CAS, revocable ownership.
+//! * [`cm`] — contention managers (Aggressive, Polite, Karma, Greedy,
+//!   Randomized), each honouring the obstruction-freedom contract.
+//! * [`api`] — the uniform word-level [`api::WordStm`] interface shared
+//!   with the baselines and Algorithm 2, enabling apples-to-apples
+//!   experiments.
+//! * [`record`] — low-level history recording, bridging real executions to
+//!   the formal checkers in `oftm-histories`.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use oftm_core::dstm::Dstm;
+//!
+//! let stm = Dstm::default();
+//! let x = stm.new_tvar(0u64);
+//! let y = stm.new_tvar(0u64);
+//! stm.atomically(0, |tx| {
+//!     let v = tx.read(&x)?;
+//!     tx.write(&y, v + 1)
+//! });
+//! assert_eq!(y.read_atomic(), 1);
+//! ```
+
+pub mod api;
+pub mod cm;
+pub mod dstm;
+pub mod record;
+
+pub use api::{run_transaction, TxError, TxResult, WordStm, WordTx};
+pub use dstm::{Dstm, DstmWord, Progress, TVar, Tx};
+pub use record::{fresh_base_id, Recorder};

@@ -1,0 +1,267 @@
+//! fo-consensus from registers and one one-shot test-and-set object —
+//! i.e. from one-shot objects of consensus number 2 and registers only.
+//!
+//! This realizes, constructively, the claim in the paper's introduction:
+//! *"we exhibit an OFTM implementation that uses only one-shot objects of
+//! consensus number 2 and registers"* — Algorithm 2 builds the OFTM from
+//! fo-consensus, and this module builds fo-consensus itself without CAS.
+//!
+//! ## Construction
+//!
+//! * An unbounded (pre-allocated, see below) sequence of Moir–Anderson
+//!   *splitters* built from two registers each. A splitter guarantees that
+//!   at most one process ever *stops* on it; a process that does not stop
+//!   has certainly observed a register value written by another process.
+//! * One one-shot [`TestAndSet`] arbitrating the right to write the single
+//!   single-writer decision register `D`.
+//! * A contention counter register `C` incremented once per `propose`
+//!   invocation; a proposer that observes `C` changing during its run has
+//!   proof of step contention and may abort.
+//!
+//! `propose`: bump `C`; walk splitter rounds. Stopping at a splitter ⇒ try
+//! the TAS; the TAS winner writes `D := v`, raises `done` and decides `v`.
+//! Losing a splitter with `C` unchanged ⇒ the interference is residue of
+//! *completed* proposes; move to the next (fresh) round — at most one burnt
+//! round per past propose, so a solo proposer reaches a fresh splitter in
+//! finitely many rounds (wait-freedom). Losing with `C` changed ⇒ abort
+//! (step contention, allowed). Losing the TAS ⇒ briefly wait for `done`
+//! (the TAS winner is between two register writes); if it does not appear,
+//! abort — justified because the TAS winner's propose is then still
+//! pending, i.e. contention. In a crash-free execution (OS threads; this is
+//! the threaded plane — crashes are modelled exactly in `oftm-sim`) the
+//! winner always finishes, so solo re-proposes decide.
+//!
+//! ## Bounds
+//!
+//! The splitter array is pre-allocated (`rounds` capacity); each *completed*
+//! propose burns at most one round, so capacity bounds the total number of
+//! propose invocations, not concurrency. Exceeding it panics loudly rather
+//! than degrading correctness silently.
+
+use crate::tas::TestAndSet;
+use crate::traits::FoConsensus;
+use std::ptr;
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, Ordering};
+
+const NO_PROC: u64 = u64::MAX;
+
+/// One Moir–Anderson splitter: registers `x` (last entrant) and `y`
+/// (door closed).
+struct Splitter {
+    x: AtomicU64,
+    y: AtomicBool,
+}
+
+impl Splitter {
+    fn new() -> Self {
+        Splitter {
+            x: AtomicU64::new(NO_PROC),
+            y: AtomicBool::new(false),
+        }
+    }
+
+    /// Classic splitter: at most one process ever returns `true` (stop).
+    fn split(&self, proc: u64) -> bool {
+        self.x.store(proc, Ordering::Release);
+        if self.y.load(Ordering::Acquire) {
+            return false;
+        }
+        self.y.store(true, Ordering::Release);
+        self.x.load(Ordering::Acquire) == proc
+    }
+}
+
+/// fo-consensus from splitters + one TAS + registers.
+pub struct SplitterFoc<T> {
+    rounds: Box<[Splitter]>,
+    tas: TestAndSet,
+    /// Single-writer decision register (written only by the TAS winner).
+    decision: AtomicPtr<T>,
+    done: AtomicBool,
+    /// Contention counter: one increment per propose invocation.
+    contention: AtomicU64,
+    /// How long a TAS loser polls `done` before declaring contention.
+    patience: u32,
+}
+
+impl<T> SplitterFoc<T> {
+    /// Creates an instance able to serve up to `capacity` propose
+    /// invocations over its lifetime.
+    pub fn with_capacity(capacity: usize) -> Self {
+        SplitterFoc {
+            rounds: (0..capacity).map(|_| Splitter::new()).collect(),
+            tas: TestAndSet::new(),
+            decision: AtomicPtr::new(ptr::null_mut()),
+            done: AtomicBool::new(false),
+            contention: AtomicU64::new(0),
+            patience: 1024,
+        }
+    }
+
+    pub fn new() -> Self {
+        Self::with_capacity(4096)
+    }
+
+    fn read_decision(&self) -> Option<T>
+    where
+        T: Clone,
+    {
+        if self.done.load(Ordering::Acquire) {
+            let p = self.decision.load(Ordering::Acquire);
+            debug_assert!(!p.is_null());
+            // SAFETY: `decision` is written exactly once (by the TAS
+            // winner, before `done` is raised with Release) and never
+            // freed before drop.
+            Some(unsafe { (*p).clone() })
+        } else {
+            None
+        }
+    }
+}
+
+impl<T> Default for SplitterFoc<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Clone + Send + Sync> FoConsensus<T> for SplitterFoc<T> {
+    fn propose(&self, proc: u32, v: T) -> Option<T> {
+        // Entering is a (modifying) step other proposers can observe.
+        let c_at_entry = self.contention.fetch_add(1, Ordering::AcqRel) + 1;
+
+        for round in self.rounds.iter() {
+            if let Some(d) = self.read_decision() {
+                return Some(d);
+            }
+            if round.split(u64::from(proc)) {
+                // Sole stopper of this splitter: compete for the write
+                // right to D.
+                if self.tas.test_and_set() {
+                    let boxed = Box::into_raw(Box::new(v));
+                    self.decision.store(boxed, Ordering::Release);
+                    self.done.store(true, Ordering::Release);
+                    // SAFETY: just installed; never freed before drop.
+                    return Some(unsafe { (*boxed).clone() });
+                }
+                // TAS already won by another stopper (of an earlier round):
+                // its D write is imminent. Wait briefly.
+                for _ in 0..self.patience {
+                    if let Some(d) = self.read_decision() {
+                        return Some(d);
+                    }
+                    std::hint::spin_loop();
+                }
+                // The winner's propose is still pending — contention.
+                return None;
+            }
+            // Splitter lost. Contention *during our operation*?
+            if self.contention.load(Ordering::Acquire) != c_at_entry {
+                return None; // step contention: abort is permitted
+            }
+            // Residue of completed proposes; try the next round.
+        }
+        panic!(
+            "SplitterFoc round capacity ({}) exhausted; construct with a larger capacity",
+            self.rounds.len()
+        );
+    }
+
+    fn name(&self) -> &'static str {
+        "splitter-tas-foc"
+    }
+}
+
+impl<T> Drop for SplitterFoc<T> {
+    fn drop(&mut self) {
+        let p = *self.decision.get_mut();
+        if !p.is_null() {
+            // SAFETY: exclusive in drop; written once by the TAS winner.
+            drop(unsafe { Box::from_raw(p) });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::{propose_until_decided, stress_agreement};
+
+    #[test]
+    fn splitter_at_most_one_stop() {
+        use std::sync::atomic::AtomicU32;
+        for _ in 0..200 {
+            let sp = Splitter::new();
+            let stops = AtomicU32::new(0);
+            std::thread::scope(|s| {
+                for p in 0..4u64 {
+                    let sp = &sp;
+                    let stops = &stops;
+                    s.spawn(move || {
+                        if sp.split(p) {
+                            stops.fetch_add(1, Ordering::Relaxed);
+                        }
+                    });
+                }
+            });
+            assert!(stops.load(Ordering::Relaxed) <= 1);
+        }
+    }
+
+    #[test]
+    fn solo_propose_decides_without_abort() {
+        let foc = SplitterFoc::new();
+        assert_eq!(foc.propose(3, 42u64), Some(42));
+        // Later solo proposes adopt the decision, still without abort.
+        assert_eq!(foc.propose(5, 7u64), Some(42));
+    }
+
+    #[test]
+    fn fo_obstruction_freedom_sequential() {
+        // A sequence of step-contention-free proposes: none may abort.
+        let foc = SplitterFoc::new();
+        for p in 0..64u32 {
+            assert!(
+                foc.propose(p, u64::from(p)).is_some(),
+                "sequential propose aborted — fo-obstruction-freedom violated"
+            );
+        }
+    }
+
+    #[test]
+    fn concurrent_agreement_and_validity() {
+        for _ in 0..50 {
+            let foc = SplitterFoc::new();
+            let (_d, _aborts) = stress_agreement(&foc, 6);
+        }
+    }
+
+    #[test]
+    fn retry_after_abort_terminates() {
+        // Heavy contention: all proposers hammer the object, retrying until
+        // decided; the TAS/decision mechanism guarantees convergence.
+        let foc = SplitterFoc::new();
+        std::thread::scope(|s| {
+            for p in 0..8u32 {
+                let foc = &foc;
+                s.spawn(move || {
+                    let (d, _a) = propose_until_decided(foc, p, u64::from(p));
+                    assert!(d < 8);
+                });
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn capacity_exhaustion_is_loud() {
+        let foc = SplitterFoc::with_capacity(2);
+        // Burn the rounds with completed (aborting or deciding) proposes is
+        // hard solo — solo proposes stop at round 0. Force exhaustion by
+        // pre-burning splitters directly.
+        for r in foc.rounds.iter() {
+            r.y.store(true, Ordering::Release);
+        }
+        let _ = foc.propose(0, 1u64);
+    }
+}

@@ -1,0 +1,166 @@
+//! One-shot test-and-set: the canonical object of consensus number exactly 2.
+//!
+//! Used by [`crate::SplitterFoc`] (fo-consensus from consensus-number-2
+//! primitives, establishing the paper's "OFTM from one-shot objects of
+//! consensus number 2 and registers" claim constructively) and by
+//! [`TasConsensus`] (wait-free 2-process consensus,
+//! the lower half of Corollary 11).
+
+use std::sync::atomic::{AtomicBool, AtomicPtr, Ordering};
+
+/// A one-shot test-and-set object. The first `test_and_set` wins.
+#[derive(Default)]
+pub struct TestAndSet {
+    flag: AtomicBool,
+}
+
+impl TestAndSet {
+    pub fn new() -> Self {
+        TestAndSet {
+            flag: AtomicBool::new(false),
+        }
+    }
+
+    /// Returns `true` iff this call won (the flag was previously clear).
+    ///
+    /// `AcqRel`: the winner's prior writes become visible to losers (they
+    /// acquire the same location), and the win is ordered after the
+    /// winner's preceding announcements.
+    pub fn test_and_set(&self) -> bool {
+        !self.flag.swap(true, Ordering::AcqRel)
+    }
+
+    /// Non-winning read of the flag state.
+    pub fn is_set(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+/// Wait-free 2-process consensus from one TAS and two announce registers —
+/// the classical construction showing TAS has consensus number ≥ 2, used
+/// here as the machinery behind Corollary 11's "consensus number of an
+/// OFTM equals 2" (2 processes *can* solve consensus with objects of this
+/// strength).
+pub struct TasConsensus<T> {
+    announce: [AtomicPtr<T>; 2],
+    tas: TestAndSet,
+}
+
+impl<T> Default for TasConsensus<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> TasConsensus<T> {
+    pub fn new() -> Self {
+        TasConsensus {
+            announce: [
+                AtomicPtr::new(std::ptr::null_mut()),
+                AtomicPtr::new(std::ptr::null_mut()),
+            ],
+            tas: TestAndSet::new(),
+        }
+    }
+
+    /// Proposes `v` as process `slot` (0 or 1). Wait-free: always decides.
+    pub fn propose(&self, slot: usize, v: T) -> T
+    where
+        T: Clone,
+    {
+        assert!(slot < 2, "TasConsensus is a 2-process object");
+        let mine = Box::into_raw(Box::new(v));
+        // Announce before competing (Release: paired with the loser's
+        // Acquire load through the TAS's AcqRel chain).
+        self.announce[slot].store(mine, Ordering::Release);
+        if self.tas.test_and_set() {
+            // Winner: decide own value.
+            // SAFETY: `mine` was installed by us and is never freed before
+            // drop.
+            unsafe { (*mine).clone() }
+        } else {
+            // Loser: the winner announced before its TAS, which happened
+            // before ours — its announcement is visible.
+            let theirs = self.announce[1 - slot].load(Ordering::Acquire);
+            assert!(
+                !theirs.is_null(),
+                "TAS winner must have announced before winning"
+            );
+            // SAFETY: announce pointers are written once per slot and only
+            // freed on drop.
+            unsafe { (*theirs).clone() }
+        }
+    }
+}
+
+impl<T> Drop for TasConsensus<T> {
+    fn drop(&mut self) {
+        for a in &self.announce {
+            let p = a.load(Ordering::Relaxed);
+            if !p.is_null() {
+                // SAFETY: exclusive access in drop; each slot written once.
+                drop(unsafe { Box::from_raw(p) });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tas_single_winner() {
+        let t = TestAndSet::new();
+        assert!(t.test_and_set());
+        assert!(!t.test_and_set());
+        assert!(t.is_set());
+    }
+
+    #[test]
+    fn tas_single_winner_concurrent() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        for _ in 0..100 {
+            let t = TestAndSet::new();
+            let wins = AtomicU32::new(0);
+            std::thread::scope(|s| {
+                for _ in 0..4 {
+                    s.spawn(|| {
+                        if t.test_and_set() {
+                            wins.fetch_add(1, Ordering::Relaxed);
+                        }
+                    });
+                }
+            });
+            assert_eq!(wins.load(Ordering::Relaxed), 1);
+        }
+    }
+
+    #[test]
+    fn two_consensus_solo() {
+        let c = TasConsensus::new();
+        assert_eq!(c.propose(0, 5u64), 5);
+        assert_eq!(c.propose(1, 9u64), 5);
+    }
+
+    #[test]
+    fn two_consensus_concurrent_agreement() {
+        for _ in 0..200 {
+            let c = TasConsensus::<u64>::new();
+            let (d0, d1) = std::thread::scope(|s| {
+                let h0 = s.spawn(|| c.propose(0, 100));
+                let h1 = s.spawn(|| c.propose(1, 200));
+                (h0.join().unwrap(), h1.join().unwrap())
+            });
+            assert_eq!(d0, d1, "agreement");
+            assert!(d0 == 100 || d0 == 200, "validity");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "2-process object")]
+    fn two_consensus_rejects_third_slot() {
+        let c = TasConsensus::new();
+        let _ = c.propose(2, 0u64);
+    }
+}

@@ -1,0 +1,261 @@
+//! Strict disjoint-access-parallelism checking (Definition 12, Section 5.1).
+//!
+//! Two transactions *conflict on a base object* `x` if both execute an
+//! operation on `x` and at least one of those operations modifies `x`'s
+//! state. An STM is strictly disjoint-access-parallel if conflicting
+//! transactions always share a t-variable. [`check_strict_dap`] scans a
+//! low-level history for violating pairs: transactions that conflict on a
+//! base object but access disjoint t-variable sets. Theorem 13 says every
+//! OFTM must produce such a pair in some execution — the experiments
+//! (`fig2_dap`, `exp_conflict_density`) use this checker to exhibit them.
+
+use crate::event::Event;
+use crate::history::History;
+use crate::ids::{BaseObjId, TxId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A witnessed violation of strict disjoint-access-parallelism.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct DapViolation {
+    pub tx_a: TxId,
+    pub tx_b: TxId,
+    /// The base object both transactions touched with at least one
+    /// modification.
+    pub obj: BaseObjId,
+}
+
+/// Per-(transaction, base-object) access summary.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+struct AccessSummary {
+    read: bool,
+    modified: bool,
+}
+
+/// Scans a low-level history for strict-DAP violations.
+///
+/// Steps not attributed to any transaction (`tx: None`) are ignored — the
+/// definition quantifies over transactions; recorders in this repository
+/// always attribute steps (a step performed while forcefully aborting a
+/// victim is attributed to the *aborting* transaction, which is precisely
+/// what exposes the Figure 2 descriptor hot-spot).
+pub fn check_strict_dap(h: &History) -> Vec<DapViolation> {
+    let views = h.tx_views();
+
+    // (tx, obj) -> summary
+    let mut acc: BTreeMap<TxId, BTreeMap<BaseObjId, AccessSummary>> = BTreeMap::new();
+    for te in h.iter() {
+        if let Event::Step {
+            tx: Some(tx),
+            obj,
+            access,
+            ..
+        } = te.event
+        {
+            let s = acc.entry(tx).or_default().entry(obj).or_default();
+            if access.modifies() {
+                s.modified = true;
+            } else {
+                s.read = true;
+            }
+        }
+    }
+
+    let txs: Vec<TxId> = acc.keys().copied().collect();
+    let mut out = Vec::new();
+    for (i, &a) in txs.iter().enumerate() {
+        for &b in txs.iter().skip(i + 1) {
+            // Disjoint t-variable sets?
+            let (sa, sb) = match (views.get(&a), views.get(&b)) {
+                (Some(va), Some(vb)) => (va.access_set(), vb.access_set()),
+                _ => (BTreeSet::new(), BTreeSet::new()),
+            };
+            if sa.intersection(&sb).next().is_some() {
+                continue; // they share a t-variable: conflicts are allowed
+            }
+            // Conflict on some base object?
+            let ma = &acc[&a];
+            let mb = &acc[&b];
+            for (obj, su_a) in ma {
+                if let Some(su_b) = mb.get(obj) {
+                    let conflict = (su_a.modified && (su_b.modified || su_b.read))
+                        || (su_b.modified && su_a.read);
+                    if conflict {
+                        out.push(DapViolation {
+                            tx_a: a,
+                            tx_b: b,
+                            obj: *obj,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Counts, for reporting: how many transaction pairs conflicted on ≥1 base
+/// object, split by whether they shared a t-variable. Used by
+/// `exp_conflict_density` to quantify the "artificial hot spots" of
+/// Section 5.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ConflictDensity {
+    /// Conflicting pairs that share at least one t-variable (legitimate).
+    pub related_pairs: usize,
+    /// Conflicting pairs with disjoint t-variable sets (strict-DAP
+    /// violations — "artificial" conflicts).
+    pub unrelated_pairs: usize,
+}
+
+pub fn conflict_density(h: &History) -> ConflictDensity {
+    let views = h.tx_views();
+    let mut acc: BTreeMap<TxId, BTreeMap<BaseObjId, AccessSummary>> = BTreeMap::new();
+    for te in h.iter() {
+        if let Event::Step {
+            tx: Some(tx),
+            obj,
+            access,
+            ..
+        } = te.event
+        {
+            let s = acc.entry(tx).or_default().entry(obj).or_default();
+            if access.modifies() {
+                s.modified = true;
+            } else {
+                s.read = true;
+            }
+        }
+    }
+    let txs: Vec<TxId> = acc.keys().copied().collect();
+    let mut d = ConflictDensity::default();
+    for (i, &a) in txs.iter().enumerate() {
+        for &b in txs.iter().skip(i + 1) {
+            let ma = &acc[&a];
+            let mb = &acc[&b];
+            let conflict = ma.iter().any(|(obj, su_a)| {
+                mb.get(obj).is_some_and(|su_b| {
+                    (su_a.modified && (su_b.modified || su_b.read))
+                        || (su_b.modified && su_a.read)
+                })
+            });
+            if !conflict {
+                continue;
+            }
+            let (sa, sb) = match (views.get(&a), views.get(&b)) {
+                (Some(va), Some(vb)) => (va.access_set(), vb.access_set()),
+                _ => (BTreeSet::new(), BTreeSet::new()),
+            };
+            if sa.intersection(&sb).next().is_some() {
+                d.related_pairs += 1;
+            } else {
+                d.unrelated_pairs += 1;
+            }
+        }
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Access;
+    use crate::history::HistoryBuilder;
+    use crate::ids::{ProcId, TVarId};
+
+    fn t(p: u32, k: u32) -> TxId {
+        TxId::new(p, k)
+    }
+    const X: TVarId = TVarId(0);
+    const Y: TVarId = TVarId(1);
+    const DESC: BaseObjId = BaseObjId(100);
+
+    #[test]
+    fn no_steps_no_violations() {
+        let mut b = HistoryBuilder::new();
+        b.read(t(1, 0), X, 0).commit(t(1, 0));
+        let h = b.build();
+        assert!(check_strict_dap(&h).is_empty());
+    }
+
+    #[test]
+    fn shared_tvar_conflict_allowed() {
+        // Both transactions access t-variable X and CAS the same base
+        // object: allowed by strict DAP.
+        let mut b = HistoryBuilder::new();
+        b.read(t(1, 0), X, 0);
+        b.step(ProcId(1), Some(t(1, 0)), DESC, Access::Modify);
+        b.read(t(2, 0), X, 0);
+        b.step(ProcId(2), Some(t(2, 0)), DESC, Access::Modify);
+        b.commit(t(1, 0)).commit(t(2, 0));
+        let h = b.build();
+        assert!(check_strict_dap(&h).is_empty());
+        let d = conflict_density(&h);
+        assert_eq!(d.related_pairs, 1);
+        assert_eq!(d.unrelated_pairs, 0);
+    }
+
+    #[test]
+    fn disjoint_tvars_conflict_flagged() {
+        // T1 on X, T2 on Y, both modify the same base object (e.g. a shared
+        // transaction descriptor) — the Figure 2 situation.
+        let mut b = HistoryBuilder::new();
+        b.read(t(1, 0), X, 0);
+        b.step(ProcId(1), Some(t(1, 0)), DESC, Access::Modify);
+        b.read(t(2, 0), Y, 0);
+        b.step(ProcId(2), Some(t(2, 0)), DESC, Access::Modify);
+        b.commit(t(1, 0)).commit(t(2, 0));
+        let h = b.build();
+        let v = check_strict_dap(&h);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].obj, DESC);
+        let d = conflict_density(&h);
+        assert_eq!(d.unrelated_pairs, 1);
+    }
+
+    #[test]
+    fn read_read_is_not_a_conflict() {
+        let mut b = HistoryBuilder::new();
+        b.read(t(1, 0), X, 0);
+        b.step(ProcId(1), Some(t(1, 0)), DESC, Access::Read);
+        b.read(t(2, 0), Y, 0);
+        b.step(ProcId(2), Some(t(2, 0)), DESC, Access::Read);
+        b.commit(t(1, 0)).commit(t(2, 0));
+        let h = b.build();
+        assert!(check_strict_dap(&h).is_empty());
+    }
+
+    #[test]
+    fn read_write_is_a_conflict() {
+        let mut b = HistoryBuilder::new();
+        b.read(t(1, 0), X, 0);
+        b.step(ProcId(1), Some(t(1, 0)), DESC, Access::Read);
+        b.read(t(2, 0), Y, 0);
+        b.step(ProcId(2), Some(t(2, 0)), DESC, Access::Modify);
+        b.commit(t(1, 0)).commit(t(2, 0));
+        let h = b.build();
+        assert_eq!(check_strict_dap(&h).len(), 1);
+    }
+
+    #[test]
+    fn unattributed_steps_ignored() {
+        let mut b = HistoryBuilder::new();
+        b.read(t(1, 0), X, 0);
+        b.step(ProcId(1), None, DESC, Access::Modify);
+        b.read(t(2, 0), Y, 0);
+        b.step(ProcId(2), None, DESC, Access::Modify);
+        b.commit(t(1, 0)).commit(t(2, 0));
+        let h = b.build();
+        assert!(check_strict_dap(&h).is_empty());
+    }
+
+    #[test]
+    fn different_base_objects_no_conflict() {
+        let mut b = HistoryBuilder::new();
+        b.read(t(1, 0), X, 0);
+        b.step(ProcId(1), Some(t(1, 0)), BaseObjId(1), Access::Modify);
+        b.read(t(2, 0), Y, 0);
+        b.step(ProcId(2), Some(t(2, 0)), BaseObjId(2), Access::Modify);
+        b.commit(t(1, 0)).commit(t(2, 0));
+        let h = b.build();
+        assert!(check_strict_dap(&h).is_empty());
+    }
+}

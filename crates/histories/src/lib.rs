@@ -1,0 +1,39 @@
+//! # oftm-histories — the formal model of *On Obstruction-Free Transactions*
+//!
+//! This crate implements, as executable Rust, the definitional machinery of
+//! Guerraoui & Kapałka's SPAA 2008 paper:
+//!
+//! * the two-level event model of Section 2.1 (high-level TM operations vs
+//!   low-level *steps* on base objects) — [`event`], [`history`];
+//! * serializability, Definition 1 — [`serializability`];
+//! * opacity and the opacity graph of Appendix B — [`opacity`];
+//! * obstruction-freedom (Definition 2, step contention),
+//!   ic-obstruction-freedom (Definition 3) and eventual
+//!   ic-obstruction-freedom (Definition 4) — [`obstruction`];
+//! * strict disjoint-access-parallelism, Definition 12 — [`dap`].
+//!
+//! Every STM implementation in the workspace (the DSTM-style OFTM in
+//! `oftm-core`, Algorithm 2 in `oftm-algo2`, the lock-based baselines in
+//! `oftm-baselines`, and the step-accurate models in `oftm-sim`) can emit
+//! histories in this vocabulary, so a single set of checkers validates all
+//! of them and regenerates the paper's claims.
+
+pub mod dap;
+pub mod event;
+pub mod history;
+pub mod ids;
+pub mod obstruction;
+pub mod opacity;
+pub mod serializability;
+
+pub use dap::{check_strict_dap, conflict_density, ConflictDensity, DapViolation};
+pub use event::{Access, CompletedOp, Event, TmOp, TmResp};
+pub use history::{well_formed, History, HistoryBuilder, TimedEvent, TxStatus, TxView};
+pub use ids::{BaseObjId, ProcId, TVarId, TxId, Value};
+pub use obstruction::{
+    check_eventual_ic_of, check_ic_of, check_of, of_implies_ic_of, OfViolation,
+};
+pub use opacity::{final_state_opaque, opaque, OpacityCheck, OpacityGraph, OpgEdge};
+pub use serializability::{
+    conflict_graph, conflict_serializable, serializable, SerCheck, INITIAL_VALUE,
+};

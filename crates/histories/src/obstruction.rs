@@ -1,0 +1,290 @@
+//! Obstruction-freedom checkers: Definitions 2, 3 and 4 of the paper.
+//!
+//! * [`check_of`] — Definition 2 (step contention): a forcefully aborted
+//!   transaction must have encountered step contention.
+//! * [`check_ic_of`] — Definition 3 (interval contention): a forcefully
+//!   aborted `T_k` must have a concurrent `T_i` whose process had not
+//!   crashed before the first event of `T_k`.
+//! * [`check_eventual_ic_of`] — Definition 4: like ic-OF, but a crashed
+//!   process may obstruct for a bounded time `d`; the checker computes the
+//!   smallest `d` that validates the history, if one exists.
+//!
+//! Each checker returns the list of violating transactions (empty ⇒ the
+//! property holds), so experiment binaries can print witnesses.
+
+use crate::history::{History, TxView};
+use crate::ids::TxId;
+use std::collections::BTreeMap;
+
+/// A violation of one of the obstruction-freedom definitions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OfViolation {
+    /// The forcefully aborted transaction with no justifying contention.
+    pub tx: TxId,
+    pub reason: String,
+}
+
+/// Definition 2: every forcefully aborted transaction must encounter step
+/// contention. Requires a low-level history (with `Event::Step`s) to be
+/// meaningful; on a pure high-level history every forceful abort is a
+/// violation, which is the correct degenerate reading.
+pub fn check_of(h: &History) -> Vec<OfViolation> {
+    let views = h.tx_views();
+    let mut out = Vec::new();
+    for v in views.values() {
+        if v.forcefully_aborted() && !h.step_contention(v.id) {
+            out.push(OfViolation {
+                tx: v.id,
+                reason: "forcefully aborted without step contention".into(),
+            });
+        }
+    }
+    out
+}
+
+/// Definition 3: every forcefully aborted `T_k` needs a concurrent `T_i`
+/// executed by a process that had not crashed before `T_k`'s first event.
+pub fn check_ic_of(h: &History) -> Vec<OfViolation> {
+    let views = h.tx_views();
+    let crashes = h.crash_times();
+    let mut out = Vec::new();
+    for v in views.values() {
+        if !v.forcefully_aborted() {
+            continue;
+        }
+        if !has_ic_witness(h, &views, &crashes, v, 0) {
+            out.push(OfViolation {
+                tx: v.id,
+                reason: "forcefully aborted with no live concurrent transaction".into(),
+            });
+        }
+    }
+    out
+}
+
+/// Definition 4: returns `Ok(d)` with the smallest bound `d` (in the
+/// history's wall-clock units) for which the history is eventually
+/// ic-obstruction-free, or `Err(violations)` if no finite `d` works (i.e.
+/// some forcefully aborted transaction has no concurrent transaction at
+/// all).
+pub fn check_eventual_ic_of(h: &History) -> Result<u64, Vec<OfViolation>> {
+    let views = h.tx_views();
+    let crashes = h.crash_times();
+    let mut needed: u64 = 0;
+    let mut violations = Vec::new();
+
+    for v in views.values() {
+        if !v.forcefully_aborted() {
+            continue;
+        }
+        // Find the concurrent transaction whose process crashed the
+        // shortest time before T_k's first event (or did not crash at all,
+        // contributing d = 0).
+        let mut best: Option<u64> = None;
+        for other in views.values() {
+            if other.id == v.id || !h.concurrent(&views, v.id, other.id) {
+                continue;
+            }
+            let d = match crashes.get(&other.id.process()) {
+                None => 0,
+                Some(&ct) if ct >= v.first_nanos => 0,
+                Some(&ct) => v.first_nanos - ct,
+            };
+            best = Some(best.map_or(d, |b: u64| b.min(d)));
+        }
+        match best {
+            Some(d) => needed = needed.max(d),
+            None => violations.push(OfViolation {
+                tx: v.id,
+                reason: "forcefully aborted with no concurrent transaction at all".into(),
+            }),
+        }
+    }
+    if violations.is_empty() {
+        Ok(needed)
+    } else {
+        Err(violations)
+    }
+}
+
+fn has_ic_witness(
+    h: &History,
+    views: &BTreeMap<TxId, TxView>,
+    crashes: &BTreeMap<crate::ids::ProcId, u64>,
+    v: &TxView,
+    slack: u64,
+) -> bool {
+    views.values().any(|other| {
+        other.id != v.id
+            && h.concurrent(views, v.id, other.id)
+            && match crashes.get(&other.id.process()) {
+                None => true,
+                // "has not crashed before the first event of T_k" (allowing
+                // `slack` of pre-crash obstruction for Definition 4).
+                Some(&ct) => ct + slack >= v.first_nanos,
+            }
+    })
+}
+
+/// Theorem 5 helper: evaluates both Definition 2 and Definition 3 on the
+/// same history and reports whether they agree. (The theorem says every
+/// OFTM is an ic-OFTM and vice versa; on any single *low-level* history OF
+/// implies ic-OF — the converse direction of the theorem is about
+/// implementations, not single histories, because slow and crashed
+/// processes are indistinguishable. See `exp_of_equivalence`.)
+pub fn of_implies_ic_of(h: &History) -> bool {
+    !check_of(h).is_empty() || check_ic_of(h).is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Access, TmOp};
+    use crate::history::HistoryBuilder;
+    use crate::ids::{BaseObjId, ProcId, TVarId, TxId};
+
+    fn t(p: u32, k: u32) -> TxId {
+        TxId::new(p, k)
+    }
+    const X: TVarId = TVarId(0);
+
+    #[test]
+    fn voluntary_abort_never_violates() {
+        let mut b = HistoryBuilder::new();
+        b.write(t(1, 0), X, 1).abort(t(1, 0));
+        let h = b.build();
+        assert!(check_of(&h).is_empty());
+        assert!(check_ic_of(&h).is_empty());
+        assert_eq!(check_eventual_ic_of(&h), Ok(0));
+    }
+
+    #[test]
+    fn forceful_abort_without_contention_violates_of() {
+        let mut b = HistoryBuilder::new();
+        b.aborted_op(t(1, 0), TmOp::TryCommit);
+        let h = b.build();
+        let v = check_of(&h);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].tx, t(1, 0));
+    }
+
+    #[test]
+    fn forceful_abort_with_step_contention_ok() {
+        let mut b = HistoryBuilder::new();
+        b.read(t(1, 0), X, 0);
+        b.step(ProcId(2), None, BaseObjId(0), Access::Modify);
+        b.aborted_op(t(1, 0), TmOp::TryCommit);
+        let h = b.build();
+        assert!(check_of(&h).is_empty());
+    }
+
+    #[test]
+    fn ic_of_needs_concurrent_live_tx() {
+        // T2 runs concurrently with T1 and its process never crashes:
+        // T1's forceful abort is ic-justified.
+        let mut b = HistoryBuilder::new();
+        b.read(t(1, 0), X, 0);
+        b.read(t(2, 0), X, 0);
+        b.aborted_op(t(1, 0), TmOp::TryCommit);
+        b.commit(t(2, 0));
+        let h = b.build();
+        assert!(check_ic_of(&h).is_empty());
+    }
+
+    #[test]
+    fn ic_of_violated_when_only_concurrent_tx_crashed_before() {
+        // p2 crashes, then T1 starts and is forcefully aborted. T2 (by p2)
+        // is concurrent (never completed) but p2 crashed before T1's first
+        // event → Definition 3 violated.
+        let mut h = History::new();
+        // T2 starts (one read invocation, never answered).
+        h.push_at(
+            crate::event::Event::Invoke {
+                proc: ProcId(2),
+                tx: t(2, 0),
+                op: TmOp::Read(X),
+            },
+            0,
+        );
+        h.push_at(crate::event::Event::Crash { proc: ProcId(2) }, 10);
+        // T1 starts at time 100 and gets forcefully aborted.
+        h.push_at(
+            crate::event::Event::Invoke {
+                proc: ProcId(1),
+                tx: t(1, 0),
+                op: TmOp::Read(X),
+            },
+            100,
+        );
+        h.push_at(
+            crate::event::Event::Respond {
+                proc: ProcId(1),
+                tx: t(1, 0),
+                resp: crate::event::TmResp::Aborted,
+            },
+            110,
+        );
+        let viol = check_ic_of(&h);
+        assert_eq!(viol.len(), 1);
+        // …but eventual ic-OF accepts it with d = 90 (crash at 10, first
+        // event at 100).
+        assert_eq!(check_eventual_ic_of(&h), Ok(90));
+    }
+
+    #[test]
+    fn eventual_ic_of_unsatisfiable_without_concurrency() {
+        let mut b = HistoryBuilder::new();
+        b.aborted_op(t(1, 0), TmOp::TryCommit);
+        let h = b.build();
+        assert!(check_eventual_ic_of(&h).is_err());
+    }
+
+    #[test]
+    fn of_implies_ic_of_on_histories() {
+        // A history satisfying OF: forceful abort justified by a step of a
+        // live process that also runs a concurrent transaction.
+        let mut b = HistoryBuilder::new();
+        b.read(t(1, 0), X, 0);
+        b.read(t(2, 0), X, 0);
+        b.step(ProcId(2), Some(t(2, 0)), BaseObjId(0), Access::Modify);
+        b.aborted_op(t(1, 0), TmOp::TryCommit);
+        b.commit(t(2, 0));
+        let h = b.build();
+        assert!(check_of(&h).is_empty());
+        assert!(check_ic_of(&h).is_empty());
+        assert!(of_implies_ic_of(&h));
+    }
+
+    #[test]
+    fn crash_after_tx_start_still_ic_witness() {
+        // T2 concurrent with T1; p2 crashes AFTER T1's first event: still a
+        // valid Definition 3 witness.
+        let mut h = History::new();
+        h.push_at(
+            crate::event::Event::Invoke {
+                proc: ProcId(1),
+                tx: t(1, 0),
+                op: TmOp::Read(X),
+            },
+            0,
+        );
+        h.push_at(
+            crate::event::Event::Invoke {
+                proc: ProcId(2),
+                tx: t(2, 0),
+                op: TmOp::Read(X),
+            },
+            5,
+        );
+        h.push_at(crate::event::Event::Crash { proc: ProcId(2) }, 8);
+        h.push_at(
+            crate::event::Event::Respond {
+                proc: ProcId(1),
+                tx: t(1, 0),
+                resp: crate::event::TmResp::Aborted,
+            },
+            20,
+        );
+        assert!(check_ic_of(&h).is_empty());
+    }
+}

@@ -1,0 +1,257 @@
+//! The Figure 2 scenario: executable reconstruction of Theorem 13's proof
+//! (no OFTM is strictly disjoint-access-parallel).
+//!
+//! The proof builds the low-level history `E_{p·2·s·3}`:
+//!
+//! 1. `E_1`: transaction `T1` (`R(w) R(z) W(x,1) W(y,1) tryC`) runs alone
+//!    and would commit.
+//! 2. `E_p`: the longest prefix of `E_1` after which neither `T2` reading
+//!    `x = 1` nor `T3` reading `y = 1` can be extended-and-committed; the
+//!    next step `s` of `T1` is the **critical step**.
+//! 3. `E_{p·2}`: suspend `p1` at the end of `E_p`; run `T2`
+//!    (`R(x) W(w,1) tryC`) to completion — it must commit on its own
+//!    (obstruction-freedom) and reads `x = 0`.
+//! 4. `E_{p·2·s}`: let `p1` execute the single critical step `s`.
+//! 5. `E_{p·2·s·3}`: run `T3` (`R(y) W(z,1) tryC`) to completion.
+//!
+//! For a *strictly DAP* OFTM, `T3` could not observe anything `T2` did
+//! (disjoint t-variables ⇒ disjoint base objects), so it would read `y = 1`
+//! as it does in `E_{p·s·3}` — and the resulting history is not
+//! serializable. A real OFTM escapes the contradiction precisely by
+//! violating strict DAP: [`fig2_scan`] exhibits, for every suspension
+//! point, either a serializable outcome (with T3 reading 0) **plus** a
+//! strict-DAP violation (T2 and T3 both touching T1's descriptor), or — if
+//! one filters those conflicts away — the non-serializable history the
+//! theorem derives.
+
+use crate::sim_dstm::{ScriptOp, SimDstm, SimStatus};
+use oftm_histories::{
+    check_strict_dap, serializable, DapViolation, History, SerCheck, TmOp, TmResp, TxId,
+};
+
+const W: usize = 0;
+const X: usize = 1;
+const Y: usize = 2;
+const Z: usize = 3;
+
+/// The three Figure 2 transactions.
+pub fn fig2_scripts() -> Vec<Vec<ScriptOp>> {
+    vec![
+        vec![
+            ScriptOp::Read(W),
+            ScriptOp::Read(Z),
+            ScriptOp::Write(X, 1),
+            ScriptOp::Write(Y, 1),
+            ScriptOp::TryCommit,
+        ],
+        vec![ScriptOp::Read(X), ScriptOp::Write(W, 1), ScriptOp::TryCommit],
+        vec![ScriptOp::Read(Y), ScriptOp::Write(Z, 1), ScriptOp::TryCommit],
+    ]
+}
+
+/// Outcome of one suspension-point run.
+#[derive(Clone, Debug)]
+pub struct Fig2Row {
+    /// Number of solo steps `T1` executed before being suspended.
+    pub prefix_len: usize,
+    /// Value `T2` read from `x`.
+    pub t2_read_x: Option<u64>,
+    /// Value `T3` read from `y`.
+    pub t3_read_y: Option<u64>,
+    pub t1_committed: bool,
+    pub t2_committed: bool,
+    pub t3_committed: bool,
+    /// Is the full history serializable (exact check)?
+    pub serializable: bool,
+    /// Strict-DAP violations between T2 and T3 (the unrelated pair).
+    pub t2_t3_violations: Vec<DapViolation>,
+    pub history: History,
+}
+
+fn read_value(h: &History, tx: TxId, var: u64) -> Option<u64> {
+    h.tx_views().get(&tx).and_then(|v| {
+        v.ops.iter().find_map(|c| match (c.op, c.resp) {
+            (TmOp::Read(x), TmResp::Value(val)) if x.0 == var => Some(val),
+            _ => None,
+        })
+    })
+}
+
+/// Runs the paper's construction for every suspension point `t` of `T1`
+/// (0 ≤ t ≤ solo length): `T1` runs `t` steps, `T2` runs to completion,
+/// `T1` takes one more step (the candidate critical step `s`, when it has
+/// one left), then `T3` runs to completion.
+pub fn fig2_scan() -> Vec<Fig2Row> {
+    let solo = {
+        let m = SimDstm::new(vec![0; 4], fig2_scripts());
+        m.solo_steps_remaining(0)
+    };
+    let mut rows = Vec::new();
+    for prefix in 0..=solo {
+        let mut m = SimDstm::new(vec![0; 4], fig2_scripts());
+        for _ in 0..prefix {
+            if m.enabled(0) {
+                m.step(0);
+            }
+        }
+        // p1 suspended; T2 runs alone and must complete (obstruction-
+        // freedom: p1 takes no steps).
+        m.run_to_completion(1);
+        // The candidate critical step s of p1.
+        if m.enabled(0) {
+            m.step(0);
+        }
+        // T3 runs alone to completion.
+        m.run_to_completion(2);
+        // p1 never runs again: record it as crashed (Section 2.1's model of
+        // a suspended process).
+        if m.enabled(0) {
+            m.record_crash(0);
+        }
+
+        let h = m.history.clone();
+        let ser = serializable(&h, 8);
+        let dap = check_strict_dap(&h);
+        let t2 = TxId::new(2, 0);
+        let t3 = TxId::new(3, 0);
+        rows.push(Fig2Row {
+            prefix_len: prefix,
+            t2_read_x: read_value(&h, t2, X as u64),
+            t3_read_y: read_value(&h, t3, Y as u64),
+            t1_committed: m.status_of(0) == SimStatus::Committed,
+            t2_committed: m.status_of(1) == SimStatus::Committed,
+            t3_committed: m.status_of(2) == SimStatus::Committed,
+            serializable: !matches!(ser, SerCheck::NotSerializable),
+            t2_t3_violations: dap
+                .into_iter()
+                .filter(|v| {
+                    (v.tx_a == t2 && v.tx_b == t3) || (v.tx_a == t3 && v.tx_b == t2)
+                })
+                .collect(),
+            history: h,
+        });
+    }
+    rows
+}
+
+/// Summary of the scan: the paper-level conclusions.
+#[derive(Clone, Debug, Default)]
+pub struct Fig2Summary {
+    pub rows: usize,
+    /// Runs where T2 and T3 (disjoint t-variables) conflicted on a common
+    /// base object — strict-DAP violations (expected > 0: Theorem 13).
+    pub runs_with_t2_t3_conflict: usize,
+    /// Runs whose full history failed serializability (expected 0: the
+    /// implementation is safe *because* it violates strict DAP).
+    pub non_serializable_runs: usize,
+    /// Runs where T3 read y = 1 (possible only after T1's critical commit
+    /// step).
+    pub t3_read_one_runs: usize,
+}
+
+pub fn summarize(rows: &[Fig2Row]) -> Fig2Summary {
+    Fig2Summary {
+        rows: rows.len(),
+        runs_with_t2_t3_conflict: rows
+            .iter()
+            .filter(|r| !r.t2_t3_violations.is_empty())
+            .count(),
+        non_serializable_runs: rows.iter().filter(|r| !r.serializable).count(),
+        t3_read_one_runs: rows.iter().filter(|r| r.t3_read_y == Some(1)).count(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scan_produces_rows_and_all_serializable() {
+        let rows = fig2_scan();
+        assert!(rows.len() > 5);
+        for r in &rows {
+            assert!(r.t2_committed, "T2 must commit solo (prefix {})", r.prefix_len);
+            assert!(r.t3_committed, "T3 must commit solo (prefix {})", r.prefix_len);
+            assert!(
+                r.serializable,
+                "non-serializable run at prefix {}:\n{}",
+                r.prefix_len,
+                r.history.render()
+            );
+        }
+    }
+
+    #[test]
+    fn t2_reads_zero_until_t1_commits() {
+        // The paper's case analysis: before T1's (critical) commit step,
+        // T2 can only read x = 0; once T1 committed (the final prefix), it
+        // must read 1 — otherwise serializability would break.
+        for r in fig2_scan() {
+            if r.t1_committed {
+                assert_eq!(r.t2_read_x, Some(1), "prefix {}", r.prefix_len);
+            } else {
+                assert_eq!(r.t2_read_x, Some(0), "prefix {}", r.prefix_len);
+            }
+        }
+    }
+
+    #[test]
+    fn dstm_violates_strict_dap_somewhere() {
+        // Theorem 13, concretely: some suspension point makes the
+        // t-variable-disjoint pair (T2, T3) conflict on a shared base
+        // object — T1's transaction descriptor.
+        let s = summarize(&fig2_scan());
+        assert!(
+            s.runs_with_t2_t3_conflict > 0,
+            "expected descriptor hot-spot conflicts, got none"
+        );
+        assert_eq!(s.non_serializable_runs, 0);
+    }
+
+    #[test]
+    fn conflict_object_is_t1s_descriptor() {
+        // The shared object on which T2 and T3 collide is T1's status word
+        // (base id 2000 + 0).
+        let rows = fig2_scan();
+        let witness = rows
+            .iter()
+            .flat_map(|r| r.t2_t3_violations.iter())
+            .next()
+            .expect("at least one violation");
+        assert_eq!(witness.obj.0, 2000, "expected T1's descriptor, got {witness:?}");
+    }
+
+    #[test]
+    fn t1_commits_only_when_suspended_after_its_commit_step() {
+        // T1 can appear committed only in the final row (it executed its
+        // whole program, commit CAS included, before suspension). In every
+        // earlier row T2 read x = 0 and committed, so T1 must never commit
+        // afterwards — the implementation guarantees this by T2 having
+        // aborted T1 when resolving x.
+        let rows = fig2_scan();
+        let last = rows.len() - 1;
+        for (i, r) in rows.iter().enumerate() {
+            assert_eq!(r.t1_committed, i == last, "prefix {}", r.prefix_len);
+        }
+    }
+
+    #[test]
+    fn t3_reads_one_exactly_when_t1_committed() {
+        // In the real (non-strictly-DAP) DSTM, T2's abort of T1 is visible
+        // to T3 through T1's descriptor, so T3 reads y = 0 in every row
+        // where T1 was killed — escaping the contradiction exactly as
+        // Section 5 describes. Only the final row (T1 already committed)
+        // lets T3 read 1.
+        let rows = fig2_scan();
+        for r in &rows {
+            assert_eq!(
+                r.t3_read_y == Some(1),
+                r.t1_committed,
+                "prefix {}",
+                r.prefix_len
+            );
+        }
+        let s = summarize(&rows);
+        assert_eq!(s.t3_read_one_runs, 1);
+    }
+}

@@ -1,0 +1,246 @@
+//! Step-accurate model of fo-consensus base objects and the retry-based
+//! consensus protocol over them — the machinery behind Theorem 9's
+//! exploration (experiment E3).
+//!
+//! A `propose` spans **two steps** (its invocation and its response), as in
+//! the proof of Theorem 9 where overlapping proposes such as
+//! `[c.propose(p1, ⊥), c.propose(p3, ⊥)]` appear and "one or both of them
+//! may abort". The model's response step is nondeterministic exactly where
+//! the spec permits:
+//!
+//! * decided already → must return the decision (1 outcome);
+//! * no step contention during the operation → must decide (1 outcome,
+//!   fo-obstruction-freedom);
+//! * step contention → the adversary chooses: abort (`⊥`) or decide
+//!   (2 outcomes).
+
+use crate::machine::Machine;
+use std::collections::BTreeMap;
+
+/// State of one fo-consensus base object in the model.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
+pub struct FocCellModel {
+    pub decided: Option<u64>,
+    /// Pending proposes: proc → (value, saw-contention).
+    pub pending: BTreeMap<usize, (u64, bool)>,
+}
+
+impl FocCellModel {
+    /// A step by `p` (anywhere in the system) contends with every pending
+    /// propose of other processes.
+    pub fn mark_step_by(&mut self, p: usize) {
+        for (q, (_, contended)) in self.pending.iter_mut() {
+            if *q != p {
+                *contended = true;
+            }
+        }
+    }
+
+    /// Invocation step of `propose(v)` by `p`.
+    pub fn invoke(&mut self, p: usize, v: u64) {
+        let prev = self.pending.insert(p, (v, false));
+        debug_assert!(prev.is_none(), "propose already pending at p{p}");
+    }
+
+    /// Number of legal outcomes of `p`'s response step.
+    pub fn response_branching(&self, p: usize) -> usize {
+        let (_, contended) = self.pending[&p];
+        if self.decided.is_some() || !contended {
+            1
+        } else {
+            2
+        }
+    }
+
+    /// Response step of `p` with the chosen outcome. Returns the decision
+    /// (`Some`) or `None` for `⊥`.
+    pub fn respond(&mut self, p: usize, choice: usize) -> Option<u64> {
+        let (v, contended) = self.pending.remove(&p).expect("no pending propose");
+        match self.decided {
+            Some(d) => Some(d),
+            None if !contended => {
+                // fo-obstruction-freedom: must decide.
+                self.decided = Some(v);
+                Some(v)
+            }
+            None => {
+                if choice == 0 {
+                    None // ⊥, allowed under contention
+                } else {
+                    self.decided = Some(v);
+                    Some(v)
+                }
+            }
+        }
+    }
+}
+
+/// Per-process protocol state for retry-based consensus over one foc.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum RetryState {
+    /// About to (re-)invoke propose.
+    Ready,
+    /// Propose invoked, awaiting response.
+    Pending,
+    /// Decided.
+    Done(u64),
+}
+
+/// The natural protocol: `loop { if let Some(d) = foc.propose(v) { decide d } }`
+/// for `n` processes over a single fo-consensus object.
+///
+/// Safety (agreement + fo-validity) holds for every schedule; wait-freedom
+/// does **not** — the explorer exhibits a bivalent cycle (lockstep mutual
+/// aborts), the concrete counterpart of Theorem 9's infinite bivalent
+/// history.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct FocRetryConsensus {
+    pub cell: FocCellModel,
+    pub procs: Vec<RetryState>,
+    pub inputs: Vec<u64>,
+}
+
+impl FocRetryConsensus {
+    pub fn new(inputs: Vec<u64>) -> Self {
+        FocRetryConsensus {
+            cell: FocCellModel::default(),
+            procs: vec![RetryState::Ready; inputs.len()],
+            inputs,
+        }
+    }
+}
+
+impl Machine for FocRetryConsensus {
+    fn procs(&self) -> usize {
+        self.procs.len()
+    }
+
+    fn enabled(&self, p: usize) -> bool {
+        !matches!(self.procs[p], RetryState::Done(_))
+    }
+
+    fn branching(&self, p: usize) -> usize {
+        match self.procs[p] {
+            RetryState::Ready => 1,
+            RetryState::Pending => self.cell.response_branching(p),
+            RetryState::Done(_) => 0,
+        }
+    }
+
+    fn step(&mut self, p: usize, choice: usize) {
+        match self.procs[p] {
+            RetryState::Ready => {
+                self.cell.mark_step_by(p);
+                self.cell.invoke(p, self.inputs[p]);
+                self.procs[p] = RetryState::Pending;
+            }
+            RetryState::Pending => {
+                self.cell.mark_step_by(p);
+                self.procs[p] = match self.cell.respond(p, choice) {
+                    Some(d) => RetryState::Done(d),
+                    None => RetryState::Ready,
+                };
+            }
+            RetryState::Done(_) => unreachable!("step on decided process"),
+        }
+    }
+
+    fn decided(&self, p: usize) -> Option<u64> {
+        match self.procs[p] {
+            RetryState::Done(d) => Some(d),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::explore;
+
+    #[test]
+    fn solo_propose_must_decide() {
+        // One process: no contention ever, so the propose must decide own
+        // value in exactly two steps.
+        let e = explore(FocRetryConsensus::new(vec![7]), 1000);
+        for (_, decisions) in e.terminals() {
+            assert_eq!(decisions, vec![Some(7)]);
+        }
+        assert!(e.bivalent_cycle().is_none());
+    }
+
+    #[test]
+    fn two_procs_agreement_on_all_terminals() {
+        let e = explore(FocRetryConsensus::new(vec![0, 1]), 100_000);
+        for (i, decisions) in e.terminals() {
+            let vals: Vec<u64> = decisions.iter().filter_map(|d| *d).collect();
+            assert!(!vals.is_empty(), "terminal without decisions at {i}");
+            assert!(
+                vals.windows(2).all(|w| w[0] == w[1]),
+                "agreement violated in terminal {i}: {decisions:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn two_procs_already_livelock_under_adversarial_foc() {
+        // The naive retry protocol livelocks even for n = 2 against an
+        // adversarial foc (mutual aborts in lockstep): this is why [6]'s
+        // 2-process consensus needs a cleverer algorithm, and our threaded
+        // implementations rely on their foc's benign behaviour.
+        let e = explore(FocRetryConsensus::new(vec![0, 1]), 100_000);
+        assert!(e.bivalent(e.initial));
+        assert!(e.bivalent_cycle().is_some());
+    }
+
+    #[test]
+    fn three_procs_bivalent_cycle_exists() {
+        // Theorem 9's executable counterpart: a bivalent infinite execution.
+        let e = explore(FocRetryConsensus::new(vec![0, 1, 1]), 1_000_000);
+        assert!(e.bivalent(e.initial), "initial configuration is bivalent");
+        let cycle = e.bivalent_cycle().expect("bivalent cycle must exist");
+        for &(s, _) in &cycle {
+            assert!(e.bivalent(s));
+        }
+    }
+
+    #[test]
+    fn bivalent_extension_property_holds() {
+        // Claim 10's inductive step, verified exhaustively on this model:
+        // every bivalent configuration has a bivalent proper extension.
+        let e = explore(FocRetryConsensus::new(vec![0, 1, 1]), 1_000_000);
+        assert!(e.bivalent_extension_property().is_empty());
+    }
+
+    #[test]
+    fn uncontended_response_is_deterministic() {
+        let mut cell = FocCellModel::default();
+        cell.invoke(0, 9);
+        assert_eq!(cell.response_branching(0), 1);
+        assert_eq!(cell.respond(0, 0), Some(9));
+        assert_eq!(cell.decided, Some(9));
+    }
+
+    #[test]
+    fn contended_response_may_abort() {
+        let mut cell = FocCellModel::default();
+        cell.invoke(0, 9);
+        cell.mark_step_by(1); // someone else stepped
+        assert_eq!(cell.response_branching(0), 2);
+        let mut c2 = cell.clone();
+        assert_eq!(cell.respond(0, 0), None); // abort branch
+        assert_eq!(cell.decided, None);
+        assert_eq!(c2.respond(0, 1), Some(9)); // decide branch
+    }
+
+    #[test]
+    fn decided_cell_forces_adoption() {
+        let mut cell = FocCellModel::default();
+        cell.invoke(0, 9);
+        assert_eq!(cell.respond(0, 0), Some(9));
+        cell.invoke(1, 5);
+        cell.mark_step_by(2);
+        assert_eq!(cell.response_branching(1), 1);
+        assert_eq!(cell.respond(1, 0), Some(9));
+    }
+}

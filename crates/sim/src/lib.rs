@@ -1,0 +1,33 @@
+//! # oftm-sim — deterministic step-level simulation and model checking
+//!
+//! The theory half of the reproduction: the paper's impossibility results
+//! argue about *steps* — single shared-memory accesses under an adversarial
+//! scheduler — which threads cannot replay deterministically. This crate
+//! re-implements the relevant protocols as explicit step machines and
+//! explores their configuration graphs exhaustively:
+//!
+//! * [`machine`] — the [`machine::Machine`] trait, the exhaustive explorer
+//!   with valency computation (0/1-valence, bivalence), the Claim 10
+//!   bivalent-extension check, and bivalent-cycle certificates;
+//! * [`foc_model`] — step-accurate fo-consensus base objects (propose =
+//!   invocation step + response step; abort allowed exactly under step
+//!   contention) and retry-consensus over them: Theorem 9's bivalent
+//!   infinite execution, found mechanically;
+//! * [`tas_model`] — TAS-based 2-process consensus (all schedules decide:
+//!   the consensus-number ≥ 2 half of Corollary 11) and the naive
+//!   3-process extension whose livelock the explorer exhibits;
+//! * [`sim_dstm`] — a step-accurate DSTM model with full history recording;
+//! * [`fig2`] — the `E_{p·2·s·3}` construction of Theorem 13's proof,
+//!   scanned over every suspension point of `T1`.
+
+pub mod fig2;
+pub mod foc_model;
+pub mod machine;
+pub mod sim_dstm;
+pub mod tas_model;
+
+pub use fig2::{fig2_scan, fig2_scripts, summarize, Fig2Row, Fig2Summary};
+pub use foc_model::{FocCellModel, FocRetryConsensus, RetryState};
+pub use machine::{explore, Exploration, Machine, Move};
+pub use sim_dstm::{ScriptOp, SimDstm, SimStatus};
+pub use tas_model::{TasCell, TasThreeNaive, TasTwoConsensus};

@@ -1,0 +1,349 @@
+//! The step-level machine abstraction and the exhaustive explorer.
+//!
+//! The paper's proofs (Theorem 9 in particular) reason about *complete
+//! low-level histories*: totally ordered sequences of steps, extended one
+//! step at a time by an adversarial scheduler, with crashes modelled as a
+//! process never being scheduled again. A [`Machine`] is a protocol whose
+//! per-process next step may be nondeterministic (base objects like
+//! fo-consensus may *choose* to abort under contention); the explorer
+//! enumerates every schedule × every nondeterministic choice, memoizing on
+//! machine states, and computes for each reachable configuration the set of
+//! decision values reachable from it — its *valency* in the sense of
+//! \[14\] / Claim 10.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::hash::Hash;
+
+/// A protocol amenable to exhaustive step-level exploration.
+///
+/// States must be small, cloneable and hashable; one `step` = one shared
+/// memory access (the paper's "step").
+pub trait Machine: Clone + Eq + Hash {
+    /// Number of processes.
+    fn procs(&self) -> usize;
+
+    /// Can process `p` take a step (not finished)?
+    fn enabled(&self, p: usize) -> bool;
+
+    /// Number of nondeterministic outcomes of `p`'s next step (≥ 1 when
+    /// enabled). Outcome indices are passed back to [`Machine::step`].
+    fn branching(&self, p: usize) -> usize;
+
+    /// Executes one step of `p` with the chosen outcome.
+    fn step(&mut self, p: usize, choice: usize);
+
+    /// The value decided by `p`, if it has decided.
+    fn decided(&self, p: usize) -> Option<u64>;
+}
+
+/// A (process, choice) edge label in the configuration graph.
+pub type Move = (usize, usize);
+
+/// Result of exhaustively exploring a machine's configuration graph.
+pub struct Exploration<M: Machine> {
+    /// Every reachable configuration, indexed.
+    pub states: Vec<M>,
+    /// Adjacency: for each state, the list of (move, successor index).
+    pub edges: Vec<Vec<(Move, usize)>>,
+    /// Index of the initial configuration.
+    pub initial: usize,
+    /// For each configuration: the set of values decided by *some* process
+    /// in *some* configuration reachable from it (its valency set).
+    pub valency: Vec<HashSet<u64>>,
+}
+
+/// Exhaustively explores `m`'s reachable configurations.
+///
+/// `max_states` bounds the search (panics when exceeded — raise it rather
+/// than silently truncating, truncation would corrupt valency results).
+pub fn explore<M: Machine>(m: M, max_states: usize) -> Exploration<M> {
+    let mut index: HashMap<M, usize> = HashMap::new();
+    let mut states: Vec<M> = Vec::new();
+    let mut edges: Vec<Vec<(Move, usize)>> = Vec::new();
+    let mut queue: VecDeque<usize> = VecDeque::new();
+
+    index.insert(m.clone(), 0);
+    states.push(m);
+    edges.push(Vec::new());
+    queue.push_back(0);
+
+    while let Some(i) = queue.pop_front() {
+        let cur = states[i].clone();
+        let mut out = Vec::new();
+        for p in 0..cur.procs() {
+            if !cur.enabled(p) {
+                continue;
+            }
+            for choice in 0..cur.branching(p) {
+                let mut next = cur.clone();
+                next.step(p, choice);
+                let j = match index.get(&next) {
+                    Some(&j) => j,
+                    None => {
+                        let j = states.len();
+                        assert!(
+                            j < max_states,
+                            "state space exceeds {max_states} configurations"
+                        );
+                        index.insert(next.clone(), j);
+                        states.push(next);
+                        edges.push(Vec::new());
+                        queue.push_back(j);
+                        j
+                    }
+                };
+                out.push(((p, choice), j));
+            }
+        }
+        edges[i] = out;
+    }
+
+    // Valency: propagate decided values backwards to fixpoint.
+    let n = states.len();
+    let mut valency: Vec<HashSet<u64>> = (0..n)
+        .map(|i| {
+            let s = &states[i];
+            (0..s.procs()).filter_map(|p| s.decided(p)).collect()
+        })
+        .collect();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for i in 0..n {
+            let mut add: Vec<u64> = Vec::new();
+            for &(_, j) in &edges[i] {
+                for &v in &valency[j] {
+                    if !valency[i].contains(&v) {
+                        add.push(v);
+                    }
+                }
+            }
+            if !add.is_empty() {
+                valency[i].extend(add);
+                changed = true;
+            }
+        }
+    }
+
+    Exploration {
+        states,
+        edges,
+        initial: 0,
+        valency,
+    }
+}
+
+impl<M: Machine> Exploration<M> {
+    /// Is configuration `i` bivalent (both 0-valent and 1-valent
+    /// extensions exist)? Generalized: more than one distinct decision
+    /// value reachable.
+    pub fn bivalent(&self, i: usize) -> bool {
+        self.valency[i].len() > 1
+    }
+
+    /// Count of bivalent configurations.
+    pub fn bivalent_count(&self) -> usize {
+        (0..self.states.len()).filter(|&i| self.bivalent(i)).count()
+    }
+
+    /// Claim 10 check: every bivalent configuration with at least one
+    /// successor has a bivalent *proper extension*. Returns offending
+    /// configurations (empty = the claim's inductive step holds on this
+    /// machine).
+    pub fn bivalent_extension_property(&self) -> Vec<usize> {
+        (0..self.states.len())
+            .filter(|&i| {
+                self.bivalent(i)
+                    && !self.edges[i].is_empty()
+                    && !self.edges[i].iter().any(|&(_, j)| self.bivalent(j))
+            })
+            .collect()
+    }
+
+    /// Searches for a cycle within the bivalent subgraph — a witness of an
+    /// infinite execution in which no process ever decides (the
+    /// wait-freedom violation at the heart of Theorem 9's proof).
+    ///
+    /// Returns the cycle as a sequence of (state index, move) pairs, if one
+    /// exists.
+    pub fn bivalent_cycle(&self) -> Option<Vec<(usize, Move)>> {
+        // Iterative DFS with colors over the bivalent subgraph.
+        #[derive(Clone, Copy, PartialEq)]
+        enum Color {
+            White,
+            Grey,
+            Black,
+        }
+        let n = self.states.len();
+        let mut color = vec![Color::White; n];
+        let mut parent: Vec<Option<(usize, Move)>> = vec![None; n];
+
+        for start in 0..n {
+            if !self.bivalent(start) || color[start] != Color::White {
+                continue;
+            }
+            // Stack of (node, next-edge-index).
+            let mut stack: Vec<(usize, usize)> = vec![(start, 0)];
+            color[start] = Color::Grey;
+            while let Some(&(u, ei)) = stack.last() {
+                let mut pushed = false;
+                let mut next_ei = ei;
+                while next_ei < self.edges[u].len() {
+                    let (mv, v) = self.edges[u][next_ei];
+                    next_ei += 1;
+                    if !self.bivalent(v) {
+                        continue;
+                    }
+                    match color[v] {
+                        Color::Grey => {
+                            // Found a cycle: unwind from u back to v.
+                            let mut cycle = vec![(u, mv)];
+                            let mut cur = u;
+                            while cur != v {
+                                let (pu, pmv) = parent[cur].expect("grey chain");
+                                cycle.push((pu, pmv));
+                                cur = pu;
+                            }
+                            cycle.reverse();
+                            return Some(cycle);
+                        }
+                        Color::White => {
+                            color[v] = Color::Grey;
+                            parent[v] = Some((u, mv));
+                            stack.last_mut().expect("non-empty").1 = next_ei;
+                            stack.push((v, 0));
+                            pushed = true;
+                            break;
+                        }
+                        Color::Black => {}
+                    }
+                }
+                if !pushed {
+                    stack.last_mut().expect("non-empty").1 = next_ei;
+                    if next_ei >= self.edges[u].len() {
+                        color[u] = Color::Black;
+                        stack.pop();
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// All terminal configurations (no enabled process) and their decision
+    /// vectors. Used to verify agreement/validity over every schedule.
+    pub fn terminals(&self) -> Vec<(usize, Vec<Option<u64>>)> {
+        (0..self.states.len())
+            .filter(|&i| self.edges[i].is_empty())
+            .map(|i| {
+                let s = &self.states[i];
+                (i, (0..s.procs()).map(|p| s.decided(p)).collect())
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy machine: each of 2 processes takes one step and decides its
+    /// process id; used to validate the explorer plumbing.
+    #[derive(Clone, PartialEq, Eq, Hash)]
+    struct Toy {
+        done: [bool; 2],
+    }
+
+    impl Machine for Toy {
+        fn procs(&self) -> usize {
+            2
+        }
+        fn enabled(&self, p: usize) -> bool {
+            !self.done[p]
+        }
+        fn branching(&self, _p: usize) -> usize {
+            1
+        }
+        fn step(&mut self, p: usize, _c: usize) {
+            self.done[p] = true;
+        }
+        fn decided(&self, p: usize) -> Option<u64> {
+            self.done[p].then_some(p as u64)
+        }
+    }
+
+    #[test]
+    fn toy_explored_fully() {
+        let e = explore(Toy { done: [false, false] }, 100);
+        assert_eq!(e.states.len(), 4);
+        // Initial can reach both decisions → bivalent in the generalized
+        // sense.
+        assert!(e.bivalent(e.initial));
+        // Terminal config decides both.
+        let terms = e.terminals();
+        assert_eq!(terms.len(), 1);
+        assert_eq!(terms[0].1, vec![Some(0), Some(1)]);
+        // No cycle: the toy always terminates.
+        assert!(e.bivalent_cycle().is_none());
+    }
+
+    /// A machine with a genuine livelock: a process may loop forever
+    /// between two states before deciding 0 or 1 (adversarial choice).
+    #[derive(Clone, PartialEq, Eq, Hash)]
+    struct Loopy {
+        phase: u8, // 0 <-> 1 loop; 2/3 = decided 0/1
+    }
+
+    impl Machine for Loopy {
+        fn procs(&self) -> usize {
+            1
+        }
+        fn enabled(&self, _p: usize) -> bool {
+            self.phase < 2
+        }
+        fn branching(&self, _p: usize) -> usize {
+            if self.phase == 1 {
+                3 // loop back, decide 0, decide 1
+            } else {
+                1
+            }
+        }
+        fn step(&mut self, _p: usize, c: usize) {
+            self.phase = match (self.phase, c) {
+                (0, _) => 1,
+                (1, 0) => 0,
+                (1, 1) => 2,
+                (1, _) => 3,
+                _ => unreachable!(),
+            };
+        }
+        fn decided(&self, _p: usize) -> Option<u64> {
+            match self.phase {
+                2 => Some(0),
+                3 => Some(1),
+                _ => None,
+            }
+        }
+    }
+
+    #[test]
+    fn loopy_has_bivalent_cycle() {
+        let e = explore(Loopy { phase: 0 }, 100);
+        assert!(e.bivalent(e.initial));
+        let cycle = e.bivalent_cycle().expect("must find the 0<->1 loop");
+        assert!(cycle.len() >= 2);
+        // Every state on the cycle is bivalent.
+        for &(s, _) in &cycle {
+            assert!(e.bivalent(s));
+        }
+        // And the bivalent-extension property holds (Claim 10 inductive
+        // step): bivalent states always have a bivalent successor here.
+        assert!(e.bivalent_extension_property().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "state space exceeds")]
+    fn state_cap_is_loud() {
+        let _ = explore(Toy { done: [false, false] }, 2);
+    }
+}

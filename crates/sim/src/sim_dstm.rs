@@ -1,0 +1,605 @@
+//! A step-accurate, deterministic model of the DSTM-style OFTM.
+//!
+//! Unlike the threaded implementation in `oftm-core`, every base-object
+//! access here is one explicit simulator step under a schedule chosen by
+//! the caller, and every step is recorded into an `oftm-histories`
+//! [`History`]. This is the plane where the paper's step-indexed arguments
+//! can be replayed *exactly*: Figure 2's `E_{p·2·s·3}` construction
+//! (see [`crate::fig2`]), obstruction-freedom checks on adversarial
+//! schedules, and serializability of every interleaving of small
+//! workloads.
+//!
+//! The model is faithful to Section 1's DSTM description: t-variables hold
+//! a (owner, last-committed, tentative) triple plus an acquisition counter
+//! (standing in for locator identity), transactions have a status word that
+//! anyone may CAS from Live to Aborted, reads are invisible and validated
+//! against the acquisition counter + owner status on every access and at
+//! commit.
+
+use oftm_histories::{
+    Access, BaseObjId, Event, History, ProcId, TVarId, TmOp, TmResp, TxId, Value,
+};
+
+/// One scripted operation of a transaction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ScriptOp {
+    Read(usize),
+    Write(usize, Value),
+    TryCommit,
+}
+
+/// Status of a simulated transaction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SimStatus {
+    Live,
+    Committed,
+    Aborted,
+}
+
+/// How a read resolved, for validation purposes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Class {
+    Old,
+    New,
+    Mine,
+}
+
+#[derive(Clone, Debug)]
+struct SimVar {
+    owner: Option<usize>,
+    committed: Value,
+    tentative: Value,
+    /// Acquisition counter — the model's locator identity.
+    acq: u64,
+}
+
+/// Micro-program-counter within the current operation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Micro {
+    /// About to issue the next operation's invocation (a local event,
+    /// bundled with the first base access).
+    StartOp,
+    /// Read/write path: examining the variable (may loop via AbortOwner).
+    Examine,
+    /// Forcefully abort the variable's live owner (CAS on their status).
+    AbortOwner(usize),
+    /// Acquire the variable for writing (CAS on the var cell).
+    AcquireWrite,
+    /// Validate read-set entry `i`, then continue with `next`.
+    Validate(usize, Box<Micro>),
+    /// Read path: push entry + respond. Carries the value, class and
+    /// acquisition count captured at examine time (a later interposition
+    /// must be caught by validation, not masked by re-reading `acq`).
+    FinishRead(Value, Class, u64),
+    /// Write path: respond ok.
+    FinishWrite,
+    /// Commit path: the status CAS.
+    CommitCas,
+}
+
+/// The simulated DSTM running a fixed set of scripted transactions.
+#[derive(Clone, Debug)]
+pub struct SimDstm {
+    vars: Vec<SimVar>,
+    status: Vec<SimStatus>,
+    scripts: Vec<Vec<ScriptOp>>,
+    /// Per transaction: index of the current op.
+    op_idx: Vec<usize>,
+    micro: Vec<Micro>,
+    read_sets: Vec<Vec<(usize, u64, Class)>>,
+    /// Completed (responded C/A) transactions.
+    done: Vec<bool>,
+    pub history: History,
+}
+
+impl SimDstm {
+    /// `initials[v]` is the initial value of variable `v`; `scripts[t]` the
+    /// program of transaction `t` (executed by process `t + 1`).
+    pub fn new(initials: Vec<Value>, scripts: Vec<Vec<ScriptOp>>) -> Self {
+        let n = scripts.len();
+        SimDstm {
+            vars: initials
+                .into_iter()
+                .map(|v| SimVar {
+                    owner: None,
+                    committed: v,
+                    tentative: v,
+                    acq: 0,
+                })
+                .collect(),
+            status: vec![SimStatus::Live; n],
+            scripts,
+            op_idx: vec![0; n],
+            micro: vec![Micro::StartOp; n],
+            read_sets: vec![Vec::new(); n],
+            done: vec![false; n],
+            history: History::new(),
+        }
+    }
+
+    fn tx_id(t: usize) -> TxId {
+        TxId::new(t as u32 + 1, 0)
+    }
+
+    fn proc_id(t: usize) -> ProcId {
+        ProcId(t as u32 + 1)
+    }
+
+    fn var_base(v: usize) -> BaseObjId {
+        BaseObjId(1000 + v as u64)
+    }
+
+    fn status_base(t: usize) -> BaseObjId {
+        BaseObjId(2000 + t as u64)
+    }
+
+    /// Is transaction `t` still able to take steps?
+    pub fn enabled(&self, t: usize) -> bool {
+        !self.done[t]
+    }
+
+    pub fn all_done(&self) -> bool {
+        self.done.iter().all(|&d| d)
+    }
+
+    pub fn status_of(&self, t: usize) -> SimStatus {
+        self.status[t]
+    }
+
+    /// Committed value of variable `v` (oracle).
+    pub fn committed_value(&self, v: usize) -> Value {
+        let var = &self.vars[v];
+        match var.owner {
+            Some(o) if self.status[o] == SimStatus::Committed => var.tentative,
+            _ => var.committed,
+        }
+    }
+
+    fn record_step(&mut self, t: usize, obj: BaseObjId, access: Access) {
+        self.history.push(Event::Step {
+            proc: Self::proc_id(t),
+            tx: Some(Self::tx_id(t)),
+            obj,
+            access,
+        });
+    }
+
+    fn record_invoke(&mut self, t: usize, op: TmOp) {
+        self.history.push(Event::Invoke {
+            proc: Self::proc_id(t),
+            tx: Self::tx_id(t),
+            op,
+        });
+    }
+
+    fn record_respond(&mut self, t: usize, resp: TmResp) {
+        self.history.push(Event::Respond {
+            proc: Self::proc_id(t),
+            tx: Self::tx_id(t),
+            resp,
+        });
+        if matches!(resp, TmResp::Committed | TmResp::Aborted) {
+            self.done[t] = true;
+        }
+    }
+
+    /// Marks process `t + 1` as crashed in the history (scheduler-level
+    /// bookkeeping; the paper models a suspended process as crashed when it
+    /// never takes another step).
+    pub fn record_crash(&mut self, t: usize) {
+        self.history.push(Event::Crash {
+            proc: Self::proc_id(t),
+        });
+    }
+
+    fn resolve(&self, v: usize, me: usize) -> (Value, Class) {
+        let var = &self.vars[v];
+        match var.owner {
+            Some(o) if o == me => (var.tentative, Class::Mine),
+            Some(o) if self.status[o] == SimStatus::Committed => (var.tentative, Class::New),
+            _ => (var.committed, Class::Old),
+        }
+    }
+
+    fn current_class(&self, v: usize, me: usize) -> (u64, Class) {
+        let var = &self.vars[v];
+        let class = match var.owner {
+            Some(o) if o == me => Class::Mine,
+            Some(o) if self.status[o] == SimStatus::Committed => Class::New,
+            _ => Class::Old,
+        };
+        (var.acq, class)
+    }
+
+    fn abort_self(&mut self, t: usize) {
+        // One step: CAS own status Live → Aborted (can only fail if a peer
+        // already aborted us; either way we are Aborted afterwards).
+        if self.status[t] == SimStatus::Live {
+            self.status[t] = SimStatus::Aborted;
+            self.record_step(t, Self::status_base(t), Access::Modify);
+        } else {
+            self.record_step(t, Self::status_base(t), Access::Read);
+        }
+        self.record_respond(t, TmResp::Aborted);
+    }
+
+    /// Executes exactly one step (one base-object access) of transaction
+    /// `t`. Panics if `t` is not enabled.
+    pub fn step(&mut self, t: usize) {
+        assert!(self.enabled(t), "step on completed transaction T{t}");
+        let op = self.scripts[t][self.op_idx[t]];
+
+        // A forcefully-aborted transaction observes its fate at its next
+        // step (the own-status read is folded into that step).
+        if self.status[t] == SimStatus::Aborted {
+            if self.micro[t] == Micro::StartOp {
+                self.record_invoke(
+                    t,
+                    match op {
+                        ScriptOp::Read(v) => TmOp::Read(TVarId(v as u64)),
+                        ScriptOp::Write(v, val) => TmOp::Write(TVarId(v as u64), val),
+                        ScriptOp::TryCommit => TmOp::TryCommit,
+                    },
+                );
+            }
+            self.record_step(t, Self::status_base(t), Access::Read);
+            self.record_respond(t, TmResp::Aborted);
+            return;
+        }
+
+        match std::mem::replace(&mut self.micro[t], Micro::StartOp) {
+            Micro::StartOp => match op {
+                ScriptOp::Read(v) => {
+                    self.record_invoke(t, TmOp::Read(TVarId(v as u64)));
+                    self.micro[t] = Micro::Examine;
+                    // The invocation itself is local; the first base access
+                    // happens on the next step. To keep schedules short we
+                    // bundle the first examine here:
+                    self.examine_step(t, v, false);
+                }
+                ScriptOp::Write(v, val) => {
+                    self.record_invoke(t, TmOp::Write(TVarId(v as u64), val));
+                    self.micro[t] = Micro::Examine;
+                    self.examine_step(t, v, true);
+                }
+                ScriptOp::TryCommit => {
+                    self.record_invoke(t, TmOp::TryCommit);
+                    self.micro[t] = self.first_validation(t, Micro::CommitCas);
+                    // Validation/CAS happens on subsequent steps; but if
+                    // there is nothing to validate we can CAS right away on
+                    // the next step. (This step consumed the own-status
+                    // read.)
+                    self.record_step(t, Self::status_base(t), Access::Read);
+                }
+            },
+            Micro::Examine => {
+                let v = match op {
+                    ScriptOp::Read(v) | ScriptOp::Write(v, _) => v,
+                    ScriptOp::TryCommit => unreachable!(),
+                };
+                self.examine_step(t, v, matches!(op, ScriptOp::Write(..)));
+            }
+            Micro::AbortOwner(o) => {
+                // CAS the owner's status Live → Aborted.
+                if self.status[o] == SimStatus::Live {
+                    self.status[o] = SimStatus::Aborted;
+                    self.record_step(t, Self::status_base(o), Access::Modify);
+                } else {
+                    self.record_step(t, Self::status_base(o), Access::Read);
+                }
+                self.micro[t] = Micro::Examine;
+            }
+            Micro::AcquireWrite => {
+                let (v, val) = match op {
+                    ScriptOp::Write(v, val) => (v, val),
+                    _ => unreachable!(),
+                };
+                // The CAS: still unowned-or-settled? (In a sequential
+                // simulator the examine/acquire pair is atomic unless the
+                // scheduler interposed another transaction, in which case
+                // we re-examine.)
+                let var = &self.vars[v];
+                let contended =
+                    matches!(var.owner, Some(o) if o != t && self.status[o] == SimStatus::Live);
+                if contended {
+                    self.record_step(t, Self::var_base(v), Access::Read);
+                    self.micro[t] = Micro::Examine;
+                    return;
+                }
+                let (cur, _) = self.resolve(v, t);
+                let acq = {
+                    let var = &mut self.vars[v];
+                    var.committed = cur;
+                    var.tentative = val;
+                    var.owner = Some(t);
+                    var.acq += 1;
+                    var.acq
+                };
+                self.record_step(t, Self::var_base(v), Access::Modify);
+                // Upgrade any read entry on v to ownership.
+                for e in self.read_sets[t].iter_mut() {
+                    if e.0 == v {
+                        e.1 = acq;
+                        e.2 = Class::Mine;
+                    }
+                }
+                self.micro[t] = self.first_validation(t, Micro::FinishWrite);
+                if matches!(self.micro[t], Micro::FinishWrite) {
+                    // Nothing to validate: finish on this same step.
+                    self.record_respond(t, TmResp::Ok);
+                    self.micro[t] = Micro::StartOp;
+                    self.op_idx[t] += 1;
+                }
+            }
+            Micro::Validate(i, next) => {
+                let (v, acq, class) = self.read_sets[t][i];
+                self.record_step(t, Self::var_base(v), Access::Read);
+                let (cur_acq, cur_class) = self.current_class(v, t);
+                if cur_acq != acq || cur_class != class {
+                    self.abort_self(t);
+                    return;
+                }
+                let more = i + 1 < self.read_sets[t].len();
+                self.micro[t] = if more {
+                    Micro::Validate(i + 1, next)
+                } else {
+                    *next
+                };
+                // Terminal validations complete the op on the next step.
+            }
+            Micro::FinishRead(val, class, acq) => {
+                let v = match op {
+                    ScriptOp::Read(v) => v,
+                    _ => unreachable!(),
+                };
+                if class != Class::Mine {
+                    self.read_sets[t].push((v, acq, class));
+                }
+                self.record_step(t, Self::var_base(v), Access::Read);
+                self.record_respond(t, TmResp::Value(val));
+                self.micro[t] = Micro::StartOp;
+                self.op_idx[t] += 1;
+            }
+            Micro::FinishWrite => {
+                self.record_step(t, Self::status_base(t), Access::Read);
+                self.record_respond(t, TmResp::Ok);
+                self.micro[t] = Micro::StartOp;
+                self.op_idx[t] += 1;
+            }
+            Micro::CommitCas => {
+                if self.status[t] == SimStatus::Live {
+                    self.status[t] = SimStatus::Committed;
+                    self.record_step(t, Self::status_base(t), Access::Modify);
+                    self.record_respond(t, TmResp::Committed);
+                } else {
+                    self.record_step(t, Self::status_base(t), Access::Read);
+                    self.record_respond(t, TmResp::Aborted);
+                }
+            }
+        }
+    }
+
+    /// Begins validation of the read-set, or falls through to `next` if the
+    /// read-set is empty.
+    fn first_validation(&self, t: usize, next: Micro) -> Micro {
+        if self.read_sets[t].is_empty() {
+            next
+        } else {
+            Micro::Validate(0, Box::new(next))
+        }
+    }
+
+    /// One examination step of variable `v`: read the cell; dispatch on the
+    /// owner's status.
+    fn examine_step(&mut self, t: usize, v: usize, for_write: bool) {
+        self.record_step(t, Self::var_base(v), Access::Read);
+        let owner = self.vars[v].owner;
+        // Resolving a foreign-owned variable always dereferences the
+        // owner's descriptor — the indirection Section 5 identifies as the
+        // hot spot.
+        if let Some(o) = owner {
+            if o != t {
+                self.record_step(t, Self::status_base(o), Access::Read);
+            }
+        }
+        match owner {
+            Some(o) if o != t && self.status[o] == SimStatus::Live => {
+                // Live foreign owner: (aggressive manager) abort it next.
+                self.micro[t] = Micro::AbortOwner(o);
+            }
+            _ => {
+                if for_write {
+                    if owner == Some(t) {
+                        // Already own it: in-place tentative update.
+                        let val = match self.scripts[t][self.op_idx[t]] {
+                            ScriptOp::Write(_, val) => val,
+                            _ => unreachable!(),
+                        };
+                        self.vars[v].tentative = val;
+                        self.record_step(t, Self::var_base(v), Access::Modify);
+                        self.micro[t] = Micro::FinishWrite;
+                    } else {
+                        self.micro[t] = Micro::AcquireWrite;
+                    }
+                } else {
+                    let (val, class) = self.resolve(v, t);
+                    let acq = self.vars[v].acq;
+                    self.micro[t] =
+                        self.first_validation(t, Micro::FinishRead(val, class, acq));
+                }
+            }
+        }
+    }
+
+    /// Runs transaction `t` until it completes (commit or abort).
+    pub fn run_to_completion(&mut self, t: usize) {
+        while self.enabled(t) {
+            self.step(t);
+        }
+    }
+
+    /// Total number of steps a clone of this machine needs to finish
+    /// transaction `t` running solo from the current state.
+    pub fn solo_steps_remaining(&self, t: usize) -> usize {
+        let mut m = self.clone();
+        let mut n = 0;
+        while m.enabled(t) {
+            m.step(t);
+            n += 1;
+            assert!(n < 10_000, "runaway solo execution");
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oftm_histories::{serializable, TxStatus};
+
+    const W: usize = 0;
+    const X: usize = 1;
+    const Y: usize = 2;
+    const Z: usize = 3;
+
+    fn fig2_scripts() -> Vec<Vec<ScriptOp>> {
+        vec![
+            // T1: R(w) R(z) W(x,1) W(y,1) tryC
+            vec![
+                ScriptOp::Read(W),
+                ScriptOp::Read(Z),
+                ScriptOp::Write(X, 1),
+                ScriptOp::Write(Y, 1),
+                ScriptOp::TryCommit,
+            ],
+            // T2: R(x) W(w,1) tryC
+            vec![ScriptOp::Read(X), ScriptOp::Write(W, 1), ScriptOp::TryCommit],
+            // T3: R(y) W(z,1) tryC
+            vec![ScriptOp::Read(Y), ScriptOp::Write(Z, 1), ScriptOp::TryCommit],
+        ]
+    }
+
+    fn machine() -> SimDstm {
+        SimDstm::new(vec![0, 0, 0, 0], fig2_scripts())
+    }
+
+    #[test]
+    fn t1_solo_commits() {
+        let mut m = machine();
+        m.run_to_completion(0);
+        assert_eq!(m.status_of(0), SimStatus::Committed);
+        assert_eq!(m.committed_value(X), 1);
+        assert_eq!(m.committed_value(Y), 1);
+        let views = m.history.tx_views();
+        assert_eq!(views[&TxId::new(1, 0)].status, TxStatus::Committed);
+        assert!(serializable(&m.history, 8).is_serializable());
+    }
+
+    #[test]
+    fn serial_t1_t2_t3_all_commit() {
+        let mut m = machine();
+        m.run_to_completion(0);
+        m.run_to_completion(1);
+        m.run_to_completion(2);
+        assert_eq!(m.status_of(1), SimStatus::Committed);
+        assert_eq!(m.status_of(2), SimStatus::Committed);
+        // T2 read x after T1 committed: sees 1; same for T3 on y.
+        assert!(serializable(&m.history, 8).is_serializable());
+        let views = m.history.tx_views();
+        let t2 = &views[&TxId::new(2, 0)];
+        assert!(t2.ops.iter().any(|c| matches!(
+            (c.op, c.resp),
+            (TmOp::Read(TVarId(1)), TmResp::Value(1))
+        )));
+    }
+
+    #[test]
+    fn suspended_t1_is_aborted_by_t2() {
+        let mut m = machine();
+        // T1 runs until it owns x and y (but has not committed).
+        // Step until both writes done: run solo, watching the op index.
+        while m.op_idx[0] < 4 {
+            m.step(0);
+        }
+        assert_eq!(m.status_of(0), SimStatus::Live);
+        // T2 now runs to completion: it must abort T1 (revocable
+        // ownership) and commit reading x = 0.
+        m.run_to_completion(1);
+        assert_eq!(m.status_of(1), SimStatus::Committed);
+        assert_eq!(m.status_of(0), SimStatus::Aborted);
+        assert_eq!(m.committed_value(W), 1);
+        assert_eq!(m.committed_value(X), 0);
+        assert!(serializable(&m.history, 8).is_serializable());
+    }
+
+    #[test]
+    fn aborted_t1_notices_at_next_step() {
+        let mut m = machine();
+        while m.op_idx[0] < 4 {
+            m.step(0);
+        }
+        m.run_to_completion(1); // aborts T1
+        assert!(m.enabled(0));
+        m.step(0); // T1's next step must observe the abort
+        assert!(!m.enabled(0));
+        let views = m.history.tx_views();
+        let v1 = &views[&TxId::new(1, 0)];
+        assert_eq!(v1.status, TxStatus::Aborted);
+        assert!(v1.forcefully_aborted());
+    }
+
+    #[test]
+    fn every_random_interleaving_is_serializable() {
+        // Pseudo-random schedules over the three Figure 2 transactions:
+        // every resulting history must be serializable (the threaded DSTM
+        // enjoys the same property; here it is checked with the exact
+        // oracle).
+        let mut seed = 0x12345678u64;
+        for _ in 0..200 {
+            let mut m = machine();
+            let mut guard = 0;
+            while !m.all_done() {
+                seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let t = (seed >> 33) as usize % 3;
+                if m.enabled(t) {
+                    m.step(t);
+                }
+                guard += 1;
+                assert!(guard < 100_000, "schedule did not terminate");
+            }
+            let check = serializable(&m.history, 8);
+            assert!(
+                check.is_serializable(),
+                "non-serializable interleaving found:\n{}",
+                m.history.render()
+            );
+        }
+    }
+
+    #[test]
+    fn obstruction_freedom_holds_on_random_interleavings() {
+        let mut seed = 0xabcdefu64;
+        for _ in 0..100 {
+            let mut m = machine();
+            let mut guard = 0;
+            while !m.all_done() {
+                seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let t = (seed >> 33) as usize % 3;
+                if m.enabled(t) {
+                    m.step(t);
+                }
+                guard += 1;
+                assert!(guard < 100_000);
+            }
+            let viol = oftm_histories::check_of(&m.history);
+            assert!(viol.is_empty(), "OF violation: {viol:?}\n{}", m.history.render());
+        }
+    }
+
+    #[test]
+    fn solo_steps_remaining_counts() {
+        let m = machine();
+        let n = m.solo_steps_remaining(0);
+        assert!(n > 5, "T1 takes several steps, got {n}");
+    }
+}

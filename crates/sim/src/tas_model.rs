@@ -1,0 +1,266 @@
+//! Step-accurate models of TAS-based consensus — the *lower* bound side of
+//! Corollary 11 (consensus number ≥ 2) and the liveness failure that stops
+//! the same idea at 3 processes.
+//!
+//! * [`TasTwoConsensus`]: announce → test-and-set → adopt. The explorer
+//!   verifies that **every** schedule of 2 processes decides with
+//!   agreement and validity — wait-free consensus from a
+//!   consensus-number-2 object.
+//! * [`TasThreeNaive`]: the natural extension to 3 processes (losers spin
+//!   on a decision register the winner fills in). The explorer finds
+//!   non-deciding executions when the winner is suspended between its TAS
+//!   win and its decision write — the well-known reason TAS stops at 2 and
+//!   OFTMs stop at 2 (Theorem 9).
+
+use crate::machine::Machine;
+
+/// One-shot TAS cell model.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
+pub struct TasCell {
+    taken: bool,
+}
+
+impl TasCell {
+    /// Returns true iff this call wins.
+    pub fn tas(&mut self) -> bool {
+        !std::mem::replace(&mut self.taken, true)
+    }
+}
+
+/// Protocol states for the 2-process TAS consensus.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+enum P2 {
+    Announce,
+    Compete,
+    ReadOther,
+    Done(u64),
+}
+
+/// Wait-free 2-process consensus: announce own value, TAS, winner decides
+/// own, loser reads the winner's announcement.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct TasTwoConsensus {
+    announce: [Option<u64>; 2],
+    tas: TasCell,
+    procs: [P2; 2],
+    won: [bool; 2],
+    inputs: [u64; 2],
+}
+
+impl TasTwoConsensus {
+    pub fn new(inputs: [u64; 2]) -> Self {
+        TasTwoConsensus {
+            announce: [None, None],
+            tas: TasCell::default(),
+            procs: [P2::Announce, P2::Announce],
+            won: [false, false],
+            inputs,
+        }
+    }
+}
+
+impl Machine for TasTwoConsensus {
+    fn procs(&self) -> usize {
+        2
+    }
+
+    fn enabled(&self, p: usize) -> bool {
+        !matches!(self.procs[p], P2::Done(_))
+    }
+
+    fn branching(&self, _p: usize) -> usize {
+        1 // fully deterministic protocol
+    }
+
+    fn step(&mut self, p: usize, _choice: usize) {
+        match self.procs[p] {
+            P2::Announce => {
+                self.announce[p] = Some(self.inputs[p]);
+                self.procs[p] = P2::Compete;
+            }
+            P2::Compete => {
+                if self.tas.tas() {
+                    self.won[p] = true;
+                    self.procs[p] = P2::Done(self.inputs[p]);
+                } else {
+                    self.procs[p] = P2::ReadOther;
+                }
+            }
+            P2::ReadOther => {
+                let other = self.announce[1 - p]
+                    .expect("winner announced before TAS; loser must see it");
+                self.procs[p] = P2::Done(other);
+            }
+            P2::Done(_) => unreachable!(),
+        }
+    }
+
+    fn decided(&self, p: usize) -> Option<u64> {
+        match self.procs[p] {
+            P2::Done(d) => Some(d),
+            _ => None,
+        }
+    }
+}
+
+/// Protocol states for the naive 3-process attempt.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+enum P3 {
+    Announce,
+    Compete,
+    /// Winner: about to publish the decision register.
+    Publish,
+    /// Loser: polling the decision register.
+    Poll,
+    Done(u64),
+}
+
+/// The natural (broken) n = 3 extension: TAS winner publishes to a shared
+/// decision register `d`; losers poll `d`. Safe, but **not wait-free**:
+/// if the winner stalls between winning and publishing, losers poll
+/// forever — the explorer exhibits the cycle.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct TasThreeNaive {
+    announce: [Option<u64>; 3],
+    tas: TasCell,
+    d: Option<u64>,
+    procs: [P3; 3],
+    inputs: [u64; 3],
+}
+
+impl TasThreeNaive {
+    pub fn new(inputs: [u64; 3]) -> Self {
+        TasThreeNaive {
+            announce: [None, None, None],
+            tas: TasCell::default(),
+            d: None,
+            procs: [P3::Announce, P3::Announce, P3::Announce],
+            inputs,
+        }
+    }
+}
+
+impl Machine for TasThreeNaive {
+    fn procs(&self) -> usize {
+        3
+    }
+
+    fn enabled(&self, p: usize) -> bool {
+        !matches!(self.procs[p], P3::Done(_))
+    }
+
+    fn branching(&self, _p: usize) -> usize {
+        1
+    }
+
+    fn step(&mut self, p: usize, _choice: usize) {
+        match self.procs[p] {
+            P3::Announce => {
+                self.announce[p] = Some(self.inputs[p]);
+                self.procs[p] = P3::Compete;
+            }
+            P3::Compete => {
+                self.procs[p] = if self.tas.tas() {
+                    P3::Publish
+                } else {
+                    P3::Poll
+                };
+            }
+            P3::Publish => {
+                self.d = Some(self.inputs[p]);
+                self.procs[p] = P3::Done(self.inputs[p]);
+            }
+            P3::Poll => {
+                if let Some(d) = self.d {
+                    self.procs[p] = P3::Done(d);
+                }
+                // else: stay in Poll — the step was a (fruitless) read.
+            }
+            P3::Done(_) => unreachable!(),
+        }
+    }
+
+    fn decided(&self, p: usize) -> Option<u64> {
+        match self.procs[p] {
+            P3::Done(d) => Some(d),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::explore;
+
+    #[test]
+    fn two_process_tas_consensus_always_decides() {
+        // The lower bound of Corollary 11, exhaustively: every schedule of
+        // the 2-process protocol terminates with agreement and validity.
+        let e = explore(TasTwoConsensus::new([10, 20]), 100_000);
+        let terms = e.terminals();
+        assert!(!terms.is_empty());
+        for (i, decisions) in terms {
+            let d0 = decisions[0].unwrap_or_else(|| panic!("p0 undecided in terminal {i}"));
+            let d1 = decisions[1].unwrap_or_else(|| panic!("p1 undecided in terminal {i}"));
+            assert_eq!(d0, d1, "agreement");
+            assert!(d0 == 10 || d0 == 20, "validity");
+        }
+        // Wait-freedom: no infinite execution avoids deciding.
+        assert!(e.bivalent_cycle().is_none());
+        // In fact every cycle at all is impossible (finite deterministic
+        // progress): every non-terminal state has successors that strictly
+        // advance some pc. Verified implicitly by cycle absence above.
+    }
+
+    #[test]
+    fn two_process_tas_initial_bivalent() {
+        // Before anyone competes, both outcomes are reachable.
+        let e = explore(TasTwoConsensus::new([10, 20]), 100_000);
+        assert!(e.bivalent(e.initial));
+    }
+
+    #[test]
+    fn three_process_naive_has_non_deciding_poll_loop() {
+        let e = explore(TasThreeNaive::new([1, 2, 3]), 1_000_000);
+        // Losers polling while the winner is suspended: an infinite
+        // execution where correct processes never decide. The poll loop is
+        // a self-cycle in the configuration graph; it lives in the
+        // *univalent* region (the winner fixed the value), so the right
+        // check is for a cycle among undecided-but-stuck processes:
+        let mut found_stuck_cycle = false;
+        for (i, st) in e.states.iter().enumerate() {
+            // A state where some process polls and stepping it loops back
+            // to the same state (d unset).
+            if e.edges[i].iter().any(|&(_, j)| j == i) && st.d.is_none() {
+                found_stuck_cycle = true;
+                break;
+            }
+        }
+        assert!(
+            found_stuck_cycle,
+            "naive 3-process protocol must exhibit a polling livelock"
+        );
+    }
+
+    #[test]
+    fn three_process_naive_is_still_safe() {
+        // Agreement/validity hold in every terminal (it's liveness that
+        // breaks, matching the consensus-number story).
+        let e = explore(TasThreeNaive::new([1, 2, 3]), 1_000_000);
+        for (_i, decisions) in e.terminals() {
+            let vals: Vec<u64> = decisions.iter().filter_map(|d| *d).collect();
+            assert!(vals.windows(2).all(|w| w[0] == w[1]));
+            for v in vals {
+                assert!((1..=3).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn tas_cell_single_winner() {
+        let mut t = TasCell::default();
+        assert!(t.tas());
+        assert!(!t.tas());
+    }
+}

@@ -1,0 +1,175 @@
+//! Integration: every STM implementation in the workspace, driven through
+//! the uniform word interface under concurrency, must produce histories
+//! that pass the paper's safety checkers — and the obstruction-free ones
+//! must additionally pass Definition 2.
+
+use oftm::core::api::{run_transaction, WordStm};
+use oftm::Recorder;
+use oftm_histories::{check_of, conflict_serializable, serializable, TVarId};
+use std::sync::Arc;
+
+const STMS: &[&str] = &["dstm", "tl", "tl2", "coarse", "algo2-cas", "algo2-splitter"];
+
+fn instrumented(name: &str) -> (Box<dyn WordStm>, Arc<Recorder>) {
+    let rec = Arc::new(Recorder::new());
+    let stm = oftm_bench_shim::make_stm(name, Some(Arc::clone(&rec)));
+    (stm, rec)
+}
+
+/// Minimal local copy of the bench factory (the root package does not
+/// depend on oftm-bench to keep the façade lean).
+mod oftm_bench_shim {
+    use super::*;
+    pub fn make_stm(name: &str, rec: Option<Arc<Recorder>>) -> Box<dyn WordStm> {
+        match name {
+            "dstm" => {
+                let mut d = oftm::Dstm::new(Arc::new(oftm::core::cm::Polite::default()));
+                if let Some(r) = rec {
+                    d = d.with_recorder(r);
+                }
+                Box::new(oftm::DstmWord::new(d))
+            }
+            "tl" => {
+                let mut s = oftm::baselines::TlStm::new();
+                if let Some(r) = rec {
+                    s = s.with_recorder(r);
+                }
+                Box::new(s)
+            }
+            "tl2" => {
+                let mut s = oftm::baselines::Tl2Stm::new();
+                if let Some(r) = rec {
+                    s = s.with_recorder(r);
+                }
+                Box::new(s)
+            }
+            "coarse" => {
+                let mut s = oftm::baselines::CoarseStm::new();
+                if let Some(r) = rec {
+                    s = s.with_recorder(r);
+                }
+                Box::new(s)
+            }
+            "algo2-cas" => {
+                let mut s = oftm::algo2::Algo2Stm::new(oftm::algo2::FocKind::Cas);
+                if let Some(r) = rec {
+                    s = s.with_recorder(r);
+                }
+                Box::new(s)
+            }
+            "algo2-splitter" => {
+                let mut s = oftm::algo2::Algo2Stm::new(oftm::algo2::FocKind::SplitterTas);
+                if let Some(r) = rec {
+                    s = s.with_recorder(r);
+                }
+                Box::new(s)
+            }
+            other => panic!("unknown {other}"),
+        }
+    }
+}
+
+#[test]
+fn concurrent_histories_are_serializable_everywhere() {
+    for name in STMS {
+        let (stm, rec) = instrumented(name);
+        stm.register_tvar(TVarId(0), 0);
+        stm.register_tvar(TVarId(1), 0);
+        std::thread::scope(|s| {
+            for p in 0..3u32 {
+                let stm = &stm;
+                s.spawn(move || {
+                    for i in 0..8u64 {
+                        run_transaction(&**stm, p, |tx| {
+                            let a = tx.read(TVarId(i % 2))?;
+                            tx.write(TVarId((i + 1) % 2), a + 1)
+                        });
+                    }
+                });
+            }
+        });
+        let h = rec.snapshot();
+        assert!(
+            conflict_serializable(&h),
+            "{name}: concurrent history not conflict-serializable"
+        );
+    }
+}
+
+#[test]
+fn small_histories_pass_exact_serializability() {
+    for name in STMS {
+        let (stm, rec) = instrumented(name);
+        stm.register_tvar(TVarId(0), 0);
+        std::thread::scope(|s| {
+            for p in 0..2u32 {
+                let stm = &stm;
+                s.spawn(move || {
+                    for _ in 0..3 {
+                        run_transaction(&**stm, p, |tx| {
+                            let a = tx.read(TVarId(0))?;
+                            tx.write(TVarId(0), a + 1)
+                        });
+                    }
+                });
+            }
+        });
+        let h = rec.snapshot();
+        assert!(
+            serializable(&h, 20).is_serializable(),
+            "{name}: exact serializability failed"
+        );
+        // The committed counter value is the number of committed increments.
+        let (v, _) = run_transaction(&*stm, 9, |tx| tx.read(TVarId(0)));
+        assert_eq!(v, 6, "{name}: lost update");
+    }
+}
+
+#[test]
+fn obstruction_free_impls_satisfy_definition_2() {
+    for name in STMS {
+        let (stm, rec) = instrumented(name);
+        if !stm.is_obstruction_free() {
+            continue;
+        }
+        stm.register_tvar(TVarId(0), 0);
+        stm.register_tvar(TVarId(1), 0);
+        std::thread::scope(|s| {
+            for p in 0..4u32 {
+                let stm = &stm;
+                s.spawn(move || {
+                    for _ in 0..10 {
+                        run_transaction(&**stm, p, |tx| {
+                            let a = tx.read(TVarId(0))?;
+                            let b = tx.read(TVarId(1))?;
+                            tx.write(TVarId(0), a + 1)?;
+                            tx.write(TVarId(1), b + 1)
+                        });
+                    }
+                });
+            }
+        });
+        let h = rec.snapshot();
+        let violations = check_of(&h);
+        assert!(
+            violations.is_empty(),
+            "{name}: Definition 2 violations: {violations:?}"
+        );
+    }
+}
+
+#[test]
+fn obstruction_freedom_flags_match_design() {
+    let expectations = [
+        ("dstm", true),
+        ("tl", false),
+        ("tl2", false),
+        ("coarse", false),
+        ("algo2-cas", true),
+        ("algo2-splitter", true),
+    ];
+    for (name, expect) in expectations {
+        let (stm, _) = instrumented(name);
+        assert_eq!(stm.is_obstruction_free(), expect, "{name}");
+    }
+}
