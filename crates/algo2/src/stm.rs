@@ -262,17 +262,13 @@ impl<'s> Algo2Tx<'s> {
                         None => return Err(TxError::Aborted), // s = ⊥
                         Some(s) if s == Fate::Committed as u8 => {
                             // state ← TVar[x, owner]
-                            let cell = self
-                                .stm
-                                .tvar
-                                .get_or_create(&(x, owner), || RegCell::new(0));
+                            let cell = self.stm.tvar.get_or_create(&(x, owner), || RegCell::new(0));
                             state = cell.val.load(Ordering::Acquire);
                             self.rstep(cell.base, Access::Read);
                         }
                         Some(_) => {
                             // Aborted[owner] ← true
-                            let flag =
-                                self.stm.aborted.get_or_create(&owner, FlagCell::new);
+                            let flag = self.stm.aborted.get_or_create(&owner, FlagCell::new);
                             flag.val.store(true, Ordering::Release);
                             self.rstep(flag.base, Access::Modify);
                         }
@@ -539,8 +535,8 @@ mod tests {
         t1.write(X, 1).unwrap();
         let mut t2 = s.begin(1);
         t2.write(X, 2).unwrap(); // aborts T1, sets Aborted[T1]? (T1 learns on next access)
-        // T1 touches a *different* variable — must still observe its abort
-        // no later than the commit attempt.
+                                 // T1 touches a *different* variable — must still observe its abort
+                                 // no later than the commit attempt.
         let r = t1.write(Y, 3);
         let doomed = r.is_err() || t1.try_commit().is_err();
         assert!(doomed, "forcefully aborted T1 must not commit");

@@ -33,10 +33,12 @@ fn run_trial(cm: Arc<dyn ContentionManager>, n: u32) -> (bool, bool, u64) {
     });
     let d = decisions.into_inner().unwrap();
     let agreed = d.len() == 1;
-    let valid = d
-        .iter()
-        .all(|&v| (1000..1000 + u64::from(n)).contains(&v));
-    (agreed, valid, aborts.load(std::sync::atomic::Ordering::Relaxed))
+    let valid = d.iter().all(|&v| (1000..1000 + u64::from(n)).contains(&v));
+    (
+        agreed,
+        valid,
+        aborts.load(std::sync::atomic::Ordering::Relaxed),
+    )
 }
 
 fn main() {

@@ -68,10 +68,7 @@ fn main() {
             let (d, a) = match make {
                 "cas" => threaded_consensus(&oftm_foc::CasFoc::new(), 2),
                 "splitter" => threaded_consensus(&oftm_foc::SplitterFoc::new(), 2),
-                _ => threaded_consensus(
-                    &oftm_foc::OftmFoc::new(oftm_core::Dstm::default()),
-                    2,
-                ),
+                _ => threaded_consensus(&oftm_foc::OftmFoc::new(oftm_core::Dstm::default()), 2),
             };
             agreed &= d.len() == 1;
             total_aborts += a;

@@ -145,7 +145,10 @@ fn main() {
          stalling {:?} (≈ grace) — the bounded obstruction Definition 4 permits.",
         grace, stall
     );
-    assert!(stall >= grace, "grace period must actually delay the revocation");
+    assert!(
+        stall >= grace,
+        "grace period must actually delay the revocation"
+    );
 
     println!("\nReading: crash-free OFTM histories satisfy Definitions 2 and 3 together");
     println!("(Theorem 5); the eventual-ic hierarchy (Definition 4) is separated by the");

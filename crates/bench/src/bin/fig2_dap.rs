@@ -11,7 +11,6 @@
 //!    suspended mid-transaction and lets the strict-DAP checker find the
 //!    descriptor conflict in the recorded low-level history.
 
-
 use oftm_core::record::Recorder;
 use oftm_histories::{check_strict_dap, conflict_serializable, TVarId};
 use std::sync::Arc;
@@ -32,17 +31,24 @@ fn main() {
             r.prefix_len.to_string(),
             format!("{:?}", r.t2_read_x),
             format!("{:?}", r.t3_read_y),
-            if r.t1_committed { "committed" } else { "aborted" }.to_string(),
+            if r.t1_committed {
+                "committed"
+            } else {
+                "aborted"
+            }
+            .to_string(),
             r.serializable.to_string(),
             r.t2_t3_violations.len().to_string(),
         ]);
     }
     let s = oftm_sim::summarize(&rows);
-    println!("\nSummary: {} suspension points; {} exhibit a strict-DAP violation between the
+    println!(
+        "\nSummary: {} suspension points; {} exhibit a strict-DAP violation between the
 t-variable-disjoint transactions T2 and T3 (they collide on T1's descriptor);
 {} histories were non-serializable (must be 0 — the OFTM stays safe *by*
 violating strict DAP, which is Theorem 13's point).\n",
-        s.rows, s.runs_with_t2_t3_conflict, s.non_serializable_runs);
+        s.rows, s.runs_with_t2_t3_conflict, s.non_serializable_runs
+    );
 
     println!("== E2b: threaded DSTM, p1 suspended mid-transaction ==\n");
     let rec = Arc::new(Recorder::new());

@@ -6,6 +6,8 @@
 //! [`WordStm`] interface so DSTM, Algorithm 2 and the lock-based baselines
 //! run byte-identical workloads.
 
+pub mod harness;
+
 use oftm_baselines::{CoarseStm, Tl2Stm, TlStm};
 use oftm_core::api::{run_transaction, WordStm};
 use oftm_core::cm::{Aggressive, ContentionManager, Greedy, Karma, Polite, Randomized};
@@ -132,6 +134,7 @@ impl RunStats {
 pub struct SplitMix(pub u64);
 
 impl SplitMix {
+    #[allow(clippy::should_implement_trait)] // not an Iterator: infinite, no Item
     pub fn next(&mut self) -> u64 {
         self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
         let mut z = self.0;
@@ -189,9 +192,8 @@ pub fn run_workload(
                             })
                         }
                         Workload::ReadMostly { vars, reads } => {
-                            let targets: Vec<TVarId> = (0..reads)
-                                .map(|_| TVarId(rng.below(vars) as u64))
-                                .collect();
+                            let targets: Vec<TVarId> =
+                                (0..reads).map(|_| TVarId(rng.below(vars) as u64)).collect();
                             let wvar = TVarId(rng.below(vars) as u64);
                             run_transaction(*stm, t as u32, |tx| {
                                 let mut acc = 0u64;
@@ -238,7 +240,10 @@ pub fn print_row(cells: &[String]) {
 
 pub fn print_header(cols: &[&str]) {
     println!("| {} |", cols.join(" | "));
-    println!("|{}|", cols.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    println!(
+        "|{}|",
+        cols.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
 }
 
 #[cfg(test)]
@@ -270,10 +275,7 @@ mod tests {
     fn workload_var_counts() {
         assert_eq!(Workload::DisjointCounters.var_count(4), 4);
         assert_eq!(Workload::SharedCounter.var_count(4), 1);
-        assert_eq!(
-            Workload::ReadMostly { vars: 32, reads: 4 }.var_count(4),
-            32
-        );
+        assert_eq!(Workload::ReadMostly { vars: 32, reads: 4 }.var_count(4), 32);
     }
 
     #[test]

@@ -1,0 +1,69 @@
+//! Enforced gate: the differential stress harness over the full scenario
+//! matrix. Any oracle violation panics with the scenario's reproduction
+//! seed (`HARNESS_SEED=… cargo test -p oftm-bench`).
+
+use oftm_bench::harness::{run_differential, run_matrix, Scenario, ScenarioKind, ALL_SCENARIOS};
+
+/// All five scenarios × {1, 2, 4} threads, every STM, one seed per cell.
+#[test]
+fn differential_matrix_low_concurrency() {
+    match run_matrix(&[1, 2, 4], 1) {
+        Ok(cells) => assert_eq!(cells, ALL_SCENARIOS.len() * 3),
+        Err(report) => panic!("differential harness failures:\n{report}"),
+    }
+}
+
+/// High-concurrency sweep: 8 threads on every scenario.
+#[test]
+fn differential_matrix_eight_threads() {
+    match run_matrix(&[8], 1) {
+        Ok(cells) => assert_eq!(cells, ALL_SCENARIOS.len()),
+        Err(report) => panic!("differential harness failures:\n{report}"),
+    }
+}
+
+/// The bank-transfer invariant holds across several independent seeds at
+/// moderate concurrency (the likeliest shape to expose lost updates).
+/// `derive_seed` honours a verbatim `HARNESS_SEED` for exact replay.
+#[test]
+fn bank_transfer_multi_seed() {
+    for round in 0..4u64 {
+        let seed = oftm_bench::harness::derive_seed(0xB4A2_0000 | round);
+        let sc = Scenario::new(ScenarioKind::BankTransfer, 4, seed);
+        if let Err(failures) = run_differential(&sc) {
+            let lines: Vec<String> = failures.iter().map(|f| f.to_string()).collect();
+            panic!("bank-transfer differential failures:\n{}", lines.join("\n"));
+        }
+    }
+}
+
+/// Small-history run that is guaranteed to go through the *exact*
+/// serializability and opacity checkers (not just conflict-SR).
+/// Single-threaded on purpose: retries under contention record extra
+/// aborted transactions, which could nondeterministically push the
+/// history past the exact-check cap; with one thread the transaction
+/// count is exactly `ops_per_thread`.
+#[test]
+fn exact_checkers_engage_on_small_runs() {
+    let mut sc = Scenario::new(
+        ScenarioKind::WriteHeavy,
+        1,
+        oftm_bench::harness::derive_seed(0xE4AC),
+    );
+    sc.ops_per_thread = 6; // 6 txs ≤ exact-check cap of 10, deterministically
+    match run_differential(&sc) {
+        Ok(report) => {
+            for o in &report.outcomes {
+                assert!(
+                    o.exact_checked,
+                    "{}: expected the exact checkers to engage ({} txs)",
+                    o.stm, o.recorded_txs
+                );
+            }
+        }
+        Err(failures) => {
+            let lines: Vec<String> = failures.iter().map(|f| f.to_string()).collect();
+            panic!("small-run differential failures:\n{}", lines.join("\n"));
+        }
+    }
+}

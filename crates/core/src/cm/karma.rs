@@ -81,10 +81,7 @@ mod tests {
             cm.on_open(&other);
         }
         // attempt 0..2: poorer, backs off; attempt 3: karma 0 + 3 ≥ 3.
-        assert!(matches!(
-            cm.resolve(&me, &other, 0),
-            Resolution::Backoff(_)
-        ));
+        assert!(matches!(cm.resolve(&me, &other, 0), Resolution::Backoff(_)));
         assert_eq!(cm.resolve(&me, &other, 3), Resolution::AbortOther);
     }
 

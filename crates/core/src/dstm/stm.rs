@@ -116,11 +116,7 @@ impl Dstm {
     /// Runs `body` in a transaction, retrying on abort until it commits
     /// (each retry is a fresh transaction, as the paper prescribes).
     /// Returns the result of the committed attempt.
-    pub fn atomically<R>(
-        &self,
-        proc: u32,
-        mut body: impl FnMut(&mut Tx<'_>) -> TxResult<R>,
-    ) -> R {
+    pub fn atomically<R>(&self, proc: u32, mut body: impl FnMut(&mut Tx<'_>) -> TxResult<R>) -> R {
         self.atomically_counted(proc, &mut body).0
     }
 

@@ -12,7 +12,9 @@
 //! Recording is optional: production paths pass no recorder and pay only a
 //! branch on an `Option`.
 
-use oftm_histories::{Access, BaseObjId, Event, History, ProcId, TVarId, TmOp, TmResp, TxId, Value};
+use oftm_histories::{
+    Access, BaseObjId, Event, History, ProcId, TVarId, TmOp, TmResp, TxId, Value,
+};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;

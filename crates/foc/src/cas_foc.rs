@@ -117,10 +117,7 @@ mod tests {
     #[test]
     fn non_copy_payloads() {
         let foc = CasFoc::new();
-        assert_eq!(
-            foc.propose(0, String::from("a")),
-            Some(String::from("a"))
-        );
+        assert_eq!(foc.propose(0, String::from("a")), Some(String::from("a")));
         assert_eq!(foc.propose(1, String::from("b")), Some(String::from("a")));
     }
 

@@ -51,7 +51,7 @@ impl<T: Clone + Send + Sync + 'static> FoConsensus<T> for OftmFoc<T> {
                     Err(TxError::Aborted) => return None, // A_{i,k}
                 }
             }
-            Ok(Some(w)) => w, // adopt the registered value
+            Ok(Some(w)) => w,                     // adopt the registered value
             Err(TxError::Aborted) => return None, // A_{i,k}
         };
         match tx.commit() {

@@ -27,9 +27,9 @@ pub mod traits;
 pub mod two_consensus;
 
 pub use cas_foc::CasFoc;
-pub use monitored::{check_fo_obstruction_freedom, MonitoredFoc};
 pub use from_eventual::EventualFoc;
 pub use from_oftm::OftmFoc;
+pub use monitored::{check_fo_obstruction_freedom, MonitoredFoc};
 pub use splitter_foc::SplitterFoc;
 pub use tas::{TasConsensus, TestAndSet};
 pub use traits::{propose_until_decided, stress_agreement, FoConsensus, FocPropertyHarness};

@@ -56,7 +56,8 @@ impl<T: Clone + Send + Sync, F: FoConsensus<T>> FoConsensus<T> for MonitoredFoc<
         // The propose models as a read-like operation on pseudo-t-variable
         // 0 (values are opaque to the checkers; only event structure
         // matters for step contention).
-        self.recorder.invoke(tx, TmOp::Read(oftm_histories::TVarId(0)));
+        self.recorder
+            .invoke(tx, TmOp::Read(oftm_histories::TVarId(0)));
         self.recorder
             .step(ProcId(proc), Some(tx), self.base, Access::Modify);
         let out = self.inner.propose(proc, v);

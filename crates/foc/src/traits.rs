@@ -83,7 +83,10 @@ impl FocPropertyHarness {
         assert!(!outcomes.is_empty(), "nobody decided");
         let first = *outcomes.values().next().unwrap();
         for (p, d) in outcomes.iter() {
-            assert_eq!(*d, first, "agreement violated: {p} decided {d}, expected {first}");
+            assert_eq!(
+                *d, first,
+                "agreement violated: {p} decided {d}, expected {first}"
+            );
         }
         assert!(
             proposals.values().any(|&v| v == first),

@@ -133,8 +133,7 @@ pub fn conflict_density(h: &History) -> ConflictDensity {
             let mb = &acc[&b];
             let conflict = ma.iter().any(|(obj, su_a)| {
                 mb.get(obj).is_some_and(|su_b| {
-                    (su_a.modified && (su_b.modified || su_b.read))
-                        || (su_b.modified && su_a.read)
+                    (su_a.modified && (su_b.modified || su_b.read)) || (su_b.modified && su_a.read)
                 })
             });
             if !conflict {

@@ -73,7 +73,11 @@ pub enum Event {
     /// Invocation of a TM operation by transaction `tx` (executed by `proc`).
     Invoke { proc: ProcId, tx: TxId, op: TmOp },
     /// Response of the previously invoked TM operation of `tx`.
-    Respond { proc: ProcId, tx: TxId, resp: TmResp },
+    Respond {
+        proc: ProcId,
+        tx: TxId,
+        resp: TmResp,
+    },
     /// A step: an operation on a base object, executed by `proc` on behalf
     /// of the TM implementation. `tx` records which transaction the step
     /// serves when known (steps may also be attributable to helping).

@@ -426,7 +426,13 @@ impl HistoryBuilder {
     }
 
     /// A low-level step.
-    pub fn step(&mut self, proc: ProcId, tx: Option<TxId>, obj: BaseObjId, access: Access) -> &mut Self {
+    pub fn step(
+        &mut self,
+        proc: ProcId,
+        tx: Option<TxId>,
+        obj: BaseObjId,
+        access: Access,
+    ) -> &mut Self {
         self.h.push(Event::Step {
             proc,
             tx,
@@ -549,7 +555,10 @@ mod tests {
     fn precedence_and_concurrency() {
         let x = TVarId(0);
         let mut b = HistoryBuilder::new();
-        b.read(t(1, 0), x, 0).commit(t(1, 0)).read(t(2, 0), x, 0).commit(t(2, 0));
+        b.read(t(1, 0), x, 0)
+            .commit(t(1, 0))
+            .read(t(2, 0), x, 0)
+            .commit(t(2, 0));
         let h = b.build();
         let views = h.tx_views();
         assert!(h.precedes(&views, t(1, 0), t(2, 0)));

@@ -30,9 +30,7 @@ pub use dap::{check_strict_dap, conflict_density, ConflictDensity, DapViolation}
 pub use event::{Access, CompletedOp, Event, TmOp, TmResp};
 pub use history::{well_formed, History, HistoryBuilder, TimedEvent, TxStatus, TxView};
 pub use ids::{BaseObjId, ProcId, TVarId, TxId, Value};
-pub use obstruction::{
-    check_eventual_ic_of, check_ic_of, check_of, of_implies_ic_of, OfViolation,
-};
+pub use obstruction::{check_eventual_ic_of, check_ic_of, check_of, of_implies_ic_of, OfViolation};
 pub use opacity::{final_state_opaque, opaque, OpacityCheck, OpacityGraph, OpgEdge};
 pub use serializability::{
     conflict_graph, conflict_serializable, serializable, SerCheck, INITIAL_VALUE,

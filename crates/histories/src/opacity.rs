@@ -200,8 +200,7 @@ pub fn opaque(h: &History, max_exact: usize) -> OpacityCheck {
         visible: Vec::new(),
     };
     for end in 0..=events.len() {
-        if end < events.len() && !matches!(events[end].event, crate::event::Event::Respond { .. })
-        {
+        if end < events.len() && !matches!(events[end].event, crate::event::Event::Respond { .. }) {
             continue;
         }
         let prefix = History::from_events(events[..end].iter().map(|te| te.event).collect());
@@ -302,10 +301,12 @@ impl OpacityGraph {
     /// consistent with (i.e. acyclic under) that order.
     pub fn acyclic_under(&self, order: &[TxId]) -> bool {
         let pos: BTreeMap<TxId, usize> = order.iter().enumerate().map(|(i, &t)| (t, i)).collect();
-        self.edges.iter().all(|(a, b, _)| match (pos.get(a), pos.get(b)) {
-            (Some(pa), Some(pb)) => pa < pb,
-            _ => true,
-        })
+        self.edges
+            .iter()
+            .all(|(a, b, _)| match (pos.get(a), pos.get(b)) {
+                (Some(pa), Some(pb)) => pa < pb,
+                _ => true,
+            })
     }
 
     /// True iff the fixed (order-independent) edges form an acyclic graph.
@@ -467,12 +468,8 @@ mod tests {
         let h = b.build();
         let g = OpacityGraph::build(&h, &[]);
         assert!(g.vertices[&t(1, 0)]);
-        assert!(g
-            .edges
-            .contains(&(t(1, 0), t(2, 0), 0 /* Lrt */)));
-        assert!(g
-            .edges
-            .contains(&(t(1, 0), t(2, 0), 1 /* Lrf */)));
+        assert!(g.edges.contains(&(t(1, 0), t(2, 0), 0 /* Lrt */)));
+        assert!(g.edges.contains(&(t(1, 0), t(2, 0), 1 /* Lrf */)));
         assert!(g.acyclic());
         let order = vec![t(1, 0), t(2, 0)];
         assert!(g.acyclic_under(&order));

@@ -1,0 +1,170 @@
+//! Negative oracles for the checkers: hand-written histories that violate
+//! each safety/liveness property, which the corresponding checker MUST
+//! reject. These complement the proptests (which mostly certify
+//! known-good histories) by pinning down the checkers' discriminating
+//! power — a checker that accepts everything would pass every proptest
+//! that only feeds it legal histories.
+
+use oftm_histories::{
+    check_eventual_ic_of, check_ic_of, check_of, check_strict_dap, conflict_serializable,
+    final_state_opaque, serializable, well_formed, Access, BaseObjId, HistoryBuilder, OpacityCheck,
+    ProcId, SerCheck, TVarId, TmOp, TxId,
+};
+
+fn t(p: u32, k: u32) -> TxId {
+    TxId::new(p, k)
+}
+const X: TVarId = TVarId(0);
+const Y: TVarId = TVarId(1);
+
+/// Classic lost update: both transactions read x = 0, both write x = 1,
+/// both commit. In any serial order the second transaction must read 1,
+/// so no legal serialization exists — and the conflict graph has a cycle.
+#[test]
+fn lost_update_rejected_by_both_serializability_checkers() {
+    let mut b = HistoryBuilder::new();
+    b.read(t(1, 0), X, 0);
+    b.read(t(2, 0), X, 0);
+    b.write(t(1, 0), X, 1);
+    b.commit(t(1, 0));
+    b.write(t(2, 0), X, 1);
+    b.commit(t(2, 0));
+    let h = b.build();
+    assert!(
+        well_formed(&h).is_ok(),
+        "oracle history must be well-formed"
+    );
+    assert_eq!(
+        serializable(&h, 12),
+        SerCheck::NotSerializable,
+        "lost update must not be exactly serializable"
+    );
+    assert!(
+        !conflict_serializable(&h),
+        "r-w/r-w cycle must not be conflict-serializable"
+    );
+}
+
+/// A committed transaction that read a value nobody ever wrote: there is
+/// no serial replay producing it.
+#[test]
+fn fabricated_read_value_rejected() {
+    let mut b = HistoryBuilder::new();
+    b.read(t(1, 0), X, 42);
+    b.commit(t(1, 0));
+    let h = b.build();
+    assert_eq!(serializable(&h, 12), SerCheck::NotSerializable);
+    assert!(!final_state_opaque(&h, 12).is_opaque());
+}
+
+/// Write skew across two variables: T1 reads x,y then writes y; T2 reads
+/// x,y then writes x; both commit having read the initial snapshot. Every
+/// serial order makes the later transaction's read stale.
+#[test]
+fn write_skew_rejected() {
+    let mut b = HistoryBuilder::new();
+    b.read(t(1, 0), X, 0).read(t(1, 0), Y, 0);
+    b.read(t(2, 0), X, 0).read(t(2, 0), Y, 0);
+    b.write(t(1, 0), Y, 7).commit(t(1, 0));
+    b.write(t(2, 0), X, 9).commit(t(2, 0));
+    let h = b.build();
+    // Serial T1;T2 forces T2 to read y = 7; serial T2;T1 forces T1 to
+    // read x = 9. Neither matches, and the conflict graph is cyclic.
+    assert_eq!(serializable(&h, 12), SerCheck::NotSerializable);
+    assert!(!conflict_serializable(&h));
+}
+
+/// Dirty read: T2 commits a value that T1 wrote and then rolled back.
+#[test]
+fn dirty_read_of_aborted_writer_rejected() {
+    let mut b = HistoryBuilder::new();
+    b.write(t(1, 0), X, 5);
+    b.read(t(2, 0), X, 5);
+    b.abort(t(1, 0));
+    b.commit(t(2, 0));
+    let h = b.build();
+    assert_eq!(
+        serializable(&h, 12),
+        SerCheck::NotSerializable,
+        "a committed read of an aborted write has no serial justification"
+    );
+    assert!(!final_state_opaque(&h, 12).is_opaque());
+}
+
+/// The opacity-specific case: the COMMITTED part is perfectly serializable
+/// (only T1 commits), but an *aborted* transaction observed a torn
+/// snapshot (x before T1's writes, y after). Serializability of committed
+/// transactions cannot see this; final-state opacity must.
+#[test]
+fn torn_snapshot_in_aborted_tx_rejected_by_opacity_only() {
+    let mut b = HistoryBuilder::new();
+    b.read(t(2, 0), X, 0); // T2 starts reading the initial state
+    b.write(t(1, 0), X, 1).write(t(1, 0), Y, 1);
+    b.commit(t(1, 0));
+    b.read(t(2, 0), Y, 1); // …and finishes after T1: x=0 but y=1
+    b.aborted_op(t(2, 0), TmOp::TryCommit);
+    let h = b.build();
+    let op = final_state_opaque(&h, 12);
+    assert!(
+        matches!(op, OpacityCheck::NotOpaque),
+        "aborted transaction saw a torn snapshot; got {op:?}"
+    );
+    // The committed projection (T1 alone) is still serializable: this is
+    // exactly the gap between serializability and opacity.
+    assert!(!matches!(serializable(&h, 12), SerCheck::NotSerializable));
+}
+
+/// Definition 2 negative: a forceful abort with zero step contention.
+#[test]
+fn forceful_abort_without_any_contention_rejected_by_of() {
+    let mut b = HistoryBuilder::new();
+    b.read(t(1, 0), X, 0);
+    b.aborted_op(t(1, 0), TmOp::TryCommit);
+    let h = b.build();
+    let v = check_of(&h);
+    assert_eq!(v.len(), 1, "expected exactly one Definition 2 violation");
+    assert_eq!(v[0].tx, t(1, 0));
+    // With no concurrent transaction at all, ic-OF (Definition 3) and even
+    // eventual ic-OF (Definition 4) must reject too.
+    assert_eq!(check_ic_of(&h).len(), 1);
+    assert!(check_eventual_ic_of(&h).is_err());
+}
+
+/// Strict-DAP negative (Definition 12): two transactions over DISJOINT
+/// t-variable sets that nevertheless conflict on a shared base object.
+#[test]
+fn disjoint_txs_contending_on_base_object_rejected_by_strict_dap() {
+    let mut b = HistoryBuilder::new();
+    let hot = BaseObjId(99);
+    b.read(t(1, 0), X, 0);
+    b.step(ProcId(1), Some(t(1, 0)), hot, Access::Modify);
+    b.read(t(2, 0), Y, 0);
+    b.step(ProcId(2), Some(t(2, 0)), hot, Access::Modify);
+    b.commit(t(1, 0));
+    b.commit(t(2, 0));
+    let h = b.build();
+    let v = check_strict_dap(&h);
+    assert_eq!(v.len(), 1, "expected one strict-DAP violation: {v:?}");
+    assert_eq!(v[0].obj, hot);
+    // Same accesses through DIFFERENT base objects: no violation.
+    let mut b2 = HistoryBuilder::new();
+    b2.read(t(1, 0), X, 0);
+    b2.step(ProcId(1), Some(t(1, 0)), BaseObjId(1), Access::Modify);
+    b2.read(t(2, 0), Y, 0);
+    b2.step(ProcId(2), Some(t(2, 0)), BaseObjId(2), Access::Modify);
+    b2.commit(t(1, 0));
+    b2.commit(t(2, 0));
+    assert!(check_strict_dap(&b2.build()).is_empty());
+}
+
+/// Ill-formed history: an operation after the transaction committed. The
+/// well-formedness gate must reject it before any checker runs.
+#[test]
+fn op_after_commit_rejected_by_well_formedness() {
+    let mut b = HistoryBuilder::new();
+    b.write(t(1, 0), X, 1);
+    b.commit(t(1, 0));
+    b.read(t(1, 0), X, 1); // zombie operation
+    let h = b.build();
+    assert!(well_formed(&h).is_err());
+}

@@ -1,0 +1,252 @@
+//! Offline shim for `crossbeam-epoch`.
+//!
+//! Provides the `Atomic` / `Owned` / `Shared` / `Guard` pointer API the
+//! DSTM engine uses, backed by plain `AtomicPtr`. **Reclamation policy:
+//! `defer_destroy` leaks.** Without real epoch tracking we cannot know
+//! when concurrent readers are done with an unlinked locator, so the shim
+//! trades bounded memory for unconditional safety: every pointer a pinned
+//! thread may still hold stays valid forever. Test/bench workloads are
+//! bounded, so the leak is too. Swapping in the real crate restores
+//! amortized reclamation with no source changes (the API is call-for-call
+//! compatible for the subset used here).
+
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicPtr, Ordering};
+
+/// A pin on the (conceptual) epoch. In this shim pinning is free and the
+/// guard only brands loaned `Shared` pointers with a lifetime.
+pub struct Guard {
+    _priv: (),
+}
+
+/// Pins the current thread.
+pub fn pin() -> Guard {
+    Guard { _priv: () }
+}
+
+/// Returns a dummy guard for contexts with no concurrent accessors.
+///
+/// # Safety
+/// Caller must guarantee no other thread can reach the pointers accessed
+/// under this guard (e.g. inside `Drop` of the sole owner).
+pub unsafe fn unprotected() -> &'static Guard {
+    static GUARD: Guard = Guard { _priv: () };
+    &GUARD
+}
+
+impl Guard {
+    /// Schedules `ptr`'s pointee for destruction once no pin can reach it.
+    ///
+    /// Shim behavior: leaks (see module docs).
+    ///
+    /// # Safety
+    /// `ptr` must be unlinked: no new loads may return it.
+    pub unsafe fn defer_destroy<T>(&self, ptr: Shared<'_, T>) {
+        let _ = ptr;
+    }
+}
+
+/// An owning pointer to heap-allocated `T` (like `Box`).
+pub struct Owned<T> {
+    ptr: *mut T,
+}
+
+unsafe impl<T: Send> Send for Owned<T> {}
+
+impl<T> Owned<T> {
+    pub fn new(value: T) -> Self {
+        Owned {
+            ptr: Box::into_raw(Box::new(value)),
+        }
+    }
+
+    /// Converts into a `Shared` tied to `guard`, relinquishing ownership
+    /// to the concurrent structure.
+    pub fn into_shared<'g>(self, _guard: &'g Guard) -> Shared<'g, T> {
+        let ptr = self.ptr;
+        std::mem::forget(self);
+        Shared {
+            ptr,
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for Owned<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Owned({:p})", self.ptr)
+    }
+}
+
+impl<T> std::ops::Deref for Owned<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        unsafe { &*self.ptr }
+    }
+}
+
+impl<T> Drop for Owned<T> {
+    fn drop(&mut self) {
+        unsafe { drop(Box::from_raw(self.ptr)) }
+    }
+}
+
+/// A pointer loaned out under a `Guard`; `Copy`, valid for `'g`.
+pub struct Shared<'g, T> {
+    ptr: *mut T,
+    _marker: PhantomData<&'g T>,
+}
+
+impl<T> Clone for Shared<'_, T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<T> Copy for Shared<'_, T> {}
+
+impl<'g, T> Shared<'g, T> {
+    pub fn null() -> Self {
+        Shared {
+            ptr: std::ptr::null_mut(),
+            _marker: PhantomData,
+        }
+    }
+
+    pub fn is_null(&self) -> bool {
+        self.ptr.is_null()
+    }
+
+    pub fn as_raw(&self) -> *const T {
+        self.ptr
+    }
+
+    /// # Safety
+    /// The pointee must be valid for `'g` (loaded under the guard from a
+    /// structure that only retires via `defer_destroy`) and non-null.
+    pub unsafe fn deref(&self) -> &'g T {
+        &*self.ptr
+    }
+
+    /// Reclaims ownership of the pointee.
+    ///
+    /// # Safety
+    /// Caller must be the unique accessor (e.g. in `Drop`).
+    pub unsafe fn into_owned(self) -> Owned<T> {
+        Owned { ptr: self.ptr }
+    }
+}
+
+/// Error type of a failed [`Atomic::compare_exchange`].
+pub struct CompareExchangeError<'g, T, P> {
+    /// The value the atomic actually held.
+    pub current: Shared<'g, T>,
+    /// The proposed new pointer, handed back to the caller.
+    pub new: P,
+}
+
+/// An atomic pointer to heap-allocated `T`.
+pub struct Atomic<T> {
+    ptr: AtomicPtr<T>,
+}
+
+unsafe impl<T: Send + Sync> Send for Atomic<T> {}
+unsafe impl<T: Send + Sync> Sync for Atomic<T> {}
+
+impl<T> Atomic<T> {
+    pub fn new(value: T) -> Self {
+        Atomic {
+            ptr: AtomicPtr::new(Box::into_raw(Box::new(value))),
+        }
+    }
+
+    pub fn null() -> Self {
+        Atomic {
+            ptr: AtomicPtr::new(std::ptr::null_mut()),
+        }
+    }
+
+    pub fn load<'g>(&self, ord: Ordering, _guard: &'g Guard) -> Shared<'g, T> {
+        Shared {
+            ptr: self.ptr.load(ord),
+            _marker: PhantomData,
+        }
+    }
+
+    pub fn store(&self, new: Owned<T>, ord: Ordering) {
+        let raw = new.ptr;
+        std::mem::forget(new);
+        self.ptr.store(raw, ord);
+    }
+
+    pub fn compare_exchange<'g>(
+        &self,
+        current: Shared<'_, T>,
+        new: Owned<T>,
+        success: Ordering,
+        failure: Ordering,
+        _guard: &'g Guard,
+    ) -> Result<Shared<'g, T>, CompareExchangeError<'g, T, Owned<T>>> {
+        let new_raw = new.ptr;
+        match self
+            .ptr
+            .compare_exchange(current.ptr, new_raw, success, failure)
+        {
+            Ok(_) => {
+                std::mem::forget(new);
+                Ok(Shared {
+                    ptr: new_raw,
+                    _marker: PhantomData,
+                })
+            }
+            Err(actual) => Err(CompareExchangeError {
+                current: Shared {
+                    ptr: actual,
+                    _marker: PhantomData,
+                },
+                new,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_and_deref() {
+        let a = Atomic::new(5u64);
+        let g = pin();
+        let s = a.load(Ordering::Acquire, &g);
+        assert_eq!(unsafe { *s.deref() }, 5);
+    }
+
+    #[test]
+    fn cas_success_and_failure() {
+        let a = Atomic::new(1u64);
+        let g = pin();
+        let cur = a.load(Ordering::Acquire, &g);
+        let installed = a
+            .compare_exchange(cur, Owned::new(2), Ordering::AcqRel, Ordering::Acquire, &g)
+            .ok()
+            .expect("uncontended CAS succeeds");
+        assert_eq!(unsafe { *installed.deref() }, 2);
+        // Stale expected pointer: must fail and hand the Owned back.
+        let err = a
+            .compare_exchange(cur, Owned::new(3), Ordering::AcqRel, Ordering::Acquire, &g)
+            .err()
+            .expect("stale CAS fails");
+        assert_eq!(unsafe { *err.current.deref() }, 2);
+        assert_eq!(*err.new, 3);
+    }
+
+    #[test]
+    fn owned_roundtrip() {
+        let o = Owned::new(String::from("x"));
+        let g = pin();
+        let s = o.into_shared(&g);
+        let back = unsafe { s.into_owned() };
+        assert_eq!(*back, "x");
+    }
+}

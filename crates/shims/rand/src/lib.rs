@@ -1,0 +1,127 @@
+//! Offline shim for the `rand` crate.
+//!
+//! The build environment has no crates.io access, so this vendored
+//! mini-crate provides exactly the API subset the workspace uses:
+//! `rngs::SmallRng`, the `Rng` and `SeedableRng` traits, and integer
+//! `gen_range` over half-open ranges. The generator is splitmix64 —
+//! statistically fine for contention-manager coin flips and test
+//! workloads, not cryptographic.
+
+use std::ops::Range;
+
+/// Integer types `gen_range` can sample.
+pub trait UniformInt: Copy {
+    fn from_u64_in(raw: u64, range: Range<Self>) -> Self;
+}
+
+macro_rules! impl_uniform {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            fn from_u64_in(raw: u64, range: Range<Self>) -> Self {
+                // Through i128 so negative starts of signed ranges don't
+                // sign-extend into huge unsigned values.
+                let lo = range.start as i128;
+                let hi = range.end as i128;
+                assert!(hi > lo, "gen_range called with empty range");
+                let span = (hi - lo) as u128;
+                (lo + ((raw as u128) % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Subset of `rand::Rng`.
+pub trait Rng {
+    fn next_u64(&mut self) -> u64;
+
+    fn gen_range<T: UniformInt>(&mut self, range: Range<T>) -> T {
+        T::from_u64_in(self.next_u64(), range)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        (self.next_u64() as f64 / u64::MAX as f64) < p
+    }
+}
+
+/// Subset of `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+
+    /// Seeds from process-local entropy (hasher randomness + a monotone
+    /// counter), good enough to decorrelate threads.
+    fn from_entropy() -> Self {
+        use std::hash::{BuildHasher, Hasher};
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let h = std::collections::hash_map::RandomState::new()
+            .build_hasher()
+            .finish();
+        Self::seed_from_u64(h ^ COUNTER.fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed))
+    }
+}
+
+pub mod rngs {
+    /// Splitmix64-backed small PRNG.
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        state: u64,
+    }
+
+    impl super::Rng for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl super::SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            SmallRng { state: seed }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_in_bounds() {
+        let mut r = SmallRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = r.gen_range(10u8..20);
+            assert!((10..20).contains(&v));
+            let w = r.gen_range(0u64..3);
+            assert!(w < 3);
+        }
+    }
+
+    #[test]
+    fn gen_range_signed_negative_start() {
+        let mut r = SmallRng::seed_from_u64(2);
+        let mut hit_neg = false;
+        for _ in 0..1000 {
+            let v = r.gen_range(-5i32..5);
+            assert!((-5..5).contains(&v));
+            hit_neg |= v < 0;
+            let w = r.gen_range(i64::MIN..0);
+            assert!(w < 0);
+        }
+        assert!(hit_neg, "negative half of the range never sampled");
+    }
+}

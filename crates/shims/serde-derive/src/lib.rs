@@ -1,0 +1,45 @@
+//! No-op `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros for the
+//! offline serde shim. They emit marker-trait impls only; actual
+//! (de)serialization is out of scope until the real serde is available.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the identifier of the type the derive is attached to: the first
+/// identifier after a `struct` or `enum` keyword.
+fn type_name(input: TokenStream) -> Option<String> {
+    let mut saw_kw = false;
+    for tt in input {
+        if let TokenTree::Ident(id) = tt {
+            let s = id.to_string();
+            if saw_kw {
+                return Some(s);
+            }
+            if s == "struct" || s == "enum" {
+                saw_kw = true;
+            }
+        }
+    }
+    None
+}
+
+/// Generics make blanket naming hard without a full parser; every serde
+/// derive in this workspace is on a non-generic type, so we only handle
+/// that case and fall back to emitting nothing.
+fn marker_impl(trait_path: &str, input: TokenStream) -> TokenStream {
+    match type_name(input) {
+        Some(name) => format!("impl {trait_path} for {name} {{}}")
+            .parse()
+            .unwrap_or_default(),
+        None => TokenStream::new(),
+    }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl("::serde::Serialize", input)
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl("::serde::Deserialize<'_>", input)
+}

@@ -1,0 +1,13 @@
+//! Offline shim for `serde`: marker traits plus no-op derive macros, so
+//! `#[derive(Serialize, Deserialize)]` in the workspace compiles without
+//! crates.io access. Swap for the real serde by editing the workspace
+//! `[workspace.dependencies]` entry; the derives here emit marker impls
+//! only, no actual (de)serialization.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de>: Sized {}
+
+pub use serde_derive_shim::{Deserialize, Serialize};

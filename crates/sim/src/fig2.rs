@@ -44,8 +44,16 @@ pub fn fig2_scripts() -> Vec<Vec<ScriptOp>> {
             ScriptOp::Write(Y, 1),
             ScriptOp::TryCommit,
         ],
-        vec![ScriptOp::Read(X), ScriptOp::Write(W, 1), ScriptOp::TryCommit],
-        vec![ScriptOp::Read(Y), ScriptOp::Write(Z, 1), ScriptOp::TryCommit],
+        vec![
+            ScriptOp::Read(X),
+            ScriptOp::Write(W, 1),
+            ScriptOp::TryCommit,
+        ],
+        vec![
+            ScriptOp::Read(Y),
+            ScriptOp::Write(Z, 1),
+            ScriptOp::TryCommit,
+        ],
     ]
 }
 
@@ -124,9 +132,7 @@ pub fn fig2_scan() -> Vec<Fig2Row> {
             serializable: !matches!(ser, SerCheck::NotSerializable),
             t2_t3_violations: dap
                 .into_iter()
-                .filter(|v| {
-                    (v.tx_a == t2 && v.tx_b == t3) || (v.tx_a == t3 && v.tx_b == t2)
-                })
+                .filter(|v| (v.tx_a == t2 && v.tx_b == t3) || (v.tx_a == t3 && v.tx_b == t2))
                 .collect(),
             history: h,
         });
@@ -170,8 +176,16 @@ mod tests {
         let rows = fig2_scan();
         assert!(rows.len() > 5);
         for r in &rows {
-            assert!(r.t2_committed, "T2 must commit solo (prefix {})", r.prefix_len);
-            assert!(r.t3_committed, "T3 must commit solo (prefix {})", r.prefix_len);
+            assert!(
+                r.t2_committed,
+                "T2 must commit solo (prefix {})",
+                r.prefix_len
+            );
+            assert!(
+                r.t3_committed,
+                "T3 must commit solo (prefix {})",
+                r.prefix_len
+            );
             assert!(
                 r.serializable,
                 "non-serializable run at prefix {}:\n{}",
@@ -218,7 +232,10 @@ mod tests {
             .flat_map(|r| r.t2_t3_violations.iter())
             .next()
             .expect("at least one violation");
-        assert_eq!(witness.obj.0, 2000, "expected T1's descriptor, got {witness:?}");
+        assert_eq!(
+            witness.obj.0, 2000,
+            "expected T1's descriptor, got {witness:?}"
+        );
     }
 
     #[test]

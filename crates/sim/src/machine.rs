@@ -274,7 +274,12 @@ mod tests {
 
     #[test]
     fn toy_explored_fully() {
-        let e = explore(Toy { done: [false, false] }, 100);
+        let e = explore(
+            Toy {
+                done: [false, false],
+            },
+            100,
+        );
         assert_eq!(e.states.len(), 4);
         // Initial can reach both decisions → bivalent in the generalized
         // sense.
@@ -344,6 +349,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "state space exceeds")]
     fn state_cap_is_loud() {
-        let _ = explore(Toy { done: [false, false] }, 2);
+        let _ = explore(
+            Toy {
+                done: [false, false],
+            },
+            2,
+        );
     }
 }

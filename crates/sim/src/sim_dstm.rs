@@ -424,8 +424,7 @@ impl SimDstm {
                 } else {
                     let (val, class) = self.resolve(v, t);
                     let acq = self.vars[v].acq;
-                    self.micro[t] =
-                        self.first_validation(t, Micro::FinishRead(val, class, acq));
+                    self.micro[t] = self.first_validation(t, Micro::FinishRead(val, class, acq));
                 }
             }
         }
@@ -473,9 +472,17 @@ mod tests {
                 ScriptOp::TryCommit,
             ],
             // T2: R(x) W(w,1) tryC
-            vec![ScriptOp::Read(X), ScriptOp::Write(W, 1), ScriptOp::TryCommit],
+            vec![
+                ScriptOp::Read(X),
+                ScriptOp::Write(W, 1),
+                ScriptOp::TryCommit,
+            ],
             // T3: R(y) W(z,1) tryC
-            vec![ScriptOp::Read(Y), ScriptOp::Write(Z, 1), ScriptOp::TryCommit],
+            vec![
+                ScriptOp::Read(Y),
+                ScriptOp::Write(Z, 1),
+                ScriptOp::TryCommit,
+            ],
         ]
     }
 
@@ -507,10 +514,10 @@ mod tests {
         assert!(serializable(&m.history, 8).is_serializable());
         let views = m.history.tx_views();
         let t2 = &views[&TxId::new(2, 0)];
-        assert!(t2.ops.iter().any(|c| matches!(
-            (c.op, c.resp),
-            (TmOp::Read(TVarId(1)), TmResp::Value(1))
-        )));
+        assert!(t2
+            .ops
+            .iter()
+            .any(|c| matches!((c.op, c.resp), (TmOp::Read(TVarId(1)), TmResp::Value(1)))));
     }
 
     #[test]
@@ -559,7 +566,9 @@ mod tests {
             let mut m = machine();
             let mut guard = 0;
             while !m.all_done() {
-                seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                seed = seed
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let t = (seed >> 33) as usize % 3;
                 if m.enabled(t) {
                     m.step(t);
@@ -583,7 +592,9 @@ mod tests {
             let mut m = machine();
             let mut guard = 0;
             while !m.all_done() {
-                seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                seed = seed
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let t = (seed >> 33) as usize % 3;
                 if m.enabled(t) {
                     m.step(t);
@@ -592,7 +603,11 @@ mod tests {
                 assert!(guard < 100_000);
             }
             let viol = oftm_histories::check_of(&m.history);
-            assert!(viol.is_empty(), "OF violation: {viol:?}\n{}", m.history.render());
+            assert!(
+                viol.is_empty(),
+                "OF violation: {viol:?}\n{}",
+                m.history.render()
+            );
         }
     }
 

@@ -87,8 +87,8 @@ impl Machine for TasTwoConsensus {
                 }
             }
             P2::ReadOther => {
-                let other = self.announce[1 - p]
-                    .expect("winner announced before TAS; loser must see it");
+                let other =
+                    self.announce[1 - p].expect("winner announced before TAS; loser must see it");
                 self.procs[p] = P2::Done(other);
             }
             P2::Done(_) => unreachable!(),

@@ -8,16 +8,14 @@
 //!
 //! Run with: `cargo run --example consensus`
 
-use oftm::foc::{propose_until_decided, FoConsensus, OftmFoc, TasConsensus};
+use oftm::foc::{propose_until_decided, OftmFoc, TasConsensus};
 use oftm::Dstm;
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 
 fn main() {
     // --- Algorithm 1: fo-consensus from the OFTM -------------------------
-    let foc: OftmFoc<u64> = OftmFoc::new(Dstm::new(Arc::new(
-        oftm::core::cm::Polite::default(),
-    )));
+    let foc: OftmFoc<u64> = OftmFoc::new(Dstm::new(Arc::new(oftm::core::cm::Polite::default())));
     let outcomes: Mutex<BTreeMap<u32, (u64, u64)>> = Mutex::new(BTreeMap::new());
 
     std::thread::scope(|s| {

@@ -34,11 +34,7 @@ impl IntSet {
 
     /// Finds, inside transaction `tx`, the link after which `v` belongs
     /// (the first link whose successor is ≥ v or tail).
-    fn locate<'a>(
-        &'a self,
-        tx: &mut oftm::Tx<'_>,
-        v: u64,
-    ) -> TxResult<(Link, Option<Arc<Node>>)> {
+    fn locate(&self, tx: &mut oftm::Tx<'_>, v: u64) -> TxResult<(Link, Option<Arc<Node>>)> {
         let mut link = self.head.clone();
         loop {
             let next = tx.read(&link)?;

@@ -74,7 +74,10 @@ fn main() {
         start.elapsed()
     });
     println!("coarse : contender blocked for {latency:?} (≈ the whole nap)");
-    assert!(latency >= NAP / 2, "the lock must have blocked the contender");
+    assert!(
+        latency >= NAP / 2,
+        "the lock must have blocked the contender"
+    );
 
     println!("\nThis asymmetry — microseconds vs the victim's entire delay — is why");
     println!("obstruction-freedom matters for real-time and kernel contexts (paper §1),");

@@ -158,6 +158,22 @@ fn obstruction_free_impls_satisfy_definition_2() {
     }
 }
 
+/// The enforced differential gate: every STM through every seeded workload
+/// scenario at 1–8 threads, checked against the history checkers, the
+/// algebraic invariants, and cross-STM sequential agreement. Failures
+/// print a `HARNESS_SEED=…` line for one-command reproduction.
+#[test]
+fn differential_harness_gate() {
+    match oftm_bench::harness::run_matrix(&[1, 4, 8], 1) {
+        Ok(cells) => assert_eq!(
+            cells,
+            oftm_bench::harness::ALL_SCENARIOS.len() * 3,
+            "matrix did not cover every scenario × thread-count cell"
+        ),
+        Err(report) => panic!("differential harness failures:\n{report}"),
+    }
+}
+
 #[test]
 fn obstruction_freedom_flags_match_design() {
     let expectations = [

@@ -10,7 +10,7 @@
 //! `TestAndSet`'s `swap`, an object of consensus number 2).
 
 use oftm::algo2::{Algo2Stm, FocKind};
-use oftm::core::api::{WordStm, WordTx};
+use oftm::core::api::WordStm;
 use oftm_histories::{TVarId, Value};
 use std::collections::BTreeSet;
 use std::sync::Mutex;

@@ -17,7 +17,10 @@ fn corollary11_two_process_consensus_decides_under_every_schedule() {
         assert_eq!(v[0], v[1]);
         assert!(v[0] == 10 || v[0] == 20);
     }
-    assert!(e.bivalent_cycle().is_none(), "2-process protocol is wait-free");
+    assert!(
+        e.bivalent_cycle().is_none(),
+        "2-process protocol is wait-free"
+    );
 }
 
 /// Theorem 9 / Corollary 11, upper half: over an adversarial-but-legal
@@ -26,7 +29,10 @@ fn corollary11_two_process_consensus_decides_under_every_schedule() {
 #[test]
 fn theorem9_bivalent_cycle_for_three_processes() {
     let e = explore(FocRetryConsensus::new(vec![0, 1, 1]), 2_000_000);
-    assert!(e.bivalent(e.initial), "initial configuration is bivalent ([14])");
+    assert!(
+        e.bivalent(e.initial),
+        "initial configuration is bivalent ([14])"
+    );
     assert!(
         e.bivalent_extension_property().is_empty(),
         "Claim 10: every bivalent configuration has a bivalent extension"

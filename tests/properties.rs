@@ -2,8 +2,7 @@
 //! threaded DSTM.
 
 use oftm_histories::{
-    final_state_opaque, serializable, History, HistoryBuilder, OpacityCheck, SerCheck, TVarId,
-    TxId,
+    final_state_opaque, serializable, History, HistoryBuilder, OpacityCheck, SerCheck, TVarId, TxId,
 };
 use proptest::prelude::*;
 
@@ -13,10 +12,8 @@ use proptest::prelude::*;
 fn sequential_legal_history(ops: Vec<(u8, u8, u64, bool)>) -> History {
     let mut b = HistoryBuilder::new();
     let mut state = std::collections::BTreeMap::new();
-    let mut seq = 0u32;
     for (chunk, ops) in ops.chunks(3).enumerate() {
-        let tx = TxId::new((chunk % 3) as u32, seq);
-        seq += 1;
+        let tx = TxId::new((chunk % 3) as u32, chunk as u32);
         let mut local = std::collections::BTreeMap::new();
         for &(var, _p, val, is_write) in ops {
             let x = TVarId(u64::from(var % 4));
