@@ -151,6 +151,11 @@ pub struct Algo2Stm {
     v: Registry<TVarId, RegCell>,
     /// Initial states of t-variables.
     initial: Registry<TVarId, u64>,
+    /// Next dynamically allocated t-variable id (see
+    /// [`oftm_core::table::DYNAMIC_TVAR_BASE`]). Algorithm 2's arrays are
+    /// lazily materialized anyway, so "allocation" is just reserving ids
+    /// and pinning their initial states.
+    next_dynamic: AtomicU64,
     tx_seq: AtomicU32,
     recorder: Option<Arc<Recorder>>,
     /// Ablation switch: disables the paper's "essential implementation
@@ -172,6 +177,7 @@ impl Algo2Stm {
             aborted: Registry::new(),
             v: Registry::new(),
             initial: Registry::new(),
+            next_dynamic: AtomicU64::new(oftm_core::table::DYNAMIC_TVAR_BASE),
             tx_seq: AtomicU32::new(0),
             recorder: None,
             ablate_aborted_check: false,
@@ -416,6 +422,18 @@ impl WordStm for Algo2Stm {
 
     fn register_tvar(&self, x: TVarId, initial: Value) {
         self.initial.get_or_create(&x, || initial);
+    }
+
+    fn alloc_tvar_block(&self, initials: &[Value]) -> TVarId {
+        assert!(!initials.is_empty(), "alloc_tvar_block of zero t-variables");
+        let base = self
+            .next_dynamic
+            .fetch_add(initials.len() as u64, Ordering::Relaxed);
+        for (k, &init) in initials.iter().enumerate() {
+            self.initial
+                .get_or_create(&TVarId(base + k as u64), || init);
+        }
+        TVarId(base)
     }
 
     fn begin(&self, proc: u32) -> Box<dyn WordTx + '_> {

@@ -6,20 +6,28 @@
 //! lock holder stalls the whole system — the exact failure mode the
 //! paper's introduction motivates obstruction-freedom with (E9 measures
 //! it).
+//!
+//! Values live in a shared [`VarTable`] of atomic cells while the mutex is
+//! a pure serialization gate. Keeping the two separate lets
+//! [`WordStm::alloc_tvar`] insert fresh t-variables without touching the
+//! gate — so a *running* transaction (which holds the gate) can allocate
+//! list nodes without self-deadlocking.
 
 use oftm_core::api::{TxResult, WordStm, WordTx};
 use oftm_core::record::{fresh_base_id, Recorder};
-use oftm_histories::{Access, BaseObjId, TVarId, TmOp, TmResp, TxId, Value};
+use oftm_core::table::VarTable;
+use oftm_histories::{Access, TVarId, TmOp, TmResp, TxId, Value};
 use parking_lot::{Mutex, MutexGuard};
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Global-mutex TM.
 pub struct CoarseStm {
-    store: Mutex<HashMap<TVarId, Value>>,
+    store: VarTable<AtomicU64>,
+    /// The serialization gate; holding it *is* the transaction.
+    gate: Mutex<()>,
     /// Base-object identity of the lock word.
-    lock_base: BaseObjId,
+    lock_base: oftm_histories::BaseObjId,
     tx_seq: AtomicU32,
     recorder: Option<Arc<Recorder>>,
 }
@@ -33,7 +41,8 @@ impl Default for CoarseStm {
 impl CoarseStm {
     pub fn new() -> Self {
         CoarseStm {
-            store: Mutex::new(HashMap::new()),
+            store: VarTable::new(),
+            gate: Mutex::new(()),
             lock_base: fresh_base_id(),
             tx_seq: AtomicU32::new(0),
             recorder: None,
@@ -45,9 +54,12 @@ impl CoarseStm {
         self
     }
 
-    /// Non-transactional oracle read.
+    /// Non-transactional oracle read. Takes the gate: transactional writes
+    /// land in the cells *before* commit (undo-log based), so an ungated
+    /// read could observe dirty, later-rolled-back state.
     pub fn peek(&self, x: TVarId) -> Option<Value> {
-        self.store.lock().get(&x).copied()
+        let _serialized = self.gate.lock();
+        self.store.get(x).map(|c| c.load(Ordering::Acquire))
     }
 }
 
@@ -56,9 +68,9 @@ struct CoarseTx<'s> {
     id: TxId,
     /// The guard is held for the whole transaction: coarse two-phase
     /// locking degenerated to a single lock.
-    guard: Option<MutexGuard<'s, HashMap<TVarId, Value>>>,
+    guard: Option<MutexGuard<'s, ()>>,
     /// Undo log for tryA.
-    undo: Vec<(TVarId, Value)>,
+    undo: Vec<(Arc<AtomicU64>, Value)>,
 }
 
 impl CoarseTx<'_> {
@@ -82,12 +94,8 @@ impl WordTx for CoarseTx<'_> {
         if let Some(r) = self.rec() {
             r.invoke(self.id, TmOp::Read(x));
         }
-        let v = *self
-            .guard
-            .as_ref()
-            .expect("transaction completed")
-            .get(&x)
-            .unwrap_or_else(|| panic!("t-variable {x} not registered"));
+        debug_assert!(self.guard.is_some(), "transaction completed");
+        let v = self.stm.store.get_or_panic(x).load(Ordering::Acquire);
         if let Some(r) = self.rec() {
             r.respond(self.id, TmResp::Value(v));
         }
@@ -98,12 +106,11 @@ impl WordTx for CoarseTx<'_> {
         if let Some(r) = self.rec() {
             r.invoke(self.id, TmOp::Write(x, v));
         }
-        let g = self.guard.as_mut().expect("transaction completed");
-        let slot = g
-            .get_mut(&x)
-            .unwrap_or_else(|| panic!("t-variable {x} not registered"));
-        self.undo.push((x, *slot));
-        *slot = v;
+        debug_assert!(self.guard.is_some(), "transaction completed");
+        let cell = self.stm.store.get_or_panic(x);
+        self.undo
+            .push((Arc::clone(&cell), cell.load(Ordering::Acquire)));
+        cell.store(v, Ordering::Release);
         if let Some(r) = self.rec() {
             r.respond(self.id, TmResp::Ok);
         }
@@ -126,9 +133,9 @@ impl WordTx for CoarseTx<'_> {
         if let Some(r) = self.rec() {
             r.invoke(self.id, TmOp::TryAbort);
         }
-        if let Some(g) = self.guard.as_mut() {
-            for (x, v) in self.undo.drain(..).rev() {
-                g.insert(x, v);
+        if self.guard.is_some() {
+            for (cell, v) in self.undo.drain(..).rev() {
+                cell.store(v, Ordering::Release);
             }
         }
         self.rstep(Access::Modify);
@@ -145,14 +152,20 @@ impl WordStm for CoarseStm {
     }
 
     fn register_tvar(&self, x: TVarId, initial: Value) {
-        self.store.lock().insert(x, initial);
+        self.store.insert(x, AtomicU64::new(initial));
+    }
+
+    fn alloc_tvar_block(&self, initials: &[Value]) -> TVarId {
+        // Deliberately does not take the gate: a running transaction holds
+        // it, and allocation is not a transactional effect.
+        self.store.alloc_block(initials, |_, v| AtomicU64::new(v))
     }
 
     fn begin(&self, proc: u32) -> Box<dyn WordTx + '_> {
         let seq = self.tx_seq.fetch_add(1, Ordering::Relaxed);
         let id = TxId::new(proc, seq);
         // Acquiring the global lock is a modifying step on the lock word.
-        let guard = self.store.lock();
+        let guard = self.gate.lock();
         if let Some(r) = self.recorder.as_deref() {
             r.step(id.process(), Some(id), self.lock_base, Access::Modify);
         }
@@ -204,6 +217,20 @@ mod tests {
         tx.write(X, 200).unwrap();
         tx.try_abort();
         assert_eq!(s.peek(X), Some(1));
+    }
+
+    #[test]
+    fn alloc_inside_running_transaction_does_not_deadlock() {
+        // The regression the gate/store split exists for: the transaction
+        // holds the global lock while allocating.
+        let s = stm();
+        let (node, _) = run_transaction(&s, 0, |tx| {
+            let node = s.alloc_tvar_block(&[5, 0]);
+            tx.write(X, node.0)?;
+            Ok(node)
+        });
+        assert_eq!(s.peek(node), Some(5));
+        assert_eq!(s.peek(X), Some(node.0));
     }
 
     #[test]

@@ -13,10 +13,11 @@
 
 use oftm_core::api::{TxError, TxResult, WordStm, WordTx};
 use oftm_core::record::{fresh_base_id, Recorder};
+use oftm_core::table::VarTable;
 use oftm_histories::{Access, BaseObjId, TVarId, TmOp, TmResp, TxId, Value};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::Arc;
 
 const LOCK_BIT: u64 = 1 << 63;
 
@@ -71,7 +72,7 @@ impl VLockVar {
 
 /// TL-style STM.
 pub struct TlStm {
-    vars: RwLock<Arc<HashMap<TVarId, Arc<VLockVar>>>>,
+    vars: VarTable<VLockVar>,
     tx_seq: AtomicU32,
     recorder: Option<Arc<Recorder>>,
     /// Bounded spin on a locked variable before giving up and aborting
@@ -88,7 +89,7 @@ impl Default for TlStm {
 impl TlStm {
     pub fn new() -> Self {
         TlStm {
-            vars: RwLock::new(Arc::new(HashMap::new())),
+            vars: VarTable::new(),
             tx_seq: AtomicU32::new(0),
             recorder: None,
             lock_patience: 4096,
@@ -101,15 +102,13 @@ impl TlStm {
     }
 
     pub fn peek(&self, x: TVarId) -> Option<Value> {
-        let vars = self.vars.read().unwrap().clone();
-        vars.get(&x).map(|v| v.value.load(Ordering::Acquire))
+        self.vars.get(x).map(|v| v.value.load(Ordering::Acquire))
     }
 }
 
 struct TlTx<'s> {
     stm: &'s TlStm,
     id: TxId,
-    vars: Arc<HashMap<TVarId, Arc<VLockVar>>>,
     /// Read-set: (var, observed version).
     reads: Vec<(Arc<VLockVar>, TVarId, u64)>,
     /// Redo log, ordered by first write; committed under locks.
@@ -137,11 +136,7 @@ impl TlTx<'_> {
     }
 
     fn var(&self, x: TVarId) -> Arc<VLockVar> {
-        Arc::clone(
-            self.vars
-                .get(&x)
-                .unwrap_or_else(|| panic!("t-variable {x} not registered")),
-        )
+        self.stm.vars.get_or_panic(x)
     }
 
     fn buffered(&self, x: TVarId) -> Option<Value> {
@@ -258,8 +253,7 @@ impl WordTx for TlTx<'_> {
         }
 
         // Apply and release with version bump.
-        for ((x, v), (var, prev)) in targets.iter().zip(&locked) {
-            debug_assert!(self.vars.contains_key(x));
+        for ((_x, v), (var, prev)) in targets.iter().zip(&locked) {
             var.value.store(*v, Ordering::Release);
             self.rstep(var.value_base, Access::Modify);
             var.unlock(*prev, true);
@@ -282,10 +276,11 @@ impl WordStm for TlStm {
     }
 
     fn register_tvar(&self, x: TVarId, initial: Value) {
-        let mut g = self.vars.write().unwrap();
-        let mut m = HashMap::clone(&g);
-        m.insert(x, Arc::new(VLockVar::new(initial)));
-        *g = Arc::new(m);
+        self.vars.insert(x, VLockVar::new(initial));
+    }
+
+    fn alloc_tvar_block(&self, initials: &[Value]) -> TVarId {
+        self.vars.alloc_block(initials, |_, v| VLockVar::new(v))
     }
 
     fn begin(&self, proc: u32) -> Box<dyn WordTx + '_> {
@@ -293,7 +288,6 @@ impl WordStm for TlStm {
         Box::new(TlTx {
             stm: self,
             id: TxId::new(proc, seq),
-            vars: self.vars.read().unwrap().clone(),
             reads: Vec::new(),
             writes: Vec::new(),
             dead: false,

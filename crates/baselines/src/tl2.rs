@@ -11,10 +11,11 @@
 
 use oftm_core::api::{TxError, TxResult, WordStm, WordTx};
 use oftm_core::record::{fresh_base_id, Recorder};
+use oftm_core::table::VarTable;
 use oftm_histories::{Access, BaseObjId, TVarId, TmOp, TmResp, TxId, Value};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::Arc;
 
 const LOCK_BIT: u64 = 1 << 63;
 
@@ -39,7 +40,7 @@ impl ClockVar {
 
 /// TL2-style STM with a shared version clock.
 pub struct Tl2Stm {
-    vars: RwLock<Arc<HashMap<TVarId, Arc<ClockVar>>>>,
+    vars: VarTable<ClockVar>,
     clock: AtomicU64,
     clock_base: BaseObjId,
     tx_seq: AtomicU32,
@@ -56,7 +57,7 @@ impl Default for Tl2Stm {
 impl Tl2Stm {
     pub fn new() -> Self {
         Tl2Stm {
-            vars: RwLock::new(Arc::new(HashMap::new())),
+            vars: VarTable::new(),
             clock: AtomicU64::new(0),
             clock_base: fresh_base_id(),
             tx_seq: AtomicU32::new(0),
@@ -71,8 +72,7 @@ impl Tl2Stm {
     }
 
     pub fn peek(&self, x: TVarId) -> Option<Value> {
-        let vars = self.vars.read().unwrap().clone();
-        vars.get(&x).map(|v| v.value.load(Ordering::Acquire))
+        self.vars.get(x).map(|v| v.value.load(Ordering::Acquire))
     }
 
     /// Current clock value (diagnostics).
@@ -84,7 +84,6 @@ impl Tl2Stm {
 struct Tl2Tx<'s> {
     stm: &'s Tl2Stm,
     id: TxId,
-    vars: Arc<HashMap<TVarId, Arc<ClockVar>>>,
     /// Read version: clock sample at begin.
     rv: u64,
     reads: Vec<(Arc<ClockVar>, TVarId)>,
@@ -112,11 +111,7 @@ impl Tl2Tx<'_> {
     }
 
     fn var(&self, x: TVarId) -> Arc<ClockVar> {
-        Arc::clone(
-            self.vars
-                .get(&x)
-                .unwrap_or_else(|| panic!("t-variable {x} not registered")),
-        )
+        self.stm.vars.get_or_panic(x)
     }
 
     fn buffered(&self, x: TVarId) -> Option<Value> {
@@ -256,8 +251,7 @@ impl WordTx for Tl2Tx<'_> {
         }
 
         // Apply writes and release with the new write version.
-        for ((x, v), (var, _prev)) in targets.iter().zip(&locked) {
-            debug_assert!(self.vars.contains_key(x));
+        for ((_x, v), (var, _prev)) in targets.iter().zip(&locked) {
             var.value.store(*v, Ordering::Release);
             self.rstep(var.value_base, Access::Modify);
             var.lock.store(wv, Ordering::Release);
@@ -279,10 +273,11 @@ impl WordStm for Tl2Stm {
     }
 
     fn register_tvar(&self, x: TVarId, initial: Value) {
-        let mut g = self.vars.write().unwrap();
-        let mut m = HashMap::clone(&g);
-        m.insert(x, Arc::new(ClockVar::new(initial)));
-        *g = Arc::new(m);
+        self.vars.insert(x, ClockVar::new(initial));
+    }
+
+    fn alloc_tvar_block(&self, initials: &[Value]) -> TVarId {
+        self.vars.alloc_block(initials, |_, v| ClockVar::new(v))
     }
 
     fn begin(&self, proc: u32) -> Box<dyn WordTx + '_> {
@@ -296,7 +291,6 @@ impl WordStm for Tl2Stm {
         Box::new(Tl2Tx {
             stm: self,
             id,
-            vars: self.vars.read().unwrap().clone(),
             rv,
             reads: Vec::new(),
             writes: Vec::new(),

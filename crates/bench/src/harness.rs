@@ -22,7 +22,7 @@
 //! exact same workload.
 
 use crate::{make_stm, SplitMix, STM_NAMES};
-use oftm_core::api::{run_transaction, WordStm};
+use oftm_core::api::{run_transaction, run_transaction_with_budget, WordStm};
 use oftm_core::record::Recorder;
 use oftm_histories::{
     conflict_serializable, final_state_opaque, serializable, well_formed, OpacityCheck, SerCheck,
@@ -34,6 +34,13 @@ use std::sync::Arc;
 /// Transaction-count ceiling for the exact (exponential) checkers; larger
 /// histories fall back to conflict-serializability only.
 const EXACT_CHECK_CAP: usize = 10;
+
+/// Retry budget per workload transaction: orders of magnitude beyond any
+/// legitimate abort streak, so hitting it means the STM livelocked —
+/// reported as a seeded harness failure instead of a silent hang. Kept
+/// small enough that exhausting it (with the retry loop's ≤256 µs
+/// randomized backoff per attempt) reports within seconds, not minutes.
+pub const ATTEMPT_BUDGET: u32 = 50_000;
 
 /// The five seeded workload shapes the differential suite exercises.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -197,9 +204,11 @@ fn generate_one(sc: &Scenario, thread: usize, rng: &mut SplitMix) -> TxProgram {
     }
 }
 
-/// Interprets one program inside a retry-until-commit transaction.
-fn run_program(stm: &dyn WordStm, proc: u32, prog: &TxProgram) -> Vec<Value> {
-    let (out, _attempts) = run_transaction(stm, proc, |tx| match prog {
+/// Interprets one program inside a budgeted retry-until-commit
+/// transaction; returns the read observations and the attempt count, or
+/// `None` when the retry budget ran out (livelock).
+fn run_program(stm: &dyn WordStm, proc: u32, prog: &TxProgram) -> Option<(Vec<Value>, u32)> {
+    run_transaction_with_budget(stm, proc, ATTEMPT_BUDGET, |tx| match prog {
         TxProgram::ReadOnly(vars) => {
             let mut seen = Vec::with_capacity(vars.len());
             for &x in vars {
@@ -221,8 +230,8 @@ fn run_program(stm: &dyn WordStm, proc: u32, prog: &TxProgram) -> Vec<Value> {
             }
             Ok(vec![])
         }
-    });
-    out
+    })
+    .ok()
 }
 
 /// Reads the final value of every variable in one committed transaction.
@@ -291,6 +300,9 @@ pub struct StmRunOutcome {
     pub recorded_txs: usize,
     /// True when the history was small enough for the exact checkers.
     pub exact_checked: bool,
+    /// Total transaction attempts across the workload (commits + aborts);
+    /// `attempts / committed ops` is the retry overhead.
+    pub attempts: u64,
 }
 
 /// Runs `sc` concurrently on the named STM and applies the history and
@@ -312,16 +324,34 @@ pub fn run_concurrent(
         stm.register_tvar(TVarId(i as u64), sc.kind.initial());
     }
 
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    let attempts = AtomicU64::new(0);
+    let livelocked = AtomicBool::new(false);
     std::thread::scope(|s| {
         for (t, thread_progs) in programs.iter().enumerate() {
             let stm = &stm;
+            let attempts = &attempts;
+            let livelocked = &livelocked;
             s.spawn(move || {
                 for prog in thread_progs {
-                    run_program(&**stm, t as u32, prog);
+                    match run_program(&**stm, t as u32, prog) {
+                        Some((_, tries)) => {
+                            attempts.fetch_add(u64::from(tries), Ordering::Relaxed);
+                        }
+                        None => {
+                            livelocked.store(true, Ordering::Relaxed);
+                            return;
+                        }
+                    }
                 }
             });
         }
     });
+    if livelocked.load(Ordering::Relaxed) {
+        return Err(fail(format!(
+            "livelock: a transaction exhausted its {ATTEMPT_BUDGET}-attempt retry budget"
+        )));
+    }
 
     // Snapshot before the final-state read so the checked history contains
     // exactly the workload's transactions.
@@ -371,6 +401,7 @@ pub fn run_concurrent(
         final_state: state,
         recorded_txs: tx_count,
         exact_checked,
+        attempts: attempts.load(Ordering::Relaxed),
     })
 }
 
@@ -390,7 +421,9 @@ pub fn sequential_replay(
     let mut observed = Vec::new();
     for (t, thread_progs) in programs.iter().enumerate() {
         for prog in thread_progs {
-            observed.extend(run_program(&*stm, t as u32, prog));
+            let (vals, _) = run_program(&*stm, t as u32, prog)
+                .expect("sequential execution cannot exhaust the retry budget");
+            observed.extend(vals);
         }
     }
     (final_state(&*stm, sc.vars), observed)

@@ -7,6 +7,7 @@
 //! run byte-identical workloads.
 
 pub mod harness;
+pub mod structs_harness;
 
 use oftm_baselines::{CoarseStm, Tl2Stm, TlStm};
 use oftm_core::api::{run_transaction, WordStm};

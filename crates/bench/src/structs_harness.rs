@@ -1,0 +1,652 @@
+//! Deterministic cross-STM differential harness for the **transactional
+//! collections** of `oftm-structs`.
+//!
+//! Mirrors the word-level harness ([`crate::harness`]) for dynamic
+//! data-structure workloads: every STM runs *identical, seed-derived*
+//! per-thread op tapes against a collection, and three oracles check the
+//! result:
+//!
+//! 1. **History safety** — recorded histories must be well-formed and
+//!    conflict-serializable. (The exact exponential checkers are *not*
+//!    applied: dynamically allocated t-variables carry non-zero initial
+//!    values that those checkers — which assume `INITIAL_VALUE` — cannot
+//!    model, and collection histories exceed their size cap anyway.)
+//! 2. **Structure invariants** — algebraic facts that hold under any
+//!    correct interleaving:
+//!    * `intset-mix`: snapshot sorted and duplicate-free, plus per-value
+//!      conservation (successful inserts − successful removes = final
+//!      membership);
+//!    * `queue-producer-consumer`: element conservation (dequeued ⊎
+//!      remaining = enqueued), distinct dequeue tickets, and
+//!      FIFO-per-producer in global ticket order;
+//!    * `map-churn`: threads churn disjoint key ranges, so the final map
+//!      must equal the union of per-thread sequential models.
+//! 3. **Cross-STM sequential agreement** — the same tapes replayed
+//!    single-threaded must produce identical per-op results *and* final
+//!    snapshots on every implementation.
+//!
+//! Every transaction runs with a bounded retry budget
+//! ([`crate::harness::ATTEMPT_BUDGET`]): a livelocking STM yields a seeded
+//! failure, never a hang. Failures print `HARNESS_SEED=…` for one-command
+//! reproduction.
+
+use crate::harness::{derive_seed, ATTEMPT_BUDGET};
+use crate::{make_stm, SplitMix, STM_NAMES};
+use oftm_core::api::WordStm;
+use oftm_core::record::Recorder;
+use oftm_histories::{conflict_serializable, well_formed};
+use oftm_structs::{atomically_budgeted, TxHashMap, TxIntSet, TxQueue};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// The three collection scenarios.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StructScenarioKind {
+    /// Insert/remove/contains over a small shared value universe.
+    IntSetMix,
+    /// Producers enqueue tagged values, consumers dequeue with a global
+    /// ticket stamp.
+    QueueProducerConsumer,
+    /// Put/del/get churn over per-thread disjoint key ranges.
+    MapChurn,
+}
+
+/// All collection scenarios, in suite order.
+pub const ALL_STRUCT_SCENARIOS: &[StructScenarioKind] = &[
+    StructScenarioKind::IntSetMix,
+    StructScenarioKind::QueueProducerConsumer,
+    StructScenarioKind::MapChurn,
+];
+
+impl StructScenarioKind {
+    pub fn name(&self) -> &'static str {
+        match self {
+            StructScenarioKind::IntSetMix => "intset-mix",
+            StructScenarioKind::QueueProducerConsumer => "queue-producer-consumer",
+            StructScenarioKind::MapChurn => "map-churn",
+        }
+    }
+}
+
+/// A fully specified collection workload; `(kind, threads, ops_per_thread,
+/// seed)` determines every op tape exactly.
+#[derive(Clone, Copy, Debug)]
+pub struct StructScenario {
+    pub kind: StructScenarioKind,
+    pub threads: usize,
+    pub ops_per_thread: u64,
+    pub seed: u64,
+}
+
+/// Shared value universe of `intset-mix`.
+const SET_UNIVERSE: u64 = 20;
+/// Keys per thread (`map-churn`); thread `t` owns `[t·32, t·32+KEYS)`.
+const KEYS_PER_THREAD: u64 = 12;
+const KEY_STRIDE: u64 = 32;
+/// Bucket count of the churned map.
+const MAP_BUCKETS: usize = 8;
+
+impl StructScenario {
+    pub fn new(kind: StructScenarioKind, threads: usize, seed: u64) -> Self {
+        StructScenario {
+            kind,
+            threads,
+            ops_per_thread: 12,
+            seed,
+        }
+    }
+
+    /// One-line reproduction recipe, printed on every failure.
+    pub fn repro(&self) -> String {
+        format!(
+            "reproduce: HARNESS_SEED={:#018x} cargo test -p oftm-bench --test structs_differential -- --nocapture  \
+             (scenario={} threads={} ops={})",
+            self.seed,
+            self.kind.name(),
+            self.threads,
+            self.ops_per_thread
+        )
+    }
+}
+
+/// One collection operation, generated deterministically from the seed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StructOp {
+    SetInsert(u64),
+    SetRemove(u64),
+    SetContains(u64),
+    /// Enqueue `(thread << 32) | seq`; `seq` is the op's position in its
+    /// thread's enqueue order.
+    Enqueue,
+    /// Dequeue, stamped with a global ticket inside the same transaction.
+    Dequeue,
+    MapPut(u64, u64),
+    MapDel(u64),
+    MapGet(u64),
+}
+
+/// What one op observed (compared verbatim across sequential replays).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OpResult {
+    Bool(bool),
+    /// Enqueued value.
+    Enqueued(u64),
+    /// Dequeue outcome with its global ticket.
+    Ticketed(u64, Option<u64>),
+    Maybe(Option<u64>),
+}
+
+fn mix(seed: u64, salt: u64) -> u64 {
+    let mut s = SplitMix(seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    s.next()
+}
+
+/// Generates the per-thread op tapes. Pure in `sc`: concurrent run and
+/// sequential replay share these exact tapes.
+pub fn generate_tapes(sc: &StructScenario) -> Vec<Vec<StructOp>> {
+    (0..sc.threads)
+        .map(|t| {
+            let mut rng = SplitMix(mix(sc.seed, t as u64 + 1));
+            (0..sc.ops_per_thread)
+                .map(|_| generate_one(sc, t as u64, &mut rng))
+                .collect()
+        })
+        .collect()
+}
+
+fn generate_one(sc: &StructScenario, thread: u64, rng: &mut SplitMix) -> StructOp {
+    match sc.kind {
+        StructScenarioKind::IntSetMix => {
+            let v = rng.next() % SET_UNIVERSE;
+            match rng.next() % 10 {
+                0..=3 => StructOp::SetInsert(v),
+                4..=6 => StructOp::SetRemove(v),
+                _ => StructOp::SetContains(v),
+            }
+        }
+        StructScenarioKind::QueueProducerConsumer => {
+            // Even threads lean producer, odd threads lean consumer; both
+            // kinds do some of each so 1-thread cells still exercise both.
+            let producer_bias = if thread % 2 == 0 { 7 } else { 3 };
+            if rng.next() % 10 < producer_bias {
+                StructOp::Enqueue
+            } else {
+                StructOp::Dequeue
+            }
+        }
+        StructScenarioKind::MapChurn => {
+            let k = thread * KEY_STRIDE + rng.next() % KEYS_PER_THREAD;
+            match rng.next() % 10 {
+                0..=4 => StructOp::MapPut(k, rng.next() % 1000),
+                5..=6 => StructOp::MapDel(k),
+                _ => StructOp::MapGet(k),
+            }
+        }
+    }
+}
+
+/// The collection under test plus scenario-level shared state.
+struct Instance {
+    set: Option<TxIntSet>,
+    queue: Option<TxQueue>,
+    /// Global dequeue-ticket t-variable (queue scenario).
+    ticket: Option<oftm_histories::TVarId>,
+    map: Option<TxHashMap>,
+}
+
+impl Instance {
+    fn create(kind: StructScenarioKind, stm: &dyn WordStm) -> Self {
+        match kind {
+            StructScenarioKind::IntSetMix => Instance {
+                set: Some(TxIntSet::create(stm)),
+                queue: None,
+                ticket: None,
+                map: None,
+            },
+            StructScenarioKind::QueueProducerConsumer => Instance {
+                set: None,
+                queue: Some(TxQueue::create(stm)),
+                ticket: Some(stm.alloc_tvar(0)),
+                map: None,
+            },
+            StructScenarioKind::MapChurn => Instance {
+                set: None,
+                queue: None,
+                ticket: None,
+                map: Some(TxHashMap::create(stm, MAP_BUCKETS)),
+            },
+        }
+    }
+
+    /// Interprets one op in its own budgeted transaction. `enq_seq` is the
+    /// running enqueue counter of this thread. Returns `None` on budget
+    /// exhaustion (livelock).
+    fn run_op(
+        &self,
+        stm: &dyn WordStm,
+        proc: u32,
+        op: StructOp,
+        enq_seq: &mut u64,
+    ) -> Option<(OpResult, u32)> {
+        let out = match op {
+            StructOp::SetInsert(v) => {
+                let set = self.set.unwrap();
+                atomically_budgeted(stm, proc, ATTEMPT_BUDGET, |ctx| set.insert_in(ctx, v))
+                    .map(|(b, a)| (OpResult::Bool(b), a))
+            }
+            StructOp::SetRemove(v) => {
+                let set = self.set.unwrap();
+                atomically_budgeted(stm, proc, ATTEMPT_BUDGET, |ctx| set.remove_in(ctx, v))
+                    .map(|(b, a)| (OpResult::Bool(b), a))
+            }
+            StructOp::SetContains(v) => {
+                let set = self.set.unwrap();
+                atomically_budgeted(stm, proc, ATTEMPT_BUDGET, |ctx| set.contains_in(ctx, v))
+                    .map(|(b, a)| (OpResult::Bool(b), a))
+            }
+            StructOp::Enqueue => {
+                let q = self.queue.unwrap();
+                let value = (u64::from(proc) << 32) | *enq_seq;
+                *enq_seq += 1;
+                atomically_budgeted(stm, proc, ATTEMPT_BUDGET, |ctx| {
+                    q.enqueue_in(ctx, value)?;
+                    Ok(value)
+                })
+                .map(|(v, a)| (OpResult::Enqueued(v), a))
+            }
+            StructOp::Dequeue => {
+                let q = self.queue.unwrap();
+                let ticket_var = self.ticket.unwrap();
+                atomically_budgeted(stm, proc, ATTEMPT_BUDGET, |ctx| {
+                    let t = ctx.read(ticket_var)?;
+                    ctx.write(ticket_var, t + 1)?;
+                    let v = q.dequeue_in(ctx)?;
+                    Ok((t, v))
+                })
+                .map(|((t, v), a)| (OpResult::Ticketed(t, v), a))
+            }
+            StructOp::MapPut(k, v) => {
+                let m = self.map.unwrap();
+                atomically_budgeted(stm, proc, ATTEMPT_BUDGET, |ctx| m.put_in(ctx, k, v))
+                    .map(|(r, a)| (OpResult::Maybe(r), a))
+            }
+            StructOp::MapDel(k) => {
+                let m = self.map.unwrap();
+                atomically_budgeted(stm, proc, ATTEMPT_BUDGET, |ctx| m.remove_in(ctx, k))
+                    .map(|(r, a)| (OpResult::Maybe(r), a))
+            }
+            StructOp::MapGet(k) => {
+                let m = self.map.unwrap();
+                atomically_budgeted(stm, proc, ATTEMPT_BUDGET, |ctx| m.get_in(ctx, k))
+                    .map(|(r, a)| (OpResult::Maybe(r), a))
+            }
+        };
+        out.ok()
+    }
+
+    /// Final structure snapshot (one committed transaction).
+    fn snapshot(&self, stm: &dyn WordStm) -> Vec<u64> {
+        if let Some(set) = self.set {
+            set.snapshot(stm, u32::MAX - 1)
+        } else if let Some(q) = self.queue {
+            q.snapshot(stm, u32::MAX - 1)
+        } else {
+            let m = self.map.unwrap();
+            m.snapshot(stm, u32::MAX - 1)
+                .into_iter()
+                .flat_map(|(k, v)| [k, v])
+                .collect()
+        }
+    }
+}
+
+/// A single oracle violation with its reproduction recipe.
+#[derive(Debug)]
+pub struct StructHarnessFailure {
+    pub stm: &'static str,
+    pub scenario: StructScenario,
+    pub detail: String,
+}
+
+impl fmt::Display for StructHarnessFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{} / {} / {} threads] {}\n  {}",
+            self.stm,
+            self.scenario.kind.name(),
+            self.scenario.threads,
+            self.detail,
+            self.scenario.repro()
+        )
+    }
+}
+
+/// Outcome of one STM's concurrent collection run.
+#[derive(Debug)]
+pub struct StructRunOutcome {
+    pub stm: &'static str,
+    /// Flattened final snapshot (set values / queue values / map k,v
+    /// pairs).
+    pub snapshot: Vec<u64>,
+    pub recorded_txs: usize,
+    /// Total transaction attempts (committed + aborted).
+    pub attempts: u64,
+    /// Committed ops (= tape length; every op commits exactly once).
+    pub committed_ops: u64,
+}
+
+/// Runs `sc` concurrently on the named STM; checks history safety and the
+/// structure invariants.
+pub fn run_struct_concurrent(
+    stm_name: &'static str,
+    sc: &StructScenario,
+    tapes: &[Vec<StructOp>],
+) -> Result<StructRunOutcome, StructHarnessFailure> {
+    let fail = |detail: String| StructHarnessFailure {
+        stm: stm_name,
+        scenario: *sc,
+        detail,
+    };
+
+    let recorder = Arc::new(Recorder::new());
+    let stm = make_stm(stm_name, Some(Arc::clone(&recorder)));
+    let inst = Instance::create(sc.kind, &*stm);
+
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    let attempts = AtomicU64::new(0);
+    let livelocked = AtomicBool::new(false);
+    let results: Vec<Vec<OpResult>> = std::thread::scope(|s| {
+        let handles: Vec<_> = tapes
+            .iter()
+            .enumerate()
+            .map(|(t, tape)| {
+                let stm = &stm;
+                let inst = &inst;
+                let attempts = &attempts;
+                let livelocked = &livelocked;
+                s.spawn(move || {
+                    let mut out = Vec::with_capacity(tape.len());
+                    let mut enq_seq = 0u64;
+                    for &op in tape {
+                        match inst.run_op(&**stm, t as u32, op, &mut enq_seq) {
+                            Some((r, tries)) => {
+                                attempts.fetch_add(u64::from(tries), Ordering::Relaxed);
+                                out.push(r);
+                            }
+                            None => {
+                                livelocked.store(true, Ordering::Relaxed);
+                                return out;
+                            }
+                        }
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    if livelocked.load(Ordering::Relaxed) {
+        return Err(fail(format!(
+            "livelock: a transaction exhausted its {ATTEMPT_BUDGET}-attempt retry budget"
+        )));
+    }
+
+    // Snapshot before history checks so the history holds only the tapes'
+    // transactions (the snapshot read runs after).
+    let history = recorder.snapshot();
+    let snapshot = inst.snapshot(&*stm);
+
+    // Oracle 1: history safety.
+    if let Err(e) = well_formed(&history) {
+        return Err(fail(format!("recorded history is not well-formed: {e:?}")));
+    }
+    if !conflict_serializable(&history) {
+        return Err(fail("recorded history is not conflict-serializable".into()));
+    }
+
+    // Oracle 2: structure invariants.
+    check_invariants(sc, tapes, &results, &snapshot).map_err(&fail)?;
+
+    Ok(StructRunOutcome {
+        stm: stm_name,
+        snapshot,
+        recorded_txs: history.tx_views().len(),
+        attempts: attempts.load(Ordering::Relaxed),
+        committed_ops: tapes.iter().map(|t| t.len() as u64).sum(),
+    })
+}
+
+/// Structure-specific algebraic invariants over a *concurrent* run.
+fn check_invariants(
+    sc: &StructScenario,
+    tapes: &[Vec<StructOp>],
+    results: &[Vec<OpResult>],
+    snapshot: &[u64],
+) -> Result<(), String> {
+    match sc.kind {
+        StructScenarioKind::IntSetMix => {
+            if !snapshot.windows(2).all(|w| w[0] < w[1]) {
+                return Err(format!(
+                    "set snapshot not sorted / has duplicates: {snapshot:?}"
+                ));
+            }
+            // Per-value conservation: net successful inserts = membership.
+            for v in 0..SET_UNIVERSE {
+                let mut balance = 0i64;
+                for (tape, res) in tapes.iter().zip(results) {
+                    for (op, r) in tape.iter().zip(res) {
+                        match (op, r) {
+                            (StructOp::SetInsert(x), OpResult::Bool(true)) if *x == v => {
+                                balance += 1
+                            }
+                            (StructOp::SetRemove(x), OpResult::Bool(true)) if *x == v => {
+                                balance -= 1
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+                let member = i64::from(snapshot.binary_search(&v).is_ok());
+                if balance != member {
+                    return Err(format!(
+                        "conservation violated for value {v}: net successful inserts {balance}, \
+                         final membership {member}"
+                    ));
+                }
+            }
+            Ok(())
+        }
+        StructScenarioKind::QueueProducerConsumer => {
+            let mut enqueued: Vec<u64> = Vec::new();
+            let mut dequeued: Vec<(u64, u64)> = Vec::new(); // (ticket, value)
+            let mut empty_tickets: Vec<u64> = Vec::new();
+            for res in results {
+                for r in res {
+                    match r {
+                        OpResult::Enqueued(v) => enqueued.push(*v),
+                        OpResult::Ticketed(t, Some(v)) => dequeued.push((*t, *v)),
+                        OpResult::Ticketed(t, None) => empty_tickets.push(*t),
+                        _ => {}
+                    }
+                }
+            }
+            // Tickets are distinct (the ticket var is read-inc'd inside
+            // each dequeue transaction).
+            let mut all_tickets: Vec<u64> = dequeued
+                .iter()
+                .map(|(t, _)| *t)
+                .chain(empty_tickets.iter().copied())
+                .collect();
+            all_tickets.sort_unstable();
+            if all_tickets.windows(2).any(|w| w[0] == w[1]) {
+                return Err("duplicate dequeue tickets".into());
+            }
+            // Element conservation.
+            let mut seen: Vec<u64> = dequeued.iter().map(|(_, v)| *v).collect();
+            seen.extend_from_slice(snapshot);
+            seen.sort_unstable();
+            let mut want = enqueued.clone();
+            want.sort_unstable();
+            if seen != want {
+                return Err(format!(
+                    "element conservation violated: dequeued ⊎ remaining = {seen:?}, \
+                     enqueued = {want:?}"
+                ));
+            }
+            // FIFO per producer, in global ticket order.
+            dequeued.sort_unstable();
+            let mut last_seq: HashMap<u64, u64> = HashMap::new();
+            for (_t, v) in &dequeued {
+                let (producer, seq) = (v >> 32, v & 0xffff_ffff);
+                if let Some(prev) = last_seq.insert(producer, seq) {
+                    if prev >= seq {
+                        return Err(format!(
+                            "FIFO-per-producer violated: producer {producer} seq {seq} dequeued \
+                             after seq {prev}"
+                        ));
+                    }
+                }
+            }
+            Ok(())
+        }
+        StructScenarioKind::MapChurn => {
+            // Key ranges are disjoint per thread: the final content is the
+            // union of per-thread sequential models.
+            let mut model: HashMap<u64, u64> = HashMap::new();
+            for tape in tapes {
+                for op in tape {
+                    match op {
+                        StructOp::MapPut(k, v) => {
+                            model.insert(*k, *v);
+                        }
+                        StructOp::MapDel(k) => {
+                            model.remove(k);
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            let mut pairs: Vec<(u64, u64)> = model.into_iter().collect();
+            pairs.sort_unstable();
+            let want: Vec<u64> = pairs.into_iter().flat_map(|(k, v)| [k, v]).collect();
+            if snapshot != want {
+                return Err(format!(
+                    "disjoint-range model violated:\n    got      {snapshot:?}\n    expected {want:?}"
+                ));
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Replays the tapes strictly sequentially (thread order, then op order)
+/// on the named STM; returns every op result and the final snapshot.
+pub fn sequential_struct_replay(
+    stm_name: &'static str,
+    sc: &StructScenario,
+    tapes: &[Vec<StructOp>],
+) -> (Vec<OpResult>, Vec<u64>) {
+    let stm = make_stm(stm_name, None);
+    let inst = Instance::create(sc.kind, &*stm);
+    let mut results = Vec::new();
+    for (t, tape) in tapes.iter().enumerate() {
+        let mut enq_seq = 0u64;
+        for &op in tape {
+            let (r, _) = inst
+                .run_op(&*stm, t as u32, op, &mut enq_seq)
+                .expect("sequential execution cannot exhaust the retry budget");
+            results.push(r);
+        }
+    }
+    (results, inst.snapshot(&*stm))
+}
+
+/// Report of a full differential pass over one collection scenario.
+#[derive(Debug)]
+pub struct StructDifferentialReport {
+    pub outcomes: Vec<StructRunOutcome>,
+    /// The agreed sequential final snapshot.
+    pub sequential_snapshot: Vec<u64>,
+}
+
+/// Runs `sc` concurrently on **all six** STMs, applies the history and
+/// invariant oracles to each, then cross-checks every implementation's
+/// sequential replay for exact agreement.
+pub fn run_struct_differential(
+    sc: &StructScenario,
+) -> Result<StructDifferentialReport, Vec<StructHarnessFailure>> {
+    let tapes = generate_tapes(sc);
+    let mut failures = Vec::new();
+    let mut outcomes = Vec::new();
+
+    for &name in STM_NAMES {
+        match run_struct_concurrent(name, sc, &tapes) {
+            Ok(o) => outcomes.push(o),
+            Err(f) => failures.push(f),
+        }
+    }
+
+    // Oracle 3: cross-STM sequential agreement against the first STM.
+    let (ref_results, ref_snapshot) = sequential_struct_replay(STM_NAMES[0], sc, &tapes);
+    for &name in &STM_NAMES[1..] {
+        let (results, snapshot) = sequential_struct_replay(name, sc, &tapes);
+        if snapshot != ref_snapshot {
+            failures.push(StructHarnessFailure {
+                stm: name,
+                scenario: *sc,
+                detail: format!(
+                    "sequential snapshot diverged from {}:\n    got      {snapshot:?}\n    expected {ref_snapshot:?}",
+                    STM_NAMES[0]
+                ),
+            });
+        } else if results != ref_results {
+            failures.push(StructHarnessFailure {
+                stm: name,
+                scenario: *sc,
+                detail: format!(
+                    "sequential op results diverged from {} ({} ops)",
+                    STM_NAMES[0],
+                    results.len()
+                ),
+            });
+        }
+    }
+
+    if failures.is_empty() {
+        Ok(StructDifferentialReport {
+            outcomes,
+            sequential_snapshot: ref_snapshot,
+        })
+    } else {
+        Err(failures)
+    }
+}
+
+/// Runs the full collection-scenario × thread-count matrix; returns the
+/// number of cells or the concatenated failure reports (each with its
+/// `HARNESS_SEED`).
+pub fn run_structs_matrix(thread_counts: &[usize], seeds_per_cell: u64) -> Result<usize, String> {
+    let mut cells = 0;
+    let mut report = String::new();
+    for &kind in ALL_STRUCT_SCENARIOS {
+        for &threads in thread_counts {
+            for round in 0..seeds_per_cell {
+                let seed = derive_seed(0x57C0_0000 | (cells as u64) << 8 | round);
+                let sc = StructScenario::new(kind, threads, seed);
+                cells += 1;
+                if let Err(failures) = run_struct_differential(&sc) {
+                    for f in failures {
+                        report.push_str(&format!("{f}\n"));
+                    }
+                }
+            }
+        }
+    }
+    if report.is_empty() {
+        Ok(cells)
+    } else {
+        Err(report)
+    }
+}

@@ -1,0 +1,66 @@
+//! Enforced gate: the collection differential harness over the scenario ×
+//! thread-count matrix. Any oracle violation panics with the scenario's
+//! reproduction seed (`HARNESS_SEED=… cargo test -p oftm-bench --test
+//! structs_differential`).
+
+use oftm_bench::structs_harness::{
+    run_struct_differential, run_structs_matrix, StructScenario, StructScenarioKind,
+    ALL_STRUCT_SCENARIOS,
+};
+
+/// All three collection scenarios × {1, 2, 4} threads, every STM.
+#[test]
+fn structs_matrix_low_concurrency() {
+    match run_structs_matrix(&[1, 2, 4], 1) {
+        Ok(cells) => assert_eq!(cells, ALL_STRUCT_SCENARIOS.len() * 3),
+        Err(report) => panic!("collection differential failures:\n{report}"),
+    }
+}
+
+/// High-concurrency sweep: 8 threads on every collection scenario.
+#[test]
+fn structs_matrix_eight_threads() {
+    match run_structs_matrix(&[8], 1) {
+        Ok(cells) => assert_eq!(cells, ALL_STRUCT_SCENARIOS.len()),
+        Err(report) => panic!("collection differential failures:\n{report}"),
+    }
+}
+
+/// The queue's FIFO/conservation oracles across several independent seeds
+/// at moderate concurrency (the likeliest shape to expose lost elements).
+#[test]
+fn queue_multi_seed() {
+    for round in 0..3u64 {
+        let seed = oftm_bench::harness::derive_seed(0x0_BEEF_0000 | round);
+        let sc = StructScenario::new(StructScenarioKind::QueueProducerConsumer, 4, seed);
+        if let Err(failures) = run_struct_differential(&sc) {
+            let lines: Vec<String> = failures.iter().map(|f| f.to_string()).collect();
+            panic!("queue differential failures:\n{}", lines.join("\n"));
+        }
+    }
+}
+
+/// Attempt accounting: every outcome reports at least one attempt per
+/// committed op, and the budget machinery never fires on these workloads.
+#[test]
+fn attempts_reported_per_outcome() {
+    let seed = oftm_bench::harness::derive_seed(0xA77E);
+    let sc = StructScenario::new(StructScenarioKind::IntSetMix, 4, seed);
+    match run_struct_differential(&sc) {
+        Ok(report) => {
+            for o in &report.outcomes {
+                assert!(
+                    o.attempts >= o.committed_ops,
+                    "{}: {} attempts for {} committed ops",
+                    o.stm,
+                    o.attempts,
+                    o.committed_ops
+                );
+            }
+        }
+        Err(failures) => {
+            let lines: Vec<String> = failures.iter().map(|f| f.to_string()).collect();
+            panic!("intset differential failures:\n{}", lines.join("\n"));
+        }
+    }
+}

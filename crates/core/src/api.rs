@@ -61,10 +61,28 @@ pub trait WordStm: Send + Sync {
     /// Human-readable implementation name (used in experiment tables).
     fn name(&self) -> &'static str;
 
-    /// Declares a t-variable with an initial value. All t-variables must be
-    /// registered before transactions run (Algorithm 2's arrays are indexed
-    /// by t-variable, footnote 6 of the paper: static allocation).
+    /// Declares a t-variable with an initial value under a caller-chosen
+    /// id. Static ids conventionally stay below
+    /// [`crate::table::DYNAMIC_TVAR_BASE`] so they never collide with
+    /// dynamically allocated ones.
     fn register_tvar(&self, x: TVarId, initial: Value);
+
+    /// Allocates one fresh t-variable with the given initial value and
+    /// returns its id. Safe to call both outside transactions and *inside*
+    /// a running transaction (dynamic data structures allocate nodes
+    /// mid-transaction). Allocation is not a transactional effect: if the
+    /// allocating transaction aborts, the t-variable stays allocated but
+    /// unreachable (the write publishing it was discarded), mirroring
+    /// DSTM's object-allocation semantics.
+    fn alloc_tvar(&self, initial: Value) -> TVarId {
+        self.alloc_tvar_block(&[initial])
+    }
+
+    /// Allocates `initials.len()` fresh t-variables with **contiguous**
+    /// ids and returns the first id. Multi-word records (e.g. a list
+    /// node's `[value, next]` pair) are addressed as offsets from the
+    /// returned base. Same allocation semantics as [`WordStm::alloc_tvar`].
+    fn alloc_tvar_block(&self, initials: &[Value]) -> TVarId;
 
     /// Begins a transaction on behalf of process `proc`.
     fn begin(&self, proc: u32) -> Box<dyn WordTx + '_>;
@@ -74,25 +92,93 @@ pub trait WordStm: Send + Sync {
     fn is_obstruction_free(&self) -> bool;
 }
 
+/// The retry budget of [`run_transaction_with_budget`] ran out before any
+/// attempt committed: `attempts` transactions were tried and all aborted.
+/// Surfacing this instead of looping forever turns a livelocking workload
+/// into a diagnosable failure.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BudgetExceeded {
+    /// Number of aborted attempts (equals the budget that was given).
+    pub attempts: u32,
+}
+
+impl fmt::Display for BudgetExceeded {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "transaction retry budget exhausted after {} attempts",
+            self.attempts
+        )
+    }
+}
+
+impl std::error::Error for BudgetExceeded {}
+
 /// Runs `body` inside transactions until one commits, in the standard
 /// retry-loop style. Each retry uses a fresh transaction identifier.
 /// Returns the committed body result together with the number of attempts.
 pub fn run_transaction<R>(
     stm: &dyn WordStm,
     proc: u32,
-    mut body: impl FnMut(&mut dyn WordTx) -> TxResult<R>,
+    body: impl FnMut(&mut dyn WordTx) -> TxResult<R>,
 ) -> (R, u32) {
+    match run_transaction_with_budget(stm, proc, u32::MAX, body) {
+        Ok(out) => out,
+        // u32::MAX attempts without a commit is indistinguishable from a
+        // hang in practice; keep the unbounded signature but fail loudly.
+        Err(e) => panic!("run_transaction: {e}"),
+    }
+}
+
+/// Like [`run_transaction`], but gives up after `max_attempts` aborted
+/// attempts instead of retrying forever. Harness workloads use this so a
+/// livelocking STM produces a seeded, reportable failure rather than a
+/// silent hang.
+///
+/// Aborted attempts are separated by randomized bounded exponential
+/// backoff. This is the paper's own progress recipe (Section 1):
+/// obstruction-free TMs guarantee nothing under sustained step contention,
+/// but contention that is *spread out* by backoff makes solo runs — and
+/// hence commits — overwhelmingly likely. Without it, symmetric workloads
+/// on CM-less implementations (e.g. Algorithm 2, where even reads take
+/// revocable ownership) mutually abort forever. Sequential executions
+/// never abort, so they never pay the backoff.
+pub fn run_transaction_with_budget<R>(
+    stm: &dyn WordStm,
+    proc: u32,
+    max_attempts: u32,
+    mut body: impl FnMut(&mut dyn WordTx) -> TxResult<R>,
+) -> Result<(R, u32), BudgetExceeded> {
     let mut attempts = 0;
-    loop {
+    while attempts < max_attempts {
+        if attempts > 0 {
+            retry_backoff(proc, attempts);
+        }
         attempts += 1;
         let mut tx = stm.begin(proc);
         match body(tx.as_mut()) {
             Ok(r) => match tx.try_commit() {
-                Ok(()) => return (r, attempts),
+                Ok(()) => return Ok((r, attempts)),
                 Err(TxError::Aborted) => continue,
             },
             Err(TxError::Aborted) => continue,
         }
+    }
+    Err(BudgetExceeded {
+        attempts: max_attempts,
+    })
+}
+
+/// Spins for a pseudo-random duration in `[0, 2^min(attempt, 8))` µs,
+/// seeded by `(proc, attempt)` so threads desynchronize deterministically.
+fn retry_backoff(proc: u32, attempt: u32) {
+    let mut z = (u64::from(proc) << 32) ^ u64::from(attempt);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    let micros = (z ^ (z >> 31)) % (1u64 << attempt.min(8));
+    let end = std::time::Instant::now() + std::time::Duration::from_micros(micros);
+    while std::time::Instant::now() < end {
+        std::hint::spin_loop();
     }
 }
 

@@ -185,10 +185,22 @@ impl<'s> Tx<'s> {
             };
 
             let addr = shared.as_raw() as usize;
-            self.read_set.push(ReadEntry {
-                tvar: v.inner.clone() as Arc<dyn TVarDyn>,
-                probe: Probe { addr, class },
-            });
+            let probe = Probe { addr, class };
+            // Re-reading a variable must not duplicate its entry: `write`
+            // upgrades read entries to ownership, and a stale duplicate
+            // left behind would fail every later validation (a permanent
+            // self-abort loop for read-read-write patterns, e.g. list
+            // traversals that re-read the link they then update).
+            if !self
+                .read_set
+                .iter()
+                .any(|e| e.tvar.tvar_id() == v.inner.id && e.probe == probe)
+            {
+                self.read_set.push(ReadEntry {
+                    tvar: v.inner.clone() as Arc<dyn TVarDyn>,
+                    probe,
+                });
+            }
             self.stm.cm().on_open(&self.desc);
             self.validate_or_abort()?;
             return Ok(val);
@@ -240,28 +252,28 @@ impl<'s> Tx<'s> {
 
             // If we read this variable earlier, the value we saw must still
             // be the one we are about to supersede — otherwise our snapshot
-            // is stale.
+            // is stale. Every entry for the variable must agree (probes are
+            // deduplicated, but distinct stale probes can coexist).
             let addr = shared.as_raw() as usize;
-            if let Some(entry) = self
+            if self
                 .read_set
-                .iter_mut()
-                .find(|e| e.tvar.tvar_id() == v.inner.id)
+                .iter()
+                .any(|e| e.tvar.tvar_id() == v.inner.id && e.probe.addr != addr)
             {
-                if entry.probe.addr != addr {
-                    self.abort_self();
-                    return Err(TxError::Aborted);
-                }
+                self.abort_self();
+                return Err(TxError::Aborted);
             }
 
             let new_loc = Owned::new(Locator::new(Arc::clone(&self.desc), old_val, value.clone()));
             match v.inner.cas(shared, new_loc, &self.guard) {
                 Ok(new_addr) => {
                     self.rstep(v.inner.base, Access::Modify);
-                    // Upgrade any read entry: ownership now protects it.
-                    if let Some(entry) = self
+                    // Upgrade every read entry of this variable: ownership
+                    // now protects it.
+                    for entry in self
                         .read_set
                         .iter_mut()
-                        .find(|e| e.tvar.tvar_id() == v.inner.id)
+                        .filter(|e| e.tvar.tvar_id() == v.inner.id)
                     {
                         entry.probe = Probe {
                             addr: new_addr,
@@ -446,6 +458,23 @@ mod tests {
         // Opacity: the very next operation of T1 must abort, it may not see
         // y in a state inconsistent with its earlier read of x.
         assert_eq!(t1.read(&y), Err(TxError::Aborted));
+    }
+
+    #[test]
+    fn double_read_then_write_commits() {
+        // Regression: reading a variable twice used to leave a duplicate
+        // read-set entry behind; a subsequent write upgraded only one,
+        // and the stale duplicate failed every later validation — an
+        // unconditional self-abort loop even single-threaded.
+        let s = stm();
+        let x: TVar<u64> = TVar::new(TVarId(0), 3);
+        let mut tx = s.begin(1);
+        assert_eq!(tx.read(&x).unwrap(), 3);
+        assert_eq!(tx.read(&x).unwrap(), 3);
+        tx.write(&x, 4).unwrap();
+        assert_eq!(tx.read(&x).unwrap(), 4);
+        tx.commit().unwrap();
+        assert_eq!(x.read_atomic(), 4);
     }
 
     #[test]

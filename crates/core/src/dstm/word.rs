@@ -6,21 +6,24 @@ use super::stm::Dstm;
 use super::tvar::TVar;
 use super::tx::Tx;
 use crate::api::{TxError, TxResult, WordStm, WordTx};
+use crate::table::VarTable;
 use oftm_histories::{TVarId, TmOp, TmResp, TxId, Value};
-use std::collections::HashMap;
-use std::sync::{Arc, RwLock};
 
 /// A [`Dstm`] with a word-sized t-variable table, implementing [`WordStm`].
+///
+/// The table is a shared [`VarTable`], so t-variables allocated with
+/// [`WordStm::alloc_tvar`] — including mid-transaction — are immediately
+/// visible to every running transaction.
 pub struct DstmWord {
     stm: Dstm,
-    vars: RwLock<Arc<HashMap<TVarId, TVar<Value>>>>,
+    vars: VarTable<TVar<Value>>,
 }
 
 impl DstmWord {
     pub fn new(stm: Dstm) -> Self {
         DstmWord {
             stm,
-            vars: RwLock::new(Arc::new(HashMap::new())),
+            vars: VarTable::new(),
         }
     }
 
@@ -31,14 +34,13 @@ impl DstmWord {
 
     /// Reads a t-variable non-transactionally (test oracle).
     pub fn peek(&self, x: TVarId) -> Option<Value> {
-        let vars = self.vars.read().unwrap().clone();
-        vars.get(&x).map(|v| v.read_atomic())
+        self.vars.get(x).map(|v| v.read_atomic())
     }
 }
 
 struct DstmWordTx<'s> {
     tx: Option<Tx<'s>>,
-    vars: Arc<HashMap<TVarId, TVar<Value>>>,
+    vars: &'s VarTable<TVar<Value>>,
     stm: &'s Dstm,
 }
 
@@ -62,11 +64,7 @@ impl WordTx for DstmWordTx<'_> {
     }
 
     fn read(&mut self, x: TVarId) -> TxResult<Value> {
-        let var = self
-            .vars
-            .get(&x)
-            .unwrap_or_else(|| panic!("t-variable {x} not registered"))
-            .clone();
+        let var = TVar::clone(&self.vars.get_or_panic(x));
         self.record_invoke(TmOp::Read(x));
         let id = self.id();
         let r = self.tx.as_mut().unwrap().read(&var);
@@ -78,11 +76,7 @@ impl WordTx for DstmWordTx<'_> {
     }
 
     fn write(&mut self, x: TVarId, v: Value) -> TxResult<()> {
-        let var = self
-            .vars
-            .get(&x)
-            .unwrap_or_else(|| panic!("t-variable {x} not registered"))
-            .clone();
+        let var = TVar::clone(&self.vars.get_or_panic(x));
         self.record_invoke(TmOp::Write(x, v));
         let id = self.id();
         let r = self.tx.as_mut().unwrap().write(&var, v);
@@ -128,17 +122,17 @@ impl WordStm for DstmWord {
     }
 
     fn register_tvar(&self, x: TVarId, initial: Value) {
-        let mut guard = self.vars.write().unwrap();
-        let mut map = HashMap::clone(&guard);
-        map.insert(x, TVar::new(x, initial));
-        *guard = Arc::new(map);
+        self.vars.insert(x, TVar::new(x, initial));
+    }
+
+    fn alloc_tvar_block(&self, initials: &[Value]) -> TVarId {
+        self.vars.alloc_block(initials, TVar::new)
     }
 
     fn begin(&self, proc: u32) -> Box<dyn WordTx + '_> {
-        let vars = self.vars.read().unwrap().clone();
         Box::new(DstmWordTx {
             tx: Some(self.stm.begin(proc)),
-            vars,
+            vars: &self.vars,
             stm: &self.stm,
         })
     }
@@ -154,6 +148,7 @@ mod tests {
     use crate::api::run_transaction;
     use crate::cm::Polite;
     use crate::record::Recorder;
+    use std::sync::Arc;
 
     fn word_stm() -> DstmWord {
         DstmWord::new(Dstm::new(Arc::new(Polite::default())))
@@ -210,6 +205,36 @@ mod tests {
         let s = word_stm();
         let mut tx = s.begin(1);
         let _ = tx.read(TVarId(42));
+    }
+
+    #[test]
+    fn alloc_inside_transaction_is_usable_immediately() {
+        let s = word_stm();
+        s.register_tvar(TVarId(0), 0);
+        let (node, _) = run_transaction(&s, 1, |tx| {
+            let node = s.alloc_tvar_block(&[7, 8]);
+            let v = tx.read(TVarId(node.0))?;
+            tx.write(TVarId(node.0 + 1), v + 100)?;
+            tx.write(TVarId(0), node.0)?;
+            Ok(node)
+        });
+        assert!(node.0 >= crate::table::DYNAMIC_TVAR_BASE);
+        assert_eq!(s.peek(node), Some(7));
+        assert_eq!(s.peek(TVarId(node.0 + 1)), Some(107));
+        assert_eq!(s.peek(TVarId(0)), Some(node.0));
+    }
+
+    #[test]
+    fn alloc_survives_allocating_tx_abort() {
+        let s = word_stm();
+        s.register_tvar(TVarId(0), 0);
+        let mut tx = s.begin(1);
+        let node = s.alloc_tvar(42);
+        tx.write(TVarId(0), node.0).unwrap();
+        tx.try_abort();
+        // The publishing write rolled back; the allocation itself stays.
+        assert_eq!(s.peek(TVarId(0)), Some(0));
+        assert_eq!(s.peek(node), Some(42));
     }
 
     #[test]

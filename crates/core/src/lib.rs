@@ -35,7 +35,12 @@ pub mod api;
 pub mod cm;
 pub mod dstm;
 pub mod record;
+pub mod table;
 
-pub use api::{run_transaction, TxError, TxResult, WordStm, WordTx};
+pub use api::{
+    run_transaction, run_transaction_with_budget, BudgetExceeded, TxError, TxResult, WordStm,
+    WordTx,
+};
 pub use dstm::{Dstm, DstmWord, Progress, TVar, Tx};
 pub use record::{fresh_base_id, Recorder};
+pub use table::{VarTable, DYNAMIC_TVAR_BASE};

@@ -1,0 +1,181 @@
+//! Concurrent t-variable tables with **dynamic allocation**.
+//!
+//! The paper's Algorithm 2 assumes statically indexed t-variables
+//! (footnote 6), and the original `WordStm` interface mirrored that: every
+//! t-variable had to be registered before transactions ran. Dynamic
+//! data-structure workloads — the DSTM list-based IntSet the OFTM
+//! literature benchmarks on — need the opposite: transactions allocate
+//! fresh t-variables (list nodes) *while running*. [`VarTable`] is the
+//! shared substrate every word-level STM backend uses to support both:
+//!
+//! * statically registered ids live wherever the caller put them
+//!   (conventionally small integers below [`DYNAMIC_TVAR_BASE`]);
+//! * dynamically allocated ids are handed out from a per-instance counter
+//!   starting at [`DYNAMIC_TVAR_BASE`], in **contiguous blocks** so a
+//!   multi-word node (e.g. a list node's `[value, next]` pair) is
+//!   addressable from a single base id.
+//!
+//! Lookups go through a fixed shard array of `RwLock<HashMap>`s: readers
+//! of different shards never contend, and — unlike the copy-on-write
+//! `Arc<HashMap>` snapshots the backends used before — an insertion is
+//! O(1), not O(table), and is visible to *already running* transactions,
+//! which is exactly what allocation inside a transaction requires.
+//!
+//! Allocation is deliberately **not** a transactional effect: a t-variable
+//! allocated inside a transaction that later aborts stays allocated (and
+//! unreachable — the write that would have published it was discarded).
+//! This mirrors DSTM's object allocation semantics and keeps `alloc` safe
+//! to call both inside and outside transactions.
+
+use oftm_histories::{TVarId, Value};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// First t-variable id handed out by dynamic allocation. Static
+/// registrations conventionally use small ids, so the two ranges never
+/// collide; every STM instance allocates from the same base, which keeps
+/// single-threaded (sequential-replay) executions id-identical across
+/// implementations.
+pub const DYNAMIC_TVAR_BASE: u64 = 1 << 32;
+
+/// Number of lock shards; a power of two so the shard index is a mask.
+const SHARDS: usize = 16;
+
+/// A sharded concurrent map from [`TVarId`] to shared per-variable state,
+/// plus the dynamic-id allocator.
+pub struct VarTable<V> {
+    shards: Vec<RwLock<HashMap<TVarId, Arc<V>>>>,
+    next_dynamic: AtomicU64,
+}
+
+impl<V> Default for VarTable<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V> VarTable<V> {
+    pub fn new() -> Self {
+        VarTable {
+            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            next_dynamic: AtomicU64::new(DYNAMIC_TVAR_BASE),
+        }
+    }
+
+    fn shard(&self, x: TVarId) -> &RwLock<HashMap<TVarId, Arc<V>>> {
+        // Mix the id a little so contiguous blocks spread across shards.
+        let h = x.0 ^ (x.0 >> 7);
+        &self.shards[(h as usize) & (SHARDS - 1)]
+    }
+
+    /// Inserts (or replaces) the state for `x`.
+    pub fn insert(&self, x: TVarId, v: V) {
+        self.shard(x).write().unwrap().insert(x, Arc::new(v));
+    }
+
+    /// Looks up the state for `x`.
+    pub fn get(&self, x: TVarId) -> Option<Arc<V>> {
+        self.shard(x).read().unwrap().get(&x).map(Arc::clone)
+    }
+
+    /// Looks up `x`, panicking with the uniform diagnostic if absent.
+    pub fn get_or_panic(&self, x: TVarId) -> Arc<V> {
+        self.get(x)
+            .unwrap_or_else(|| panic!("t-variable {x} not registered"))
+    }
+
+    /// Allocates `initials.len()` fresh t-variables with **contiguous**
+    /// ids, creating each one's state with `make`, and returns the first
+    /// id. Safe to call concurrently and from inside running transactions.
+    pub fn alloc_block(
+        &self,
+        initials: &[Value],
+        mut make: impl FnMut(TVarId, Value) -> V,
+    ) -> TVarId {
+        assert!(!initials.is_empty(), "alloc_block of zero t-variables");
+        let base = self
+            .next_dynamic
+            .fetch_add(initials.len() as u64, Ordering::Relaxed);
+        for (k, &init) in initials.iter().enumerate() {
+            let id = TVarId(base + k as u64);
+            self.insert(id, make(id, init));
+        }
+        TVarId(base)
+    }
+
+    /// Number of live t-variables (diagnostics).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().unwrap().len()).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of dynamic ids handed out so far (diagnostics).
+    pub fn dynamic_allocated(&self) -> u64 {
+        self.next_dynamic.load(Ordering::Relaxed) - DYNAMIC_TVAR_BASE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_then_get() {
+        let t: VarTable<u64> = VarTable::new();
+        t.insert(TVarId(3), 30);
+        assert_eq!(*t.get(TVarId(3)).unwrap(), 30);
+        assert!(t.get(TVarId(4)).is_none());
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn blocks_are_contiguous_and_disjoint() {
+        let t: VarTable<u64> = VarTable::new();
+        let a = t.alloc_block(&[1, 2], |_, v| v);
+        let b = t.alloc_block(&[3, 4, 5], |_, v| v);
+        assert_eq!(a.0 + 2, b.0, "blocks must be back-to-back");
+        assert!(a.0 >= DYNAMIC_TVAR_BASE);
+        for (i, want) in [(a.0, 1), (a.0 + 1, 2), (b.0, 3), (b.0 + 1, 4), (b.0 + 2, 5)] {
+            assert_eq!(*t.get(TVarId(i)).unwrap(), want);
+        }
+        assert_eq!(t.dynamic_allocated(), 5);
+    }
+
+    #[test]
+    fn concurrent_allocation_never_overlaps() {
+        let t: VarTable<u64> = VarTable::new();
+        let ids: Vec<TVarId> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    s.spawn(|| {
+                        (0..50)
+                            .map(|_| t.alloc_block(&[0, 0], |_, v| v))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect()
+        });
+        let mut starts: Vec<u64> = ids.iter().map(|x| x.0).collect();
+        starts.sort_unstable();
+        starts.dedup();
+        assert_eq!(starts.len(), 8 * 50, "duplicate block bases");
+        for w in starts.windows(2) {
+            assert!(w[1] - w[0] >= 2, "blocks overlap");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not registered")]
+    fn get_or_panic_diagnostic() {
+        let t: VarTable<u64> = VarTable::new();
+        let _ = t.get_or_panic(TVarId(77));
+    }
+}

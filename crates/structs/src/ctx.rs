@@ -1,0 +1,68 @@
+//! The transaction context collections operate in: one live transaction
+//! plus the STM it runs on (needed for mid-transaction allocation).
+
+use oftm_core::api::{WordStm, WordTx};
+use oftm_core::{run_transaction, run_transaction_with_budget, BudgetExceeded, TxResult};
+use oftm_histories::{TVarId, Value};
+
+/// A live transaction paired with its STM.
+///
+/// Collection operations need both halves: reads and writes go through the
+/// transaction, while node allocation goes through the STM
+/// ([`WordStm::alloc_tvar_block`] is safe mid-transaction). `TxCtx` keeps
+/// the pair together so collection code cannot accidentally mix
+/// transactions from different STMs.
+pub struct TxCtx<'a, 'b> {
+    stm: &'a dyn WordStm,
+    tx: &'a mut (dyn WordTx + 'b),
+}
+
+impl<'a, 'b> TxCtx<'a, 'b> {
+    pub fn new(stm: &'a dyn WordStm, tx: &'a mut (dyn WordTx + 'b)) -> Self {
+        TxCtx { stm, tx }
+    }
+
+    /// The STM this context's transaction runs on.
+    pub fn stm(&self) -> &'a dyn WordStm {
+        self.stm
+    }
+
+    pub fn read(&mut self, x: TVarId) -> TxResult<Value> {
+        self.tx.read(x)
+    }
+
+    pub fn write(&mut self, x: TVarId, v: Value) -> TxResult<()> {
+        self.tx.write(x, v)
+    }
+
+    /// Allocates one fresh t-variable (see [`WordStm::alloc_tvar`]).
+    pub fn alloc(&mut self, initial: Value) -> TVarId {
+        self.stm.alloc_tvar(initial)
+    }
+
+    /// Allocates a contiguous block of fresh t-variables (a node).
+    pub fn alloc_block(&mut self, initials: &[Value]) -> TVarId {
+        self.stm.alloc_tvar_block(initials)
+    }
+}
+
+/// Runs `body` in a retry-until-commit transaction with a [`TxCtx`] in
+/// scope — the collection-level `atomically`.
+pub fn atomically<R>(
+    stm: &dyn WordStm,
+    proc: u32,
+    mut body: impl FnMut(&mut TxCtx<'_, '_>) -> TxResult<R>,
+) -> R {
+    run_transaction(stm, proc, |tx| body(&mut TxCtx::new(stm, tx))).0
+}
+
+/// Like [`atomically`] but bounded: gives up after `max_attempts` aborted
+/// attempts. Returns the result together with the attempt count.
+pub fn atomically_budgeted<R>(
+    stm: &dyn WordStm,
+    proc: u32,
+    max_attempts: u32,
+    mut body: impl FnMut(&mut TxCtx<'_, '_>) -> TxResult<R>,
+) -> Result<(R, u32), BudgetExceeded> {
+    run_transaction_with_budget(stm, proc, max_attempts, |tx| body(&mut TxCtx::new(stm, tx)))
+}

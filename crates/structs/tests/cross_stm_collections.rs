@@ -1,0 +1,219 @@
+//! Every collection, on every STM: identical op sequences must behave
+//! exactly like the sequential Rust model, and small concurrent runs must
+//! satisfy each structure's algebraic invariants. (The heavy seeded
+//! differential matrix lives in `oftm-bench`; this suite is the per-crate
+//! fast gate.)
+
+mod common;
+
+use common::{make_stm, STM_NAMES};
+use oftm_structs::{TxHashMap, TxIntSet, TxQueue};
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+#[test]
+fn intset_matches_btreeset_on_all_stms() {
+    // A fixed op tape covering duplicates, misses, head/tail boundaries.
+    let tape: &[(u8, u64)] = &[
+        (0, 5),
+        (0, 1),
+        (0, 9),
+        (0, 5), // dup insert
+        (1, 3), // miss remove
+        (0, 3),
+        (2, 3),
+        (1, 5),
+        (2, 5), // miss contains after remove
+        (0, 0),
+        (0, u64::MAX),
+        (1, 1),
+        (1, 0),
+    ];
+    for name in STM_NAMES {
+        let stm = make_stm(name);
+        let set = TxIntSet::create(&*stm);
+        let mut model = BTreeSet::new();
+        for &(op, v) in tape {
+            match op {
+                0 => assert_eq!(
+                    set.insert(&*stm, 0, v),
+                    model.insert(v),
+                    "{name} insert {v}"
+                ),
+                1 => assert_eq!(
+                    set.remove(&*stm, 0, v),
+                    model.remove(&v),
+                    "{name} remove {v}"
+                ),
+                _ => assert_eq!(
+                    set.contains(&*stm, 0, v),
+                    model.contains(&v),
+                    "{name} contains {v}"
+                ),
+            }
+        }
+        let snap = set.snapshot(&*stm, 0);
+        let want: Vec<u64> = model.iter().copied().collect();
+        assert_eq!(snap, want, "{name}: final snapshot diverged from BTreeSet");
+    }
+}
+
+#[test]
+fn hashmap_matches_hashmap_on_all_stms() {
+    let tape: &[(u8, u64, u64)] = &[
+        (0, 1, 10),
+        (0, 2, 20),
+        (0, 1, 11), // overwrite
+        (1, 7, 0),  // miss remove
+        (2, 2, 0),
+        (1, 2, 0),
+        (2, 2, 0), // miss get after remove
+        (0, 9, 90),
+        (0, 17, 70), // same bucket as 9 for small bucket counts, maybe
+        (1, 9, 0),
+    ];
+    for name in STM_NAMES {
+        let stm = make_stm(name);
+        let map = TxHashMap::create(&*stm, 4);
+        let mut model: HashMap<u64, u64> = HashMap::new();
+        for &(op, k, v) in tape {
+            match op {
+                0 => assert_eq!(
+                    map.put(&*stm, 0, k, v),
+                    model.insert(k, v),
+                    "{name} put {k}"
+                ),
+                1 => assert_eq!(
+                    map.remove(&*stm, 0, k),
+                    model.remove(&k),
+                    "{name} remove {k}"
+                ),
+                _ => assert_eq!(
+                    map.get(&*stm, 0, k),
+                    model.get(&k).copied(),
+                    "{name} get {k}"
+                ),
+            }
+        }
+        let mut want: Vec<(u64, u64)> = model.into_iter().collect();
+        want.sort_unstable();
+        assert_eq!(map.snapshot(&*stm, 0), want, "{name}: snapshot diverged");
+    }
+}
+
+#[test]
+fn queue_matches_vecdeque_on_all_stms() {
+    let tape: &[(u8, u64)] = &[
+        (1, 0), // dequeue empty
+        (0, 1),
+        (0, 2),
+        (1, 0),
+        (0, 3),
+        (1, 0),
+        (1, 0),
+        (1, 0), // drain past empty
+        (0, 4),
+        (0, 5),
+    ];
+    for name in STM_NAMES {
+        let stm = make_stm(name);
+        let q = TxQueue::create(&*stm);
+        let mut model: VecDeque<u64> = VecDeque::new();
+        for &(op, v) in tape {
+            match op {
+                0 => {
+                    q.enqueue(&*stm, 0, v);
+                    model.push_back(v);
+                }
+                _ => assert_eq!(q.dequeue(&*stm, 0), model.pop_front(), "{name} dequeue"),
+            }
+        }
+        let want: Vec<u64> = model.iter().copied().collect();
+        assert_eq!(q.snapshot(&*stm, 0), want, "{name}: snapshot diverged");
+    }
+}
+
+#[test]
+fn concurrent_intset_invariants_on_all_stms() {
+    // 3 threads × disjoint value ranges: the final set is fully
+    // determined; sortedness and duplicate-freedom hold regardless.
+    for name in STM_NAMES {
+        let stm = make_stm(name);
+        let set = TxIntSet::create(&*stm);
+        std::thread::scope(|sc| {
+            for p in 0..3u32 {
+                let stm = &stm;
+                sc.spawn(move || {
+                    for i in 0..8u64 {
+                        set.insert(&**stm, p, u64::from(p) * 10 + i);
+                    }
+                    // Delete half of our own range again.
+                    for i in 0..4u64 {
+                        set.remove(&**stm, p, u64::from(p) * 10 + i * 2);
+                    }
+                });
+            }
+        });
+        let snap = set.snapshot(&*stm, 9);
+        assert!(
+            snap.windows(2).all(|w| w[0] < w[1]),
+            "{name}: snapshot not sorted/unique: {snap:?}"
+        );
+        // Inserted offsets 0..8, removed the even ones: odd offsets remain.
+        let want: Vec<u64> = (0..3u64)
+            .flat_map(|p| (0..8).filter(|i| i % 2 == 1).map(move |i| p * 10 + i))
+            .collect();
+        assert_eq!(snap, want, "{name}: disjoint-range oracle violated");
+    }
+}
+
+#[test]
+fn concurrent_queue_conserves_elements_on_all_stms() {
+    for name in STM_NAMES {
+        let stm = make_stm(name);
+        let q = TxQueue::create(&*stm);
+        let consumed = std::sync::Mutex::new(Vec::new());
+        std::thread::scope(|sc| {
+            for p in 0..2u32 {
+                let stm = &stm;
+                sc.spawn(move || {
+                    for i in 0..10u64 {
+                        q.enqueue(&**stm, p, (u64::from(p) << 32) | i);
+                    }
+                });
+            }
+            let stm = &stm;
+            let consumed = &consumed;
+            sc.spawn(move || {
+                let mut got = Vec::new();
+                for _ in 0..25 {
+                    if let Some(v) = q.dequeue(&**stm, 2) {
+                        got.push(v);
+                    }
+                }
+                consumed.lock().unwrap().extend(got);
+            });
+        });
+        let consumed = consumed.into_inner().unwrap();
+        // Single consumer: per-producer FIFO must hold in its sequence.
+        for p in 0..2u64 {
+            let seqs: Vec<u64> = consumed
+                .iter()
+                .filter(|v| *v >> 32 == p)
+                .map(|v| v & 0xffff_ffff)
+                .collect();
+            assert!(
+                seqs.windows(2).all(|w| w[0] < w[1]),
+                "{name}: FIFO-per-producer violated for p{p}: {seqs:?}"
+            );
+        }
+        // Conservation: consumed ⊎ remaining = enqueued.
+        let mut all = consumed;
+        all.extend(q.snapshot(&*stm, 9));
+        all.sort_unstable();
+        let mut want: Vec<u64> = (0..2u64)
+            .flat_map(|p| (0..10u64).map(move |i| (p << 32) | i))
+            .collect();
+        want.sort_unstable();
+        assert_eq!(all, want, "{name}: element conservation violated");
+    }
+}

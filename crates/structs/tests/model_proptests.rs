@@ -1,0 +1,166 @@
+//! Property tests: seeded random op tapes, replayed against the standard
+//! library models (`BTreeSet` / `HashMap` / `VecDeque`), on every STM —
+//! plus seeded *concurrent* runs whose single-threaded replay must agree
+//! across implementations (sequential execution is deterministic, so any
+//! divergence is an implementation bug).
+//!
+//! A failing case prints `PROPTEST_SEED=…` for exact replay (see the
+//! proptest shim's README note: no shrinking, seeds instead).
+
+mod common;
+
+use common::{make_stm, STM_NAMES};
+use oftm_structs::{TxHashMap, TxIntSet, TxQueue};
+use proptest::prelude::*;
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// IntSet ≡ BTreeSet under any sequential op tape, on every STM.
+    #[test]
+    fn intset_matches_model(ops in proptest::collection::vec((0u8..3, 0u64..24), 0..48)) {
+        for name in STM_NAMES {
+            let stm = make_stm(name);
+            let set = TxIntSet::create(&*stm);
+            let mut model = BTreeSet::new();
+            for &(op, v) in &ops {
+                match op {
+                    0 => prop_assert_eq!(set.insert(&*stm, 0, v), model.insert(v), "{} insert {}", name, v),
+                    1 => prop_assert_eq!(set.remove(&*stm, 0, v), model.remove(&v), "{} remove {}", name, v),
+                    _ => prop_assert_eq!(set.contains(&*stm, 0, v), model.contains(&v), "{} contains {}", name, v),
+                }
+            }
+            let want: Vec<u64> = model.iter().copied().collect();
+            prop_assert_eq!(set.snapshot(&*stm, 0), want, "{} snapshot", name);
+        }
+    }
+
+    /// HashMap ≡ std HashMap under any sequential op tape, on every STM.
+    #[test]
+    fn hashmap_matches_model(
+        nbuckets in 1usize..6,
+        ops in proptest::collection::vec((0u8..3, 0u64..16, 0u64..100), 0..48),
+    ) {
+        for name in STM_NAMES {
+            let stm = make_stm(name);
+            let map = TxHashMap::create(&*stm, nbuckets);
+            let mut model: HashMap<u64, u64> = HashMap::new();
+            for &(op, k, v) in &ops {
+                match op {
+                    0 => prop_assert_eq!(map.put(&*stm, 0, k, v), model.insert(k, v), "{} put {}", name, k),
+                    1 => prop_assert_eq!(map.remove(&*stm, 0, k), model.remove(&k), "{} remove {}", name, k),
+                    _ => prop_assert_eq!(map.get(&*stm, 0, k), model.get(&k).copied(), "{} get {}", name, k),
+                }
+            }
+            let mut want: Vec<(u64, u64)> = model.into_iter().collect();
+            want.sort_unstable();
+            prop_assert_eq!(map.snapshot(&*stm, 0), want, "{} snapshot", name);
+        }
+    }
+
+    /// Queue ≡ VecDeque under any sequential op tape, on every STM.
+    #[test]
+    fn queue_matches_model(ops in proptest::collection::vec((0u8..2, 0u64..1000), 0..48)) {
+        for name in STM_NAMES {
+            let stm = make_stm(name);
+            let q = TxQueue::create(&*stm);
+            let mut model: VecDeque<u64> = VecDeque::new();
+            for &(op, v) in &ops {
+                match op {
+                    0 => { q.enqueue(&*stm, 0, v); model.push_back(v); }
+                    _ => prop_assert_eq!(q.dequeue(&*stm, 0), model.pop_front(), "{} dequeue", name),
+                }
+            }
+            let want: Vec<u64> = model.iter().copied().collect();
+            prop_assert_eq!(q.snapshot(&*stm, 0), want, "{} snapshot", name);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Seeded concurrent intset churn, then sequential-replay agreement:
+    /// the same per-thread tapes replayed single-threaded leave identical
+    /// snapshots on every STM, and the concurrent snapshot obeys the
+    /// conservation law per value (insert/remove successes balance
+    /// membership) plus sortedness.
+    #[test]
+    fn concurrent_intset_replay_agreement(
+        tapes in proptest::collection::vec(
+            proptest::collection::vec((0u8..2, 0u64..12), 6),
+            3,
+        ),
+    ) {
+        // Concurrent run + conservation oracle on the fast STMs.
+        for name in ["dstm", "tl", "tl2", "coarse"] {
+            let stm = make_stm(name);
+            let set = TxIntSet::create(&*stm);
+            let results: Vec<Vec<bool>> = std::thread::scope(|sc| {
+                let handles: Vec<_> = tapes
+                    .iter()
+                    .enumerate()
+                    .map(|(p, tape)| {
+                        let stm = &stm;
+                        sc.spawn(move || {
+                            tape.iter()
+                                .map(|&(op, v)| match op {
+                                    0 => set.insert(&**stm, p as u32, v),
+                                    _ => set.remove(&**stm, p as u32, v),
+                                })
+                                .collect::<Vec<bool>>()
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+            let snap = set.snapshot(&*stm, 9);
+            prop_assert!(
+                snap.windows(2).all(|w| w[0] < w[1]),
+                "{}: unsorted/duplicated snapshot {:?}", name, snap
+            );
+            // Conservation per value v: successful inserts minus successful
+            // removes equals final membership (initially absent).
+            for v in 0u64..12 {
+                let mut balance = 0i64;
+                for (tape, res) in tapes.iter().zip(&results) {
+                    for (&(op, val), &ok) in tape.iter().zip(res) {
+                        if val == v && ok {
+                            balance += if op == 0 { 1 } else { -1 };
+                        }
+                    }
+                }
+                let member = i64::from(snap.binary_search(&v).is_ok());
+                prop_assert_eq!(
+                    balance, member,
+                    "{}: conservation violated for value {}", name, v
+                );
+            }
+        }
+
+        // Sequential replay agreement across ALL six STMs.
+        let mut reference: Option<(Vec<bool>, Vec<u64>)> = None;
+        for name in STM_NAMES {
+            let stm = make_stm(name);
+            let set = TxIntSet::create(&*stm);
+            let mut flat = Vec::new();
+            for (p, tape) in tapes.iter().enumerate() {
+                for &(op, v) in tape {
+                    flat.push(match op {
+                        0 => set.insert(&*stm, p as u32, v),
+                        _ => set.remove(&*stm, p as u32, v),
+                    });
+                }
+            }
+            let snap = set.snapshot(&*stm, 9);
+            match &reference {
+                None => reference = Some((flat, snap)),
+                Some((rf, rs)) => {
+                    prop_assert_eq!(&flat, rf, "{}: sequential op results diverged", name);
+                    prop_assert_eq!(&snap, rs, "{}: sequential snapshot diverged", name);
+                }
+            }
+        }
+    }
+}

@@ -18,7 +18,11 @@
 //! * [`histories`] — the formal model and checkers
 //!   (serializability, opacity, OF/ic-OF/eventual-ic-OF, strict DAP);
 //! * [`sim`] — deterministic step machines, valency exploration,
-//!   the Figure 2 construction.
+//!   the Figure 2 construction;
+//! * [`structs`] — transactional collections (sorted-list IntSet,
+//!   hash map, MPMC queue, striped counter) over the word-level
+//!   interface, running unchanged on every STM via dynamic t-variable
+//!   allocation ([`core::api::WordStm::alloc_tvar`]).
 //!
 //! ## Quick start
 //!
@@ -49,7 +53,12 @@ pub use oftm_core as core;
 pub use oftm_foc as foc;
 pub use oftm_histories as histories;
 pub use oftm_sim as sim;
+pub use oftm_structs as structs;
 
-pub use oftm_core::{run_transaction, Dstm, DstmWord, Recorder, TVar, Tx, TxError, TxResult};
+pub use oftm_core::{
+    run_transaction, run_transaction_with_budget, Dstm, DstmWord, Recorder, TVar, Tx, TxError,
+    TxResult,
+};
 pub use oftm_foc::{CasFoc, EventualFoc, FoConsensus, OftmFoc, SplitterFoc};
 pub use oftm_histories::{History, TVarId, TxId};
+pub use oftm_structs::{TxCounter, TxHashMap, TxIntSet, TxQueue};

@@ -174,6 +174,49 @@ fn differential_harness_gate() {
     }
 }
 
+/// The collection differential gate: the three dynamic-structure
+/// scenarios (`intset-mix`, `queue-producer-consumer`, `map-churn`) across
+/// every STM × 1–8 threads, with structure invariants, history checks and
+/// cross-STM sequential-replay agreement. Failures print `HARNESS_SEED=…`.
+#[test]
+fn structs_differential_harness_gate() {
+    match oftm_bench::structs_harness::run_structs_matrix(&[1, 4, 8], 1) {
+        Ok(cells) => assert_eq!(
+            cells,
+            oftm_bench::structs_harness::ALL_STRUCT_SCENARIOS.len() * 3,
+            "matrix did not cover every collection scenario × thread-count cell"
+        ),
+        Err(report) => panic!("collection differential failures:\n{report}"),
+    }
+}
+
+/// Dynamic allocation is part of the uniform interface: every STM hands
+/// out contiguous blocks, usable immediately from inside a running
+/// transaction, with ids disjoint from the static range.
+#[test]
+fn alloc_tvar_uniform_across_stms() {
+    for name in STMS {
+        let (stm, _) = instrumented(name);
+        stm.register_tvar(TVarId(0), 0);
+        let (node, _) = run_transaction(&*stm, 1, |tx| {
+            let node = stm.alloc_tvar_block(&[10, 20, 30]);
+            let a = tx.read(node)?;
+            let b = tx.read(TVarId(node.0 + 1))?;
+            let c = tx.read(TVarId(node.0 + 2))?;
+            tx.write(TVarId(0), a + b + c)?;
+            Ok(node)
+        });
+        assert!(
+            node.0 >= oftm::core::table::DYNAMIC_TVAR_BASE,
+            "{name}: dynamic id in static range"
+        );
+        let (sum, _) = run_transaction(&*stm, 2, |tx| tx.read(TVarId(0)));
+        assert_eq!(sum, 60, "{name}: block initial values wrong");
+        let other = stm.alloc_tvar(5);
+        assert!(other.0 >= node.0 + 3, "{name}: blocks overlap");
+    }
+}
+
 #[test]
 fn obstruction_freedom_flags_match_design() {
     let expectations = [
