@@ -45,6 +45,15 @@ impl<K: Eq + Hash + Clone, V> Registry<K, V> {
         self.map.lock().get(k).map(Arc::clone)
     }
 
+    /// Removes the cell for `k`; `true` if it was present. Outstanding
+    /// `Arc` handles keep the cell alive; only the registry's reference is
+    /// dropped. T-variable reclamation uses this per key (the freed
+    /// variable's contiguous `Owner` versions and its winners' `TVar`
+    /// cells), keeping eviction O(chain) rather than O(registry).
+    pub fn remove(&self, k: &K) -> bool {
+        self.map.lock().remove(k).is_some()
+    }
+
     /// Number of materialized cells (diagnostics: the paper's unbounded
     /// space, measured).
     pub fn len(&self) -> usize {
@@ -82,6 +91,19 @@ mod tests {
         let r: Registry<u32, u64> = Registry::new();
         assert!(r.get(&5).is_none());
         assert!(r.is_empty());
+    }
+
+    #[test]
+    fn remove_evicts() {
+        let r: Registry<(u32, u32), u64> = Registry::new();
+        for k in 0..4 {
+            r.get_or_create(&(k, 0), || u64::from(k));
+        }
+        assert!(r.remove(&(0, 0)));
+        assert!(!r.remove(&(0, 0)), "removal is idempotent");
+        assert_eq!(r.len(), 3);
+        assert!(r.get(&(0, 0)).is_none());
+        assert!(r.get(&(1, 0)).is_some());
     }
 
     #[test]

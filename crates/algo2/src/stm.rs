@@ -41,7 +41,9 @@
 
 use crate::registry::Registry;
 use oftm_core::api::{TxError, TxResult, WordStm, WordTx};
+use oftm_core::reclaim::{GraceTracker, RetiredBlock, TxGrace};
 use oftm_core::record::{fresh_base_id, Recorder};
+use oftm_core::table::DYNAMIC_TVAR_BASE;
 use oftm_foc::{CasFoc, FoConsensus, SplitterFoc};
 use oftm_histories::{Access, BaseObjId, TVarId, TmOp, TmResp, TxId, Value};
 use std::collections::HashSet;
@@ -91,6 +93,17 @@ impl<T: Clone + Send + Sync + 'static> FocCell<T> {
         match &self.foc {
             AnyFoc::Cas(f) => f.propose(proc, v),
             AnyFoc::Splitter(f) => f.propose(proc, v),
+        }
+    }
+
+    /// The decided value, if the cell has decided (non-proposing observer).
+    fn decided(&self) -> Option<T>
+    where
+        T: Clone,
+    {
+        match &self.foc {
+            AnyFoc::Cas(f) => f.decided().cloned(),
+            AnyFoc::Splitter(f) => f.decided(),
         }
     }
 }
@@ -151,11 +164,28 @@ pub struct Algo2Stm {
     v: Registry<TVarId, RegCell>,
     /// Initial states of t-variables.
     initial: Registry<TVarId, u64>,
+    /// Scan memoization: per t-variable, `(version, state)` — every
+    /// version `< version` is **decided** (fo-consensus decisions are
+    /// immutable) and `state` is the value after the last committed owner
+    /// among them, so an acquire may resume its version scan there
+    /// instead of at 1. Pure optimization below the formal model (like
+    /// [`Registry`]'s materialization lock): any fresh scan of the
+    /// memoized prefix would compute exactly this pair. Without it, every
+    /// (re)acquire rescans the whole chain, and under symmetric
+    /// contention the combined rescan work — and the recorded steps —
+    /// grow quadratically in the abort count, which is what used to wedge
+    /// the 8-thread collection workloads.
+    scan_hint: Registry<TVarId, parking_lot::Mutex<(u64, u64)>>,
     /// Next dynamically allocated t-variable id (see
     /// [`oftm_core::table::DYNAMIC_TVAR_BASE`]). Algorithm 2's arrays are
     /// lazily materialized anyway, so "allocation" is just reserving ids
     /// and pinning their initial states.
     next_dynamic: AtomicU64,
+    /// Grace-period tracker for [`WordTx::retire_tvar_block`]. Freeing a
+    /// t-variable evicts its `initial`/`V` cells and every `Owner`/`TVar`
+    /// cell keyed by it — the per-version residue footnote 6 of the paper
+    /// otherwise accumulates forever.
+    reclaim: GraceTracker,
     tx_seq: AtomicU32,
     recorder: Option<Arc<Recorder>>,
     /// Ablation switch: disables the paper's "essential implementation
@@ -177,7 +207,9 @@ impl Algo2Stm {
             aborted: Registry::new(),
             v: Registry::new(),
             initial: Registry::new(),
-            next_dynamic: AtomicU64::new(oftm_core::table::DYNAMIC_TVAR_BASE),
+            scan_hint: Registry::new(),
+            next_dynamic: AtomicU64::new(DYNAMIC_TVAR_BASE),
+            reclaim: GraceTracker::new(),
             tx_seq: AtomicU32::new(0),
             recorder: None,
             ablate_aborted_check: false,
@@ -209,6 +241,13 @@ impl Algo2Stm {
             .map(|v| *v)
             .unwrap_or(oftm_histories::INITIAL_VALUE)
     }
+
+    fn reclaim_after_commit(&self, grace: TxGrace, retired: Vec<RetiredBlock>) {
+        let freeable = self.reclaim.retire_and_flush(grace, retired);
+        for blk in &freeable {
+            self.free_tvar_block(blk.base, blk.len);
+        }
+    }
 }
 
 /// A live Algorithm 2 transaction `T_k`.
@@ -217,6 +256,10 @@ pub struct Algo2Tx<'s> {
     id: TxId,
     /// The write set `wset` (t-variables this transaction owns).
     wset: HashSet<TVarId>,
+    /// Grace-period registration; dropped (slot released, retire-set
+    /// discarded) on every path that does not commit.
+    grace: Option<TxGrace>,
+    retired: Vec<RetiredBlock>,
     completed: bool,
 }
 
@@ -242,10 +285,23 @@ impl<'s> Algo2Tx<'s> {
     /// `procedure acquire(Tk, x)` — returns the current state of `x` or
     /// `A_k`.
     fn acquire(&mut self, x: TVarId) -> TxResult<Value> {
+        // Dynamic ids must have been allocated and not yet freed; the lazy
+        // registries would otherwise silently materialize fresh cells for
+        // a reclaimed variable and hand back a default value. Static ids
+        // keep the model's implicit-initial-value semantics.
+        if x.0 >= DYNAMIC_TVAR_BASE && self.stm.initial.get(&x).is_none() {
+            panic!("t-variable {x} not registered");
+        }
         let state = if !self.wset.contains(&x) {
             // version ← 1; state ← initial state of x; v ← V[x]
-            let mut version: u64 = 1;
-            let mut state = self.stm.initial_of(x);
+            // …resuming from the memoized decided prefix when one exists
+            // (see `Algo2Stm::scan_hint`): a fresh scan of versions below
+            // the hint would recompute exactly this `(version, state)`.
+            let hint = self
+                .stm
+                .scan_hint
+                .get_or_create(&x, || parking_lot::Mutex::new((1, self.stm.initial_of(x))));
+            let (mut version, mut state) = *hint.lock();
             let v_cell = self.stm.v.get_or_create(&x, || RegCell::new(V_BOTTOM));
             let v_snapshot = v_cell.val.load(Ordering::Acquire);
             self.rstep(v_cell.base, Access::Read);
@@ -278,6 +334,13 @@ impl<'s> Algo2Tx<'s> {
                             flag.val.store(true, Ordering::Release);
                             self.rstep(flag.base, Access::Modify);
                         }
+                    }
+                    // `owner`'s fate and hence version `version` are now
+                    // decided forever: advance the shared hint (monotonic;
+                    // concurrent scanners agree on decided prefixes).
+                    let mut h = hint.lock();
+                    if version + 1 > h.0 {
+                        *h = (version + 1, state);
                     }
                 }
                 // if V[x] ≠ v then return Ak  (wait-freedom guard)
@@ -322,6 +385,14 @@ impl<'s> Algo2Tx<'s> {
             if dead {
                 return Err(TxError::Aborted);
             }
+        }
+        // Re-check existence on the way out: a free racing this acquire
+        // (possible only when the caller broke the retire contract — the
+        // grace tracker never frees under a registered transaction) must
+        // surface as the uniform panic, not as a default value from cells
+        // the lazy registries re-materialized above.
+        if x.0 >= DYNAMIC_TVAR_BASE && self.stm.initial.get(&x).is_none() {
+            panic!("t-variable {x} not registered");
         }
         Ok(state)
     }
@@ -379,6 +450,10 @@ impl WordTx for Algo2Tx<'_> {
         match s {
             Some(v) if v == Fate::Committed as u8 => {
                 self.rrespond(TmResp::Committed);
+                self.stm.reclaim_after_commit(
+                    self.grace.take().expect("grace slot held until completion"),
+                    std::mem::take(&mut self.retired),
+                );
                 Ok(())
             }
             _ => {
@@ -397,6 +472,12 @@ impl WordTx for Algo2Tx<'_> {
         let _ = sc.propose(self.id.proc, Fate::Aborted as u8);
         self.rstep(sc.base, Access::Modify);
         self.rrespond(TmResp::Aborted);
+        // Dropping `grace` releases the reclamation slot; the retire-set
+        // is discarded with the transaction.
+    }
+
+    fn retire_tvar_block(&mut self, base: TVarId, len: usize) {
+        self.retired.push(RetiredBlock { base, len });
     }
 }
 
@@ -436,12 +517,41 @@ impl WordStm for Algo2Stm {
         TVarId(base)
     }
 
+    fn free_tvar_block(&self, base: TVarId, len: usize) {
+        for k in 0..len {
+            let x = TVarId(base.0 + k as u64);
+            self.initial.remove(&x);
+            self.v.remove(&x);
+            self.scan_hint.remove(&x);
+            // `Owner[x, ·]` cells are materialized by version scans, which
+            // probe versions contiguously from 1 — so walk-and-remove
+            // until the first miss covers them all, in O(chain) with
+            // per-key removals instead of an O(registry) sweep. Each
+            // decided owner names the one transaction that may have a
+            // `TVar[x, T]` cell (only winners write it); evict that too.
+            let mut version = 1u64;
+            while let Some(cell) = self.owner.get(&(x, version)) {
+                if let Some(winner) = cell.decided() {
+                    self.tvar.remove(&(x, decode_tx(winner)));
+                }
+                self.owner.remove(&(x, version));
+                version += 1;
+            }
+        }
+    }
+
+    fn live_tvars(&self) -> usize {
+        self.initial.len()
+    }
+
     fn begin(&self, proc: u32) -> Box<dyn WordTx + '_> {
         let seq = self.tx_seq.fetch_add(1, Ordering::Relaxed);
         Box::new(Algo2Tx {
             stm: self,
             id: TxId::new(proc, seq),
             wset: HashSet::new(),
+            grace: Some(self.reclaim.begin()),
+            retired: Vec::new(),
             completed: false,
         })
     }

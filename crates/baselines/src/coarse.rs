@@ -14,6 +14,7 @@
 //! list nodes without self-deadlocking.
 
 use oftm_core::api::{TxResult, WordStm, WordTx};
+use oftm_core::reclaim::{GraceTracker, RetiredBlock, TxGrace};
 use oftm_core::record::{fresh_base_id, Recorder};
 use oftm_core::table::VarTable;
 use oftm_histories::{Access, TVarId, TmOp, TmResp, TxId, Value};
@@ -24,6 +25,11 @@ use std::sync::Arc;
 /// Global-mutex TM.
 pub struct CoarseStm {
     store: VarTable<AtomicU64>,
+    /// Grace-period tracker. The gate serializes transactions, so at most
+    /// one is ever active and retired blocks free at the very next commit;
+    /// routing them through the shared tracker anyway keeps the
+    /// reclamation semantics identical across backends.
+    reclaim: GraceTracker,
     /// The serialization gate; holding it *is* the transaction.
     gate: Mutex<()>,
     /// Base-object identity of the lock word.
@@ -42,6 +48,7 @@ impl CoarseStm {
     pub fn new() -> Self {
         CoarseStm {
             store: VarTable::new(),
+            reclaim: GraceTracker::new(),
             gate: Mutex::new(()),
             lock_base: fresh_base_id(),
             tx_seq: AtomicU32::new(0),
@@ -61,6 +68,12 @@ impl CoarseStm {
         let _serialized = self.gate.lock();
         self.store.get(x).map(|c| c.load(Ordering::Acquire))
     }
+
+    fn reclaim_after_commit(&self, grace: TxGrace, retired: Vec<RetiredBlock>) {
+        for blk in self.reclaim.retire_and_flush(grace, retired) {
+            self.store.remove_block(blk.base, blk.len);
+        }
+    }
 }
 
 struct CoarseTx<'s> {
@@ -71,6 +84,10 @@ struct CoarseTx<'s> {
     guard: Option<MutexGuard<'s, ()>>,
     /// Undo log for tryA.
     undo: Vec<(Arc<AtomicU64>, Value)>,
+    /// Grace-period registration; dropped (slot released, retire-set
+    /// discarded) on abort.
+    grace: Option<TxGrace>,
+    retired: Vec<RetiredBlock>,
 }
 
 impl CoarseTx<'_> {
@@ -126,6 +143,10 @@ impl WordTx for CoarseTx<'_> {
         if let Some(r) = self.rec() {
             r.respond(self.id, TmResp::Committed);
         }
+        self.stm.reclaim_after_commit(
+            self.grace.take().expect("grace slot held until completion"),
+            std::mem::take(&mut self.retired),
+        );
         Ok(())
     }
 
@@ -142,6 +163,27 @@ impl WordTx for CoarseTx<'_> {
         self.guard = None;
         if let Some(r) = self.rec() {
             r.respond(self.id, TmResp::Aborted);
+        }
+        // Dropping `grace` releases the reclamation slot; the retire-set
+        // is discarded with the transaction.
+    }
+
+    fn retire_tvar_block(&mut self, base: TVarId, len: usize) {
+        self.retired.push(RetiredBlock { base, len });
+    }
+}
+
+impl Drop for CoarseTx<'_> {
+    fn drop(&mut self) {
+        // A transaction dropped without tryC/tryA — the retry loops do
+        // this when the body observes an application-level abort — must
+        // not leave its in-place writes behind: restore the undo log
+        // while the gate is still held. (tryC/tryA both clear the guard
+        // first, so this only fires on the abandoned path.)
+        if self.guard.is_some() {
+            for (cell, v) in self.undo.drain(..).rev() {
+                cell.store(v, Ordering::Release);
+            }
         }
     }
 }
@@ -161,6 +203,17 @@ impl WordStm for CoarseStm {
         self.store.alloc_block(initials, |_, v| AtomicU64::new(v))
     }
 
+    fn free_tvar_block(&self, base: TVarId, len: usize) {
+        // Like allocation, eviction does not take the gate: the committing
+        // transaction may still notionally hold it, and the cells are Arc-
+        // shared, so an undo log referencing them stays valid.
+        self.store.remove_block(base, len);
+    }
+
+    fn live_tvars(&self) -> usize {
+        self.store.len()
+    }
+
     fn begin(&self, proc: u32) -> Box<dyn WordTx + '_> {
         let seq = self.tx_seq.fetch_add(1, Ordering::Relaxed);
         let id = TxId::new(proc, seq);
@@ -174,6 +227,8 @@ impl WordStm for CoarseStm {
             id,
             guard: Some(guard),
             undo: Vec::new(),
+            grace: Some(self.reclaim.begin()),
+            retired: Vec::new(),
         })
     }
 

@@ -12,6 +12,7 @@
 //! locks stalls every writer of those variables (E9 measures the stall).
 
 use oftm_core::api::{TxError, TxResult, WordStm, WordTx};
+use oftm_core::reclaim::{GraceTracker, RetiredBlock, TxGrace};
 use oftm_core::record::{fresh_base_id, Recorder};
 use oftm_core::table::VarTable;
 use oftm_histories::{Access, BaseObjId, TVarId, TmOp, TmResp, TxId, Value};
@@ -73,6 +74,7 @@ impl VLockVar {
 /// TL-style STM.
 pub struct TlStm {
     vars: VarTable<VLockVar>,
+    reclaim: GraceTracker,
     tx_seq: AtomicU32,
     recorder: Option<Arc<Recorder>>,
     /// Bounded spin on a locked variable before giving up and aborting
@@ -90,6 +92,7 @@ impl TlStm {
     pub fn new() -> Self {
         TlStm {
             vars: VarTable::new(),
+            reclaim: GraceTracker::new(),
             tx_seq: AtomicU32::new(0),
             recorder: None,
             lock_patience: 4096,
@@ -104,6 +107,12 @@ impl TlStm {
     pub fn peek(&self, x: TVarId) -> Option<Value> {
         self.vars.get(x).map(|v| v.value.load(Ordering::Acquire))
     }
+
+    fn reclaim_after_commit(&self, grace: TxGrace, retired: Vec<RetiredBlock>) {
+        for blk in self.reclaim.retire_and_flush(grace, retired) {
+            self.vars.remove_block(blk.base, blk.len);
+        }
+    }
 }
 
 struct TlTx<'s> {
@@ -113,6 +122,10 @@ struct TlTx<'s> {
     reads: Vec<(Arc<VLockVar>, TVarId, u64)>,
     /// Redo log, ordered by first write; committed under locks.
     writes: Vec<(TVarId, Value)>,
+    /// Grace-period registration; dropping it (any abort path) releases
+    /// the slot and discards `retired` with the transaction.
+    grace: Option<TxGrace>,
+    retired: Vec<RetiredBlock>,
     dead: bool,
 }
 
@@ -196,7 +209,7 @@ impl WordTx for TlTx<'_> {
         Ok(())
     }
 
-    fn try_commit(self: Box<Self>) -> TxResult<()> {
+    fn try_commit(mut self: Box<Self>) -> TxResult<()> {
         self.rinvoke(TmOp::TryCommit);
         if self.dead {
             self.rrespond(TmResp::Aborted);
@@ -260,13 +273,22 @@ impl WordTx for TlTx<'_> {
             self.rstep(var.lock_base, Access::Modify);
         }
         self.rrespond(TmResp::Committed);
+        self.stm.reclaim_after_commit(
+            self.grace.take().expect("grace slot held until completion"),
+            std::mem::take(&mut self.retired),
+        );
         Ok(())
     }
 
     fn try_abort(self: Box<Self>) {
         self.rinvoke(TmOp::TryAbort);
         self.rrespond(TmResp::Aborted);
-        // Nothing to undo: writes were buffered.
+        // Nothing to undo: writes were buffered; dropping `grace` releases
+        // the reclamation slot and discards the retire-set.
+    }
+
+    fn retire_tvar_block(&mut self, base: TVarId, len: usize) {
+        self.retired.push(RetiredBlock { base, len });
     }
 }
 
@@ -283,6 +305,14 @@ impl WordStm for TlStm {
         self.vars.alloc_block(initials, |_, v| VLockVar::new(v))
     }
 
+    fn free_tvar_block(&self, base: TVarId, len: usize) {
+        self.vars.remove_block(base, len);
+    }
+
+    fn live_tvars(&self) -> usize {
+        self.vars.len()
+    }
+
     fn begin(&self, proc: u32) -> Box<dyn WordTx + '_> {
         let seq = self.tx_seq.fetch_add(1, Ordering::Relaxed);
         Box::new(TlTx {
@@ -290,6 +320,8 @@ impl WordStm for TlStm {
             id: TxId::new(proc, seq),
             reads: Vec::new(),
             writes: Vec::new(),
+            grace: Some(self.reclaim.begin()),
+            retired: Vec::new(),
             dead: false,
         })
     }

@@ -10,6 +10,7 @@
 //! `fetch_add`), while reads validate against it cheaply.
 
 use oftm_core::api::{TxError, TxResult, WordStm, WordTx};
+use oftm_core::reclaim::{GraceTracker, RetiredBlock, TxGrace};
 use oftm_core::record::{fresh_base_id, Recorder};
 use oftm_core::table::VarTable;
 use oftm_histories::{Access, BaseObjId, TVarId, TmOp, TmResp, TxId, Value};
@@ -41,6 +42,7 @@ impl ClockVar {
 /// TL2-style STM with a shared version clock.
 pub struct Tl2Stm {
     vars: VarTable<ClockVar>,
+    reclaim: GraceTracker,
     clock: AtomicU64,
     clock_base: BaseObjId,
     tx_seq: AtomicU32,
@@ -58,6 +60,7 @@ impl Tl2Stm {
     pub fn new() -> Self {
         Tl2Stm {
             vars: VarTable::new(),
+            reclaim: GraceTracker::new(),
             clock: AtomicU64::new(0),
             clock_base: fresh_base_id(),
             tx_seq: AtomicU32::new(0),
@@ -79,6 +82,12 @@ impl Tl2Stm {
     pub fn clock_now(&self) -> u64 {
         self.clock.load(Ordering::Acquire)
     }
+
+    fn reclaim_after_commit(&self, grace: TxGrace, retired: Vec<RetiredBlock>) {
+        for blk in self.reclaim.retire_and_flush(grace, retired) {
+            self.vars.remove_block(blk.base, blk.len);
+        }
+    }
 }
 
 struct Tl2Tx<'s> {
@@ -88,6 +97,10 @@ struct Tl2Tx<'s> {
     rv: u64,
     reads: Vec<(Arc<ClockVar>, TVarId)>,
     writes: Vec<(TVarId, Value)>,
+    /// Grace-period registration; dropping it (any abort path) releases
+    /// the slot and discards `retired` with the transaction.
+    grace: Option<TxGrace>,
+    retired: Vec<RetiredBlock>,
     dead: bool,
 }
 
@@ -168,7 +181,7 @@ impl WordTx for Tl2Tx<'_> {
         Ok(())
     }
 
-    fn try_commit(self: Box<Self>) -> TxResult<()> {
+    fn try_commit(mut self: Box<Self>) -> TxResult<()> {
         self.rinvoke(TmOp::TryCommit);
         if self.dead {
             self.rrespond(TmResp::Aborted);
@@ -178,6 +191,10 @@ impl WordTx for Tl2Tx<'_> {
             // Read-only fast path: reads were validated against rv at read
             // time; nothing else to do (TL2's read-only optimization).
             self.rrespond(TmResp::Committed);
+            self.stm.reclaim_after_commit(
+                self.grace.take().expect("grace slot held until completion"),
+                std::mem::take(&mut self.retired),
+            );
             return Ok(());
         }
 
@@ -258,12 +275,22 @@ impl WordTx for Tl2Tx<'_> {
             self.rstep(var.lock_base, Access::Modify);
         }
         self.rrespond(TmResp::Committed);
+        self.stm.reclaim_after_commit(
+            self.grace.take().expect("grace slot held until completion"),
+            std::mem::take(&mut self.retired),
+        );
         Ok(())
     }
 
     fn try_abort(self: Box<Self>) {
         self.rinvoke(TmOp::TryAbort);
         self.rrespond(TmResp::Aborted);
+        // Dropping `grace` releases the reclamation slot; the retire-set
+        // is discarded with the transaction.
+    }
+
+    fn retire_tvar_block(&mut self, base: TVarId, len: usize) {
+        self.retired.push(RetiredBlock { base, len });
     }
 }
 
@@ -280,6 +307,14 @@ impl WordStm for Tl2Stm {
         self.vars.alloc_block(initials, |_, v| ClockVar::new(v))
     }
 
+    fn free_tvar_block(&self, base: TVarId, len: usize) {
+        self.vars.remove_block(base, len);
+    }
+
+    fn live_tvars(&self) -> usize {
+        self.vars.len()
+    }
+
     fn begin(&self, proc: u32) -> Box<dyn WordTx + '_> {
         let seq = self.tx_seq.fetch_add(1, Ordering::Relaxed);
         let id = TxId::new(proc, seq);
@@ -294,6 +329,8 @@ impl WordStm for Tl2Stm {
             rv,
             reads: Vec::new(),
             writes: Vec::new(),
+            grace: Some(self.reclaim.begin()),
+            retired: Vec::new(),
             dead: false,
         })
     }

@@ -19,7 +19,11 @@
 //! ```
 //!
 //! Every transaction runs under the harness retry budget, so a livelock
-//! shows up as a reported failure row, never a hang.
+//! shows up as a reported failure row, never a hang. Every cell also
+//! reports the STM's **live t-variable count** after quiescence and the
+//! exact count the final structure sizes predict; a mismatch (a
+//! reclamation leak) fails the run, so CI's `--smoke` pass gates the
+//! leak-freedom of all four structures on all six STMs.
 
 use oftm_bench::harness::{base_seed, ATTEMPT_BUDGET};
 use oftm_bench::{make_stm, SplitMix, STM_NAMES};
@@ -38,6 +42,10 @@ struct Cell {
     elapsed_s: f64,
     attempts: u64,
     livelocked: bool,
+    /// Live t-variables after the run (quiescent), and the exact count
+    /// the final structure sizes predict. Unequal ⇒ reclamation leak.
+    live_tvars: usize,
+    expected_live: usize,
     /// Workload profile: "full", or "small" for Algorithm 2, whose
     /// version chains grow with every commit and abort (the paper:
     /// "its use of unbounded memory and high time complexity make it
@@ -195,14 +203,33 @@ fn measure(
             });
         }
     });
+    let elapsed_s = start.elapsed().as_secs_f64();
+
+    // Reclamation sanity check: after quiescence (the len() transactions
+    // below commit with nobody else in flight, flushing every grace bin),
+    // the live t-variable count must match the structures exactly:
+    // intset head(1) + 2/node, queue ptrs(2) + 2/node, map buckets +
+    // 3/node, counter stripes. Any surplus is a leak.
+    let probe = u32::MAX - 3;
+    let expected_live = 1
+        + 2 * set.len(&*stm, probe)
+        + 2
+        + 2 * queue.len(&*stm, probe)
+        + buckets
+        + 3 * map.len(&*stm, probe)
+        + threads.max(1);
+    let live_tvars = stm.live_tvars();
+
     Cell {
         structure,
         stm: stm_name,
         threads,
         ops: threads as u64 * ops_per_thread,
-        elapsed_s: start.elapsed().as_secs_f64(),
+        elapsed_s,
         attempts: attempts.load(Ordering::Relaxed),
         livelocked: livelocked.load(Ordering::Relaxed),
+        live_tvars,
+        expected_live,
         profile: if small { "small" } else { "full" },
     }
 }
@@ -231,7 +258,14 @@ fn main() {
             }
         }
     );
-    oftm_bench::print_header(&["structure", "stm", "threads", "ops/sec", "attempts/op"]);
+    oftm_bench::print_header(&[
+        "structure",
+        "stm",
+        "threads",
+        "ops/sec",
+        "attempts/op",
+        "live tvars",
+    ]);
     for &structure in STRUCTURES {
         for &stm_name in STM_NAMES {
             for &threads in thread_axis {
@@ -264,6 +298,7 @@ fn main() {
                         format!("{:.0}", cell.ops_per_sec())
                     },
                     format!("{:.2}", cell.attempts_per_op()),
+                    format!("{} (= {})", cell.live_tvars, cell.expected_live),
                 ]);
                 cells.push(cell);
             }
@@ -282,7 +317,8 @@ fn main() {
         json.push_str(&format!(
             "    {{\"structure\": \"{}\", \"stm\": \"{}\", \"threads\": {}, \"ops\": {}, \
              \"elapsed_s\": {:.6}, \"ops_per_sec\": {:.1}, \"attempts_per_op\": {:.4}, \
-             \"livelocked\": {}, \"profile\": \"{}\"}}{}\n",
+             \"livelocked\": {}, \"live_tvars\": {}, \"expected_live\": {}, \
+             \"profile\": \"{}\"}}{}\n",
             json_escape_free(c.structure),
             json_escape_free(c.stm),
             c.threads,
@@ -291,6 +327,8 @@ fn main() {
             c.ops_per_sec(),
             c.attempts_per_op(),
             c.livelocked,
+            c.live_tvars,
+            c.expected_live,
             json_escape_free(c.profile),
             if i + 1 == cells.len() { "" } else { "," }
         ));
@@ -305,6 +343,19 @@ fn main() {
 
     if cells.iter().any(|c| c.livelocked) {
         eprintln!("ERROR: at least one cell exhausted its retry budget (livelock)");
+        std::process::exit(1);
+    }
+    let leaks: Vec<&Cell> = cells
+        .iter()
+        .filter(|c| c.live_tvars != c.expected_live)
+        .collect();
+    if !leaks.is_empty() {
+        for c in &leaks {
+            eprintln!(
+                "ERROR: t-variable leak in {}/{}/{}: {} live, expected {}",
+                c.structure, c.stm, c.threads, c.live_tvars, c.expected_live
+            );
+        }
         std::process::exit(1);
     }
 }

@@ -20,7 +20,13 @@
 //!      remaining = enqueued), distinct dequeue tickets, and
 //!      FIFO-per-producer in global ticket order;
 //!    * `map-churn`: threads churn disjoint key ranges, so the final map
-//!      must equal the union of per-thread sequential models.
+//!      must equal the union of per-thread sequential models;
+//!    * `churn-steady-state`: paired insert/remove churn on a shared set;
+//!      the intset invariants plus the **reclamation oracle** — after the
+//!      run the STM's live t-variable count must equal exactly
+//!      head + 2·|final set| (unlinked nodes reclaimed past their grace
+//!      period, aborted attempts' allocations released; any monotonic
+//!      leak fails the run).
 //! 3. **Cross-STM sequential agreement** — the same tapes replayed
 //!    single-threaded must produce identical per-op results *and* final
 //!    snapshots on every implementation.
@@ -40,7 +46,7 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 
-/// The three collection scenarios.
+/// The four collection scenarios.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum StructScenarioKind {
     /// Insert/remove/contains over a small shared value universe.
@@ -50,6 +56,11 @@ pub enum StructScenarioKind {
     QueueProducerConsumer,
     /// Put/del/get churn over per-thread disjoint key ranges.
     MapChurn,
+    /// Paired insert/remove churn at a steady structure size, with the
+    /// reclamation oracle: after the run, the STM's live t-variable count
+    /// must equal exactly head + 2·|final set| — every unlinked node's
+    /// block reclaimed, every aborted attempt's allocation released.
+    ChurnSteadyState,
 }
 
 /// All collection scenarios, in suite order.
@@ -57,6 +68,7 @@ pub const ALL_STRUCT_SCENARIOS: &[StructScenarioKind] = &[
     StructScenarioKind::IntSetMix,
     StructScenarioKind::QueueProducerConsumer,
     StructScenarioKind::MapChurn,
+    StructScenarioKind::ChurnSteadyState,
 ];
 
 impl StructScenarioKind {
@@ -65,6 +77,7 @@ impl StructScenarioKind {
             StructScenarioKind::IntSetMix => "intset-mix",
             StructScenarioKind::QueueProducerConsumer => "queue-producer-consumer",
             StructScenarioKind::MapChurn => "map-churn",
+            StructScenarioKind::ChurnSteadyState => "churn-steady-state",
         }
     }
 }
@@ -81,6 +94,15 @@ pub struct StructScenario {
 
 /// Shared value universe of `intset-mix`.
 const SET_UNIVERSE: u64 = 20;
+/// Values per thread (`churn-steady-state`); thread `t` churns
+/// `[t·16, t·16 + CHURN_RANGE)`. Ranges are disjoint (like `map-churn`) so
+/// the contention is structural — neighboring list links — rather than
+/// same-value: every thread still allocates and retires a node per pair,
+/// which is what the reclamation oracle measures, but no cell degenerates
+/// into the all-threads-on-one-value fight that drives Algorithm 2's
+/// recorded version rescans quadratic.
+const CHURN_RANGE: u64 = 8;
+const CHURN_STRIDE: u64 = 16;
 /// Keys per thread (`map-churn`); thread `t` owns `[t·32, t·32+KEYS)`.
 const KEYS_PER_THREAD: u64 = 12;
 const KEY_STRIDE: u64 = 32;
@@ -92,7 +114,13 @@ impl StructScenario {
         StructScenario {
             kind,
             threads,
-            ops_per_thread: 12,
+            // The churn scenario runs more ops so allocation churn dwarfs
+            // the steady-state bound its oracle asserts (24 ops allocate
+            // up to 12 nodes/thread against a ≤ 25-word live ceiling).
+            ops_per_thread: match kind {
+                StructScenarioKind::ChurnSteadyState => 24,
+                _ => 12,
+            },
             seed,
         }
     }
@@ -148,6 +176,17 @@ pub fn generate_tapes(sc: &StructScenario) -> Vec<Vec<StructOp>> {
     (0..sc.threads)
         .map(|t| {
             let mut rng = SplitMix(mix(sc.seed, t as u64 + 1));
+            if sc.kind == StructScenarioKind::ChurnSteadyState {
+                // Paired insert/remove of the same value: the set size
+                // random-walks around a steady state while every slot of
+                // the tape churns an allocation.
+                return (0..sc.ops_per_thread / 2)
+                    .flat_map(|_| {
+                        let v = t as u64 * CHURN_STRIDE + rng.next() % CHURN_RANGE;
+                        [StructOp::SetInsert(v), StructOp::SetRemove(v)]
+                    })
+                    .collect();
+            }
             (0..sc.ops_per_thread)
                 .map(|_| generate_one(sc, t as u64, &mut rng))
                 .collect()
@@ -157,6 +196,8 @@ pub fn generate_tapes(sc: &StructScenario) -> Vec<Vec<StructOp>> {
 
 fn generate_one(sc: &StructScenario, thread: u64, rng: &mut SplitMix) -> StructOp {
     match sc.kind {
+        // Churn tapes are generated pairwise in `generate_tapes`.
+        StructScenarioKind::ChurnSteadyState => unreachable!("churn tapes are pair-generated"),
         StructScenarioKind::IntSetMix => {
             let v = rng.next() % SET_UNIVERSE;
             match rng.next() % 10 {
@@ -198,7 +239,7 @@ struct Instance {
 impl Instance {
     fn create(kind: StructScenarioKind, stm: &dyn WordStm) -> Self {
         match kind {
-            StructScenarioKind::IntSetMix => Instance {
+            StructScenarioKind::IntSetMix | StructScenarioKind::ChurnSteadyState => Instance {
                 set: Some(TxIntSet::create(stm)),
                 queue: None,
                 ticket: None,
@@ -335,6 +376,9 @@ pub struct StructRunOutcome {
     pub attempts: u64,
     /// Committed ops (= tape length; every op commits exactly once).
     pub committed_ops: u64,
+    /// Live t-variables after the run (quiescent: all retired blocks past
+    /// their grace period were evicted by the snapshot transaction).
+    pub live_tvars: usize,
 }
 
 /// Runs `sc` concurrently on the named STM; checks history safety and the
@@ -397,6 +441,23 @@ pub fn run_struct_concurrent(
     // transactions (the snapshot read runs after).
     let history = recorder.snapshot();
     let snapshot = inst.snapshot(&*stm);
+    // The snapshot transaction committed with no peer in flight, flushing
+    // every pending retirement: the table is now quiescent.
+    let live_tvars = stm.live_tvars();
+
+    // Reclamation oracle (`churn-steady-state`): the live t-variable count
+    // must equal head + 2·|final set| exactly — node churn and aborted
+    // attempts leave no residue, bounding memory at steady state.
+    if sc.kind == StructScenarioKind::ChurnSteadyState {
+        let expected = 1 + 2 * snapshot.len();
+        if live_tvars != expected {
+            return Err(fail(format!(
+                "t-variable leak: {live_tvars} live after churn, expected {expected} \
+                 (1 head + 2 per node for {} elements)",
+                snapshot.len()
+            )));
+        }
+    }
 
     // Oracle 1: history safety.
     if let Err(e) = well_formed(&history) {
@@ -415,6 +476,7 @@ pub fn run_struct_concurrent(
         recorded_txs: history.tx_views().len(),
         attempts: attempts.load(Ordering::Relaxed),
         committed_ops: tapes.iter().map(|t| t.len() as u64).sum(),
+        live_tvars,
     })
 }
 
@@ -426,14 +488,38 @@ fn check_invariants(
     snapshot: &[u64],
 ) -> Result<(), String> {
     match sc.kind {
-        StructScenarioKind::IntSetMix => {
+        StructScenarioKind::IntSetMix | StructScenarioKind::ChurnSteadyState => {
             if !snapshot.windows(2).all(|w| w[0] < w[1]) {
                 return Err(format!(
                     "set snapshot not sorted / has duplicates: {snapshot:?}"
                 ));
             }
             // Per-value conservation: net successful inserts = membership.
-            for v in 0..SET_UNIVERSE {
+            // Candidate values are exactly those the tapes mention (values
+            // never touched trivially balance at zero).
+            let mut candidates: Vec<u64> = tapes
+                .iter()
+                .flatten()
+                .filter_map(|op| match op {
+                    StructOp::SetInsert(v) | StructOp::SetRemove(v) | StructOp::SetContains(v) => {
+                        Some(*v)
+                    }
+                    _ => None,
+                })
+                .collect();
+            candidates.sort_unstable();
+            candidates.dedup();
+            // No phantoms: every element of the final set must be a value
+            // some tape actually inserted.
+            if let Some(ghost) = snapshot
+                .iter()
+                .find(|v| candidates.binary_search(v).is_err())
+            {
+                return Err(format!(
+                    "snapshot contains value {ghost} no tape ever mentioned: {snapshot:?}"
+                ));
+            }
+            for v in candidates {
                 let mut balance = 0i64;
                 for (tape, res) in tapes.iter().zip(results) {
                     for (op, r) in tape.iter().zip(res) {
@@ -578,10 +664,14 @@ pub fn run_struct_differential(
     sc: &StructScenario,
 ) -> Result<StructDifferentialReport, Vec<StructHarnessFailure>> {
     let tapes = generate_tapes(sc);
+    let trace = std::env::var_os("HARNESS_TRACE").is_some();
     let mut failures = Vec::new();
     let mut outcomes = Vec::new();
 
     for &name in STM_NAMES {
+        if trace {
+            eprintln!("[structs-matrix]   concurrent {name}");
+        }
         match run_struct_concurrent(name, sc, &tapes) {
             Ok(o) => outcomes.push(o),
             Err(f) => failures.push(f),
@@ -626,8 +716,10 @@ pub fn run_struct_differential(
 
 /// Runs the full collection-scenario × thread-count matrix; returns the
 /// number of cells or the concatenated failure reports (each with its
-/// `HARNESS_SEED`).
+/// `HARNESS_SEED`). Set `HARNESS_TRACE=1` to print each cell to stderr as
+/// it starts — the first diagnostic to reach for when a run wedges.
 pub fn run_structs_matrix(thread_counts: &[usize], seeds_per_cell: u64) -> Result<usize, String> {
+    let trace = std::env::var_os("HARNESS_TRACE").is_some();
     let mut cells = 0;
     let mut report = String::new();
     for &kind in ALL_STRUCT_SCENARIOS {
@@ -636,6 +728,12 @@ pub fn run_structs_matrix(thread_counts: &[usize], seeds_per_cell: u64) -> Resul
                 let seed = derive_seed(0x57C0_0000 | (cells as u64) << 8 | round);
                 let sc = StructScenario::new(kind, threads, seed);
                 cells += 1;
+                if trace {
+                    eprintln!(
+                        "[structs-matrix] cell {cells}: {} × {threads} threads, seed {seed:#018x}",
+                        kind.name()
+                    );
+                }
                 if let Err(failures) = run_struct_differential(&sc) {
                     for f in failures {
                         report.push_str(&format!("{f}\n"));

@@ -54,6 +54,27 @@ pub trait WordTx {
 
     /// `tryA`: requests abortion; always succeeds.
     fn try_abort(self: Box<Self>);
+
+    /// Schedules a contiguous block of dynamically allocated t-variables
+    /// for reclamation as a **deferred effect of this transaction's
+    /// commit**. If the transaction aborts, the retire-set is discarded —
+    /// a node unlinked by an attempt that never committed must survive.
+    /// On commit, the block enters the STM's grace-period tracker
+    /// ([`crate::reclaim::GraceTracker`]) and is evicted once every
+    /// transaction that was in flight at commit time has finished.
+    ///
+    /// The caller asserts that, once its unlinking writes commit, no
+    /// *future* transaction can reach `base..base+len` (single incoming
+    /// link, rewritten in the same transaction). A transaction touching a
+    /// block after it was evicted aborts or panics with the uniform
+    /// `t-variable <x> not registered` diagnostic — it never observes a
+    /// stale value.
+    fn retire_tvar_block(&mut self, base: TVarId, len: usize);
+
+    /// Retires a single t-variable (see [`WordTx::retire_tvar_block`]).
+    fn retire_tvar(&mut self, x: TVarId) {
+        self.retire_tvar_block(x, 1);
+    }
 }
 
 /// A word-level software transactional memory.
@@ -83,6 +104,21 @@ pub trait WordStm: Send + Sync {
     /// node's `[value, next]` pair) are addressed as offsets from the
     /// returned base. Same allocation semantics as [`WordStm::alloc_tvar`].
     fn alloc_tvar_block(&self, initials: &[Value]) -> TVarId;
+
+    /// Immediately evicts the per-variable state of `len` contiguous
+    /// t-variables starting at `base`. This is the *unguarded* primitive
+    /// the grace-period machinery bottoms out in: callers must guarantee
+    /// no in-flight transaction can still reach the block — either by
+    /// routing the free through [`WordTx::retire_tvar_block`] (which
+    /// defers to commit + grace period), or because the block was never
+    /// published (allocated by an attempt that aborted). A transaction
+    /// that reads a freed id aborts or panics with the uniform
+    /// `t-variable <x> not registered` diagnostic, never a stale value.
+    fn free_tvar_block(&self, base: TVarId, len: usize);
+
+    /// Number of t-variables currently registered or allocated and not
+    /// yet freed — the live-count metric leak regressions assert on.
+    fn live_tvars(&self) -> usize;
 
     /// Begins a transaction on behalf of process `proc`.
     fn begin(&self, proc: u32) -> Box<dyn WordTx + '_>;
@@ -171,7 +207,10 @@ pub fn run_transaction_with_budget<R>(
 
 /// Spins for a pseudo-random duration in `[0, 2^min(attempt, 8))` µs,
 /// seeded by `(proc, attempt)` so threads desynchronize deterministically.
-fn retry_backoff(proc: u32, attempt: u32) {
+/// Public so higher-level retry loops (e.g. the collection `atomically`,
+/// which additionally releases attempt-local allocations on abort) can
+/// share the exact backoff schedule of [`run_transaction_with_budget`].
+pub fn retry_backoff(proc: u32, attempt: u32) {
     let mut z = (u64::from(proc) << 32) ^ u64::from(attempt);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);

@@ -6,6 +6,7 @@ use super::stm::Dstm;
 use super::tvar::TVar;
 use super::tx::Tx;
 use crate::api::{TxError, TxResult, WordStm, WordTx};
+use crate::reclaim::{GraceTracker, RetiredBlock, TxGrace};
 use crate::table::VarTable;
 use oftm_histories::{TVarId, TmOp, TmResp, TxId, Value};
 
@@ -13,10 +14,14 @@ use oftm_histories::{TVarId, TmOp, TmResp, TxId, Value};
 ///
 /// The table is a shared [`VarTable`], so t-variables allocated with
 /// [`WordStm::alloc_tvar`] — including mid-transaction — are immediately
-/// visible to every running transaction.
+/// visible to every running transaction. Retired blocks are evicted after
+/// a grace period (see [`GraceTracker`]); evicting only drops the table's
+/// `Arc`, so a zombie transaction's read-set keeps the [`TVar`] state (and
+/// its epoch-protected locators) alive until the zombie finishes.
 pub struct DstmWord {
     stm: Dstm,
     vars: VarTable<TVar<Value>>,
+    reclaim: GraceTracker,
 }
 
 impl DstmWord {
@@ -24,6 +29,7 @@ impl DstmWord {
         DstmWord {
             stm,
             vars: VarTable::new(),
+            reclaim: GraceTracker::new(),
         }
     }
 
@@ -36,23 +42,35 @@ impl DstmWord {
     pub fn peek(&self, x: TVarId) -> Option<Value> {
         self.vars.get(x).map(|v| v.read_atomic())
     }
+
+    /// Retired blocks still awaiting their grace period (diagnostics).
+    pub fn reclaim_pending(&self) -> usize {
+        self.reclaim.pending_blocks()
+    }
+
+    fn reclaim_after_commit(&self, grace: TxGrace, retired: Vec<RetiredBlock>) {
+        for blk in self.reclaim.retire_and_flush(grace, retired) {
+            self.vars.remove_block(blk.base, blk.len);
+        }
+    }
 }
 
 struct DstmWordTx<'s> {
     tx: Option<Tx<'s>>,
-    vars: &'s VarTable<TVar<Value>>,
-    stm: &'s Dstm,
+    word: &'s DstmWord,
+    grace: Option<TxGrace>,
+    retired: Vec<RetiredBlock>,
 }
 
 impl DstmWordTx<'_> {
     fn record_invoke(&self, op: TmOp) {
-        if let (Some(rec), Some(tx)) = (self.stm.recorder_arc(), self.tx.as_ref()) {
+        if let (Some(rec), Some(tx)) = (self.word.stm.recorder_arc(), self.tx.as_ref()) {
             rec.invoke(tx.id(), op);
         }
     }
 
     fn record_respond(&self, id: TxId, resp: TmResp) {
-        if let Some(rec) = self.stm.recorder_arc() {
+        if let Some(rec) = self.word.stm.recorder_arc() {
             rec.respond(id, resp);
         }
     }
@@ -64,7 +82,7 @@ impl WordTx for DstmWordTx<'_> {
     }
 
     fn read(&mut self, x: TVarId) -> TxResult<Value> {
-        let var = TVar::clone(&self.vars.get_or_panic(x));
+        let var = TVar::clone(&self.word.vars.get_or_panic(x));
         self.record_invoke(TmOp::Read(x));
         let id = self.id();
         let r = self.tx.as_mut().unwrap().read(&var);
@@ -76,7 +94,7 @@ impl WordTx for DstmWordTx<'_> {
     }
 
     fn write(&mut self, x: TVarId, v: Value) -> TxResult<()> {
-        let var = TVar::clone(&self.vars.get_or_panic(x));
+        let var = TVar::clone(&self.word.vars.get_or_panic(x));
         self.record_invoke(TmOp::Write(x, v));
         let id = self.id();
         let r = self.tx.as_mut().unwrap().write(&var, v);
@@ -93,7 +111,16 @@ impl WordTx for DstmWordTx<'_> {
         self.record_invoke_for(id, TmOp::TryCommit);
         let r = tx.commit();
         match &r {
-            Ok(()) => self.record_respond(id, TmResp::Committed),
+            Ok(()) => {
+                self.record_respond(id, TmResp::Committed);
+                // The typed transaction (and its epoch pin) is finished:
+                // hand the retire-set to the grace tracker and evict every
+                // block whose grace period has elapsed.
+                self.word.reclaim_after_commit(
+                    self.grace.take().expect("grace slot held until completion"),
+                    std::mem::take(&mut self.retired),
+                );
+            }
             Err(TxError::Aborted) => self.record_respond(id, TmResp::Aborted),
         }
         r
@@ -105,12 +132,18 @@ impl WordTx for DstmWordTx<'_> {
         self.record_invoke_for(id, TmOp::TryAbort);
         tx.rollback();
         self.record_respond(id, TmResp::Aborted);
+        // Dropping `self.grace` releases the active-transaction slot; the
+        // retire-set is discarded with the transaction.
+    }
+
+    fn retire_tvar_block(&mut self, base: TVarId, len: usize) {
+        self.retired.push(RetiredBlock { base, len });
     }
 }
 
 impl DstmWordTx<'_> {
     fn record_invoke_for(&self, id: TxId, op: TmOp) {
-        if let Some(rec) = self.stm.recorder_arc() {
+        if let Some(rec) = self.word.stm.recorder_arc() {
             rec.invoke(id, op);
         }
     }
@@ -129,11 +162,20 @@ impl WordStm for DstmWord {
         self.vars.alloc_block(initials, TVar::new)
     }
 
+    fn free_tvar_block(&self, base: TVarId, len: usize) {
+        self.vars.remove_block(base, len);
+    }
+
+    fn live_tvars(&self) -> usize {
+        self.vars.len()
+    }
+
     fn begin(&self, proc: u32) -> Box<dyn WordTx + '_> {
         Box::new(DstmWordTx {
             tx: Some(self.stm.begin(proc)),
-            vars: &self.vars,
-            stm: &self.stm,
+            word: self,
+            grace: Some(self.reclaim.begin()),
+            retired: Vec::new(),
         })
     }
 
@@ -235,6 +277,62 @@ mod tests {
         // The publishing write rolled back; the allocation itself stays.
         assert_eq!(s.peek(TVarId(0)), Some(0));
         assert_eq!(s.peek(node), Some(42));
+    }
+
+    #[test]
+    fn retire_frees_after_commit_but_not_after_abort() {
+        let s = word_stm();
+        s.register_tvar(TVarId(0), 0);
+        let node = s.alloc_tvar_block(&[1, 2]);
+        assert_eq!(s.live_tvars(), 3);
+
+        // Abort path: the retire-set dies with the transaction.
+        let mut tx = s.begin(1);
+        tx.retire_tvar_block(node, 2);
+        tx.try_abort();
+        assert_eq!(s.live_tvars(), 3, "aborted retire must not free");
+        assert_eq!(s.peek(node), Some(1));
+
+        // Commit path, no other transaction in flight: freed immediately.
+        let mut tx = s.begin(1);
+        tx.write(TVarId(0), 7).unwrap();
+        tx.retire_tvar_block(node, 2);
+        tx.try_commit().unwrap();
+        assert_eq!(s.live_tvars(), 1);
+        assert_eq!(s.peek(node), None);
+    }
+
+    #[test]
+    fn grace_period_protects_in_flight_readers() {
+        let s = word_stm();
+        s.register_tvar(TVarId(0), 0);
+        let node = s.alloc_tvar(5);
+        // A reader in flight before the retiring commit…
+        let mut reader = s.begin(1);
+        assert_eq!(reader.read(node).unwrap(), 5);
+        // …delays the free past the committing retirer.
+        let mut retirer = s.begin(2);
+        retirer.retire_tvar_block(node, 1);
+        retirer.try_commit().unwrap();
+        assert_eq!(s.live_tvars(), 2, "block must survive the reader");
+        assert_eq!(s.reclaim_pending(), 1);
+        reader.try_abort();
+        // Next completed transaction sweeps the now-safe block.
+        let tx = s.begin(3);
+        tx.try_commit().unwrap();
+        assert_eq!(s.live_tvars(), 1);
+        assert_eq!(s.reclaim_pending(), 0);
+        assert_eq!(s.peek(node), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "not registered")]
+    fn freed_id_read_panics_with_uniform_diagnostic() {
+        let s = word_stm();
+        let node = s.alloc_tvar(5);
+        s.free_tvar_block(node, 1);
+        let mut tx = s.begin(1);
+        let _ = tx.read(node);
     }
 
     #[test]

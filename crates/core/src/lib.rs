@@ -34,6 +34,7 @@
 pub mod api;
 pub mod cm;
 pub mod dstm;
+pub mod reclaim;
 pub mod record;
 pub mod table;
 
@@ -42,5 +43,6 @@ pub use api::{
     WordTx,
 };
 pub use dstm::{Dstm, DstmWord, Progress, TVar, Tx};
+pub use reclaim::{GraceTracker, RetiredBlock, TxGrace};
 pub use record::{fresh_base_id, Recorder};
 pub use table::{VarTable, DYNAMIC_TVAR_BASE};

@@ -1,0 +1,322 @@
+//! Grace-period tracking for **transaction-safe reclamation** of dynamic
+//! t-variables.
+//!
+//! Collections unlink nodes transactionally, but unlinking alone is not
+//! enough to reclaim the node's t-variables: a transaction that started
+//! *before* the unlink committed may already have read the node's base id
+//! from a link cell and may legitimately touch the node again (zombie
+//! traversals in lazily validating STMs like TL do exactly this). Evicting
+//! the table entry under such a reader turns a benign stale read into the
+//! "t-variable not registered" panic. Freeing must therefore wait out a
+//! **grace period**: the node may be reclaimed once every transaction that
+//! was in flight at retirement time has finished.
+//!
+//! [`GraceTracker`] implements this with an epoch counter and per-
+//! transaction slots:
+//!
+//! * [`GraceTracker::begin`] registers the transaction by storing the
+//!   current epoch in a slot (advanced at every retiring commit, so slot
+//!   values order transactions against retirements);
+//! * a committing transaction hands its retire-set to
+//!   [`GraceTracker::retire_and_flush`], which releases the slot, tags the
+//!   batch with the current epoch, advances the epoch, and returns every
+//!   previously retired batch that **no active transaction predates**
+//!   (`slot epoch > batch epoch` for all active slots) for the caller to
+//!   evict from its table;
+//! * an aborting transaction simply drops its [`TxGrace`] handle — its
+//!   retire-set is discarded with it, so a node unlinked by an attempt
+//!   that later aborts stays allocated (the unlink never took effect).
+//!
+//! ### Why `slot epoch > batch epoch` is safe
+//!
+//! Every STM in the workspace is single-version: a read returns the
+//! current committed value (or aborts), never an earlier one. A
+//! transaction that begins after a node's unlink committed therefore
+//! cannot obtain the node's id — no committed cell contains it (each
+//! collection node has exactly one incoming link, rewritten by the
+//! unlink). The only endangered transactions are those that read the link
+//! *before* the unlink; they registered their slot (with an epoch ≤ the
+//! batch's tag, which was taken after the unlinking commit) before that
+//! read, so the batch is held until they finish. Slot registration and
+//! the epoch bump use `SeqCst` so a flush that misses an in-flight slot
+//! registration can only involve a transaction that began after the
+//! retiring commit — one that cannot reach the block anyway.
+
+use oftm_histories::TVarId;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// Slot value meaning "no transaction registered here".
+const IDLE: u64 = u64::MAX;
+
+/// A contiguous block of t-variables scheduled for reclamation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetiredBlock {
+    /// First t-variable id of the block.
+    pub base: TVarId,
+    /// Number of contiguous ids.
+    pub len: usize,
+}
+
+/// An active-transaction registration. Dropping it releases the slot —
+/// abort paths need nothing beyond dropping the transaction.
+pub struct TxGrace {
+    slot: Arc<AtomicU64>,
+}
+
+impl Drop for TxGrace {
+    fn drop(&mut self) {
+        self.slot.store(IDLE, Ordering::SeqCst);
+    }
+}
+
+/// One retired batch awaiting its grace period.
+struct Bin {
+    epoch: u64,
+    blocks: Vec<RetiredBlock>,
+}
+
+/// The per-STM-instance grace-period tracker (see module docs).
+pub struct GraceTracker {
+    /// Monotonic epoch; advanced by every retiring commit.
+    epoch: AtomicU64,
+    /// Active-transaction slots: `IDLE` or the registering epoch. Slots
+    /// are recycled; the vector only grows to the peak concurrency.
+    slots: RwLock<Vec<Arc<AtomicU64>>>,
+    /// Retired batches not yet past their grace period.
+    bins: Mutex<Vec<Bin>>,
+    /// Blocks currently sitting in `bins` (kept in sync under the `bins`
+    /// lock). Lets the hot no-reclamation path — every commit of a
+    /// workload that never retires anything — skip the lock entirely.
+    pending: AtomicU64,
+    retired_blocks: AtomicU64,
+    freed_blocks: AtomicU64,
+}
+
+impl Default for GraceTracker {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl GraceTracker {
+    pub fn new() -> Self {
+        GraceTracker {
+            epoch: AtomicU64::new(1),
+            slots: RwLock::new(Vec::new()),
+            bins: Mutex::new(Vec::new()),
+            pending: AtomicU64::new(0),
+            retired_blocks: AtomicU64::new(0),
+            freed_blocks: AtomicU64::new(0),
+        }
+    }
+
+    /// Registers a beginning transaction. Must be called before the
+    /// transaction performs its first read (every backend does this in
+    /// `begin`). The returned handle is released by dropping it or by
+    /// passing it to [`GraceTracker::retire_and_flush`].
+    pub fn begin(&self) -> TxGrace {
+        let e = self.epoch.load(Ordering::SeqCst);
+        let slot = 'acquired: {
+            let slots = self.slots.read().unwrap();
+            for s in slots.iter() {
+                if s.load(Ordering::Relaxed) == IDLE
+                    && s.compare_exchange(IDLE, e, Ordering::SeqCst, Ordering::Relaxed)
+                        .is_ok()
+                {
+                    break 'acquired Arc::clone(s);
+                }
+            }
+            drop(slots);
+            let slot = Arc::new(AtomicU64::new(e));
+            self.slots.write().unwrap().push(Arc::clone(&slot));
+            slot
+        };
+        // Revalidate (all `SeqCst`): if the epoch did not move, our slot
+        // write is SeqCst-ordered before any later retirement's bump, so
+        // that retirement's flush must see us. If it moved, republish —
+        // reading the bump (a SeqCst RMW) happens-before-orders the
+        // retirer's committed unlink ahead of every read this transaction
+        // will do, so the blocks its bin frees are unreachable to us.
+        // Without this, a flush racing our registration could miss the
+        // slot while our reads still observe pre-unlink state on weakly
+        // ordered hardware.
+        loop {
+            let now = self.epoch.load(Ordering::SeqCst);
+            if now == slot.load(Ordering::Relaxed) {
+                break;
+            }
+            slot.store(now, Ordering::SeqCst);
+        }
+        TxGrace { slot }
+    }
+
+    /// Commit hook: releases the committing transaction's slot, enters its
+    /// retire-set (if any) as a new batch, and returns every batch whose
+    /// grace period has elapsed. The caller must evict the returned blocks
+    /// from its variable table — the tracker records ids, not state.
+    pub fn retire_and_flush(
+        &self,
+        grace: TxGrace,
+        retired: Vec<RetiredBlock>,
+    ) -> Vec<RetiredBlock> {
+        // Release our slot first: the batch we are about to enter must not
+        // wait on the very transaction that retired it.
+        drop(grace);
+        if !retired.is_empty() {
+            self.retired_blocks
+                .fetch_add(retired.len() as u64, Ordering::Relaxed);
+            let tag = self.epoch.fetch_add(1, Ordering::SeqCst);
+            let mut bins = self.bins.lock().unwrap();
+            self.pending
+                .fetch_add(retired.len() as u64, Ordering::Release);
+            bins.push(Bin {
+                epoch: tag,
+                blocks: retired,
+            });
+        }
+        self.flush()
+    }
+
+    /// Returns every retired batch that no active transaction predates.
+    pub fn flush(&self) -> Vec<RetiredBlock> {
+        // Fast path: nothing pending — workloads that never retire (the
+        // word-level harnesses and benches) pay one relaxed load per
+        // commit instead of two lock acquisitions.
+        if self.pending.load(Ordering::Acquire) == 0 {
+            return Vec::new();
+        }
+        // Lock the bins BEFORE scanning the slots (the same order as the
+        // epoch shim's collector). Reversed, a bin pushed between the two
+        // steps could be freed against a stale scan that missed a reader
+        // registered after it — with the lock held first, every bin we
+        // examine was pushed before we locked, so any reader that can
+        // reach its blocks registered (and is visible) before our scan.
+        let mut bins = self.bins.lock().unwrap();
+        let min_active = {
+            let slots = self.slots.read().unwrap();
+            slots
+                .iter()
+                .map(|s| s.load(Ordering::SeqCst))
+                .filter(|&e| e != IDLE)
+                .min()
+                .unwrap_or(u64::MAX)
+        };
+        let mut out = Vec::new();
+        bins.retain_mut(|bin| {
+            if bin.epoch < min_active {
+                out.append(&mut bin.blocks);
+                false
+            } else {
+                true
+            }
+        });
+        self.pending.fetch_sub(out.len() as u64, Ordering::Release);
+        drop(bins);
+        self.freed_blocks
+            .fetch_add(out.len() as u64, Ordering::Relaxed);
+        out
+    }
+
+    /// Number of retired blocks still awaiting their grace period.
+    pub fn pending_blocks(&self) -> usize {
+        self.bins
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|b| b.blocks.len())
+            .sum()
+    }
+
+    /// Total blocks ever retired (diagnostics).
+    pub fn retired_total(&self) -> u64 {
+        self.retired_blocks.load(Ordering::Relaxed)
+    }
+
+    /// Total blocks whose grace period has elapsed (diagnostics).
+    pub fn freed_total(&self) -> u64 {
+        self.freed_blocks.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blk(base: u64, len: usize) -> RetiredBlock {
+        RetiredBlock {
+            base: TVarId(base),
+            len,
+        }
+    }
+
+    #[test]
+    fn solo_retirement_frees_immediately() {
+        let t = GraceTracker::new();
+        let g = t.begin();
+        let freed = t.retire_and_flush(g, vec![blk(100, 2)]);
+        assert_eq!(freed, vec![blk(100, 2)]);
+        assert_eq!(t.pending_blocks(), 0);
+        assert_eq!(t.retired_total(), 1);
+        assert_eq!(t.freed_total(), 1);
+    }
+
+    #[test]
+    fn predating_transaction_delays_the_free() {
+        let t = GraceTracker::new();
+        let old = t.begin(); // in flight before the retirement
+        let committer = t.begin();
+        let freed = t.retire_and_flush(committer, vec![blk(100, 2)]);
+        assert!(freed.is_empty(), "old transaction still active");
+        assert_eq!(t.pending_blocks(), 1);
+        // A transaction that began AFTER the retirement does not hold it up.
+        let young = t.begin();
+        drop(old);
+        let freed = t.retire_and_flush(young, Vec::new());
+        assert_eq!(freed, vec![blk(100, 2)]);
+        assert_eq!(t.pending_blocks(), 0);
+    }
+
+    #[test]
+    fn abort_discards_by_dropping_the_handle() {
+        let t = GraceTracker::new();
+        let g = t.begin();
+        drop(g); // abort: the retire-set (held by the backend) dies with the tx
+        assert_eq!(t.pending_blocks(), 0);
+        // The slot was released: a later committer flushes freely.
+        let g2 = t.begin();
+        let freed = t.retire_and_flush(g2, vec![blk(7, 1)]);
+        assert_eq!(freed, vec![blk(7, 1)]);
+    }
+
+    #[test]
+    fn slots_are_recycled() {
+        let t = GraceTracker::new();
+        for _ in 0..100 {
+            let g = t.begin();
+            drop(g);
+        }
+        assert_eq!(t.slots.read().unwrap().len(), 1, "sequential use: one slot");
+    }
+
+    #[test]
+    fn concurrent_begin_finish_is_consistent() {
+        let t = Arc::new(GraceTracker::new());
+        std::thread::scope(|s| {
+            for i in 0..8u64 {
+                let t = Arc::clone(&t);
+                s.spawn(move || {
+                    for k in 0..50u64 {
+                        let g = t.begin();
+                        let _ = t.retire_and_flush(g, vec![blk(1 << 32 | i << 16 | k, 2)]);
+                    }
+                });
+            }
+        });
+        // Everything retired must eventually flush once no one is active.
+        let _ = t.flush();
+        assert_eq!(t.pending_blocks(), 0);
+        assert_eq!(t.retired_total(), 8 * 50);
+        assert_eq!(t.freed_total(), 8 * 50);
+    }
+}

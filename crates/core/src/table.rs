@@ -21,11 +21,30 @@
 //! O(1), not O(table), and is visible to *already running* transactions,
 //! which is exactly what allocation inside a transaction requires.
 //!
+//! ## Allocation vs. retirement semantics
+//!
 //! Allocation is deliberately **not** a transactional effect: a t-variable
 //! allocated inside a transaction that later aborts stays allocated (and
 //! unreachable — the write that would have published it was discarded).
 //! This mirrors DSTM's object allocation semantics and keeps `alloc` safe
-//! to call both inside and outside transactions.
+//! to call both inside and outside transactions. (The collection layer
+//! compensates: its retry loop frees blocks allocated by an aborted
+//! attempt immediately, which is safe precisely because they were never
+//! published.)
+//!
+//! Freeing, by contrast, **is** transactional in effect: a collection node
+//! is retired via [`crate::api::WordTx::retire_tvar_block`], which defers
+//! the actual [`VarTable::remove_block`] to after the unlinking
+//! transaction's commit *plus* a grace period (no in-flight transaction
+//! predating the commit — see [`crate::reclaim::GraceTracker`]). A node
+//! unlinked by an attempt that aborts is therefore never freed, and a
+//! zombie reader that picked the node's id up before the unlink can still
+//! resolve it until the zombie finishes. Removal is batched per shard,
+//! like block allocation, so a multi-word node costs at most one lock
+//! acquisition per shard, not per word. Dynamic ids are never reused
+//! (the allocator is monotonic), so a freed id can only ever miss — a
+//! read of one panics with the uniform `t-variable <x> not registered`
+//! diagnostic, never aliases a later allocation.
 
 use oftm_histories::{TVarId, Value};
 use std::collections::HashMap;
@@ -42,11 +61,17 @@ pub const DYNAMIC_TVAR_BASE: u64 = 1 << 32;
 /// Number of lock shards; a power of two so the shard index is a mask.
 const SHARDS: usize = 16;
 
+/// Blocks up to this long take per-element shard locks directly; longer
+/// blocks (bucket arrays, counter stripes) group ids by shard first so
+/// each shard is locked once regardless of block length.
+const SMALL_BLOCK: usize = 4;
+
 /// A sharded concurrent map from [`TVarId`] to shared per-variable state,
 /// plus the dynamic-id allocator.
 pub struct VarTable<V> {
     shards: Vec<RwLock<HashMap<TVarId, Arc<V>>>>,
     next_dynamic: AtomicU64,
+    freed: AtomicU64,
 }
 
 impl<V> Default for VarTable<V> {
@@ -60,13 +85,18 @@ impl<V> VarTable<V> {
         VarTable {
             shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
             next_dynamic: AtomicU64::new(DYNAMIC_TVAR_BASE),
+            freed: AtomicU64::new(0),
         }
     }
 
-    fn shard(&self, x: TVarId) -> &RwLock<HashMap<TVarId, Arc<V>>> {
+    fn shard_index(x: TVarId) -> usize {
         // Mix the id a little so contiguous blocks spread across shards.
         let h = x.0 ^ (x.0 >> 7);
-        &self.shards[(h as usize) & (SHARDS - 1)]
+        (h as usize) & (SHARDS - 1)
+    }
+
+    fn shard(&self, x: TVarId) -> &RwLock<HashMap<TVarId, Arc<V>>> {
+        &self.shards[Self::shard_index(x)]
     }
 
     /// Inserts (or replaces) the state for `x`.
@@ -88,6 +118,11 @@ impl<V> VarTable<V> {
     /// Allocates `initials.len()` fresh t-variables with **contiguous**
     /// ids, creating each one's state with `make`, and returns the first
     /// id. Safe to call concurrently and from inside running transactions.
+    ///
+    /// The block's ids are grouped by shard and inserted with **one lock
+    /// acquisition per shard** (at most [`SHARDS`], regardless of block
+    /// size) instead of one per element; state construction runs outside
+    /// any lock.
     pub fn alloc_block(
         &self,
         initials: &[Value],
@@ -97,11 +132,73 @@ impl<V> VarTable<V> {
         let base = self
             .next_dynamic
             .fetch_add(initials.len() as u64, Ordering::Relaxed);
+        if initials.len() <= SMALL_BLOCK {
+            // Small-block fast path (every collection node is 2–3 words):
+            // per-element inserts are at most SMALL_BLOCK uncontended lock
+            // acquisitions, cheaper than heap-allocating the per-shard
+            // grouping scaffolding below.
+            for (k, &init) in initials.iter().enumerate() {
+                let id = TVarId(base + k as u64);
+                self.insert(id, make(id, init));
+            }
+            return TVarId(base);
+        }
+        let mut per_shard: Vec<Vec<(TVarId, Arc<V>)>> = (0..SHARDS).map(|_| Vec::new()).collect();
         for (k, &init) in initials.iter().enumerate() {
             let id = TVarId(base + k as u64);
-            self.insert(id, make(id, init));
+            per_shard[Self::shard_index(id)].push((id, Arc::new(make(id, init))));
+        }
+        for (s, group) in per_shard.into_iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            let mut shard = self.shards[s].write().unwrap();
+            for (id, v) in group {
+                shard.insert(id, v);
+            }
         }
         TVarId(base)
+    }
+
+    /// Removes the state for `x`; `true` if it was present. Outstanding
+    /// `Arc` handles (e.g. a zombie transaction's read-set) keep the state
+    /// alive; only the table's reference is dropped.
+    pub fn remove(&self, x: TVarId) -> bool {
+        let gone = self.shard(x).write().unwrap().remove(&x).is_some();
+        if gone {
+            self.freed.fetch_add(1, Ordering::Relaxed);
+        }
+        gone
+    }
+
+    /// Removes `len` contiguous t-variables starting at `base`, grouped by
+    /// shard like [`VarTable::alloc_block`] (one lock acquisition per
+    /// shard). Absent ids are skipped — removal is idempotent.
+    pub fn remove_block(&self, base: TVarId, len: usize) {
+        if len <= SMALL_BLOCK {
+            for k in 0..len {
+                self.remove(TVarId(base.0 + k as u64));
+            }
+            return;
+        }
+        let mut per_shard: Vec<Vec<TVarId>> = (0..SHARDS).map(|_| Vec::new()).collect();
+        for k in 0..len {
+            let id = TVarId(base.0 + k as u64);
+            per_shard[Self::shard_index(id)].push(id);
+        }
+        let mut removed = 0u64;
+        for (s, group) in per_shard.into_iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            let mut shard = self.shards[s].write().unwrap();
+            for id in group {
+                if shard.remove(&id).is_some() {
+                    removed += 1;
+                }
+            }
+        }
+        self.freed.fetch_add(removed, Ordering::Relaxed);
     }
 
     /// Number of live t-variables (diagnostics).
@@ -116,6 +213,13 @@ impl<V> VarTable<V> {
     /// Number of dynamic ids handed out so far (diagnostics).
     pub fn dynamic_allocated(&self) -> u64 {
         self.next_dynamic.load(Ordering::Relaxed) - DYNAMIC_TVAR_BASE
+    }
+
+    /// Number of t-variables removed so far (diagnostics; counts every
+    /// entry actually evicted by [`VarTable::remove`]/
+    /// [`VarTable::remove_block`]).
+    pub fn freed(&self) -> u64 {
+        self.freed.load(Ordering::Relaxed)
     }
 }
 
@@ -177,5 +281,54 @@ mod tests {
     fn get_or_panic_diagnostic() {
         let t: VarTable<u64> = VarTable::new();
         let _ = t.get_or_panic(TVarId(77));
+    }
+
+    #[test]
+    fn remove_block_evicts_exactly_the_block() {
+        let t: VarTable<u64> = VarTable::new();
+        let a = t.alloc_block(&[1, 2, 3], |_, v| v);
+        let b = t.alloc_block(&[4, 5], |_, v| v);
+        t.remove_block(a, 3);
+        for k in 0..3 {
+            assert!(t.get(TVarId(a.0 + k)).is_none(), "freed id still resolves");
+        }
+        assert_eq!(*t.get(b).unwrap(), 4);
+        assert_eq!(*t.get(TVarId(b.0 + 1)).unwrap(), 5);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.freed(), 3);
+        // Idempotent: re-removal is a no-op and does not inflate the metric.
+        t.remove_block(a, 3);
+        assert_eq!(t.freed(), 3);
+        assert!(t.remove(b));
+        assert!(!t.remove(b));
+        assert_eq!(t.freed(), 4);
+    }
+
+    #[test]
+    fn outstanding_handles_survive_removal() {
+        let t: VarTable<u64> = VarTable::new();
+        let a = t.alloc_block(&[9], |_, v| v);
+        let held = t.get(a).unwrap();
+        t.remove(a);
+        assert!(t.get(a).is_none());
+        assert_eq!(*held, 9, "zombie-held state stays valid after eviction");
+    }
+
+    #[test]
+    fn concurrent_alloc_and_remove_keep_count_exact() {
+        let t: VarTable<u64> = VarTable::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..50 {
+                        let b = t.alloc_block(&[0, 0, 0], |_, v| v);
+                        t.remove_block(b, 3);
+                    }
+                });
+            }
+        });
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.dynamic_allocated(), 4 * 50 * 3);
+        assert_eq!(t.freed(), 4 * 50 * 3);
     }
 }

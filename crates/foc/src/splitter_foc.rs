@@ -102,6 +102,14 @@ impl<T> SplitterFoc<T> {
         Self::with_capacity(4096)
     }
 
+    /// The decided value, if any (non-proposing observer).
+    pub fn decided(&self) -> Option<T>
+    where
+        T: Clone,
+    {
+        self.read_decision()
+    }
+
     fn read_decision(&self) -> Option<T>
     where
         T: Clone,

@@ -1,25 +1,43 @@
 //! The transaction context collections operate in: one live transaction
-//! plus the STM it runs on (needed for mid-transaction allocation).
+//! plus the STM it runs on (needed for mid-transaction allocation), with
+//! the bookkeeping that keeps dynamic t-variables from leaking:
+//!
+//! * node **retirement** ([`TxCtx::retire_block`]) is forwarded to the
+//!   transaction as a deferred commit effect — see
+//!   [`WordTx::retire_tvar_block`];
+//! * attempt-local **allocations** are recorded, and the retry loops here
+//!   free them when the attempt aborts. An aborted attempt's blocks were
+//!   never published (the write that would have linked them rolled back),
+//!   so no other transaction can hold their ids and the free is immediate
+//!   and safe. Without this, every aborted insert would leak a node.
 
-use oftm_core::api::{WordStm, WordTx};
-use oftm_core::{run_transaction, run_transaction_with_budget, BudgetExceeded, TxResult};
+use oftm_core::api::{retry_backoff, WordStm, WordTx};
+use oftm_core::{BudgetExceeded, TxResult};
 use oftm_histories::{TVarId, Value};
 
 /// A live transaction paired with its STM.
 ///
-/// Collection operations need both halves: reads and writes go through the
-/// transaction, while node allocation goes through the STM
+/// Collection operations need both halves: reads, writes and retirement
+/// go through the transaction, while node allocation goes through the STM
 /// ([`WordStm::alloc_tvar_block`] is safe mid-transaction). `TxCtx` keeps
 /// the pair together so collection code cannot accidentally mix
-/// transactions from different STMs.
+/// transactions from different STMs, and records the attempt's
+/// allocations for abort-path release.
 pub struct TxCtx<'a, 'b> {
     stm: &'a dyn WordStm,
     tx: &'a mut (dyn WordTx + 'b),
+    /// Blocks allocated by this attempt, freed by the retry loop if the
+    /// attempt does not commit.
+    allocs: Vec<(TVarId, usize)>,
 }
 
 impl<'a, 'b> TxCtx<'a, 'b> {
     pub fn new(stm: &'a dyn WordStm, tx: &'a mut (dyn WordTx + 'b)) -> Self {
-        TxCtx { stm, tx }
+        TxCtx {
+            stm,
+            tx,
+            allocs: Vec::new(),
+        }
     }
 
     /// The STM this context's transaction runs on.
@@ -37,12 +55,34 @@ impl<'a, 'b> TxCtx<'a, 'b> {
 
     /// Allocates one fresh t-variable (see [`WordStm::alloc_tvar`]).
     pub fn alloc(&mut self, initial: Value) -> TVarId {
-        self.stm.alloc_tvar(initial)
+        self.alloc_block(std::slice::from_ref(&initial))
     }
 
-    /// Allocates a contiguous block of fresh t-variables (a node).
+    /// Allocates a contiguous block of fresh t-variables (a node). The
+    /// block is released automatically if this attempt aborts.
     pub fn alloc_block(&mut self, initials: &[Value]) -> TVarId {
-        self.stm.alloc_tvar_block(initials)
+        let base = self.stm.alloc_tvar_block(initials);
+        self.allocs.push((base, initials.len()));
+        base
+    }
+
+    /// Schedules an **unlinked** node's block for reclamation when this
+    /// transaction commits (discarded if it aborts). The caller must have
+    /// rewritten the node's single incoming link in this same transaction.
+    pub fn retire_block(&mut self, base: TVarId, len: usize) {
+        self.tx.retire_tvar_block(base, len);
+    }
+
+    fn take_allocs(&mut self) -> Vec<(TVarId, usize)> {
+        std::mem::take(&mut self.allocs)
+    }
+}
+
+/// Frees blocks allocated by an attempt that did not commit. Safe to do
+/// immediately: the blocks were never published.
+fn release_attempt_allocs(stm: &dyn WordStm, allocs: Vec<(TVarId, usize)>) {
+    for (base, len) in allocs {
+        stm.free_tvar_block(base, len);
     }
 }
 
@@ -51,18 +91,100 @@ impl<'a, 'b> TxCtx<'a, 'b> {
 pub fn atomically<R>(
     stm: &dyn WordStm,
     proc: u32,
-    mut body: impl FnMut(&mut TxCtx<'_, '_>) -> TxResult<R>,
+    body: impl FnMut(&mut TxCtx<'_, '_>) -> TxResult<R>,
 ) -> R {
-    run_transaction(stm, proc, |tx| body(&mut TxCtx::new(stm, tx))).0
+    match atomically_budgeted(stm, proc, u32::MAX, body) {
+        Ok((r, _)) => r,
+        // u32::MAX attempts without a commit is indistinguishable from a
+        // hang in practice; keep the unbounded signature but fail loudly.
+        Err(e) => panic!("atomically: {e}"),
+    }
 }
 
 /// Like [`atomically`] but bounded: gives up after `max_attempts` aborted
 /// attempts. Returns the result together with the attempt count.
+///
+/// Mirrors [`oftm_core::run_transaction_with_budget`] (same randomized
+/// backoff schedule), with one collection-level addition: blocks the
+/// attempt allocated are freed when the attempt aborts, so abandoned
+/// nodes never accumulate in the variable table.
 pub fn atomically_budgeted<R>(
     stm: &dyn WordStm,
     proc: u32,
     max_attempts: u32,
     mut body: impl FnMut(&mut TxCtx<'_, '_>) -> TxResult<R>,
 ) -> Result<(R, u32), BudgetExceeded> {
-    run_transaction_with_budget(stm, proc, max_attempts, |tx| body(&mut TxCtx::new(stm, tx)))
+    let mut attempts = 0;
+    while attempts < max_attempts {
+        if attempts > 0 {
+            retry_backoff(proc, attempts);
+        }
+        attempts += 1;
+        let mut tx = stm.begin(proc);
+        let (out, allocs) = {
+            let mut ctx = TxCtx::new(stm, tx.as_mut());
+            let out = body(&mut ctx);
+            let allocs = ctx.take_allocs();
+            (out, allocs)
+        };
+        match out {
+            Ok(r) => match tx.try_commit() {
+                Ok(()) => return Ok((r, attempts)),
+                Err(_) => release_attempt_allocs(stm, allocs),
+            },
+            Err(_) => {
+                // Drop (not tryA) the transaction, exactly like the core
+                // retry loop: the body already observed the abort event,
+                // an explicit tryA would record a second operation on a
+                // completed transaction. Backends settle themselves on
+                // drop. The drop also releases the grace slot before the
+                // blocks are freed below.
+                drop(tx);
+                release_attempt_allocs(stm, allocs);
+            }
+        }
+    }
+    Err(BudgetExceeded {
+        attempts: max_attempts,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oftm_core::dstm::{Dstm, DstmWord};
+    use oftm_core::TxError;
+
+    #[test]
+    fn aborted_attempt_releases_its_allocations() {
+        let stm = DstmWord::new(Dstm::default());
+        let anchor = stm.alloc_tvar(0);
+        assert_eq!(stm.live_tvars(), 1);
+        let mut first = true;
+        let (got, attempts) = atomically_budgeted(&stm, 0, 8, |ctx| {
+            let node = ctx.alloc_block(&[1, 2]);
+            if std::mem::take(&mut first) {
+                return Err(TxError::Aborted); // simulate a conflict abort
+            }
+            ctx.write(anchor, node.0)?;
+            Ok(node)
+        })
+        .unwrap();
+        assert_eq!(attempts, 2);
+        // The aborted attempt's block was freed; the committed one lives.
+        assert_eq!(stm.live_tvars(), 3);
+        assert_eq!(stm.peek(got), Some(1));
+    }
+
+    #[test]
+    fn budget_exhaustion_releases_every_attempt() {
+        let stm = DstmWord::new(Dstm::default());
+        let err = atomically_budgeted::<()>(&stm, 0, 3, |ctx| {
+            let _ = ctx.alloc_block(&[7, 7, 7]);
+            Err(TxError::Aborted)
+        })
+        .unwrap_err();
+        assert_eq!(err.attempts, 3);
+        assert_eq!(stm.live_tvars(), 0, "every attempt's block released");
+    }
 }

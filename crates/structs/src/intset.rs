@@ -74,11 +74,14 @@ impl TxIntSet {
     }
 
     /// Removes `v` inside the caller's transaction; `false` if absent.
+    /// The unlinked node is retired: its two t-variables are reclaimed
+    /// after this transaction commits and the grace period passes.
     pub fn remove_in(&self, ctx: &mut TxCtx<'_, '_>, v: u64) -> TxResult<bool> {
         let loc = self.locate(ctx, v)?;
         if loc.cur != NIL && loc.cur_val == Some(v) {
             let after = ctx.read(TVarId(loc.cur + NXT))?;
             ctx.write(loc.prev_link, after)?;
+            ctx.retire_block(TVarId(loc.cur), 2);
             Ok(true)
         } else {
             Ok(false)
@@ -89,6 +92,19 @@ impl TxIntSet {
     pub fn contains_in(&self, ctx: &mut TxCtx<'_, '_>, v: u64) -> TxResult<bool> {
         let loc = self.locate(ctx, v)?;
         Ok(loc.cur_val == Some(v))
+    }
+
+    /// Number of elements, inside the caller's transaction. Walks the
+    /// list counting links only — no values are read and no snapshot
+    /// `Vec` is allocated.
+    pub fn count_in(&self, ctx: &mut TxCtx<'_, '_>) -> TxResult<usize> {
+        let mut n = 0;
+        let mut cur = ctx.read(self.head)?;
+        while cur != NIL {
+            n += 1;
+            cur = ctx.read(TVarId(cur + NXT))?;
+        }
+        Ok(n)
     }
 
     /// Consistent snapshot of the whole set, in list (= sorted) order.
@@ -122,9 +138,10 @@ impl TxIntSet {
         atomically(stm, proc, |ctx| self.snapshot_in(ctx))
     }
 
-    /// Number of elements (walks the list in its own transaction).
+    /// Number of elements (walks the list in its own transaction, via
+    /// [`TxIntSet::count_in`] — no snapshot allocation).
     pub fn len(&self, stm: &dyn WordStm, proc: u32) -> usize {
-        self.snapshot(stm, proc).len()
+        atomically(stm, proc, |ctx| self.count_in(ctx))
     }
 
     /// True iff the set is empty.

@@ -24,10 +24,18 @@
 //! [`oftm_core::table::DYNAMIC_TVAR_BASE`] (= 2³²), so the value `0` is
 //! always safe as the null pointer [`NIL`].
 //!
-//! Allocation is not a transactional effect: nodes allocated by an attempt
-//! that later aborts simply stay unreachable (DSTM's object-allocation
-//! semantics). All *linking* happens through transactional writes, so the
-//! structures inherit whatever safety the underlying STM provides.
+//! Allocation is not a transactional effect at the STM level (DSTM's
+//! object-allocation semantics), but the retry loops here compensate:
+//! blocks allocated by an attempt that aborts are freed before the retry
+//! (they were never published, so the free is safe). Symmetrically,
+//! nodes *unlinked* by `remove`/`dequeue` are retired via
+//! [`WordTx::retire_tvar_block`] — reclaimed only after the unlinking
+//! transaction commits and every transaction in flight at that commit has
+//! finished. Together these keep the live t-variable count of a
+//! steady-state churn workload bounded by the structure's size (the
+//! `churn-steady-state` differential scenario enforces exactly this). All
+//! *linking* happens through transactional writes, so the structures
+//! inherit whatever safety the underlying STM provides.
 //!
 //! ## Quick start
 //!

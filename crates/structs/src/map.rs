@@ -75,6 +75,8 @@ impl TxHashMap {
     }
 
     /// Removes `key` inside the caller's transaction; returns its value.
+    /// The unlinked node is retired: its three t-variables are reclaimed
+    /// after this transaction commits and the grace period passes.
     pub fn remove_in(&self, ctx: &mut TxCtx<'_, '_>, key: u64) -> TxResult<Option<Value>> {
         let (prev_link, node) = self.locate(ctx, key)?;
         if node == NIL {
@@ -83,6 +85,7 @@ impl TxHashMap {
         let old = ctx.read(TVarId(node + VAL))?;
         let after = ctx.read(TVarId(node + NXT))?;
         ctx.write(prev_link, after)?;
+        ctx.retire_block(TVarId(node), 3);
         Ok(Some(old))
     }
 

@@ -48,7 +48,9 @@ impl TxQueue {
         ctx.write(self.tail(), node.0)
     }
 
-    /// Pops the front element inside the caller's transaction.
+    /// Pops the front element inside the caller's transaction. The
+    /// unlinked node is retired: its two t-variables are reclaimed after
+    /// this transaction commits and the grace period passes.
     pub fn dequeue_in(&self, ctx: &mut TxCtx<'_, '_>) -> TxResult<Option<Value>> {
         let h = ctx.read(self.head())?;
         if h == NIL {
@@ -60,6 +62,7 @@ impl TxQueue {
         if next == NIL {
             ctx.write(self.tail(), NIL)?;
         }
+        ctx.retire_block(TVarId(h), 2);
         Ok(Some(v))
     }
 
