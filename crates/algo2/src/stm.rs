@@ -43,7 +43,7 @@ use crate::registry::Registry;
 use oftm_core::api::{TxError, TxResult, WordStm, WordTx};
 use oftm_core::reclaim::{GraceTracker, RetiredBlock, TxGrace};
 use oftm_core::record::{fresh_base_id, Recorder};
-use oftm_core::table::DYNAMIC_TVAR_BASE;
+use oftm_core::table::{VarTable, DYNAMIC_TVAR_BASE};
 use oftm_foc::{CasFoc, FoConsensus, SplitterFoc};
 use oftm_histories::{Access, BaseObjId, TVarId, TmOp, TmResp, TxId, Value};
 use std::collections::HashSet;
@@ -162,8 +162,13 @@ pub struct Algo2Stm {
     aborted: Registry<TxId, FlagCell>,
     /// `V[x]`.
     v: Registry<TVarId, RegCell>,
-    /// Initial states of t-variables.
-    initial: Registry<TVarId, u64>,
+    /// Initial states of t-variables — also the allocation/liveness
+    /// table. This is the one cell consulted on **every** acquire (the
+    /// dynamic-id existence check), so it lives in the lock-free paged
+    /// slab rather than a mutexed registry: the check is a wait-free
+    /// array index, and allocation/free reuse the slab's exact
+    /// live-count accounting.
+    initial: VarTable<Value>,
     /// Scan memoization: per t-variable, `(version, state)` — every
     /// version `< version` is **decided** (fo-consensus decisions are
     /// immutable) and `state` is the value after the last committed owner
@@ -176,11 +181,6 @@ pub struct Algo2Stm {
     /// grow quadratically in the abort count, which is what used to wedge
     /// the 8-thread collection workloads.
     scan_hint: Registry<TVarId, parking_lot::Mutex<(u64, u64)>>,
-    /// Next dynamically allocated t-variable id (see
-    /// [`oftm_core::table::DYNAMIC_TVAR_BASE`]). Algorithm 2's arrays are
-    /// lazily materialized anyway, so "allocation" is just reserving ids
-    /// and pinning their initial states.
-    next_dynamic: AtomicU64,
     /// Grace-period tracker for [`WordTx::retire_tvar_block`]. Freeing a
     /// t-variable evicts its `initial`/`V` cells and every `Owner`/`TVar`
     /// cell keyed by it — the per-version residue footnote 6 of the paper
@@ -206,9 +206,8 @@ impl Algo2Stm {
             tvar: Registry::new(),
             aborted: Registry::new(),
             v: Registry::new(),
-            initial: Registry::new(),
+            initial: VarTable::new(),
             scan_hint: Registry::new(),
-            next_dynamic: AtomicU64::new(DYNAMIC_TVAR_BASE),
             reclaim: GraceTracker::new(),
             tx_seq: AtomicU32::new(0),
             recorder: None,
@@ -237,7 +236,7 @@ impl Algo2Stm {
 
     fn initial_of(&self, x: TVarId) -> u64 {
         self.initial
-            .get(&x)
+            .get(x)
             .map(|v| *v)
             .unwrap_or(oftm_histories::INITIAL_VALUE)
     }
@@ -289,7 +288,7 @@ impl<'s> Algo2Tx<'s> {
         // registries would otherwise silently materialize fresh cells for
         // a reclaimed variable and hand back a default value. Static ids
         // keep the model's implicit-initial-value semantics.
-        if x.0 >= DYNAMIC_TVAR_BASE && self.stm.initial.get(&x).is_none() {
+        if x.0 >= DYNAMIC_TVAR_BASE && self.stm.initial.get(x).is_none() {
             panic!("t-variable {x} not registered");
         }
         let state = if !self.wset.contains(&x) {
@@ -391,7 +390,7 @@ impl<'s> Algo2Tx<'s> {
         // grace tracker never frees under a registered transaction) must
         // surface as the uniform panic, not as a default value from cells
         // the lazy registries re-materialized above.
-        if x.0 >= DYNAMIC_TVAR_BASE && self.stm.initial.get(&x).is_none() {
+        if x.0 >= DYNAMIC_TVAR_BASE && self.stm.initial.get(x).is_none() {
             panic!("t-variable {x} not registered");
         }
         Ok(state)
@@ -502,25 +501,20 @@ impl WordStm for Algo2Stm {
     }
 
     fn register_tvar(&self, x: TVarId, initial: Value) {
-        self.initial.get_or_create(&x, || initial);
+        // Atomic keep-first semantics (re-registration must not reset
+        // state the version scans already adopted), like the
+        // `Registry::get_or_create` this replaced.
+        self.initial.insert_if_absent(x, initial);
     }
 
     fn alloc_tvar_block(&self, initials: &[Value]) -> TVarId {
-        assert!(!initials.is_empty(), "alloc_tvar_block of zero t-variables");
-        let base = self
-            .next_dynamic
-            .fetch_add(initials.len() as u64, Ordering::Relaxed);
-        for (k, &init) in initials.iter().enumerate() {
-            self.initial
-                .get_or_create(&TVarId(base + k as u64), || init);
-        }
-        TVarId(base)
+        self.initial.alloc_block(initials, |_, v| v)
     }
 
     fn free_tvar_block(&self, base: TVarId, len: usize) {
+        self.initial.remove_block(base, len);
         for k in 0..len {
             let x = TVarId(base.0 + k as u64);
-            self.initial.remove(&x);
             self.v.remove(&x);
             self.scan_hint.remove(&x);
             // `Owner[x, ·]` cells are materialized by version scans, which

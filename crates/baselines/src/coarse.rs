@@ -13,6 +13,7 @@
 //! gate — so a *running* transaction (which holds the gate) can allocate
 //! list nodes without self-deadlocking.
 
+use crossbeam_epoch::{self as epoch, Guard};
 use oftm_core::api::{TxResult, WordStm, WordTx};
 use oftm_core::reclaim::{GraceTracker, RetiredBlock, TxGrace};
 use oftm_core::record::{fresh_base_id, Recorder};
@@ -88,6 +89,10 @@ struct CoarseTx<'s> {
     /// discarded) on abort.
     grace: Option<TxGrace>,
     retired: Vec<RetiredBlock>,
+    /// Transaction-lifetime epoch pin: the paged-slab table's per-access
+    /// pins nest under it (a counter bump instead of an epoch
+    /// publication per read/write).
+    pin: Guard,
 }
 
 impl CoarseTx<'_> {
@@ -112,7 +117,11 @@ impl WordTx for CoarseTx<'_> {
             r.invoke(self.id, TmOp::Read(x));
         }
         debug_assert!(self.guard.is_some(), "transaction completed");
-        let v = self.stm.store.get_or_panic(x).load(Ordering::Acquire);
+        let v = self
+            .stm
+            .store
+            .get_or_panic_in(x, &self.pin)
+            .load(Ordering::Acquire);
         if let Some(r) = self.rec() {
             r.respond(self.id, TmResp::Value(v));
         }
@@ -124,7 +133,7 @@ impl WordTx for CoarseTx<'_> {
             r.invoke(self.id, TmOp::Write(x, v));
         }
         debug_assert!(self.guard.is_some(), "transaction completed");
-        let cell = self.stm.store.get_or_panic(x);
+        let cell = self.stm.store.get_or_panic_in(x, &self.pin);
         self.undo
             .push((Arc::clone(&cell), cell.load(Ordering::Acquire)));
         cell.store(v, Ordering::Release);
@@ -229,6 +238,7 @@ impl WordStm for CoarseStm {
             undo: Vec::new(),
             grace: Some(self.reclaim.begin()),
             retired: Vec::new(),
+            pin: epoch::pin(),
         })
     }
 

@@ -10,13 +10,20 @@
 //!
 //! It is, of course, *blocking*: a preempted transaction that holds commit
 //! locks stalls every writer of those variables (E9 measures the stall).
+//!
+//! Transactions reuse pooled scratch buffers (read-set, write-set, lock
+//! log) across their lifetimes, the write-set carries the variable
+//! handles it resolved (commit takes zero table probes), and a
+//! transaction-lifetime epoch pin makes the paged-slab table's per-read
+//! pins nest for free — steady-state transactions allocate nothing.
 
+use crossbeam_epoch::{self as epoch, Guard};
 use oftm_core::api::{TxError, TxResult, WordStm, WordTx};
+use oftm_core::pool::SlotPool;
 use oftm_core::reclaim::{GraceTracker, RetiredBlock, TxGrace};
 use oftm_core::record::{fresh_base_id, Recorder};
 use oftm_core::table::VarTable;
 use oftm_histories::{Access, BaseObjId, TVarId, TmOp, TmResp, TxId, Value};
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -71,12 +78,22 @@ impl VLockVar {
     }
 }
 
+/// Pooled per-transaction buffers (see module docs).
+#[derive(Default)]
+struct Scratch {
+    reads: Vec<(Arc<VLockVar>, TVarId, u64)>,
+    writes: Vec<(TVarId, Value, Arc<VLockVar>)>,
+    locked: Vec<u64>,
+    retired: Vec<RetiredBlock>,
+}
+
 /// TL-style STM.
 pub struct TlStm {
     vars: VarTable<VLockVar>,
     reclaim: GraceTracker,
     tx_seq: AtomicU32,
     recorder: Option<Arc<Recorder>>,
+    scratch: SlotPool<Scratch>,
     /// Bounded spin on a locked variable before giving up and aborting
     /// (keeps writers from deadlocking; readers never block).
     pub lock_patience: u32,
@@ -95,6 +112,7 @@ impl TlStm {
             reclaim: GraceTracker::new(),
             tx_seq: AtomicU32::new(0),
             recorder: None,
+            scratch: SlotPool::new(),
             lock_patience: 4096,
         }
     }
@@ -108,8 +126,11 @@ impl TlStm {
         self.vars.get(x).map(|v| v.value.load(Ordering::Acquire))
     }
 
-    fn reclaim_after_commit(&self, grace: TxGrace, retired: Vec<RetiredBlock>) {
-        for blk in self.reclaim.retire_and_flush(grace, retired) {
+    fn reclaim_after_commit(&self, grace: TxGrace, retired: &mut Vec<RetiredBlock>) {
+        for blk in self
+            .reclaim
+            .retire_and_flush(grace, std::mem::take(retired))
+        {
             self.vars.remove_block(blk.base, blk.len);
         }
     }
@@ -118,15 +139,22 @@ impl TlStm {
 struct TlTx<'s> {
     stm: &'s TlStm,
     id: TxId,
-    /// Read-set: (var, observed version).
+    /// Read-set: (var, id, observed version).
     reads: Vec<(Arc<VLockVar>, TVarId, u64)>,
-    /// Redo log, ordered by first write; committed under locks.
-    writes: Vec<(TVarId, Value)>,
+    /// Redo log, ordered by first write, carrying resolved handles;
+    /// committed under locks.
+    writes: Vec<(TVarId, Value, Arc<VLockVar>)>,
+    /// Lock log of the commit attempt: previous lock words, parallel to
+    /// the (deduplicated, sorted) prefix of `writes`.
+    locked: Vec<u64>,
     /// Grace-period registration; dropping it (any abort path) releases
     /// the slot and discards `retired` with the transaction.
     grace: Option<TxGrace>,
     retired: Vec<RetiredBlock>,
     dead: bool,
+    /// Epoch pin held for the transaction's lifetime (nested table pins
+    /// become a counter bump).
+    pin: Guard,
 }
 
 impl TlTx<'_> {
@@ -148,16 +176,27 @@ impl TlTx<'_> {
         }
     }
 
+    /// Resolves `x`, preferring handles this transaction already holds
+    /// (write-set entries, then the most recent read — the read-then-
+    /// write upgrade pattern) over a table probe.
     fn var(&self, x: TVarId) -> Arc<VLockVar> {
-        self.stm.vars.get_or_panic(x)
+        if let Some((_, _, var)) = self.writes.iter().rev().find(|(w, _, _)| *w == x) {
+            return Arc::clone(var);
+        }
+        if let Some((var, rx, _)) = self.reads.last() {
+            if *rx == x {
+                return Arc::clone(var);
+            }
+        }
+        self.stm.vars.get_or_panic_in(x, &self.pin)
     }
 
     fn buffered(&self, x: TVarId) -> Option<Value> {
         self.writes
             .iter()
             .rev()
-            .find(|(w, _)| *w == x)
-            .map(|(_, v)| *v)
+            .find(|(w, _, _)| *w == x)
+            .map(|(_, v, _)| *v)
     }
 }
 
@@ -176,13 +215,13 @@ impl WordTx for TlTx<'_> {
             self.rrespond(TmResp::Value(v));
             return Ok(v);
         }
-        let var = self.var(x);
+        let var = self.stm.vars.get_or_panic_in(x, &self.pin);
         let mut patience = self.stm.lock_patience;
         loop {
             self.rstep(var.lock_base, Access::Read);
             if let Some((ver, val)) = var.read_consistent() {
                 self.rstep(var.value_base, Access::Read);
-                self.reads.push((Arc::clone(&var), x, ver));
+                self.reads.push((var, x, ver));
                 self.rrespond(TmResp::Value(val));
                 return Ok(val);
             }
@@ -203,8 +242,8 @@ impl WordTx for TlTx<'_> {
             self.rrespond(TmResp::Aborted);
             return Err(TxError::Aborted);
         }
-        let _ = self.var(x); // existence check up front
-        self.writes.push((x, v));
+        let var = self.var(x); // existence check + handle capture
+        self.writes.push((x, v, var));
         self.rrespond(TmResp::Ok);
         Ok(())
     }
@@ -216,34 +255,38 @@ impl WordTx for TlTx<'_> {
             return Err(TxError::Aborted);
         }
 
-        // Deduplicate the write-set (last value wins) and lock in global
-        // t-variable order to avoid deadlock among committers.
-        let mut last: HashMap<TVarId, Value> = HashMap::new();
-        for (x, v) in &self.writes {
-            last.insert(*x, *v);
-        }
-        let mut targets: Vec<(TVarId, Value)> = last.into_iter().collect();
-        targets.sort_by_key(|(x, _)| *x);
+        // Deduplicate the write-set in place (stable sort; last value
+        // wins) and lock in global t-variable order to avoid deadlock
+        // among committers. No table probe, no allocation.
+        self.writes.sort_by_key(|(x, _, _)| *x);
+        self.writes.dedup_by(|later, earlier| {
+            if later.0 == earlier.0 {
+                earlier.1 = later.1;
+                true
+            } else {
+                false
+            }
+        });
 
-        let mut locked: Vec<(Arc<VLockVar>, u64)> = Vec::with_capacity(targets.len());
-        let unlock_all = |locked: &[(Arc<VLockVar>, u64)]| {
-            for (var, prev) in locked.iter().rev() {
+        let unlock_all = |writes: &[(TVarId, Value, Arc<VLockVar>)], locked: &[u64]| {
+            for ((_, _, var), prev) in writes.iter().zip(locked).rev() {
                 var.unlock(*prev, false);
             }
         };
 
-        for (x, _) in &targets {
-            let var = self.var(*x);
+        self.locked.clear();
+        for i in 0..self.writes.len() {
+            let var = &self.writes[i].2;
             let mut patience = self.stm.lock_patience;
             loop {
                 self.rstep(var.lock_base, Access::Modify);
                 if let Some(prev) = var.try_lock() {
-                    locked.push((Arc::clone(&var), prev));
+                    self.locked.push(prev);
                     break;
                 }
                 patience = patience.saturating_sub(1);
                 if patience == 0 {
-                    unlock_all(&locked);
+                    unlock_all(&self.writes[..self.locked.len()], &self.locked);
                     self.rrespond(TmResp::Aborted);
                     return Err(TxError::Aborted);
                 }
@@ -253,30 +296,30 @@ impl WordTx for TlTx<'_> {
 
         // Validate the read-set: versions unchanged and not locked by
         // someone else (our own locks are fine).
-        for (var, _x, ver) in &self.reads {
+        for (var, x, ver) in &self.reads {
             self.rstep(var.lock_base, Access::Read);
             let cur = var.lock.load(Ordering::Acquire);
-            let ours = locked.iter().any(|(l, _)| Arc::ptr_eq(l, var));
+            let ours = self.writes.binary_search_by_key(x, |(w, _, _)| *w).is_ok();
             let effective = if ours { cur & !LOCK_BIT } else { cur };
             if effective != *ver || (!ours && cur & LOCK_BIT != 0) {
-                unlock_all(&locked);
+                unlock_all(&self.writes, &self.locked);
                 self.rrespond(TmResp::Aborted);
                 return Err(TxError::Aborted);
             }
         }
 
         // Apply and release with version bump.
-        for ((_x, v), (var, prev)) in targets.iter().zip(&locked) {
+        for ((_x, v, var), prev) in self.writes.iter().zip(&self.locked) {
             var.value.store(*v, Ordering::Release);
             self.rstep(var.value_base, Access::Modify);
             var.unlock(*prev, true);
             self.rstep(var.lock_base, Access::Modify);
         }
         self.rrespond(TmResp::Committed);
-        self.stm.reclaim_after_commit(
-            self.grace.take().expect("grace slot held until completion"),
-            std::mem::take(&mut self.retired),
-        );
+        let grace = self.grace.take().expect("grace slot held until completion");
+        let mut retired = std::mem::take(&mut self.retired);
+        self.stm.reclaim_after_commit(grace, &mut retired);
+        self.retired = retired;
         Ok(())
     }
 
@@ -289,6 +332,24 @@ impl WordTx for TlTx<'_> {
 
     fn retire_tvar_block(&mut self, base: TVarId, len: usize) {
         self.retired.push(RetiredBlock { base, len });
+    }
+}
+
+impl Drop for TlTx<'_> {
+    fn drop(&mut self) {
+        // Return the (cleared) buffers to the pool: the next transaction
+        // begins with warm capacity instead of fresh allocations.
+        let mut s = Scratch {
+            reads: std::mem::take(&mut self.reads),
+            writes: std::mem::take(&mut self.writes),
+            locked: std::mem::take(&mut self.locked),
+            retired: std::mem::take(&mut self.retired),
+        };
+        s.reads.clear();
+        s.writes.clear();
+        s.locked.clear();
+        s.retired.clear();
+        self.stm.scratch.put(self.id.proc as usize, Box::new(s));
     }
 }
 
@@ -315,14 +376,21 @@ impl WordStm for TlStm {
 
     fn begin(&self, proc: u32) -> Box<dyn WordTx + '_> {
         let seq = self.tx_seq.fetch_add(1, Ordering::Relaxed);
+        let scratch = self
+            .scratch
+            .take(proc as usize)
+            .map(|b| *b)
+            .unwrap_or_default();
         Box::new(TlTx {
             stm: self,
             id: TxId::new(proc, seq),
-            reads: Vec::new(),
-            writes: Vec::new(),
+            reads: scratch.reads,
+            writes: scratch.writes,
+            locked: scratch.locked,
             grace: Some(self.reclaim.begin()),
-            retired: Vec::new(),
+            retired: scratch.retired,
             dead: false,
+            pin: epoch::pin(),
         })
     }
 
@@ -365,6 +433,19 @@ mod tests {
             Ok(())
         });
         assert_eq!(s.peek(X), Some(2));
+    }
+
+    #[test]
+    fn duplicate_writes_last_value_wins() {
+        let s = stm();
+        run_transaction(&s, 0, |tx| {
+            tx.write(X, 1)?;
+            tx.write(Y, 7)?;
+            tx.write(X, 2)?;
+            tx.write(X, 3)
+        });
+        assert_eq!(s.peek(X), Some(3));
+        assert_eq!(s.peek(Y), Some(7));
     }
 
     #[test]

@@ -1,0 +1,326 @@
+//! **Hot-path throughput table** — the metadata-lookup benchmark the
+//! paged-slab `VarTable` and the sharded TL2 clock are measured by,
+//! emitted as `BENCH_hotpath.json`.
+//!
+//! Every transactional read on every backend funnels through
+//! `VarTable::get`, and every TL2 writer used to funnel through one
+//! global `fetch_add`. The paper's obstruction-free vs. lock-based
+//! comparison is about the cost of synchronization on the *common* path
+//! (Kuznetsov & Ravi frame it as the decisive metric), so the harness
+//! must measure that cost — not the variable table's lock overhead.
+//! This binary pins the workloads that exercise the lookup path hardest:
+//!
+//! * `intset-read-mostly` — 90% `contains`, 5% `insert`, 5% `remove` on a
+//!   pre-populated sorted-list set: long traversals, almost all reads;
+//! * `intset-write-heavy` — 50% `insert`, 50% `remove`: allocation,
+//!   retirement and commit-lock churn;
+//! * `mixed-map` — 40% `put`, 20% `del`, 40% `get` on a bucketed map:
+//!   point ops, two-level traversal.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p oftm-bench --bin exp_hotpath            # full table
+//! cargo run --release -p oftm-bench --bin exp_hotpath -- --smoke # CI-sized
+//! ```
+//!
+//! Every cell runs an untimed warmup phase first (the table pages, pools
+//! and caches reach steady state), then the timed phase. Transactions run
+//! under the harness retry budget, so a livelock is a reported failing
+//! cell (`"livelocked": true` + non-zero exit), never a hang. CI greps
+//! the JSON for `livelocked` cells and for missing STMs.
+
+use oftm_bench::harness::{base_seed, ATTEMPT_BUDGET};
+use oftm_bench::{make_stm, SplitMix, STM_NAMES};
+use oftm_core::api::WordStm;
+use oftm_structs::{atomically_budgeted, TxHashMap, TxIntSet};
+use std::io::Write;
+use std::time::Instant;
+
+const SCENARIOS: &[&str] = &["intset-read-mostly", "intset-write-heavy", "mixed-map"];
+
+struct Cell {
+    scenario: &'static str,
+    stm: &'static str,
+    threads: usize,
+    ops: u64,
+    elapsed_s: f64,
+    attempts: u64,
+    livelocked: bool,
+    profile: &'static str,
+}
+
+impl Cell {
+    fn ops_per_sec(&self) -> f64 {
+        self.ops as f64 / self.elapsed_s.max(1e-9)
+    }
+
+    fn attempts_per_op(&self) -> f64 {
+        self.attempts as f64 / self.ops.max(1) as f64
+    }
+}
+
+/// One op against the structure under test; `None` on budget exhaustion.
+fn run_one(
+    scenario: &str,
+    stm: &dyn WordStm,
+    set: TxIntSet,
+    map: TxHashMap,
+    proc: u32,
+    rng: &mut SplitMix,
+    universe: u64,
+) -> Option<u32> {
+    let r = match scenario {
+        "intset-read-mostly" => {
+            let v = rng.next() % universe;
+            match rng.next() % 20 {
+                0 => atomically_budgeted(stm, proc, ATTEMPT_BUDGET, |ctx| {
+                    set.insert_in(ctx, v).map(|_| ())
+                }),
+                1 => atomically_budgeted(stm, proc, ATTEMPT_BUDGET, |ctx| {
+                    set.remove_in(ctx, v).map(|_| ())
+                }),
+                _ => atomically_budgeted(stm, proc, ATTEMPT_BUDGET, |ctx| {
+                    set.contains_in(ctx, v).map(|_| ())
+                }),
+            }
+        }
+        "intset-write-heavy" => {
+            let v = rng.next() % universe;
+            if rng.next() % 2 == 0 {
+                atomically_budgeted(stm, proc, ATTEMPT_BUDGET, |ctx| {
+                    set.insert_in(ctx, v).map(|_| ())
+                })
+            } else {
+                atomically_budgeted(stm, proc, ATTEMPT_BUDGET, |ctx| {
+                    set.remove_in(ctx, v).map(|_| ())
+                })
+            }
+        }
+        "mixed-map" => {
+            let k = rng.next() % universe;
+            match rng.next() % 10 {
+                0..=3 => {
+                    let v = rng.next() % 1000;
+                    atomically_budgeted(stm, proc, ATTEMPT_BUDGET, |ctx| {
+                        map.put_in(ctx, k, v).map(|_| ())
+                    })
+                }
+                4..=5 => atomically_budgeted(stm, proc, ATTEMPT_BUDGET, |ctx| {
+                    map.remove_in(ctx, k).map(|_| ())
+                }),
+                _ => atomically_budgeted(stm, proc, ATTEMPT_BUDGET, |ctx| {
+                    map.get_in(ctx, k).map(|_| ())
+                }),
+            }
+        }
+        other => panic!("unknown scenario {other}"),
+    };
+    r.ok().map(|(_, attempts)| attempts)
+}
+
+/// Runs `ops_per_thread` ops per thread; returns (attempts, livelocked).
+#[allow(clippy::too_many_arguments)]
+fn run_phase(
+    scenario: &'static str,
+    stm: &dyn WordStm,
+    set: TxIntSet,
+    map: TxHashMap,
+    threads: usize,
+    ops_per_thread: u64,
+    seed: u64,
+    universe: u64,
+) -> (u64, bool) {
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    let attempts = AtomicU64::new(0);
+    let livelocked = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let attempts = &attempts;
+            let livelocked = &livelocked;
+            s.spawn(move || {
+                let mut rng = SplitMix(seed ^ ((t as u64 + 1) << 24));
+                let mut local = 0u64;
+                for _ in 0..ops_per_thread {
+                    match run_one(scenario, stm, set, map, t as u32, &mut rng, universe) {
+                        Some(a) => local += u64::from(a),
+                        None => {
+                            livelocked.store(true, Ordering::Relaxed);
+                            return;
+                        }
+                    }
+                }
+                attempts.fetch_add(local, Ordering::Relaxed);
+            });
+        }
+    });
+    (
+        attempts.load(std::sync::atomic::Ordering::Relaxed),
+        livelocked.load(std::sync::atomic::Ordering::Relaxed),
+    )
+}
+
+fn measure(
+    scenario: &'static str,
+    stm_name: &'static str,
+    threads: usize,
+    ops_per_thread: u64,
+    warmup_per_thread: u64,
+    seed: u64,
+) -> Cell {
+    // Algorithm 2's version chains make full-size structures impractical
+    // (the paper: "rather impractical"); it runs a recorded small profile,
+    // exactly like exp_structs_scaling.
+    let small = stm_name.starts_with("algo2");
+    let (universe, buckets) = if small { (24u64, 8) } else { (128, 32) };
+
+    let stm = make_stm(stm_name, None);
+    let set = TxIntSet::create(&*stm);
+    let map = TxHashMap::create(&*stm, buckets);
+    for v in (0..universe).step_by(2) {
+        set.insert(&*stm, u32::MAX - 2, v);
+        map.put(&*stm, u32::MAX - 2, v, v);
+    }
+
+    // Warmup: untimed, distinct seed stream; brings table pages, scratch
+    // pools and per-thread state to steady state before the clock starts.
+    let (_, warm_livelock) = run_phase(
+        scenario,
+        &*stm,
+        set,
+        map,
+        threads,
+        warmup_per_thread,
+        seed ^ 0xDEAD_BEEF,
+        universe,
+    );
+
+    let start = Instant::now();
+    let (attempts, livelocked) = run_phase(
+        scenario,
+        &*stm,
+        set,
+        map,
+        threads,
+        ops_per_thread,
+        seed,
+        universe,
+    );
+    let elapsed_s = start.elapsed().as_secs_f64();
+
+    Cell {
+        scenario,
+        stm: stm_name,
+        threads,
+        ops: threads as u64 * ops_per_thread,
+        elapsed_s,
+        attempts,
+        livelocked: livelocked || warm_livelock,
+        profile: if small { "small" } else { "full" },
+    }
+}
+
+fn json_escape_free(s: &str) -> &str {
+    assert!(s
+        .chars()
+        .all(|c| c.is_ascii_graphic() && c != '"' && c != '\\'));
+    s
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let seed = base_seed();
+    let thread_axis: &[usize] = if smoke { &[1, 2] } else { &[1, 2, 4, 8] };
+
+    let mut cells: Vec<Cell> = Vec::new();
+    println!(
+        "== hot-path throughput (ops/sec), seed {seed:#018x}{} ==\n",
+        if smoke { ", --smoke" } else { "" }
+    );
+    oftm_bench::print_header(&["scenario", "stm", "threads", "ops/sec", "attempts/op"]);
+    for &scenario in SCENARIOS {
+        for &stm_name in STM_NAMES {
+            for &threads in thread_axis {
+                let (ops_per_thread, warmup): (u64, u64) = match (smoke, stm_name) {
+                    (true, n) if n.starts_with("algo2") => (10, 5),
+                    (true, _) => (60, 20),
+                    (false, "algo2-splitter") => (40, 10),
+                    (false, "algo2-cas") => (150, 30),
+                    (false, _) => (4000, 500),
+                };
+                // Algorithm 2 degrades superlinearly with threads; cap its
+                // axis like exp_structs_scaling does.
+                let cap = if stm_name == "algo2-splitter" { 2 } else { 4 };
+                if stm_name.starts_with("algo2") && threads > cap {
+                    continue;
+                }
+                let cell = measure(scenario, stm_name, threads, ops_per_thread, warmup, seed);
+                oftm_bench::print_row(&[
+                    cell.scenario.to_string(),
+                    cell.stm.to_string(),
+                    cell.threads.to_string(),
+                    if cell.livelocked {
+                        "LIVELOCK".into()
+                    } else {
+                        format!("{:.0}", cell.ops_per_sec())
+                    },
+                    format!("{:.2}", cell.attempts_per_op()),
+                ]);
+                cells.push(cell);
+            }
+        }
+    }
+
+    // Hand-rolled JSON, same style as BENCH_structs.json (the serde shim
+    // is marker-only).
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"hotpath\",\n");
+    json.push_str(&format!("  \"seed\": {seed},\n"));
+    json.push_str(&format!("  \"smoke\": {smoke},\n"));
+    json.push_str(&format!(
+        "  \"stms\": [{}],\n",
+        STM_NAMES
+            .iter()
+            .map(|n| format!("\"{n}\""))
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    json.push_str("  \"results\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"scenario\": \"{}\", \"stm\": \"{}\", \"threads\": {}, \"ops\": {}, \
+             \"elapsed_s\": {:.6}, \"ops_per_sec\": {:.1}, \"attempts_per_op\": {:.4}, \
+             \"livelocked\": {}, \"profile\": \"{}\"}}{}\n",
+            json_escape_free(c.scenario),
+            json_escape_free(c.stm),
+            c.threads,
+            c.ops,
+            c.elapsed_s,
+            c.ops_per_sec(),
+            c.attempts_per_op(),
+            c.livelocked,
+            json_escape_free(c.profile),
+            if i + 1 == cells.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    let path = "BENCH_hotpath.json";
+    let mut f = std::fs::File::create(path).expect("create BENCH_hotpath.json");
+    f.write_all(json.as_bytes())
+        .expect("write BENCH_hotpath.json");
+    println!("\nwrote {} ({} cells)", path, cells.len());
+
+    // Every STM must have produced at least one cell.
+    for &name in STM_NAMES {
+        assert!(
+            cells.iter().any(|c| c.stm == name),
+            "STM {name} missing from the hot-path table"
+        );
+    }
+    if cells.iter().any(|c| c.livelocked) {
+        eprintln!("ERROR: at least one cell exhausted its retry budget (livelock)");
+        std::process::exit(1);
+    }
+}

@@ -77,7 +77,9 @@ fn main() {
         oftm_bench::print_row(&cells);
     }
 
-    println!("\nExpected shape (paper §1/§5): TL scales best on disjoint workloads (strictly");
-    println!("DAP); TL2 trails it by the global-clock RMW; DSTM pays descriptor indirection;");
-    println!("coarse is flat; Algorithm 2 is correct but impractical (paper, footnote 6).");
+    println!("\nExpected shape (paper §1/§5): TL scales well on disjoint workloads (strictly");
+    println!("DAP); TL2 is close behind — its clock is sharded per process, so disjoint");
+    println!("writers no longer collide on one RMW, though begin still samples every shard");
+    println!("(the paper's non-strict-DAP point); DSTM pays descriptor indirection; coarse");
+    println!("is flat; Algorithm 2 is correct but impractical (paper, footnote 6).");
 }

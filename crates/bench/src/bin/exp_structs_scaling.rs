@@ -14,9 +14,17 @@
 //! Usage:
 //!
 //! ```text
-//! cargo run --release -p oftm-bench --bin exp_structs_scaling            # full table
-//! cargo run --release -p oftm-bench --bin exp_structs_scaling -- --smoke # CI-sized
+//! cargo run --release -p oftm-bench --bin exp_structs_scaling                    # full table
+//! cargo run --release -p oftm-bench --bin exp_structs_scaling -- --smoke         # CI-sized
+//! cargo run --release -p oftm-bench --bin exp_structs_scaling -- --profile bench # stable numbers
 //! ```
+//!
+//! `--smoke` keeps CI fast (its `ops_per_sec` is noise — it exists for
+//! the livelock/leak gates); `--profile bench` runs enough ops per cell,
+//! after an untimed warmup phase, for `ops_per_sec` to be a stable
+//! perf-trajectory datum. The default profile sits in between. Every
+//! profile runs the warmup (pools, table pages and caches reach steady
+//! state before the clock starts); the JSON records which profile ran.
 //!
 //! Every transaction runs under the harness retry budget, so a livelock
 //! shows up as a reported failure row, never a hang. Every cell also
@@ -137,6 +145,7 @@ fn measure(
     stm_name: &'static str,
     threads: usize,
     ops_per_thread: u64,
+    warmup_per_thread: u64,
     seed: u64,
 ) -> Cell {
     // Algorithm 2 gets a small-profile structure: every commit AND abort
@@ -179,30 +188,39 @@ fn measure(
     use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
     let attempts = AtomicU64::new(0);
     let livelocked = AtomicBool::new(false);
-    let start = Instant::now();
-    std::thread::scope(|s| {
-        for t in 0..threads {
-            let stm = &stm;
-            let attempts = &attempts;
-            let livelocked = &livelocked;
-            s.spawn(move || {
-                let mut rng = SplitMix(seed ^ ((t as u64 + 1) << 20));
-                let mut local = 0u64;
-                for _ in 0..ops_per_thread {
-                    match run_one(
-                        structure, &**stm, set, queue, map, counter, t as u32, &mut rng, universe,
-                    ) {
-                        Some(a) => local += u64::from(a),
-                        None => {
-                            livelocked.store(true, Ordering::Relaxed);
-                            return;
+    let run_phase = |phase_ops: u64, phase_seed: u64, count: bool| {
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let stm = &stm;
+                let attempts = &attempts;
+                let livelocked = &livelocked;
+                s.spawn(move || {
+                    let mut rng = SplitMix(phase_seed ^ ((t as u64 + 1) << 20));
+                    let mut local = 0u64;
+                    for _ in 0..phase_ops {
+                        match run_one(
+                            structure, &**stm, set, queue, map, counter, t as u32, &mut rng,
+                            universe,
+                        ) {
+                            Some(a) => local += u64::from(a),
+                            None => {
+                                livelocked.store(true, Ordering::Relaxed);
+                                return;
+                            }
                         }
                     }
-                }
-                attempts.fetch_add(local, Ordering::Relaxed);
-            });
-        }
-    });
+                    if count {
+                        attempts.fetch_add(local, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+    };
+    // Untimed warmup: scratch pools, table pages and handle caches reach
+    // steady state before the measured phase starts.
+    run_phase(warmup_per_thread, seed ^ 0xDEAD_BEEF, false);
+    let start = Instant::now();
+    run_phase(ops_per_thread, seed, true);
     let elapsed_s = start.elapsed().as_secs_f64();
 
     // Reclamation sanity check: after quiescence (the len() transactions
@@ -243,21 +261,27 @@ fn json_escape_free(s: &str) -> &str {
 }
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let bench = args
+        .windows(2)
+        .any(|w| w[0] == "--profile" && w[1] == "bench");
+    assert!(
+        !(smoke && bench),
+        "--smoke and --profile bench are mutually exclusive"
+    );
+    let run_profile = if smoke {
+        "smoke"
+    } else if bench {
+        "bench"
+    } else {
+        "default"
+    };
     let seed = base_seed();
     let thread_axis: &[usize] = if smoke { &[1, 2] } else { &[1, 2, 4, 8] };
 
     let mut cells: Vec<Cell> = Vec::new();
-    println!(
-        "== collection throughput (ops/sec), seed {seed:#018x}{} ==\n",
-        {
-            if smoke {
-                ", --smoke"
-            } else {
-                ""
-            }
-        }
-    );
+    println!("== collection throughput (ops/sec), seed {seed:#018x}, profile {run_profile} ==\n");
     oftm_bench::print_header(&[
         "structure",
         "stm",
@@ -272,12 +296,29 @@ fn main() {
                 // Algorithm 2 is orders of magnitude slower (the paper:
                 // "rather impractical"); scale op counts so the table
                 // finishes, and skip its oversubscribed high-thread cells.
-                let ops_per_thread: u64 = match (smoke, stm_name) {
-                    (true, n) if n.starts_with("algo2") => 10,
-                    (true, _) => 50,
-                    (false, "algo2-splitter") => 50,
-                    (false, "algo2-cas") => 250,
-                    (false, _) => 1500,
+                // `--smoke` stays tiny for CI (its throughput numbers are
+                // noise — the gates are livelock and leaks); `--profile
+                // bench` runs long enough for stable `ops_per_sec`.
+                let (ops_per_thread, warmup): (u64, u64) = match stm_name {
+                    n if n.starts_with("algo2") => {
+                        let heavy = n == "algo2-splitter";
+                        if smoke {
+                            (10, 3)
+                        } else if bench {
+                            (if heavy { 80 } else { 400 }, if heavy { 10 } else { 50 })
+                        } else {
+                            (if heavy { 50 } else { 250 }, if heavy { 5 } else { 25 })
+                        }
+                    }
+                    _ => {
+                        if smoke {
+                            (50, 15)
+                        } else if bench {
+                            (6000, 800)
+                        } else {
+                            (1500, 200)
+                        }
+                    }
                 };
                 // Algorithm 2's contention behaviour degrades superlinearly
                 // (aborts lengthen every version scan); cap its thread axis
@@ -287,7 +328,7 @@ fn main() {
                 if stm_name.starts_with("algo2") && threads > cap {
                     continue;
                 }
-                let cell = measure(structure, stm_name, threads, ops_per_thread, seed);
+                let cell = measure(structure, stm_name, threads, ops_per_thread, warmup, seed);
                 oftm_bench::print_row(&[
                     cell.structure.to_string(),
                     cell.stm.to_string(),
@@ -312,6 +353,7 @@ fn main() {
     json.push_str("  \"bench\": \"structs_scaling\",\n");
     json.push_str(&format!("  \"seed\": {seed},\n"));
     json.push_str(&format!("  \"smoke\": {smoke},\n"));
+    json.push_str(&format!("  \"run_profile\": \"{run_profile}\",\n"));
     json.push_str("  \"results\": [\n");
     for (i, c) in cells.iter().enumerate() {
         json.push_str(&format!(

@@ -3,9 +3,10 @@
 
 use super::descriptor::Descriptor;
 use super::tvar::TVar;
-use super::tx::Tx;
+use super::tx::{ReadEntry, Tx};
 use crate::api::{TxError, TxResult};
 use crate::cm::{Aggressive, ContentionManager};
+use crate::pool::SlotPool;
 use crate::record::Recorder;
 use oftm_histories::{TVarId, TxId};
 use std::sync::atomic::{AtomicU32, Ordering};
@@ -39,6 +40,9 @@ pub struct Dstm {
     epoch: Instant,
     tx_seq: AtomicU32,
     tvar_seq: AtomicU32,
+    /// Pooled read-set buffers (keyed by process), recycled across
+    /// transactions so the steady state allocates nothing per attempt.
+    read_scratch: SlotPool<Vec<ReadEntry>>,
 }
 
 impl Default for Dstm {
@@ -58,7 +62,21 @@ impl Dstm {
             epoch: Instant::now(),
             tx_seq: AtomicU32::new(0),
             tvar_seq: AtomicU32::new(0),
+            read_scratch: SlotPool::new(),
         }
+    }
+
+    /// Pops a pooled read-set buffer (empty, warm capacity).
+    pub(crate) fn take_read_scratch(&self, proc: u32) -> Vec<ReadEntry> {
+        self.read_scratch
+            .take(proc as usize)
+            .map(|b| *b)
+            .unwrap_or_default()
+    }
+
+    /// Returns a cleared read-set buffer to the pool.
+    pub(crate) fn return_read_scratch(&self, proc: u32, buf: Vec<ReadEntry>) {
+        self.read_scratch.put(proc as usize, Box::new(buf));
     }
 
     /// Switches the instance to the eventually-ic progress policy with the

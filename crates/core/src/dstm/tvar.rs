@@ -107,7 +107,6 @@ pub(crate) struct Probe {
 
 /// Object-safe view of a t-variable used by the type-erased read-set.
 pub(crate) trait TVarDyn: Send + Sync {
-    fn tvar_id(&self) -> TVarId;
     fn base(&self) -> BaseObjId;
     /// Loads the current locator (under the transaction's guard) and
     /// classifies it for `me`.
@@ -115,10 +114,6 @@ pub(crate) trait TVarDyn: Send + Sync {
 }
 
 impl<T: Clone + Send + Sync + 'static> TVarDyn for TVarInner<T> {
-    fn tvar_id(&self) -> TVarId {
-        self.id
-    }
-
     fn base(&self) -> BaseObjId {
         self.base
     }

@@ -27,8 +27,11 @@ use oftm_histories::{Access, ProcId, TxId};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// One entry of the invisible read-set.
-struct ReadEntry {
+/// One entry of the invisible read-set. The id is denormalized out of the
+/// trait object: dedup and upgrade scans compare it on every read, and a
+/// virtual `tvar_id()` per comparison is measurable on the hot path.
+pub(crate) struct ReadEntry {
+    id: oftm_histories::TVarId,
     tvar: Arc<dyn TVarDyn>,
     probe: Probe,
 }
@@ -50,11 +53,15 @@ pub struct Tx<'s> {
 
 impl<'s> Tx<'s> {
     pub(crate) fn new(stm: &'s Dstm, desc: Arc<Descriptor>) -> Self {
+        // Reuse a pooled read-set buffer: steady-state transactions
+        // validate tens of entries and must not re-grow a fresh `Vec`
+        // every attempt.
+        let read_set = stm.take_read_scratch(desc.id().proc);
         Tx {
             stm,
             desc,
             guard: crossbeam_epoch::pin(),
-            read_set: Vec::new(),
+            read_set,
             writes: 0,
             finished: false,
         }
@@ -194,9 +201,10 @@ impl<'s> Tx<'s> {
             if !self
                 .read_set
                 .iter()
-                .any(|e| e.tvar.tvar_id() == v.inner.id && e.probe == probe)
+                .any(|e| e.id == v.inner.id && e.probe == probe)
             {
                 self.read_set.push(ReadEntry {
+                    id: v.inner.id,
                     tvar: v.inner.clone() as Arc<dyn TVarDyn>,
                     probe,
                 });
@@ -258,7 +266,7 @@ impl<'s> Tx<'s> {
             if self
                 .read_set
                 .iter()
-                .any(|e| e.tvar.tvar_id() == v.inner.id && e.probe.addr != addr)
+                .any(|e| e.id == v.inner.id && e.probe.addr != addr)
             {
                 self.abort_self();
                 return Err(TxError::Aborted);
@@ -270,11 +278,7 @@ impl<'s> Tx<'s> {
                     self.rstep(v.inner.base, Access::Modify);
                     // Upgrade every read entry of this variable: ownership
                     // now protects it.
-                    for entry in self
-                        .read_set
-                        .iter_mut()
-                        .filter(|e| e.tvar.tvar_id() == v.inner.id)
-                    {
+                    for entry in self.read_set.iter_mut().filter(|e| e.id == v.inner.id) {
                         entry.probe = Probe {
                             addr: new_addr,
                             class: ValueClass::Mine,
@@ -344,6 +348,10 @@ impl Drop for Tx<'_> {
         if !self.finished {
             self.abort_self();
         }
+        // Return the read-set buffer (cleared, capacity kept) to the pool.
+        let mut buf = std::mem::take(&mut self.read_set);
+        buf.clear();
+        self.stm.return_read_scratch(self.desc.id().proc, buf);
     }
 }
 

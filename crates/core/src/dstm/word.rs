@@ -60,9 +60,28 @@ struct DstmWordTx<'s> {
     word: &'s DstmWord,
     grace: Option<TxGrace>,
     retired: Vec<RetiredBlock>,
+    /// Last resolved variable handle: collection code reads a link and
+    /// immediately writes it back (the upgrade pattern), so a one-entry
+    /// cache removes the second table probe.
+    last_var: Option<(TVarId, TVar<Value>)>,
+    /// Adapter-lifetime epoch pin threaded through table lookups (the
+    /// typed transaction holds its own for locator protection).
+    pin: crossbeam_epoch::Guard,
 }
 
 impl DstmWordTx<'_> {
+    /// Resolves `x` through the one-entry handle cache.
+    fn var(&mut self, x: TVarId) -> TVar<Value> {
+        if let Some((cached, var)) = &self.last_var {
+            if *cached == x {
+                return TVar::clone(var);
+            }
+        }
+        let var = TVar::clone(&self.word.vars.get_or_panic_in(x, &self.pin));
+        self.last_var = Some((x, TVar::clone(&var)));
+        var
+    }
+
     fn record_invoke(&self, op: TmOp) {
         if let (Some(rec), Some(tx)) = (self.word.stm.recorder_arc(), self.tx.as_ref()) {
             rec.invoke(tx.id(), op);
@@ -82,7 +101,7 @@ impl WordTx for DstmWordTx<'_> {
     }
 
     fn read(&mut self, x: TVarId) -> TxResult<Value> {
-        let var = TVar::clone(&self.word.vars.get_or_panic(x));
+        let var = self.var(x);
         self.record_invoke(TmOp::Read(x));
         let id = self.id();
         let r = self.tx.as_mut().unwrap().read(&var);
@@ -94,7 +113,7 @@ impl WordTx for DstmWordTx<'_> {
     }
 
     fn write(&mut self, x: TVarId, v: Value) -> TxResult<()> {
-        let var = TVar::clone(&self.word.vars.get_or_panic(x));
+        let var = self.var(x);
         self.record_invoke(TmOp::Write(x, v));
         let id = self.id();
         let r = self.tx.as_mut().unwrap().write(&var, v);
@@ -176,6 +195,8 @@ impl WordStm for DstmWord {
             word: self,
             grace: Some(self.reclaim.begin()),
             retired: Vec::new(),
+            last_var: None,
+            pin: crossbeam_epoch::pin(),
         })
     }
 

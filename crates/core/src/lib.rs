@@ -34,6 +34,7 @@
 pub mod api;
 pub mod cm;
 pub mod dstm;
+pub mod pool;
 pub mod reclaim;
 pub mod record;
 pub mod table;

@@ -43,11 +43,133 @@
 //! retiring commit — one that cannot reach the block anyway.
 
 use oftm_histories::TVarId;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Slot value meaning "no transaction registered here".
 const IDLE: u64 = u64::MAX;
+
+/// Slots per chunk of the lock-free slot array.
+const SLOT_CHUNK: usize = 64;
+/// Chunks in the spine: capacity `SLOT_CHUNK * SLOT_SPINE` concurrent
+/// transactions (far above any plausible thread count; `begin` panics
+/// past it rather than silently misbehaving).
+const SLOT_SPINE: usize = 64;
+
+/// A lock-free, append-only array of active-transaction slots: chunks are
+/// installed on demand with a CAS and never move, so registration
+/// (`begin`, on every transaction) scans and claims without any lock —
+/// the `RwLock` this replaces sat on the begin path of every backend.
+struct SlotArray {
+    chunks: Box<[AtomicPtr<[Arc<AtomicU64>; SLOT_CHUNK]>]>,
+}
+
+impl SlotArray {
+    fn new() -> Self {
+        SlotArray {
+            chunks: (0..SLOT_SPINE).map(|_| AtomicPtr::default()).collect(),
+        }
+    }
+
+    /// The chunk at `k`, installing it if absent.
+    fn chunk(&self, k: usize) -> &[Arc<AtomicU64>; SLOT_CHUNK] {
+        let cell = &self.chunks[k];
+        let mut p = cell.load(Ordering::Acquire);
+        if p.is_null() {
+            let fresh: Box<[Arc<AtomicU64>; SLOT_CHUNK]> =
+                Box::new(std::array::from_fn(|_| Arc::new(AtomicU64::new(IDLE))));
+            let raw = Box::into_raw(fresh);
+            // SeqCst install: `min_active`'s scan must be guaranteed to
+            // observe any chunk whose slots a registered transaction
+            // occupies (see the ordering note there).
+            match cell.compare_exchange(
+                std::ptr::null_mut(),
+                raw,
+                Ordering::SeqCst,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => p = raw,
+                Err(winner) => {
+                    // SAFETY: `raw` never escaped.
+                    drop(unsafe { Box::from_raw(raw) });
+                    p = winner;
+                }
+            }
+        }
+        // SAFETY: chunks are append-only and live as long as the array.
+        unsafe { &*p }
+    }
+
+    /// Claims an idle slot with value `e`; scans from the front so slots
+    /// recycle densely (sequential use stays at one slot).
+    fn claim(&self, e: u64) -> Arc<AtomicU64> {
+        for k in 0..SLOT_SPINE {
+            for slot in self.chunk(k).iter() {
+                if slot.load(Ordering::Relaxed) == IDLE
+                    && slot
+                        .compare_exchange(IDLE, e, Ordering::SeqCst, Ordering::Relaxed)
+                        .is_ok()
+                {
+                    return Arc::clone(slot);
+                }
+            }
+        }
+        panic!(
+            "more than {} concurrent transactions",
+            SLOT_CHUNK * SLOT_SPINE
+        );
+    }
+
+    /// Minimum epoch over all registered slots (`u64::MAX` when none).
+    ///
+    /// Ordering: chunk installation and this scan's chunk loads are both
+    /// `SeqCst`, and the scan walks **every** spine entry rather than
+    /// stopping at the first null — a transaction that overflowed into a
+    /// freshly installed chunk registered its slot (`SeqCst`) after the
+    /// install, so a scan that could miss the chunk pointer under weaker
+    /// ordering would silently skip a registered transaction and free
+    /// blocks it can still reach.
+    fn min_active(&self) -> u64 {
+        let mut min = u64::MAX;
+        for cell in self.chunks.iter() {
+            let p = cell.load(Ordering::SeqCst);
+            if p.is_null() {
+                continue;
+            }
+            // SAFETY: append-only, alive while the array is.
+            for slot in unsafe { &*p }.iter() {
+                let e = slot.load(Ordering::SeqCst);
+                if e != IDLE && e < min {
+                    min = e;
+                }
+            }
+        }
+        min
+    }
+
+    /// Number of installed slots (tests/diagnostics).
+    #[cfg(test)]
+    fn capacity(&self) -> usize {
+        self.chunks
+            .iter()
+            .take_while(|c| !c.load(Ordering::Acquire).is_null())
+            .count()
+            * SLOT_CHUNK
+    }
+}
+
+impl Drop for SlotArray {
+    fn drop(&mut self) {
+        for cell in self.chunks.iter() {
+            let p = cell.load(Ordering::Relaxed);
+            if !p.is_null() {
+                // SAFETY: installed via Box::into_raw; outstanding
+                // `TxGrace` handles hold their own `Arc`s.
+                drop(unsafe { Box::from_raw(p) });
+            }
+        }
+    }
+}
 
 /// A contiguous block of t-variables scheduled for reclamation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -81,8 +203,9 @@ pub struct GraceTracker {
     /// Monotonic epoch; advanced by every retiring commit.
     epoch: AtomicU64,
     /// Active-transaction slots: `IDLE` or the registering epoch. Slots
-    /// are recycled; the vector only grows to the peak concurrency.
-    slots: RwLock<Vec<Arc<AtomicU64>>>,
+    /// are recycled; the lock-free chunked array only grows to the peak
+    /// concurrency.
+    slots: SlotArray,
     /// Retired batches not yet past their grace period.
     bins: Mutex<Vec<Bin>>,
     /// Blocks currently sitting in `bins` (kept in sync under the `bins`
@@ -103,7 +226,7 @@ impl GraceTracker {
     pub fn new() -> Self {
         GraceTracker {
             epoch: AtomicU64::new(1),
-            slots: RwLock::new(Vec::new()),
+            slots: SlotArray::new(),
             bins: Mutex::new(Vec::new()),
             pending: AtomicU64::new(0),
             retired_blocks: AtomicU64::new(0),
@@ -117,21 +240,7 @@ impl GraceTracker {
     /// passing it to [`GraceTracker::retire_and_flush`].
     pub fn begin(&self) -> TxGrace {
         let e = self.epoch.load(Ordering::SeqCst);
-        let slot = 'acquired: {
-            let slots = self.slots.read().unwrap();
-            for s in slots.iter() {
-                if s.load(Ordering::Relaxed) == IDLE
-                    && s.compare_exchange(IDLE, e, Ordering::SeqCst, Ordering::Relaxed)
-                        .is_ok()
-                {
-                    break 'acquired Arc::clone(s);
-                }
-            }
-            drop(slots);
-            let slot = Arc::new(AtomicU64::new(e));
-            self.slots.write().unwrap().push(Arc::clone(&slot));
-            slot
-        };
+        let slot = self.slots.claim(e);
         // Revalidate (all `SeqCst`): if the epoch did not move, our slot
         // write is SeqCst-ordered before any later retirement's bump, so
         // that retirement's flush must see us. If it moved, republish —
@@ -193,15 +302,7 @@ impl GraceTracker {
         // examine was pushed before we locked, so any reader that can
         // reach its blocks registered (and is visible) before our scan.
         let mut bins = self.bins.lock().unwrap();
-        let min_active = {
-            let slots = self.slots.read().unwrap();
-            slots
-                .iter()
-                .map(|s| s.load(Ordering::SeqCst))
-                .filter(|&e| e != IDLE)
-                .min()
-                .unwrap_or(u64::MAX)
-        };
+        let min_active = self.slots.min_active();
         let mut out = Vec::new();
         bins.retain_mut(|bin| {
             if bin.epoch < min_active {
@@ -296,7 +397,12 @@ mod tests {
             let g = t.begin();
             drop(g);
         }
-        assert_eq!(t.slots.read().unwrap().len(), 1, "sequential use: one slot");
+        assert_eq!(
+            t.slots.capacity(),
+            SLOT_CHUNK,
+            "sequential use must stay within the first chunk"
+        );
+        assert_eq!(t.slots.min_active(), u64::MAX, "all slots released");
     }
 
     #[test]

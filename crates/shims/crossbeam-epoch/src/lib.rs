@@ -118,17 +118,24 @@ fn try_collect() {
     let Ok(mut garbage) = g.garbage.try_lock() else {
         return;
     };
+    // `try_lock` here too: collection is best-effort, and a hard lock
+    // turns a preempted lock holder into a convoy for every unpinning
+    // thread on an oversubscribed machine.
+    let Ok(mut participants) = g.participants.try_lock() else {
+        return;
+    };
     let min_pinned = {
-        let mut participants = g.participants.lock().unwrap();
         participants.retain(|p| {
             !(p.dead.load(Ordering::SeqCst) && p.epoch.load(Ordering::SeqCst) == NOT_PINNED)
         });
-        participants
+        let min = participants
             .iter()
             .map(|p| p.epoch.load(Ordering::SeqCst))
             .filter(|&e| e != NOT_PINNED)
             .min()
-            .unwrap_or(u64::MAX)
+            .unwrap_or(u64::MAX);
+        drop(participants);
+        min
     };
     let mut dead = Vec::new();
     garbage.retain_mut(|item| {
@@ -152,13 +159,29 @@ fn try_collect() {
 /// A pin on the epoch: while any `Guard` of a thread is live, every
 /// pointer the thread loaded from an `Atomic` stays valid.
 pub struct Guard {
-    part: Option<Arc<Participant>>,
+    /// Borrowed participant record; null for [`unprotected`]. A raw
+    /// pointer, not an `Arc`: cloning/dropping an `Arc` is two atomic
+    /// RMWs per pin, and pins sit on the table's per-read hot path. The
+    /// registry's `Arc` keeps the record alive while any guard of the
+    /// thread is live (a record is only pruned when dead *and* unpinned,
+    /// and `epoch` stays published until the last guard drops).
+    part: *const Participant,
 }
+
+// SAFETY: shim simplification, matching the previous `Arc`-holding guard
+// (which was auto-`Send`/`Sync`): all fields behind the pointer are
+// atomics, and validity is maintained by the registry as described above.
+// The real crate's `Guard` is `!Send`; every guard in this workspace is
+// used by its owning thread only.
+unsafe impl Send for Guard {}
+unsafe impl Sync for Guard {}
 
 /// Pins the current thread.
 pub fn pin() -> Guard {
-    let part = PARTICIPANT.with(|h| Arc::clone(&h.0));
-    if part.pins.fetch_add(1, Ordering::Relaxed) == 0 {
+    let part = PARTICIPANT.with(|h| Arc::as_ptr(&h.0));
+    // SAFETY: see `Guard::part` — the registry keeps the record alive.
+    let p = unsafe { &*part };
+    if p.pins.fetch_add(1, Ordering::Relaxed) == 0 {
         // Publish-and-revalidate, all `SeqCst`: store the observed epoch,
         // then re-read the global. If it did not move, our store is
         // SeqCst-ordered before any later retirement's epoch bump — the
@@ -172,22 +195,25 @@ pub fn pin() -> Guard {
         // still return the unlinked value on weakly ordered hardware.
         loop {
             let e = global().epoch.load(Ordering::SeqCst);
-            part.epoch.store(e, Ordering::SeqCst);
+            p.epoch.store(e, Ordering::SeqCst);
             if global().epoch.load(Ordering::SeqCst) == e {
                 break;
             }
         }
     }
-    Guard { part: Some(part) }
+    Guard { part }
 }
 
 impl Drop for Guard {
     fn drop(&mut self) {
-        if let Some(p) = self.part.take() {
-            if p.pins.fetch_sub(1, Ordering::Relaxed) == 1 {
-                p.epoch.store(NOT_PINNED, Ordering::SeqCst);
-                try_collect();
-            }
+        if self.part.is_null() {
+            return;
+        }
+        // SAFETY: see `Guard::part`.
+        let p = unsafe { &*self.part };
+        if p.pins.fetch_sub(1, Ordering::Relaxed) == 1 {
+            p.epoch.store(NOT_PINNED, Ordering::SeqCst);
+            try_collect();
         }
     }
 }
@@ -199,7 +225,9 @@ impl Drop for Guard {
 /// Caller must guarantee no other thread can reach the pointers accessed
 /// under this guard (e.g. inside `Drop` of the sole owner).
 pub unsafe fn unprotected() -> &'static Guard {
-    static GUARD: Guard = Guard { part: None };
+    static GUARD: Guard = Guard {
+        part: std::ptr::null(),
+    };
     &GUARD
 }
 
@@ -319,6 +347,29 @@ impl<'g, T> Shared<'g, T> {
     }
 }
 
+/// A pointer that can be handed to [`Atomic::swap`] — either an owning
+/// [`Owned`] or a (typically null) [`Shared`]. Mirrors the real crate's
+/// `Pointer` trait for the subset used here.
+pub trait Pointer<T> {
+    /// Relinquishes the pointer value (forgetting any ownership — the
+    /// atomic takes it over).
+    fn into_raw(self) -> *mut T;
+}
+
+impl<T> Pointer<T> for Owned<T> {
+    fn into_raw(self) -> *mut T {
+        let ptr = self.ptr;
+        std::mem::forget(self);
+        ptr
+    }
+}
+
+impl<T> Pointer<T> for Shared<'_, T> {
+    fn into_raw(self) -> *mut T {
+        self.ptr
+    }
+}
+
 /// Error type of a failed [`Atomic::compare_exchange`].
 pub struct CompareExchangeError<'g, T, P> {
     /// The value the atomic actually held.
@@ -359,6 +410,21 @@ impl<T> Atomic<T> {
         let raw = new.ptr;
         std::mem::forget(new);
         self.ptr.store(raw, ord);
+    }
+
+    /// Atomically replaces the pointer, returning the previous one. The
+    /// caller is responsible for the old pointee (typically
+    /// [`Guard::defer_destroy`]).
+    pub fn swap<'g, P: Pointer<T>>(
+        &self,
+        new: P,
+        ord: Ordering,
+        _guard: &'g Guard,
+    ) -> Shared<'g, T> {
+        Shared {
+            ptr: self.ptr.swap(new.into_raw(), ord),
+            _marker: PhantomData,
+        }
     }
 
     pub fn compare_exchange<'g>(

@@ -57,6 +57,11 @@ impl BrokenIntSet {
         if cur_val == Some(v) {
             return false;
         }
+        // The lost-update window lives between the two transactions; yield
+        // so it stays open under any scheduler (on a single hardware
+        // thread, back-to-back transactions otherwise complete within one
+        // timeslice and the breakage hides from the oracle tests).
+        std::thread::yield_now();
         // Transaction 2: blind write through the stale search result — the
         // missing validation that makes this list wrong under concurrency.
         let node = stm.alloc_tvar_block(&[v, cur]);

@@ -33,11 +33,19 @@ pub struct TxCtx<'a, 'b> {
 
 impl<'a, 'b> TxCtx<'a, 'b> {
     pub fn new(stm: &'a dyn WordStm, tx: &'a mut (dyn WordTx + 'b)) -> Self {
-        TxCtx {
-            stm,
-            tx,
-            allocs: Vec::new(),
-        }
+        Self::with_alloc_buffer(stm, tx, Vec::new())
+    }
+
+    /// Like [`TxCtx::new`], but reusing a caller-owned allocation-log
+    /// buffer — the retry loop passes the same (cleared) buffer to every
+    /// attempt so steady-state retries allocate nothing.
+    pub fn with_alloc_buffer(
+        stm: &'a dyn WordStm,
+        tx: &'a mut (dyn WordTx + 'b),
+        allocs: Vec<(TVarId, usize)>,
+    ) -> Self {
+        debug_assert!(allocs.is_empty());
+        TxCtx { stm, tx, allocs }
     }
 
     /// The STM this context's transaction runs on.
@@ -78,10 +86,11 @@ impl<'a, 'b> TxCtx<'a, 'b> {
     }
 }
 
-/// Frees blocks allocated by an attempt that did not commit. Safe to do
-/// immediately: the blocks were never published.
-fn release_attempt_allocs(stm: &dyn WordStm, allocs: Vec<(TVarId, usize)>) {
-    for (base, len) in allocs {
+/// Frees blocks allocated by an attempt that did not commit, draining the
+/// log so its buffer can be reused. Safe to do immediately: the blocks
+/// were never published.
+fn release_attempt_allocs(stm: &dyn WordStm, allocs: &mut Vec<(TVarId, usize)>) {
+    for (base, len) in allocs.drain(..) {
         stm.free_tvar_block(base, len);
     }
 }
@@ -115,14 +124,19 @@ pub fn atomically_budgeted<R>(
     mut body: impl FnMut(&mut TxCtx<'_, '_>) -> TxResult<R>,
 ) -> Result<(R, u32), BudgetExceeded> {
     let mut attempts = 0;
+    // One allocation log for the whole retry loop: each attempt moves it
+    // into its `TxCtx` and hands it back (drained on abort), so retries
+    // reuse the same buffer.
+    let mut alloc_buf: Vec<(TVarId, usize)> = Vec::new();
     while attempts < max_attempts {
         if attempts > 0 {
             retry_backoff(proc, attempts);
         }
         attempts += 1;
         let mut tx = stm.begin(proc);
-        let (out, allocs) = {
-            let mut ctx = TxCtx::new(stm, tx.as_mut());
+        let (out, mut allocs) = {
+            let mut ctx =
+                TxCtx::with_alloc_buffer(stm, tx.as_mut(), std::mem::take(&mut alloc_buf));
             let out = body(&mut ctx);
             let allocs = ctx.take_allocs();
             (out, allocs)
@@ -130,7 +144,10 @@ pub fn atomically_budgeted<R>(
         match out {
             Ok(r) => match tx.try_commit() {
                 Ok(()) => return Ok((r, attempts)),
-                Err(_) => release_attempt_allocs(stm, allocs),
+                Err(_) => {
+                    release_attempt_allocs(stm, &mut allocs);
+                    alloc_buf = allocs;
+                }
             },
             Err(_) => {
                 // Drop (not tryA) the transaction, exactly like the core
@@ -140,7 +157,8 @@ pub fn atomically_budgeted<R>(
                 // drop. The drop also releases the grace slot before the
                 // blocks are freed below.
                 drop(tx);
-                release_attempt_allocs(stm, allocs);
+                release_attempt_allocs(stm, &mut allocs);
+                alloc_buf = allocs;
             }
         }
     }
