@@ -41,6 +41,7 @@
 
 use crate::registry::Registry;
 use oftm_core::api::{TxError, TxResult, WordStm, WordTx};
+use oftm_core::notify::CommitNotifier;
 use oftm_core::reclaim::{GraceTracker, RetiredBlock, TxGrace};
 use oftm_core::record::{fresh_base_id, Recorder};
 use oftm_core::table::{VarTable, DYNAMIC_TVAR_BASE};
@@ -186,6 +187,7 @@ pub struct Algo2Stm {
     /// cell keyed by it — the per-version residue footnote 6 of the paper
     /// otherwise accumulates forever.
     reclaim: GraceTracker,
+    notify: CommitNotifier,
     tx_seq: AtomicU32,
     recorder: Option<Arc<Recorder>>,
     /// Ablation switch: disables the paper's "essential implementation
@@ -209,6 +211,7 @@ impl Algo2Stm {
             initial: VarTable::new(),
             scan_hint: Registry::new(),
             reclaim: GraceTracker::new(),
+            notify: CommitNotifier::new(),
             tx_seq: AtomicU32::new(0),
             recorder: None,
             ablate_aborted_check: false,
@@ -255,6 +258,10 @@ pub struct Algo2Tx<'s> {
     id: TxId,
     /// The write set `wset` (t-variables this transaction owns).
     wset: HashSet<TVarId>,
+    /// Footprint log: every t-variable an access *attempted* to acquire,
+    /// including the one a failing acquire gave up on (which `wset` never
+    /// learns about) — what a parked re-run registers on.
+    touched: Vec<TVarId>,
     /// Grace-period registration; dropped (slot released, retire-set
     /// discarded) on every path that does not commit.
     grace: Option<TxGrace>,
@@ -404,6 +411,7 @@ impl WordTx for Algo2Tx<'_> {
 
     /// `upon read of t-variable x by Tk do return acquire(Tk, x)`.
     fn read(&mut self, x: TVarId) -> TxResult<Value> {
+        self.touched.push(x);
         self.rinvoke(TmOp::Read(x));
         let r = self.acquire(x);
         match &r {
@@ -418,6 +426,7 @@ impl WordTx for Algo2Tx<'_> {
 
     /// `upon write of value v to t-variable x by Tk`.
     fn write(&mut self, x: TVarId, v: Value) -> TxResult<()> {
+        self.touched.push(x);
         self.rinvoke(TmOp::Write(x, v));
         match self.acquire(x) {
             Err(e) => {
@@ -449,6 +458,11 @@ impl WordTx for Algo2Tx<'_> {
         match s {
             Some(v) if v == Fate::Committed as u8 => {
                 self.rrespond(TmResp::Committed);
+                // Every acquired variable gained a decided version owned
+                // by us (reads acquire too in Algorithm 2): publish the
+                // whole wset — any parked peer conflicting on it can now
+                // make progress.
+                self.stm.notify.publish(self.wset.iter().copied());
                 self.stm.reclaim_after_commit(
                     self.grace.take().expect("grace slot held until completion"),
                     std::mem::take(&mut self.retired),
@@ -477,6 +491,10 @@ impl WordTx for Algo2Tx<'_> {
 
     fn retire_tvar_block(&mut self, base: TVarId, len: usize) {
         self.retired.push(RetiredBlock { base, len });
+    }
+
+    fn footprint(&self, out: &mut Vec<TVarId>) {
+        out.extend_from_slice(&self.touched);
     }
 }
 
@@ -544,10 +562,15 @@ impl WordStm for Algo2Stm {
             stm: self,
             id: TxId::new(proc, seq),
             wset: HashSet::new(),
+            touched: Vec::new(),
             grace: Some(self.reclaim.begin()),
             retired: Vec::new(),
             completed: false,
         })
+    }
+
+    fn notifier(&self) -> &CommitNotifier {
+        &self.notify
     }
 
     fn is_obstruction_free(&self) -> bool {

@@ -1,0 +1,135 @@
+//! The collection-level async retry loop: [`atomically_async`] is to
+//! [`oftm_structs::atomically`] what
+//! [`crate::run_transaction_async`] is to `run_transaction` — same
+//! [`TxCtx`] body, same attempt-local allocation release on abort, but
+//! parked between contended attempts instead of spinning.
+//!
+//! The body receives one [`TxCtx`] per attempt, so *several collection
+//! operations compose into one atomic transaction* — the multi-structure
+//! transactions (dequeue here, enqueue there) the differential harness
+//! checks conservation over. Blocks allocated by an attempt that aborts
+//! are freed before the next attempt or park (they were never published,
+//! so the free is immediate and safe), keeping the async path leak-free
+//! under the same `churn-steady-state` accounting as the sync one.
+
+use crate::future::{AfterAbort, Committed, ParkCore};
+use oftm_core::api::{TxResult, WordStm};
+use oftm_core::{BudgetExceeded, TxError};
+use oftm_histories::TVarId;
+use oftm_structs::TxCtx;
+use std::future::Future;
+use std::pin::Pin;
+use std::task::{Context, Poll};
+
+/// Future returned by [`atomically_async_budgeted`].
+pub struct CtxFuture<'s, R, F> {
+    core: ParkCore<'s>,
+    body: F,
+    /// Reused allocation log: each attempt moves it into its `TxCtx` and
+    /// hands it back (drained on abort), as in the sync loop.
+    alloc_buf: Vec<(TVarId, usize)>,
+    _r: std::marker::PhantomData<fn() -> R>,
+}
+
+impl<R, F> Future for CtxFuture<'_, R, F>
+where
+    F: FnMut(&mut TxCtx<'_, '_>) -> TxResult<R> + Unpin,
+{
+    type Output = Result<Committed<R>, BudgetExceeded>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut();
+        if !this.core.should_run() {
+            return Poll::Pending; // stale wake: stay parked
+        }
+        loop {
+            if this.core.exhausted() {
+                return Poll::Ready(Err(BudgetExceeded {
+                    attempts: this.core.max_attempts,
+                }));
+            }
+            let stm = this.core.stm;
+            let mut tx = this.core.begin_attempt();
+            let (out, mut allocs) = {
+                let mut ctx =
+                    TxCtx::with_alloc_buffer(stm, tx.as_mut(), std::mem::take(&mut this.alloc_buf));
+                let out = (this.body)(&mut ctx);
+                let allocs = ctx.take_allocs();
+                (out, allocs)
+            };
+            this.core.capture_footprint(tx.as_ref());
+            let committed = match out {
+                Ok(r) => match tx.try_commit() {
+                    Ok(()) => Some(r),
+                    Err(TxError::Aborted) => None,
+                },
+                Err(TxError::Aborted) => {
+                    // Drop (not tryA), like the sync loop; the drop also
+                    // releases the grace slot before the frees below.
+                    drop(tx);
+                    None
+                }
+            };
+            match committed {
+                Some(r) => {
+                    allocs.clear(); // committed attempt's blocks are published
+                    this.alloc_buf = allocs;
+                    return Poll::Ready(Ok(this.core.committed(r)));
+                }
+                None => {
+                    // The attempt's allocations were never published: free
+                    // them before parking, so a long park cannot pin them.
+                    for (base, len) in allocs.drain(..) {
+                        stm.free_tvar_block(base, len);
+                    }
+                    this.alloc_buf = allocs;
+                }
+            }
+            if this.core.exhausted() {
+                // The final attempt just aborted: report immediately (see
+                // the same check in `TxFuture::poll`).
+                return Poll::Ready(Err(BudgetExceeded {
+                    attempts: this.core.max_attempts,
+                }));
+            }
+            match this.core.after_abort(cx.waker()) {
+                AfterAbort::RetryNow => continue,
+                AfterAbort::Pend => return Poll::Pending,
+            }
+        }
+    }
+}
+
+/// Asynchronous [`oftm_structs::atomically_budgeted`]: runs `body` with a
+/// [`TxCtx`] until an attempt commits, parking on commit notifications
+/// between contended attempts and releasing attempt-local allocations on
+/// abort.
+pub fn atomically_async_budgeted<'s, R, F>(
+    stm: &'s dyn WordStm,
+    proc: u32,
+    max_attempts: u32,
+    body: F,
+) -> CtxFuture<'s, R, F>
+where
+    F: FnMut(&mut TxCtx<'_, '_>) -> TxResult<R> + Unpin,
+{
+    CtxFuture {
+        core: ParkCore::new(stm, proc, max_attempts),
+        body,
+        alloc_buf: Vec::new(),
+        _r: std::marker::PhantomData,
+    }
+}
+
+/// Asynchronous [`oftm_structs::atomically`]: retries until commit
+/// (`u32::MAX` budget; exhausting it fails loudly, matching the sync
+/// API).
+pub async fn atomically_async<R, F>(stm: &dyn WordStm, proc: u32, body: F) -> Committed<R>
+where
+    F: FnMut(&mut TxCtx<'_, '_>) -> TxResult<R> + Unpin,
+{
+    match atomically_async_budgeted(stm, proc, u32::MAX, body).await {
+        Ok(c) => c,
+        Err(e) => panic!("atomically_async: {e}"),
+    }
+}

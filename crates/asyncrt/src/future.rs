@@ -1,0 +1,268 @@
+//! The transaction futures: retry-until-commit as a `Future`, with
+//! **wake-on-commit parking** instead of spin backoff between aborted
+//! attempts.
+//!
+//! A poll runs whole attempts synchronously — `begin`, body, `tryC` — so
+//! a transaction never holds STM state across an await point (a
+//! `WordTx` is single-threaded and must die with its attempt). What
+//! crosses polls is only the retry state: the attempt count, the aborted
+//! attempt's *footprint* ([`oftm_core::api::WordTx::footprint`]), and the
+//! [`WaitSnapshot`] of the park protocol.
+//!
+//! The per-abort decision tree (one policy with the sync loops — see
+//! [`oftm_core::contention`]):
+//!
+//! 1. the first [`ContentionPolicy::immediate_retries`] consecutive
+//!    aborts re-run inline — the conflicting commit usually *just*
+//!    happened, so an immediate re-run sees the new world;
+//! 2. otherwise the future parks: snapshot the footprint's notification
+//!    shards, register the task's [`Waker`] with the STM's
+//!    [`CommitNotifier`], arm the watchdog timeout
+//!    ([`crate::timer`]), and return `Pending`. A conflicting commit —
+//!    the only event that can change what the re-run observes — wakes the
+//!    task; the watchdog covers the mutual-abort corner where no commit
+//!    is coming;
+//! 3. if a commit raced the registration ([`CommitNotifier::park`]
+//!    returned `false`), the world already changed: re-run inline.
+//!
+//! An abort with an **empty footprint** (the body aborted before touching
+//! any t-variable) has nothing to park on; the future yields (self-wake +
+//! `Pending`) so a contended executor still interleaves other tasks.
+
+use crate::timer;
+use oftm_core::api::{TxResult, WordStm, WordTx};
+use oftm_core::contention::ContentionPolicy;
+use oftm_core::notify::WaitSnapshot;
+use oftm_core::{BudgetExceeded, TxError};
+use oftm_histories::TVarId;
+use std::future::Future;
+use std::pin::Pin;
+use std::task::{Context, Poll, Waker};
+
+#[allow(unused_imports)] // rustdoc links
+use oftm_core::notify::CommitNotifier;
+
+/// A committed async transaction: the body's result plus the retry
+/// accounting, reported with the same meaning as the sync loops'
+/// `(result, attempts)` pairs (one attempt per `begin`).
+#[derive(Clone, Copy, Debug)]
+pub struct Committed<R> {
+    pub value: R,
+    /// Transactions begun, committed and aborted alike (≥ 1).
+    pub attempts: u32,
+    /// Times this future parked on commit notifications.
+    pub parks: u32,
+}
+
+/// Cross-poll retry state shared by [`TxFuture`] and the collection-level
+/// future in [`crate::ctx`].
+pub(crate) struct ParkCore<'s> {
+    pub stm: &'s dyn WordStm,
+    pub proc: u32,
+    pub policy: ContentionPolicy,
+    pub max_attempts: u32,
+    pub attempts: u32,
+    consecutive_aborts: u32,
+    parks: u32,
+    footprint: Vec<TVarId>,
+    snap: WaitSnapshot,
+    /// `Some` while parked: the armed watchdog deadline. Lets a re-poll
+    /// distinguish a *meaningful* wake (footprint changed, or our own
+    /// deadline passed) from a stale one — a watchdog entry armed by an
+    /// earlier park whose commit-wake won the race. Without this filter
+    /// every stale timer fire would trigger a full doomed re-run that
+    /// arms yet another timer: the chains self-perpetuate and multiply
+    /// with every commit, burying the "fewer wasted re-runs" win.
+    parked_until: Option<std::time::Instant>,
+}
+
+/// What the poll loop does after an aborted attempt.
+pub(crate) enum AfterAbort {
+    /// Re-run the attempt inside this same poll.
+    RetryNow,
+    /// Return `Pending`; a wake (commit or watchdog) re-polls.
+    Pend,
+}
+
+impl<'s> ParkCore<'s> {
+    pub fn new(stm: &'s dyn WordStm, proc: u32, max_attempts: u32) -> Self {
+        ParkCore {
+            stm,
+            proc,
+            policy: ContentionPolicy::default(),
+            max_attempts,
+            attempts: 0,
+            consecutive_aborts: 0,
+            parks: 0,
+            footprint: Vec::new(),
+            snap: WaitSnapshot::new(),
+            parked_until: None,
+        }
+    }
+
+    /// Poll-entry gate. `true`: run attempts. `false`: this wake was
+    /// stale — neither the parked footprint changed nor our deadline
+    /// passed; stay `Pending`. The notifier registration is necessarily
+    /// still standing (a publish on our shards would have changed the
+    /// snapshot), and the armed watchdog entry is still pending, so no
+    /// re-registration is needed: both route wakes to the task, not to a
+    /// specific waker clone.
+    pub fn should_run(&mut self) -> bool {
+        match self.parked_until {
+            None => true,
+            Some(deadline) => {
+                if self.stm.notifier().changed_since(&self.snap)
+                    || std::time::Instant::now() >= deadline
+                {
+                    self.parked_until = None;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// True once the retry budget is spent.
+    pub fn exhausted(&self) -> bool {
+        self.attempts >= self.max_attempts
+    }
+
+    pub fn begin_attempt(&mut self) -> Box<dyn WordTx + 's> {
+        self.attempts += 1;
+        self.footprint.clear();
+        self.stm.begin(self.proc)
+    }
+
+    /// Captures `tx`'s footprint (call on every attempt right before its
+    /// fate is decided — `tryC` consumes the transaction, and an abort
+    /// needs the footprint to park on).
+    pub fn capture_footprint(&mut self, tx: &dyn WordTx) {
+        self.footprint.clear();
+        tx.footprint(&mut self.footprint);
+    }
+
+    pub fn committed<R>(&self, value: R) -> Committed<R> {
+        Committed {
+            value,
+            attempts: self.attempts,
+            parks: self.parks,
+        }
+    }
+
+    /// The park protocol (see module docs). `waker` is the polling task's.
+    pub fn after_abort(&mut self, waker: &Waker) -> AfterAbort {
+        self.consecutive_aborts += 1;
+        if self.policy.retry_immediately(self.consecutive_aborts) {
+            return AfterAbort::RetryNow;
+        }
+        if self.footprint.is_empty() {
+            // Nothing to watch: yield (stay runnable, let peers in).
+            waker.wake_by_ref();
+            return AfterAbort::Pend;
+        }
+        let notifier = self.stm.notifier();
+        notifier.snapshot(self.footprint.iter().copied(), &mut self.snap);
+        if !notifier.park(&self.snap, waker) {
+            // A commit raced the registration — the world changed under
+            // us, exactly the event we would have waited for.
+            return AfterAbort::RetryNow;
+        }
+        self.parks += 1;
+        let timeout = self.policy.park_timeout(self.proc, self.consecutive_aborts);
+        self.parked_until = Some(std::time::Instant::now() + timeout);
+        timer::wake_after(timeout, waker.clone());
+        AfterAbort::Pend
+    }
+}
+
+/// Future returned by [`run_transaction_async_budgeted`].
+pub struct TxFuture<'s, R, F> {
+    core: ParkCore<'s>,
+    body: F,
+    _r: std::marker::PhantomData<fn() -> R>,
+}
+
+impl<R, F> Future for TxFuture<'_, R, F>
+where
+    F: FnMut(&mut dyn WordTx) -> TxResult<R> + Unpin,
+{
+    type Output = Result<Committed<R>, BudgetExceeded>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut();
+        if !this.core.should_run() {
+            return Poll::Pending; // stale wake: stay parked
+        }
+        loop {
+            if this.core.exhausted() {
+                return Poll::Ready(Err(BudgetExceeded {
+                    attempts: this.core.max_attempts,
+                }));
+            }
+            let mut tx = this.core.begin_attempt();
+            match (this.body)(tx.as_mut()) {
+                Ok(r) => {
+                    this.core.capture_footprint(tx.as_ref());
+                    match tx.try_commit() {
+                        Ok(()) => return Poll::Ready(Ok(this.core.committed(r))),
+                        Err(TxError::Aborted) => {}
+                    }
+                }
+                Err(TxError::Aborted) => {
+                    // Drop (not tryA), exactly like the sync retry loop:
+                    // the body already observed the abort event.
+                    this.core.capture_footprint(tx.as_ref());
+                    drop(tx);
+                }
+            }
+            if this.core.exhausted() {
+                // The final attempt just aborted: report immediately, as
+                // the sync loop does — parking here would delay the error
+                // by a park timeout and count a park that could never
+                // precede another attempt.
+                return Poll::Ready(Err(BudgetExceeded {
+                    attempts: this.core.max_attempts,
+                }));
+            }
+            match this.core.after_abort(cx.waker()) {
+                AfterAbort::RetryNow => continue,
+                AfterAbort::Pend => return Poll::Pending,
+            }
+        }
+    }
+}
+
+/// Like [`oftm_core::run_transaction_with_budget`], asynchronously: runs
+/// `body` in transactions until one commits, parking between contended
+/// attempts instead of spinning. Resolves to the committed result with
+/// its attempt/park accounting, or [`BudgetExceeded`] after
+/// `max_attempts` aborted attempts.
+pub fn run_transaction_async_budgeted<'s, R, F>(
+    stm: &'s dyn WordStm,
+    proc: u32,
+    max_attempts: u32,
+    body: F,
+) -> TxFuture<'s, R, F>
+where
+    F: FnMut(&mut dyn WordTx) -> TxResult<R> + Unpin,
+{
+    TxFuture {
+        core: ParkCore::new(stm, proc, max_attempts),
+        body,
+        _r: std::marker::PhantomData,
+    }
+}
+
+/// Like [`oftm_core::run_transaction`], asynchronously: retries until
+/// commit (a `u32::MAX` budget — exhausting it is indistinguishable from
+/// a hang and fails loudly, matching the sync API).
+pub async fn run_transaction_async<R, F>(stm: &dyn WordStm, proc: u32, body: F) -> Committed<R>
+where
+    F: FnMut(&mut dyn WordTx) -> TxResult<R> + Unpin,
+{
+    match run_transaction_async_budgeted(stm, proc, u32::MAX, body).await {
+        Ok(c) => c,
+        Err(e) => panic!("run_transaction_async: {e}"),
+    }
+}

@@ -1,0 +1,24 @@
+//! Local STM factory for the asyncrt tests.
+//!
+//! `oftm-bench::make_stm` cannot be used here (oftm-bench depends on this
+//! crate for `exp_async`, so the dev-dependency would be circular); the
+//! six backends are built directly instead. Names match `STM_NAMES`.
+
+use oftm_core::api::WordStm;
+use oftm_core::cm::Polite;
+use oftm_core::dstm::{Dstm, DstmWord};
+use std::sync::Arc;
+
+pub const STM_NAMES: &[&str] = &["dstm", "tl", "tl2", "coarse", "algo2-cas", "algo2-splitter"];
+
+pub fn make_stm(name: &str) -> Arc<dyn WordStm> {
+    match name {
+        "dstm" => Arc::new(DstmWord::new(Dstm::new(Arc::new(Polite::default())))),
+        "tl" => Arc::new(oftm_baselines::TlStm::new()),
+        "tl2" => Arc::new(oftm_baselines::Tl2Stm::new()),
+        "coarse" => Arc::new(oftm_baselines::CoarseStm::new()),
+        "algo2-cas" => Arc::new(oftm_algo2::Algo2Stm::new(oftm_algo2::FocKind::Cas)),
+        "algo2-splitter" => Arc::new(oftm_algo2::Algo2Stm::new(oftm_algo2::FocKind::SplitterTas)),
+        other => panic!("unknown STM {other}"),
+    }
+}

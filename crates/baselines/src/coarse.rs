@@ -15,6 +15,7 @@
 
 use crossbeam_epoch::{self as epoch, Guard};
 use oftm_core::api::{TxResult, WordStm, WordTx};
+use oftm_core::notify::CommitNotifier;
 use oftm_core::reclaim::{GraceTracker, RetiredBlock, TxGrace};
 use oftm_core::record::{fresh_base_id, Recorder};
 use oftm_core::table::VarTable;
@@ -33,6 +34,7 @@ pub struct CoarseStm {
     reclaim: GraceTracker,
     /// The serialization gate; holding it *is* the transaction.
     gate: Mutex<()>,
+    notify: CommitNotifier,
     /// Base-object identity of the lock word.
     lock_base: oftm_histories::BaseObjId,
     tx_seq: AtomicU32,
@@ -51,6 +53,7 @@ impl CoarseStm {
             store: VarTable::new(),
             reclaim: GraceTracker::new(),
             gate: Mutex::new(()),
+            notify: CommitNotifier::new(),
             lock_base: fresh_base_id(),
             tx_seq: AtomicU32::new(0),
             recorder: None,
@@ -83,8 +86,11 @@ struct CoarseTx<'s> {
     /// The guard is held for the whole transaction: coarse two-phase
     /// locking degenerated to a single lock.
     guard: Option<MutexGuard<'s, ()>>,
-    /// Undo log for tryA.
-    undo: Vec<(Arc<AtomicU64>, Value)>,
+    /// Undo log for tryA: `(id, cell, previous value)`. The ids double as
+    /// the commit-notification publish set.
+    undo: Vec<(TVarId, Arc<AtomicU64>, Value)>,
+    /// Footprint log (reads and writes) for the async runtime's parking.
+    touched: Vec<TVarId>,
     /// Grace-period registration; dropped (slot released, retire-set
     /// discarded) on abort.
     grace: Option<TxGrace>,
@@ -117,6 +123,7 @@ impl WordTx for CoarseTx<'_> {
             r.invoke(self.id, TmOp::Read(x));
         }
         debug_assert!(self.guard.is_some(), "transaction completed");
+        self.touched.push(x);
         let v = self
             .stm
             .store
@@ -133,9 +140,10 @@ impl WordTx for CoarseTx<'_> {
             r.invoke(self.id, TmOp::Write(x, v));
         }
         debug_assert!(self.guard.is_some(), "transaction completed");
+        self.touched.push(x);
         let cell = self.stm.store.get_or_panic_in(x, &self.pin);
         self.undo
-            .push((Arc::clone(&cell), cell.load(Ordering::Acquire)));
+            .push((x, Arc::clone(&cell), cell.load(Ordering::Acquire)));
         cell.store(v, Ordering::Release);
         if let Some(r) = self.rec() {
             r.respond(self.id, TmResp::Ok);
@@ -149,6 +157,11 @@ impl WordTx for CoarseTx<'_> {
         }
         self.rstep(Access::Modify); // lock release is a modifying step
         self.guard = None; // release
+                           // The gate is released and the in-place writes stand: wake parked
+                           // conflicters.
+        self.stm
+            .notify
+            .publish(self.undo.iter().map(|(x, _, _)| *x));
         if let Some(r) = self.rec() {
             r.respond(self.id, TmResp::Committed);
         }
@@ -164,7 +177,7 @@ impl WordTx for CoarseTx<'_> {
             r.invoke(self.id, TmOp::TryAbort);
         }
         if self.guard.is_some() {
-            for (cell, v) in self.undo.drain(..).rev() {
+            for (_, cell, v) in self.undo.drain(..).rev() {
                 cell.store(v, Ordering::Release);
             }
         }
@@ -180,6 +193,10 @@ impl WordTx for CoarseTx<'_> {
     fn retire_tvar_block(&mut self, base: TVarId, len: usize) {
         self.retired.push(RetiredBlock { base, len });
     }
+
+    fn footprint(&self, out: &mut Vec<TVarId>) {
+        out.extend_from_slice(&self.touched);
+    }
 }
 
 impl Drop for CoarseTx<'_> {
@@ -190,7 +207,7 @@ impl Drop for CoarseTx<'_> {
         // while the gate is still held. (tryC/tryA both clear the guard
         // first, so this only fires on the abandoned path.)
         if self.guard.is_some() {
-            for (cell, v) in self.undo.drain(..).rev() {
+            for (_, cell, v) in self.undo.drain(..).rev() {
                 cell.store(v, Ordering::Release);
             }
         }
@@ -236,10 +253,15 @@ impl WordStm for CoarseStm {
             id,
             guard: Some(guard),
             undo: Vec::new(),
+            touched: Vec::new(),
             grace: Some(self.reclaim.begin()),
             retired: Vec::new(),
             pin: epoch::pin(),
         })
+    }
+
+    fn notifier(&self) -> &CommitNotifier {
+        &self.notify
     }
 
     fn is_obstruction_free(&self) -> bool {

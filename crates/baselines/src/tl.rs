@@ -19,6 +19,7 @@
 
 use crossbeam_epoch::{self as epoch, Guard};
 use oftm_core::api::{TxError, TxResult, WordStm, WordTx};
+use oftm_core::notify::CommitNotifier;
 use oftm_core::pool::SlotPool;
 use oftm_core::reclaim::{GraceTracker, RetiredBlock, TxGrace};
 use oftm_core::record::{fresh_base_id, Recorder};
@@ -91,6 +92,7 @@ struct Scratch {
 pub struct TlStm {
     vars: VarTable<VLockVar>,
     reclaim: GraceTracker,
+    notify: CommitNotifier,
     tx_seq: AtomicU32,
     recorder: Option<Arc<Recorder>>,
     scratch: SlotPool<Scratch>,
@@ -110,6 +112,7 @@ impl TlStm {
         TlStm {
             vars: VarTable::new(),
             reclaim: GraceTracker::new(),
+            notify: CommitNotifier::new(),
             tx_seq: AtomicU32::new(0),
             recorder: None,
             scratch: SlotPool::new(),
@@ -152,6 +155,10 @@ struct TlTx<'s> {
     grace: Option<TxGrace>,
     retired: Vec<RetiredBlock>,
     dead: bool,
+    /// The variable an abort gave up on (lock-patience exhausted at
+    /// read): it is in neither log yet, but it *is* part of the conflict
+    /// footprint a parked re-run must wake on.
+    conflict_hint: Option<TVarId>,
     /// Epoch pin held for the transaction's lifetime (nested table pins
     /// become a counter bump).
     pin: Guard,
@@ -229,6 +236,7 @@ impl WordTx for TlTx<'_> {
             patience = patience.saturating_sub(1);
             if patience == 0 {
                 self.dead = true;
+                self.conflict_hint = Some(x);
                 self.rrespond(TmResp::Aborted);
                 return Err(TxError::Aborted);
             }
@@ -315,6 +323,10 @@ impl WordTx for TlTx<'_> {
             var.unlock(*prev, true);
             self.rstep(var.lock_base, Access::Modify);
         }
+        // Writes are visible and unlocked: wake parked conflicters.
+        self.stm
+            .notify
+            .publish(self.writes.iter().map(|(x, _, _)| *x));
         self.rrespond(TmResp::Committed);
         let grace = self.grace.take().expect("grace slot held until completion");
         let mut retired = std::mem::take(&mut self.retired);
@@ -332,6 +344,12 @@ impl WordTx for TlTx<'_> {
 
     fn retire_tvar_block(&mut self, base: TVarId, len: usize) {
         self.retired.push(RetiredBlock { base, len });
+    }
+
+    fn footprint(&self, out: &mut Vec<TVarId>) {
+        out.extend(self.reads.iter().map(|(_, x, _)| *x));
+        out.extend(self.writes.iter().map(|(x, _, _)| *x));
+        out.extend(self.conflict_hint);
     }
 }
 
@@ -390,8 +408,13 @@ impl WordStm for TlStm {
             grace: Some(self.reclaim.begin()),
             retired: scratch.retired,
             dead: false,
+            conflict_hint: None,
             pin: epoch::pin(),
         })
+    }
+
+    fn notifier(&self) -> &CommitNotifier {
+        &self.notify
     }
 
     fn is_obstruction_free(&self) -> bool {

@@ -34,6 +34,7 @@
 
 use crossbeam_epoch::{self as epoch, Guard};
 use oftm_core::api::{TxError, TxResult, WordStm, WordTx};
+use oftm_core::notify::CommitNotifier;
 use oftm_core::pool::SlotPool;
 use oftm_core::reclaim::{GraceTracker, RetiredBlock, TxGrace};
 use oftm_core::record::{fresh_base_id, Recorder};
@@ -107,6 +108,7 @@ struct Scratch {
 pub struct Tl2Stm {
     vars: VarTable<ClockVar>,
     reclaim: GraceTracker,
+    notify: CommitNotifier,
     clocks: Box<[ClockShard]>,
     tx_seq: AtomicU32,
     recorder: Option<Arc<Recorder>>,
@@ -125,6 +127,7 @@ impl Tl2Stm {
         Tl2Stm {
             vars: VarTable::new(),
             reclaim: GraceTracker::new(),
+            notify: CommitNotifier::new(),
             clocks: (0..CLOCK_SHARDS)
                 .map(|_| ClockShard {
                     count: AtomicU64::new(0),
@@ -181,6 +184,10 @@ struct Tl2Tx<'s> {
     grace: Option<TxGrace>,
     retired: Vec<RetiredBlock>,
     dead: bool,
+    /// The variable an abort gave up on (too-new version or lock at read
+    /// time): not in the read-set, but part of the conflict footprint a
+    /// parked re-run must wake on.
+    conflict_hint: Option<TVarId>,
     /// Epoch pin held for the transaction's lifetime: table lookups nest
     /// their pins under it (a cheap counter bump instead of an epoch
     /// publication per read).
@@ -260,6 +267,7 @@ impl WordTx for Tl2Tx<'_> {
         let v2 = var.lock.load(Ordering::Acquire);
         if v1 & LOCK_BIT != 0 || v1 != v2 || !self.readable(v1) {
             self.dead = true;
+            self.conflict_hint = Some(x);
             self.rrespond(TmResp::Aborted);
             return Err(TxError::Aborted);
         }
@@ -383,6 +391,10 @@ impl WordTx for Tl2Tx<'_> {
             var.lock.store(wv, Ordering::Release);
             self.rstep(var.lock_base, Access::Modify);
         }
+        // Writes are visible and stamped: wake parked conflicters.
+        self.stm
+            .notify
+            .publish(self.writes.iter().map(|(x, _, _)| *x));
         self.rrespond(TmResp::Committed);
         let grace = self.grace.take().expect("grace slot held until completion");
         let mut retired = std::mem::take(&mut self.retired);
@@ -400,6 +412,12 @@ impl WordTx for Tl2Tx<'_> {
 
     fn retire_tvar_block(&mut self, base: TVarId, len: usize) {
         self.retired.push(RetiredBlock { base, len });
+    }
+
+    fn footprint(&self, out: &mut Vec<TVarId>) {
+        out.extend(self.reads.iter().map(|(_, x)| *x));
+        out.extend(self.writes.iter().map(|(x, _, _)| *x));
+        out.extend(self.conflict_hint);
     }
 }
 
@@ -470,8 +488,13 @@ impl WordStm for Tl2Stm {
             grace: Some(self.reclaim.begin()),
             retired: scratch.retired,
             dead: false,
+            conflict_hint: None,
             pin: epoch::pin(),
         })
+    }
+
+    fn notifier(&self) -> &CommitNotifier {
+        &self.notify
     }
 
     fn is_obstruction_free(&self) -> bool {

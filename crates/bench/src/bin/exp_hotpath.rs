@@ -220,13 +220,6 @@ fn measure(
     }
 }
 
-fn json_escape_free(s: &str) -> &str {
-    assert!(s
-        .chars()
-        .all(|c| c.is_ascii_graphic() && c != '"' && c != '\\'));
-    s
-}
-
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let seed = base_seed();
@@ -276,8 +269,10 @@ fn main() {
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str("  \"bench\": \"hotpath\",\n");
-    json.push_str(&format!("  \"seed\": {seed},\n"));
-    json.push_str(&format!("  \"smoke\": {smoke},\n"));
+    json.push_str(&format!(
+        "  {},\n",
+        oftm_bench::bench_meta_json(seed, if smoke { "smoke" } else { "full" })
+    ));
     json.push_str(&format!(
         "  \"stms\": [{}],\n",
         STM_NAMES
@@ -292,15 +287,15 @@ fn main() {
             "    {{\"scenario\": \"{}\", \"stm\": \"{}\", \"threads\": {}, \"ops\": {}, \
              \"elapsed_s\": {:.6}, \"ops_per_sec\": {:.1}, \"attempts_per_op\": {:.4}, \
              \"livelocked\": {}, \"profile\": \"{}\"}}{}\n",
-            json_escape_free(c.scenario),
-            json_escape_free(c.stm),
+            oftm_bench::json_escape_free(c.scenario),
+            oftm_bench::json_escape_free(c.stm),
             c.threads,
             c.ops,
             c.elapsed_s,
             c.ops_per_sec(),
             c.attempts_per_op(),
             c.livelocked,
-            json_escape_free(c.profile),
+            oftm_bench::json_escape_free(c.profile),
             if i + 1 == cells.len() { "" } else { "," }
         ));
     }

@@ -252,14 +252,6 @@ fn measure(
     }
 }
 
-fn json_escape_free(s: &str) -> &str {
-    // All emitted strings are static identifiers; assert instead of escape.
-    assert!(s
-        .chars()
-        .all(|c| c.is_ascii_graphic() && c != '"' && c != '\\'));
-    s
-}
-
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -351,9 +343,10 @@ fn main() {
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str("  \"bench\": \"structs_scaling\",\n");
-    json.push_str(&format!("  \"seed\": {seed},\n"));
-    json.push_str(&format!("  \"smoke\": {smoke},\n"));
-    json.push_str(&format!("  \"run_profile\": \"{run_profile}\",\n"));
+    json.push_str(&format!(
+        "  {},\n",
+        oftm_bench::bench_meta_json(seed, run_profile)
+    ));
     json.push_str("  \"results\": [\n");
     for (i, c) in cells.iter().enumerate() {
         json.push_str(&format!(
@@ -361,8 +354,8 @@ fn main() {
              \"elapsed_s\": {:.6}, \"ops_per_sec\": {:.1}, \"attempts_per_op\": {:.4}, \
              \"livelocked\": {}, \"live_tvars\": {}, \"expected_live\": {}, \
              \"profile\": \"{}\"}}{}\n",
-            json_escape_free(c.structure),
-            json_escape_free(c.stm),
+            oftm_bench::json_escape_free(c.structure),
+            oftm_bench::json_escape_free(c.stm),
             c.threads,
             c.ops,
             c.elapsed_s,
@@ -371,7 +364,7 @@ fn main() {
             c.livelocked,
             c.live_tvars,
             c.expected_live,
-            json_escape_free(c.profile),
+            oftm_bench::json_escape_free(c.profile),
             if i + 1 == cells.len() { "" } else { "," }
         ));
     }

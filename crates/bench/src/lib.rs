@@ -233,6 +233,54 @@ pub fn run_workload(
     }
 }
 
+/// The `meta` block every `BENCH_*.json` emitter puts at the top level:
+/// the harness seed, the git revision the binary was run against, and
+/// the run profile — the three facts needed to compare committed
+/// `BENCH_*.json` snapshots across PRs (a number without its revision
+/// and profile is not a datum). Returns a complete `"meta": {...}` JSON
+/// member (no trailing comma).
+pub fn bench_meta_json(seed: u64, run_profile: &str) -> String {
+    let mut git_rev = std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| {
+            s.trim()
+                .chars()
+                .filter(|c| c.is_ascii_hexdigit())
+                .collect::<String>()
+        })
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".into());
+    // Numbers produced from an uncommitted tree must not masquerade as
+    // the named commit's — that would attribute them to code that did
+    // not produce them.
+    let dirty = std::process::Command::new("git")
+        .args(["status", "--porcelain"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| !o.stdout.is_empty())
+        .unwrap_or(false);
+    if dirty {
+        git_rev.push_str("-dirty");
+    }
+    format!("\"meta\": {{\"seed\": {seed}, \"git_rev\": \"{git_rev}\", \"run_profile\": \"{run_profile}\"}}")
+}
+
+/// Asserts (rather than escapes) that a string destined for a
+/// hand-rolled `BENCH_*.json` needs no JSON escaping — every emitted
+/// string is a static identifier, so an escape-worthy character is a
+/// bug, not data. Shared by all the JSON-emitting experiment binaries.
+pub fn json_escape_free(s: &str) -> &str {
+    assert!(s
+        .chars()
+        .all(|c| c.is_ascii_graphic() && c != '"' && c != '\\'));
+    s
+}
+
 /// Prints a Markdown-style table row (experiment binaries share a uniform
 /// output format that EXPERIMENTS.md records).
 pub fn print_row(cells: &[String]) {
@@ -316,6 +364,15 @@ mod tests {
             });
             assert_eq!(total, 8 * 1000, "{name}: money not conserved");
         }
+    }
+
+    #[test]
+    fn bench_meta_block_shape() {
+        let m = bench_meta_json(42, "smoke");
+        assert!(m.starts_with("\"meta\": {"), "{m}");
+        assert!(m.contains("\"seed\": 42"), "{m}");
+        assert!(m.contains("\"run_profile\": \"smoke\""), "{m}");
+        assert!(m.contains("\"git_rev\": \""), "{m}");
     }
 
     #[test]

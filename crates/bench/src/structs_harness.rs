@@ -61,6 +61,12 @@ pub enum StructScenarioKind {
     /// must equal exactly head + 2·|final set| — every unlinked node's
     /// block reclaimed, every aborted attempt's allocation released.
     ChurnSteadyState,
+    /// Multi-queue transfer transactions: dequeue from one queue and
+    /// enqueue to the other **atomically**. Queue A starts with a fixed
+    /// population; every transaction moves one element (either
+    /// direction), so the combined multiset is invariant — conservation
+    /// *across structures*, plus the node-count reclamation oracle.
+    QueueTransfer,
 }
 
 /// All collection scenarios, in suite order.
@@ -69,6 +75,7 @@ pub const ALL_STRUCT_SCENARIOS: &[StructScenarioKind] = &[
     StructScenarioKind::QueueProducerConsumer,
     StructScenarioKind::MapChurn,
     StructScenarioKind::ChurnSteadyState,
+    StructScenarioKind::QueueTransfer,
 ];
 
 impl StructScenarioKind {
@@ -78,6 +85,7 @@ impl StructScenarioKind {
             StructScenarioKind::QueueProducerConsumer => "queue-producer-consumer",
             StructScenarioKind::MapChurn => "map-churn",
             StructScenarioKind::ChurnSteadyState => "churn-steady-state",
+            StructScenarioKind::QueueTransfer => "queue-transfer",
         }
     }
 }
@@ -108,6 +116,13 @@ const KEYS_PER_THREAD: u64 = 12;
 const KEY_STRIDE: u64 = 32;
 /// Bucket count of the churned map.
 const MAP_BUCKETS: usize = 8;
+/// Initial population of queue A (`queue-transfer`): the values
+/// `[QT_BASE, QT_BASE + QT_POPULATION)`, in order.
+const QT_POPULATION: u64 = 12;
+const QT_BASE: u64 = 1000;
+/// Separator between queue A's and queue B's elements in the flattened
+/// transfer-scenario snapshot (no tape value collides with it).
+const QT_SEP: u64 = u64::MAX;
 
 impl StructScenario {
     pub fn new(kind: StructScenarioKind, threads: usize, seed: u64) -> Self {
@@ -152,6 +167,10 @@ pub enum StructOp {
     MapPut(u64, u64),
     MapDel(u64),
     MapGet(u64),
+    /// Atomically move the front of queue A onto the back of queue B.
+    TransferAB,
+    /// Atomically move the front of queue B onto the back of queue A.
+    TransferBA,
 }
 
 /// What one op observed (compared verbatim across sequential replays).
@@ -224,6 +243,15 @@ fn generate_one(sc: &StructScenario, thread: u64, rng: &mut SplitMix) -> StructO
                 _ => StructOp::MapGet(k),
             }
         }
+        StructScenarioKind::QueueTransfer => {
+            // A→B-leaning mix so elements actually migrate while B→A
+            // keeps both directions (and the empty-source path) covered.
+            if rng.next() % 10 < 6 {
+                StructOp::TransferAB
+            } else {
+                StructOp::TransferBA
+            }
+        }
     }
 }
 
@@ -231,33 +259,47 @@ fn generate_one(sc: &StructScenario, thread: u64, rng: &mut SplitMix) -> StructO
 struct Instance {
     set: Option<TxIntSet>,
     queue: Option<TxQueue>,
+    /// Second queue of the transfer scenario.
+    queue_b: Option<TxQueue>,
     /// Global dequeue-ticket t-variable (queue scenario).
     ticket: Option<oftm_histories::TVarId>,
     map: Option<TxHashMap>,
 }
 
 impl Instance {
-    fn create(kind: StructScenarioKind, stm: &dyn WordStm) -> Self {
-        match kind {
-            StructScenarioKind::IntSetMix | StructScenarioKind::ChurnSteadyState => Instance {
-                set: Some(TxIntSet::create(stm)),
-                queue: None,
-                ticket: None,
-                map: None,
-            },
-            StructScenarioKind::QueueProducerConsumer => Instance {
-                set: None,
-                queue: Some(TxQueue::create(stm)),
-                ticket: Some(stm.alloc_tvar(0)),
-                map: None,
-            },
-            StructScenarioKind::MapChurn => Instance {
-                set: None,
-                queue: None,
-                ticket: None,
-                map: Some(TxHashMap::create(stm, MAP_BUCKETS)),
-            },
+    fn empty() -> Self {
+        Instance {
+            set: None,
+            queue: None,
+            queue_b: None,
+            ticket: None,
+            map: None,
         }
+    }
+
+    fn create(kind: StructScenarioKind, stm: &dyn WordStm) -> Self {
+        let mut inst = Instance::empty();
+        match kind {
+            StructScenarioKind::IntSetMix | StructScenarioKind::ChurnSteadyState => {
+                inst.set = Some(TxIntSet::create(stm));
+            }
+            StructScenarioKind::QueueProducerConsumer => {
+                inst.queue = Some(TxQueue::create(stm));
+                inst.ticket = Some(stm.alloc_tvar(0));
+            }
+            StructScenarioKind::MapChurn => {
+                inst.map = Some(TxHashMap::create(stm, MAP_BUCKETS));
+            }
+            StructScenarioKind::QueueTransfer => {
+                let a = TxQueue::create(stm);
+                for v in QT_BASE..QT_BASE + QT_POPULATION {
+                    a.enqueue(stm, u32::MAX - 2, v);
+                }
+                inst.queue = Some(a);
+                inst.queue_b = Some(TxQueue::create(stm));
+            }
+        }
+        inst
     }
 
     /// Interprets one op in its own budgeted transaction. `enq_seq` is the
@@ -322,6 +364,23 @@ impl Instance {
                 atomically_budgeted(stm, proc, ATTEMPT_BUDGET, |ctx| m.get_in(ctx, k))
                     .map(|(r, a)| (OpResult::Maybe(r), a))
             }
+            StructOp::TransferAB | StructOp::TransferBA => {
+                let (src, dst) = if op == StructOp::TransferAB {
+                    (self.queue.unwrap(), self.queue_b.unwrap())
+                } else {
+                    (self.queue_b.unwrap(), self.queue.unwrap())
+                };
+                atomically_budgeted(stm, proc, ATTEMPT_BUDGET, |ctx| {
+                    // The multi-structure transaction the scenario exists
+                    // for: both queues change (or neither) atomically.
+                    let v = src.dequeue_in(ctx)?;
+                    if let Some(v) = v {
+                        dst.enqueue_in(ctx, v)?;
+                    }
+                    Ok(v)
+                })
+                .map(|(r, a)| (OpResult::Maybe(r), a))
+            }
         };
         out.ok()
     }
@@ -330,6 +389,12 @@ impl Instance {
     fn snapshot(&self, stm: &dyn WordStm) -> Vec<u64> {
         if let Some(set) = self.set {
             set.snapshot(stm, u32::MAX - 1)
+        } else if let Some(b) = self.queue_b {
+            // Transfer scenario: A's elements, a separator, B's elements.
+            let mut out = self.queue.unwrap().snapshot(stm, u32::MAX - 1);
+            out.push(QT_SEP);
+            out.extend(b.snapshot(stm, u32::MAX - 1));
+            out
         } else if let Some(q) = self.queue {
             q.snapshot(stm, u32::MAX - 1)
         } else {
@@ -455,6 +520,20 @@ pub fn run_struct_concurrent(
                 "t-variable leak: {live_tvars} live after churn, expected {expected} \
                  (1 head + 2 per node for {} elements)",
                 snapshot.len()
+            )));
+        }
+    }
+    // Transfer reclamation oracle: every transfer retires the dequeued
+    // node and allocates a fresh one, so the live count must be exactly
+    // two [head, tail] pairs plus 2 per surviving element (the snapshot
+    // holds both queues' elements and one separator).
+    if sc.kind == StructScenarioKind::QueueTransfer {
+        let expected = 4 + 2 * (snapshot.len() - 1);
+        if live_tvars != expected {
+            return Err(fail(format!(
+                "t-variable leak: {live_tvars} live after transfers, expected {expected} \
+                 (2 ptr pairs + 2 per node for {} elements)",
+                snapshot.len() - 1
             )));
         }
     }
@@ -592,6 +671,41 @@ fn check_invariants(
                             "FIFO-per-producer violated: producer {producer} seq {seq} dequeued \
                              after seq {prev}"
                         ));
+                    }
+                }
+            }
+            Ok(())
+        }
+        StructScenarioKind::QueueTransfer => {
+            // Conservation ACROSS structures: the union of both queues
+            // must be exactly the initial population — transfers move
+            // elements, never create, duplicate, or drop them.
+            let sep = snapshot
+                .iter()
+                .position(|&v| v == QT_SEP)
+                .ok_or_else(|| format!("transfer snapshot lacks separator: {snapshot:?}"))?;
+            let (a, b) = (&snapshot[..sep], &snapshot[sep + 1..]);
+            let mut all: Vec<u64> = a.iter().chain(b).copied().collect();
+            all.sort_unstable();
+            let want: Vec<u64> = (QT_BASE..QT_BASE + QT_POPULATION).collect();
+            if all != want {
+                return Err(format!(
+                    "element conservation across queues violated:\n    A = {a:?}\n    B = {b:?}\n    \
+                     expected multiset {want:?}"
+                ));
+            }
+            // Every successful transfer observed a population value; a
+            // `None` result is only legal for an empty source.
+            for (tape, res) in tapes.iter().zip(results) {
+                for (op, r) in tape.iter().zip(res) {
+                    if let (StructOp::TransferAB | StructOp::TransferBA, OpResult::Maybe(Some(v))) =
+                        (op, r)
+                    {
+                        if !(QT_BASE..QT_BASE + QT_POPULATION).contains(v) {
+                            return Err(format!(
+                                "transfer moved phantom value {v} outside the population"
+                            ));
+                        }
                     }
                 }
             }

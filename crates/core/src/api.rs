@@ -8,6 +8,7 @@
 //! operations of Section 2.2: `read`, `write`, `tryC`, `tryA`. The richer
 //! typed API (`TVar<T>`) of the DSTM implementation is layered separately.
 
+use crate::notify::CommitNotifier;
 use oftm_histories::{TVarId, TxId, Value};
 use std::fmt;
 
@@ -75,6 +76,17 @@ pub trait WordTx {
     fn retire_tvar(&mut self, x: TVarId) {
         self.retire_tvar_block(x, 1);
     }
+
+    /// Appends the t-variables this transaction has accessed so far (its
+    /// *footprint*: reads and writes, duplicates allowed) to `out`.
+    ///
+    /// The async runtime calls this on an aborted transaction before
+    /// dropping it: the footprint is exactly the set of t-variables whose
+    /// change could make a re-run observe a different world, so it is
+    /// what the parked transaction registers with the STM's
+    /// [`CommitNotifier`]. An abort cannot shrink what was accessed, so
+    /// the footprint stays valid on every abort path.
+    fn footprint(&self, out: &mut Vec<TVarId>);
 }
 
 /// A word-level software transactional memory.
@@ -122,6 +134,12 @@ pub trait WordStm: Send + Sync {
 
     /// Begins a transaction on behalf of process `proc`.
     fn begin(&self, proc: u32) -> Box<dyn WordTx + '_>;
+
+    /// The commit-notification endpoint of this STM instance. Every
+    /// backend publishes its written t-variables here after a successful
+    /// commit's effects are visible; the async runtime parks aborted
+    /// transactions on it (see [`crate::notify`]).
+    fn notifier(&self) -> &CommitNotifier;
 
     /// True if this implementation claims obstruction-freedom (Definition
     /// 2). Used by experiments to decide which checkers apply.
@@ -210,15 +228,11 @@ pub fn run_transaction_with_budget<R>(
 /// Public so higher-level retry loops (e.g. the collection `atomically`,
 /// which additionally releases attempt-local allocations on abort) can
 /// share the exact backoff schedule of [`run_transaction_with_budget`].
+/// The schedule itself lives in [`crate::contention`], which the async
+/// runtime's park timeouts also derive from — one policy, two waiting
+/// styles.
 pub fn retry_backoff(proc: u32, attempt: u32) {
-    let mut z = (u64::from(proc) << 32) ^ u64::from(attempt);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    let micros = (z ^ (z >> 31)) % (1u64 << attempt.min(8));
-    let end = std::time::Instant::now() + std::time::Duration::from_micros(micros);
-    while std::time::Instant::now() < end {
-        std::hint::spin_loop();
-    }
+    crate::contention::spin_backoff(proc, attempt);
 }
 
 #[cfg(test)]

@@ -6,6 +6,8 @@ use super::stm::Dstm;
 use super::tvar::TVar;
 use super::tx::Tx;
 use crate::api::{TxError, TxResult, WordStm, WordTx};
+use crate::notify::CommitNotifier;
+use crate::pool::SlotPool;
 use crate::reclaim::{GraceTracker, RetiredBlock, TxGrace};
 use crate::table::VarTable;
 use oftm_histories::{TVarId, TmOp, TmResp, TxId, Value};
@@ -22,6 +24,18 @@ pub struct DstmWord {
     stm: Dstm,
     vars: VarTable<TVar<Value>>,
     reclaim: GraceTracker,
+    notify: CommitNotifier,
+    /// Pooled footprint-tracking buffers (ids touched / ids written), so
+    /// the adapter's commit-notification bookkeeping allocates nothing at
+    /// steady state.
+    scratch: SlotPool<TouchScratch>,
+}
+
+/// Pooled per-transaction id logs (see [`DstmWord::scratch`]).
+#[derive(Default)]
+struct TouchScratch {
+    touched: Vec<TVarId>,
+    written: Vec<TVarId>,
 }
 
 impl DstmWord {
@@ -30,6 +44,8 @@ impl DstmWord {
             stm,
             vars: VarTable::new(),
             reclaim: GraceTracker::new(),
+            notify: CommitNotifier::new(),
+            scratch: SlotPool::new(),
         }
     }
 
@@ -58,8 +74,16 @@ impl DstmWord {
 struct DstmWordTx<'s> {
     tx: Option<Tx<'s>>,
     word: &'s DstmWord,
+    proc: u32,
     grace: Option<TxGrace>,
     retired: Vec<RetiredBlock>,
+    /// Footprint log: every id this transaction tried to access (recorded
+    /// at op entry, so an access that *aborts on* a variable still lands
+    /// the variable in the footprint the async runtime parks on).
+    touched: Vec<TVarId>,
+    /// Ids written; published to the commit notifier on a successful
+    /// commit.
+    written: Vec<TVarId>,
     /// Last resolved variable handle: collection code reads a link and
     /// immediately writes it back (the upgrade pattern), so a one-entry
     /// cache removes the second table probe.
@@ -102,6 +126,7 @@ impl WordTx for DstmWordTx<'_> {
 
     fn read(&mut self, x: TVarId) -> TxResult<Value> {
         let var = self.var(x);
+        self.touched.push(x);
         self.record_invoke(TmOp::Read(x));
         let id = self.id();
         let r = self.tx.as_mut().unwrap().read(&var);
@@ -114,6 +139,8 @@ impl WordTx for DstmWordTx<'_> {
 
     fn write(&mut self, x: TVarId, v: Value) -> TxResult<()> {
         let var = self.var(x);
+        self.touched.push(x);
+        self.written.push(x);
         self.record_invoke(TmOp::Write(x, v));
         let id = self.id();
         let r = self.tx.as_mut().unwrap().write(&var, v);
@@ -132,6 +159,9 @@ impl WordTx for DstmWordTx<'_> {
         match &r {
             Ok(()) => {
                 self.record_respond(id, TmResp::Committed);
+                // The commit's status CAS made the new values current:
+                // wake transactions parked on what we wrote.
+                self.word.notify.publish(self.written.iter().copied());
                 // The typed transaction (and its epoch pin) is finished:
                 // hand the retire-set to the grace tracker and evict every
                 // block whose grace period has elapsed.
@@ -157,6 +187,22 @@ impl WordTx for DstmWordTx<'_> {
 
     fn retire_tvar_block(&mut self, base: TVarId, len: usize) {
         self.retired.push(RetiredBlock { base, len });
+    }
+
+    fn footprint(&self, out: &mut Vec<TVarId>) {
+        out.extend_from_slice(&self.touched);
+    }
+}
+
+impl Drop for DstmWordTx<'_> {
+    fn drop(&mut self) {
+        let mut s = TouchScratch {
+            touched: std::mem::take(&mut self.touched),
+            written: std::mem::take(&mut self.written),
+        };
+        s.touched.clear();
+        s.written.clear();
+        self.word.scratch.put(self.proc as usize, Box::new(s));
     }
 }
 
@@ -190,14 +236,26 @@ impl WordStm for DstmWord {
     }
 
     fn begin(&self, proc: u32) -> Box<dyn WordTx + '_> {
+        let scratch = self
+            .scratch
+            .take(proc as usize)
+            .map(|b| *b)
+            .unwrap_or_default();
         Box::new(DstmWordTx {
             tx: Some(self.stm.begin(proc)),
             word: self,
+            proc,
             grace: Some(self.reclaim.begin()),
             retired: Vec::new(),
+            touched: scratch.touched,
+            written: scratch.written,
             last_var: None,
             pin: crossbeam_epoch::pin(),
         })
+    }
+
+    fn notifier(&self) -> &CommitNotifier {
+        &self.notify
     }
 
     fn is_obstruction_free(&self) -> bool {

@@ -15,6 +15,12 @@
 //!   experiments.
 //! * [`record`] — low-level history recording, bridging real executions to
 //!   the formal checkers in `oftm-histories`.
+//! * [`notify`] — the commit-notification subsystem: every backend
+//!   publishes committed writes so the async runtime (`oftm-asyncrt`) can
+//!   park aborted transactions and wake them only when their footprint
+//!   actually changes.
+//! * [`contention`] — the shared retry policy (backoff schedule, park
+//!   timeouts) behind both the sync spin loops and the async park path.
 //!
 //! ## Quick start
 //!
@@ -33,7 +39,9 @@
 
 pub mod api;
 pub mod cm;
+pub mod contention;
 pub mod dstm;
+pub mod notify;
 pub mod pool;
 pub mod reclaim;
 pub mod record;
@@ -43,7 +51,9 @@ pub use api::{
     run_transaction, run_transaction_with_budget, BudgetExceeded, TxError, TxResult, WordStm,
     WordTx,
 };
+pub use contention::ContentionPolicy;
 pub use dstm::{Dstm, DstmWord, Progress, TVar, Tx};
+pub use notify::{CommitNotifier, WaitSnapshot, NOTIFY_SHARDS};
 pub use reclaim::{GraceTracker, RetiredBlock, TxGrace};
 pub use record::{fresh_base_id, Recorder};
 pub use table::{VarTable, DYNAMIC_TVAR_BASE};

@@ -1,0 +1,432 @@
+//! Offline shim for a minimal async executor (the container has no
+//! crates.io access): a **work-stealing multi-thread executor** plus a
+//! standalone [`block_on`], covering exactly the API subset the workspace
+//! uses. `oftm-asyncrt` is executor-agnostic (its futures are plain
+//! `std::future::Future`s); this crate exists so the bench binaries and
+//! tests have *something* to run thousands of them on. Swapping it for a
+//! real runtime is a `Cargo.toml` change.
+//!
+//! ## Design
+//!
+//! * [`Executor::new(workers)`](Executor::new) spawns `workers` OS
+//!   threads. Each owns a local FIFO run queue; a shared injector queue
+//!   receives tasks from [`Executor::spawn`] and from wakes raised off
+//!   the worker threads.
+//! * A worker pops its local queue first, then the injector, then
+//!   **steals** the back half of a sibling's local queue — the classic
+//!   balancing move that keeps a burst of wakes from pinning all work on
+//!   one thread.
+//! * Idle workers park on a condvar; every push notifies it.
+//! * A task's [`Waker`] re-enqueues the task. An `queued` flag collapses
+//!   wake storms: concurrent wakes of an already-queued task are no-ops
+//!   (the poll that dequeues it clears the flag first, so a wake arriving
+//!   *during* poll re-queues it — no wakeup is lost).
+//! * [`Executor::spawn`] returns a [`JoinHandle`]; `join` blocks the
+//!   calling (non-async) thread until the task completes. Panics inside a
+//!   task surface at `join`.
+//!
+//! Queues are mutexed `VecDeque`s — this shim favors obvious correctness
+//! over queue micro-optimization; the STM under test is the hot path, not
+//! the scheduler.
+
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::task::{Context, Poll, Wake, Waker};
+
+type BoxFuture = Pin<Box<dyn Future<Output = ()> + Send + 'static>>;
+
+/// One spawned task: its future plus the re-queue machinery.
+struct Task {
+    /// The future, consumed (set to `None`) on completion. A `Mutex`
+    /// rather than `UnsafeCell`: polls are serialized by the queued-flag
+    /// protocol, but the lock makes that invariant locally checkable.
+    future: Mutex<Option<BoxFuture>>,
+    /// True while the task sits in some queue (or is being polled and was
+    /// re-woken). See module docs.
+    queued: AtomicBool,
+    exec: Arc<Inner>,
+}
+
+impl Wake for Task {
+    fn wake(self: Arc<Self>) {
+        if !self.queued.swap(true, Ordering::AcqRel) {
+            let exec = Arc::clone(&self.exec);
+            exec.inject(self);
+        }
+    }
+}
+
+struct Inner {
+    injector: Mutex<VecDeque<Arc<Task>>>,
+    locals: Vec<Mutex<VecDeque<Arc<Task>>>>,
+    /// Parking for idle workers: (mutex guards nothing but the condvar,
+    /// the queues have their own locks).
+    idle: Mutex<()>,
+    wakeup: Condvar,
+    shutdown: AtomicBool,
+}
+
+impl Inner {
+    fn inject(&self, task: Arc<Task>) {
+        self.injector.lock().unwrap().push_back(task);
+        self.wakeup.notify_one();
+    }
+
+    /// Worker `me`'s next task: local, injector, then steal.
+    fn next_task(&self, me: usize) -> Option<Arc<Task>> {
+        if let Some(t) = self.locals[me].lock().unwrap().pop_front() {
+            return Some(t);
+        }
+        if let Some(t) = self.injector.lock().unwrap().pop_front() {
+            return Some(t);
+        }
+        // Steal the back half of the fullest sibling queue.
+        for k in 1..self.locals.len() {
+            let victim = (me + k) % self.locals.len();
+            let mut q = self.locals[victim].lock().unwrap();
+            let n = q.len();
+            if n > 0 {
+                let keep = n / 2;
+                let mut stolen: VecDeque<Arc<Task>> = q.split_off(keep);
+                drop(q);
+                let first = stolen.pop_front();
+                if !stolen.is_empty() {
+                    let mut mine = self.locals[me].lock().unwrap();
+                    mine.extend(stolen);
+                    drop(mine);
+                    // Work arrived for us beyond the task we run now.
+                    self.wakeup.notify_one();
+                }
+                return first;
+            }
+        }
+        None
+    }
+
+    fn run_worker(self: &Arc<Self>, me: usize) {
+        loop {
+            match self.next_task(me) {
+                Some(task) => {
+                    // Clear the flag *before* polling: a wake landing
+                    // mid-poll re-queues the task rather than vanishing.
+                    task.queued.store(false, Ordering::Release);
+                    let waker = Waker::from(Arc::clone(&task));
+                    let mut cx = Context::from_waker(&waker);
+                    let mut slot = task.future.lock().unwrap();
+                    if let Some(fut) = slot.as_mut() {
+                        match fut.as_mut().poll(&mut cx) {
+                            Poll::Ready(()) => *slot = None,
+                            Poll::Pending => {}
+                        }
+                    }
+                }
+                None => {
+                    if self.shutdown.load(Ordering::Acquire) {
+                        return;
+                    }
+                    let guard = self.idle.lock().unwrap();
+                    // Re-check under the idle lock: a notify between our
+                    // failed pop and this park would otherwise be lost.
+                    let empty = self.injector.lock().unwrap().is_empty()
+                        && self.locals.iter().all(|q| q.lock().unwrap().is_empty());
+                    if empty && !self.shutdown.load(Ordering::Acquire) {
+                        let _g = self
+                            .wakeup
+                            .wait_timeout(guard, std::time::Duration::from_millis(10))
+                            .unwrap();
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Catches a panic raised by the wrapped future's poll, so it surfaces at
+/// [`JoinHandle::join`] instead of tearing down a worker thread. The
+/// boxed field keeps `Self: Unpin`, making the projection safe-code.
+struct CatchUnwind<T>(Pin<Box<dyn Future<Output = T> + Send>>);
+
+impl<T> Future for CatchUnwind<T> {
+    type Output = std::thread::Result<T>;
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let inner = &mut self.as_mut().get_mut().0;
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| inner.as_mut().poll(cx))) {
+            Ok(Poll::Ready(v)) => Poll::Ready(Ok(v)),
+            Ok(Poll::Pending) => Poll::Pending,
+            Err(panic) => Poll::Ready(Err(panic)),
+        }
+    }
+}
+
+/// Shared slot a [`JoinHandle`] blocks on.
+struct JoinState<T> {
+    result: Mutex<Option<std::thread::Result<T>>>,
+    done: Condvar,
+}
+
+/// Handle to a spawned task; `join` blocks until it completes.
+pub struct JoinHandle<T> {
+    state: Arc<JoinState<T>>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Blocks the calling thread until the task finishes; re-raises the
+    /// task's panic, if any.
+    pub fn join(self) -> T {
+        let mut slot = self.state.result.lock().unwrap();
+        while slot.is_none() {
+            slot = self.state.done.wait(slot).unwrap();
+        }
+        match slot.take().expect("checked above") {
+            Ok(v) => v,
+            Err(p) => std::panic::resume_unwind(p),
+        }
+    }
+}
+
+/// The work-stealing executor (see module docs). Dropping it shuts the
+/// workers down after their queues drain of *runnable* tasks; call
+/// [`JoinHandle::join`] on everything you need finished first.
+pub struct Executor {
+    inner: Arc<Inner>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Executor {
+    /// Starts `workers` (≥ 1) worker threads.
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let inner = Arc::new(Inner {
+            injector: Mutex::new(VecDeque::new()),
+            locals: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            idle: Mutex::new(()),
+            wakeup: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let handles = (0..workers)
+            .map(|me| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("async-executor-{me}"))
+                    .spawn(move || inner.run_worker(me))
+                    .expect("spawn worker")
+            })
+            .collect();
+        Executor {
+            inner,
+            workers: handles,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.inner.locals.len()
+    }
+
+    /// Spawns `fut` onto the pool and returns a handle to its result.
+    pub fn spawn<T, F>(&self, fut: F) -> JoinHandle<T>
+    where
+        T: Send + 'static,
+        F: Future<Output = T> + Send + 'static,
+    {
+        let state = Arc::new(JoinState {
+            result: Mutex::new(None),
+            done: Condvar::new(),
+        });
+        let st = Arc::clone(&state);
+        let wrapped = async move {
+            let out = CatchUnwind(Box::pin(fut)).await;
+            *st.result.lock().unwrap() = Some(out);
+            st.done.notify_all();
+        };
+        let task = Arc::new(Task {
+            future: Mutex::new(Some(Box::pin(wrapped))),
+            queued: AtomicBool::new(true),
+            exec: Arc::clone(&self.inner),
+        });
+        self.inner.inject(task);
+        JoinHandle { state }
+    }
+}
+
+impl Drop for Executor {
+    fn drop(&mut self) {
+        self.inner.shutdown.store(true, Ordering::Release);
+        self.inner.wakeup.notify_all();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Thread-parking waker for [`block_on`].
+struct Unpark {
+    parked: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Wake for Unpark {
+    fn wake(self: Arc<Self>) {
+        *self.parked.lock().unwrap() = false;
+        self.cv.notify_one();
+    }
+}
+
+/// Drives `fut` to completion on the calling thread, parking between
+/// polls. The entry point for tests and for sync code that needs one
+/// async result.
+pub fn block_on<F: Future>(fut: F) -> F::Output {
+    let unpark = Arc::new(Unpark {
+        parked: Mutex::new(false),
+        cv: Condvar::new(),
+    });
+    let waker = Waker::from(Arc::clone(&unpark));
+    let mut cx = Context::from_waker(&waker);
+    // SAFETY-free pinning: the future lives on this stack frame for the
+    // whole call.
+    let mut fut = Box::pin(fut);
+    loop {
+        *unpark.parked.lock().unwrap() = true;
+        match fut.as_mut().poll(&mut cx) {
+            Poll::Ready(v) => return v,
+            Poll::Pending => {
+                let mut parked = unpark.parked.lock().unwrap();
+                while *parked {
+                    parked = unpark.cv.wait(parked).unwrap();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn block_on_ready_future() {
+        assert_eq!(block_on(async { 41 + 1 }), 42);
+    }
+
+    #[test]
+    fn block_on_future_woken_from_another_thread() {
+        struct Gate {
+            open: Arc<AtomicBool>,
+            waker_slot: Arc<Mutex<Option<Waker>>>,
+        }
+        impl Future for Gate {
+            type Output = ();
+            fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+                if self.open.load(Ordering::Acquire) {
+                    Poll::Ready(())
+                } else {
+                    *self.waker_slot.lock().unwrap() = Some(cx.waker().clone());
+                    Poll::Pending
+                }
+            }
+        }
+        let open = Arc::new(AtomicBool::new(false));
+        let slot: Arc<Mutex<Option<Waker>>> = Arc::new(Mutex::new(None));
+        let t = {
+            let open = Arc::clone(&open);
+            let slot = Arc::clone(&slot);
+            std::thread::spawn(move || {
+                // Wait until the future parked, then open the gate.
+                loop {
+                    if let Some(w) = slot.lock().unwrap().take() {
+                        open.store(true, Ordering::Release);
+                        w.wake();
+                        break;
+                    }
+                    std::thread::yield_now();
+                }
+            })
+        };
+        block_on(Gate {
+            open: Arc::clone(&open),
+            waker_slot: slot,
+        });
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn executor_runs_many_tasks_on_few_workers() {
+        let ex = Executor::new(3);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..200)
+            .map(|i| {
+                let counter = Arc::clone(&counter);
+                ex.spawn(async move {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                    i
+                })
+            })
+            .collect();
+        let sum: usize = handles.into_iter().map(|h| h.join()).sum();
+        assert_eq!(sum, (0..200).sum::<usize>());
+        assert_eq!(counter.load(Ordering::SeqCst), 200);
+    }
+
+    /// A future that yields once per poll until its countdown hits zero,
+    /// self-waking — exercises the re-queue path and stealing.
+    struct YieldN(usize);
+    impl Future for YieldN {
+        type Output = ();
+        fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+            if self.0 == 0 {
+                Poll::Ready(())
+            } else {
+                self.0 -= 1;
+                cx.waker().wake_by_ref();
+                Poll::Pending
+            }
+        }
+    }
+
+    #[test]
+    fn tasks_that_yield_repeatedly_complete() {
+        let ex = Executor::new(2);
+        let handles: Vec<_> = (0..50).map(|_| ex.spawn(YieldN(20))).collect();
+        for h in handles {
+            h.join();
+        }
+    }
+
+    #[test]
+    fn cross_thread_wakes_reach_parked_workers() {
+        // One task parks awaiting an external wake delivered from a plain
+        // OS thread — the executor must pick it back up.
+        let ex = Executor::new(2);
+        let open = Arc::new(AtomicBool::new(false));
+        let slot: Arc<Mutex<Option<Waker>>> = Arc::new(Mutex::new(None));
+
+        struct Gate(Arc<AtomicBool>, Arc<Mutex<Option<Waker>>>);
+        impl Future for Gate {
+            type Output = u32;
+            fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<u32> {
+                if self.0.load(Ordering::Acquire) {
+                    Poll::Ready(7)
+                } else {
+                    *self.1.lock().unwrap() = Some(cx.waker().clone());
+                    Poll::Pending
+                }
+            }
+        }
+        let h = ex.spawn(Gate(Arc::clone(&open), Arc::clone(&slot)));
+        let t = std::thread::spawn(move || loop {
+            if let Some(w) = slot.lock().unwrap().take() {
+                open.store(true, Ordering::Release);
+                w.wake();
+                break;
+            }
+            std::thread::yield_now();
+        });
+        assert_eq!(h.join(), 7);
+        t.join().unwrap();
+    }
+}

@@ -81,7 +81,12 @@ impl<'a, 'b> TxCtx<'a, 'b> {
         self.tx.retire_tvar_block(base, len);
     }
 
-    fn take_allocs(&mut self) -> Vec<(TVarId, usize)> {
+    /// Drains this attempt's allocation log (retry loops call this after
+    /// the body returns: on abort they free the logged blocks, on commit
+    /// they discard the log — the blocks are published). Public so the
+    /// async retry loop in `oftm-asyncrt` shares the exact abort-path
+    /// release semantics of [`atomically_budgeted`].
+    pub fn take_allocs(&mut self) -> Vec<(TVarId, usize)> {
         std::mem::take(&mut self.allocs)
     }
 }

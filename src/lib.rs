@@ -22,7 +22,12 @@
 //! * [`structs`] — transactional collections (sorted-list IntSet,
 //!   hash map, MPMC queue, striped counter) over the word-level
 //!   interface, running unchanged on every STM via dynamic t-variable
-//!   allocation ([`core::api::WordStm::alloc_tvar`]).
+//!   allocation ([`core::api::WordStm::alloc_tvar`]);
+//! * [`asyncrt`] — the async transaction runtime: aborted transactions
+//!   park as pending futures and are woken by the commit-notification
+//!   subsystem ([`core::notify`]) when their footprint actually changes,
+//!   so many more logical clients than OS threads can wait without
+//!   burning CPU in retry backoff.
 //!
 //! ## Quick start
 //!
@@ -48,6 +53,7 @@
 //! for the paper-to-code map.
 
 pub use oftm_algo2 as algo2;
+pub use oftm_asyncrt as asyncrt;
 pub use oftm_baselines as baselines;
 pub use oftm_core as core;
 pub use oftm_foc as foc;
@@ -55,6 +61,7 @@ pub use oftm_histories as histories;
 pub use oftm_sim as sim;
 pub use oftm_structs as structs;
 
+pub use oftm_asyncrt::{atomically_async, run_transaction_async};
 pub use oftm_core::{
     run_transaction, run_transaction_with_budget, Dstm, DstmWord, Recorder, TVar, Tx, TxError,
     TxResult,
