@@ -38,6 +38,28 @@
 //! The two "important implementation details" the paper calls out — the
 //! final `Aborted[T_k]` re-check and the `V[x]` change check inside the
 //! scan loop (wait-freedom) — are both present and covered by tests.
+//!
+//! ## Read-only transactions
+//!
+//! In Algorithm 2 even a read *acquires* (ownership is how a read learns
+//! the current state), so a read-only transaction on the plain path still
+//! proposes to `Owner` cells, publishes `V[x]`, and gets revoked by the
+//! next writer. [`WordStm::begin_ro`] instead returns an **invisible**
+//! reader: each read walks the decided prefix of `Owner[x, ·]` with
+//! non-proposing observers, adopts the value of the last decided-committed
+//! owner, and records the version it stopped at; prior reads are
+//! re-validated on every access (as in DSTM) and once more at commit — a
+//! new decided-committed version past a recorded stop point aborts.
+//! The reader proposes nothing, owns nothing, and aborts no peer, so no
+//! `Owner` cell ever names it and its commit needs no `State` proposal at
+//! all. Progress: a scan or validation step only repeats when some writer
+//! decided another version in the interim, so read-only transactions are
+//! lock-free (obstruction-free in particular, and abort-free while no
+//! writer commits into their footprint) — but not wait-free: a
+//! continuously growing owner chain can be chased unboundedly.
+//! *Promotion* of plain transactions at commit is necessarily trivial —
+//! only a transaction that performed no operations at all acquired
+//! nothing — and that case skips the `State` proposal the same way.
 
 use crate::registry::Registry;
 use oftm_core::api::{TxError, TxResult, WordStm, WordTx};
@@ -452,6 +474,19 @@ impl WordTx for Algo2Tx<'_> {
     fn try_commit(mut self: Box<Self>) -> TxResult<()> {
         self.rinvoke(TmOp::TryCommit);
         self.completed = true;
+        // Trivial promotion: a transaction that attempted no operation
+        // acquired nothing, so no `Owner` cell names it and no peer can
+        // ever propose to its `State` — deciding the cell is pure
+        // overhead. (Anything that *read* acquired, and must still settle
+        // its fate below for the scanners that will find it.)
+        if self.wset.is_empty() && self.touched.is_empty() {
+            self.rrespond(TmResp::Committed);
+            self.stm.reclaim_after_commit(
+                self.grace.take().expect("grace slot held until completion"),
+                std::mem::take(&mut self.retired),
+            );
+            return Ok(());
+        }
         let sc = self.stm.state_cell(self.id);
         let s = sc.propose(self.id.proc, Fate::Committed as u8);
         self.rstep(sc.base, Access::Modify);
@@ -507,6 +542,186 @@ impl Drop for Algo2Tx<'_> {
             let sc = self.stm.state_cell(self.id);
             let _ = sc.propose(self.id.proc, Fate::Aborted as u8);
         }
+    }
+}
+
+/// An invisible read-only transaction (see the module docs): walks decided
+/// owner chains with non-proposing observers, never acquires, never aborts
+/// a peer, and commits without touching any `State` cell.
+pub struct Algo2RoTx<'s> {
+    stm: &'s Algo2Stm,
+    id: TxId,
+    /// Invisible read-set: `(x, stop_version, value)` — versions below
+    /// `stop_version` were decided when the read returned and `value` is
+    /// the state after the last decided-committed owner among them.
+    reads: Vec<(TVarId, u64, Value)>,
+    /// Conflict hint for the async runtime's parking.
+    touched: Vec<TVarId>,
+    /// Grace-period registration: an invisible reader traverses values it
+    /// adopted from committed owners, so retire-sets published while it
+    /// runs must not be freed under it.
+    grace: Option<TxGrace>,
+}
+
+impl<'s> Algo2RoTx<'s> {
+    fn rstep(&self, obj: BaseObjId, access: Access) {
+        if let Some(rec) = &self.stm.recorder {
+            rec.step(self.id.process(), Some(self.id), obj, access);
+        }
+    }
+
+    fn rinvoke(&self, op: TmOp) {
+        if let Some(rec) = &self.stm.recorder {
+            rec.invoke(self.id, op);
+        }
+    }
+
+    fn rrespond(&self, resp: TmResp) {
+        if let Some(rec) = &self.stm.recorder {
+            rec.respond(self.id, resp);
+        }
+    }
+
+    fn exists(&self, x: TVarId) {
+        if x.0 >= DYNAMIC_TVAR_BASE && self.stm.initial.get(x).is_none() {
+            panic!("t-variable {x} not registered");
+        }
+    }
+
+    /// Walks the decided prefix of `Owner[x, ·]` without proposing and
+    /// returns `(stop_version, state)`: the first version with no decided
+    /// committed-or-aborted owner, and the value after the last
+    /// decided-committed owner below it.
+    fn scan_committed(&self, x: TVarId) -> (u64, Value) {
+        let hint = self
+            .stm
+            .scan_hint
+            .get_or_create(&x, || parking_lot::Mutex::new((1, self.stm.initial_of(x))));
+        let (mut version, mut state) = *hint.lock();
+        loop {
+            let Some(cell) = self.stm.owner.get(&(x, version)) else {
+                break;
+            };
+            self.rstep(cell.base, Access::Read);
+            let Some(owner) = cell.decided() else {
+                break;
+            };
+            let owner = decode_tx(owner);
+            let sc = self.stm.state_cell(owner);
+            self.rstep(sc.base, Access::Read);
+            match sc.decided() {
+                Some(s) if s == Fate::Committed as u8 => {
+                    let tv = self.stm.tvar.get_or_create(&(x, owner), || RegCell::new(0));
+                    state = tv.val.load(Ordering::Acquire);
+                    self.rstep(tv.base, Access::Read);
+                }
+                // Aborted owner: this version changes nothing.
+                Some(_) => {}
+                // Live owner: its tentative value is not committed — the
+                // decided prefix ends here.
+                None => break,
+            }
+            // Version `version` is now decided forever: advance the shared
+            // hint under the same monotonic rule `acquire` uses.
+            let mut h = hint.lock();
+            if version + 1 > h.0 {
+                *h = (version + 1, state);
+            }
+            drop(h);
+            version += 1;
+        }
+        (version, state)
+    }
+
+    /// A recorded read `(x, stop, _)` is still current iff no decided-
+    /// committed version at or past `stop` has appeared since.
+    fn validate(&self) -> bool {
+        self.reads.iter().all(|&(x, stop, _)| {
+            let mut version = stop;
+            loop {
+                let Some(cell) = self.stm.owner.get(&(x, version)) else {
+                    return true;
+                };
+                self.rstep(cell.base, Access::Read);
+                let Some(owner) = cell.decided() else {
+                    return true;
+                };
+                let sc = self.stm.state_cell(decode_tx(owner));
+                self.rstep(sc.base, Access::Read);
+                match sc.decided() {
+                    Some(s) if s == Fate::Committed as u8 => return false,
+                    Some(_) => version += 1,
+                    None => return true,
+                }
+            }
+        })
+    }
+}
+
+impl WordTx for Algo2RoTx<'_> {
+    fn id(&self) -> TxId {
+        self.id
+    }
+
+    fn read(&mut self, x: TVarId) -> TxResult<Value> {
+        self.touched.push(x);
+        self.rinvoke(TmOp::Read(x));
+        self.exists(x);
+        // A re-read must return the snapshot value already recorded (the
+        // entry is covered by validation), not rescan a possibly-advanced
+        // chain.
+        if let Some(&(_, _, v)) = self.reads.iter().find(|&&(rx, _, _)| rx == x) {
+            self.rrespond(TmResp::Value(v));
+            return Ok(v);
+        }
+        let (stop, state) = self.scan_committed(x);
+        self.exists(x);
+        self.reads.push((x, stop, state));
+        // Incremental validation, as in DSTM: every access re-checks the
+        // whole read-set so a live read-only transaction never observes a
+        // torn snapshot (opacity, not just commit-time serializability).
+        if !self.validate() {
+            self.rrespond(TmResp::Aborted);
+            return Err(TxError::Aborted);
+        }
+        self.rrespond(TmResp::Value(state));
+        Ok(state)
+    }
+
+    fn write(&mut self, _x: TVarId, _v: Value) -> TxResult<()> {
+        panic!("algo2: write on a declared read-only transaction");
+    }
+
+    fn try_commit(mut self: Box<Self>) -> TxResult<()> {
+        self.rinvoke(TmOp::TryCommit);
+        // No peer ever learned of this transaction (it proposed nothing),
+        // so there is no `State` cell to decide: the final validation is
+        // the commit.
+        if self.validate() {
+            self.rrespond(TmResp::Committed);
+            self.stm.reclaim_after_commit(
+                self.grace.take().expect("grace slot held until completion"),
+                Vec::new(),
+            );
+            Ok(())
+        } else {
+            self.rrespond(TmResp::Aborted);
+            Err(TxError::Aborted)
+        }
+    }
+
+    fn try_abort(mut self: Box<Self>) {
+        self.rinvoke(TmOp::TryAbort);
+        self.rrespond(TmResp::Aborted);
+        self.grace.take();
+    }
+
+    fn retire_tvar_block(&mut self, _base: TVarId, _len: usize) {
+        panic!("algo2: retire on a declared read-only transaction");
+    }
+
+    fn footprint(&self, out: &mut Vec<TVarId>) {
+        out.extend_from_slice(&self.touched);
     }
 }
 
@@ -566,6 +781,17 @@ impl WordStm for Algo2Stm {
             grace: Some(self.reclaim.begin()),
             retired: Vec::new(),
             completed: false,
+        })
+    }
+
+    fn begin_ro(&self, proc: u32) -> Box<dyn WordTx + '_> {
+        let seq = self.tx_seq.fetch_add(1, Ordering::Relaxed);
+        Box::new(Algo2RoTx {
+            stm: self,
+            id: TxId::new(proc, seq),
+            reads: Vec::new(),
+            touched: Vec::new(),
+            grace: Some(self.reclaim.begin()),
         })
     }
 
@@ -796,6 +1022,68 @@ mod tests {
         );
         // Safety net: T1 still cannot commit (State[T1] is decided).
         assert!(t1.try_commit().is_err());
+    }
+
+    #[test]
+    fn ro_adopts_committed_chain() {
+        let s = stm(FocKind::Cas);
+        for (p, v) in [(0u32, 100u64), (1, 200), (2, 300)] {
+            let (_, attempts) = run_transaction(&s, p, |tx| tx.write(X, v));
+            assert_eq!(attempts, 1);
+        }
+        let mut t = s.begin_ro(3);
+        assert_eq!(t.read(X).unwrap(), 300);
+        assert_eq!(t.read(Y).unwrap(), 20);
+        t.try_commit().unwrap();
+    }
+
+    #[test]
+    fn ro_reader_is_invisible_to_writers() {
+        // A plain reader acquires and would be revoked by the next writer;
+        // the invisible reader must neither abort a live writer nor be
+        // aborted by committing around it — it sees the committed prefix.
+        let s = stm(FocKind::Cas);
+        let mut w = s.begin(0);
+        w.write(X, 99).unwrap(); // live owner of X's next version
+        let mut r = s.begin_ro(1);
+        assert_eq!(r.read(X).unwrap(), 10, "tentative value must be invisible");
+        r.try_commit().unwrap();
+        // The writer was not aborted by the read-only scan.
+        w.try_commit().unwrap();
+        let mut t = s.begin_ro(2);
+        assert_eq!(t.read(X).unwrap(), 99);
+        t.try_commit().unwrap();
+    }
+
+    #[test]
+    fn ro_torn_snapshot_aborts_on_next_access() {
+        // Incremental validation: a commit landing between two reads of a
+        // multi-variable snapshot aborts the reader at its next access.
+        let s = stm(FocKind::Cas);
+        let mut r = s.begin_ro(0);
+        assert_eq!(r.read(X).unwrap(), 10);
+        let mut w = s.begin(1);
+        w.write(X, 111).unwrap();
+        w.write(Y, 222).unwrap();
+        w.try_commit().unwrap();
+        assert_eq!(r.read(Y), Err(TxError::Aborted));
+    }
+
+    #[test]
+    fn ro_stale_read_aborts_at_commit() {
+        let s = stm(FocKind::Cas);
+        let mut r = s.begin_ro(0);
+        assert_eq!(r.read(X).unwrap(), 10);
+        let (_, _) = run_transaction(&s, 1, |tx| tx.write(X, 11));
+        assert_eq!(r.try_commit(), Err(TxError::Aborted));
+    }
+
+    #[test]
+    #[should_panic(expected = "read-only")]
+    fn ro_write_panics() {
+        let s = stm(FocKind::Cas);
+        let mut tx = s.begin_ro(0);
+        let _ = tx.write(X, 1);
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! atomic two-queue transfer below), which is where transactions earn
 //! their keep over per-operation locks.
 
-use crate::ctx::atomically_async;
+use crate::ctx::{atomically_async, atomically_async_ro};
 use crate::future::Committed;
 use oftm_core::api::WordStm;
 use oftm_histories::Value;
@@ -34,14 +34,17 @@ impl AsyncIntSet {
         atomically_async(stm, proc, move |ctx| set.remove_in(ctx, v)).await
     }
 
+    /// Runs as a read-only transaction (never parks — see
+    /// [`crate::run_transaction_async_ro`]).
     pub async fn contains(&self, stm: &dyn WordStm, proc: u32, v: u64) -> Committed<bool> {
         let set = self.0;
-        atomically_async(stm, proc, move |ctx| set.contains_in(ctx, v)).await
+        atomically_async_ro(stm, proc, move |ctx| set.contains_in(ctx, v)).await
     }
 
+    /// Runs as a read-only transaction (never parks).
     pub async fn snapshot(&self, stm: &dyn WordStm, proc: u32) -> Committed<Vec<u64>> {
         let set = self.0;
-        atomically_async(stm, proc, move |ctx| set.snapshot_in(ctx)).await
+        atomically_async_ro(stm, proc, move |ctx| set.snapshot_in(ctx)).await
     }
 }
 
@@ -70,9 +73,10 @@ impl AsyncHashMap {
         atomically_async(stm, proc, move |ctx| map.remove_in(ctx, key)).await
     }
 
+    /// Runs as a read-only transaction (never parks).
     pub async fn get(&self, stm: &dyn WordStm, proc: u32, key: u64) -> Committed<Option<Value>> {
         let map = self.0;
-        atomically_async(stm, proc, move |ctx| map.get_in(ctx, key)).await
+        atomically_async_ro(stm, proc, move |ctx| map.get_in(ctx, key)).await
     }
 }
 

@@ -133,3 +133,35 @@ where
         Err(e) => panic!("atomically_async: {e}"),
     }
 }
+
+/// Asynchronous [`oftm_structs::atomically_ro_budgeted`]: attempts run on
+/// [`WordStm::begin_ro`] and aborted attempts never park (they retry
+/// inline or yield) — `Committed::parks` is always zero. The body must
+/// not write, retire, or allocate.
+pub fn atomically_async_ro_budgeted<'s, R, F>(
+    stm: &'s dyn WordStm,
+    proc: u32,
+    max_attempts: u32,
+    body: F,
+) -> CtxFuture<'s, R, F>
+where
+    F: FnMut(&mut TxCtx<'_, '_>) -> TxResult<R> + Unpin,
+{
+    CtxFuture {
+        core: ParkCore::new_ro(stm, proc, max_attempts),
+        body,
+        alloc_buf: Vec::new(),
+        _r: std::marker::PhantomData,
+    }
+}
+
+/// Asynchronous [`oftm_structs::atomically_ro`].
+pub async fn atomically_async_ro<R, F>(stm: &dyn WordStm, proc: u32, body: F) -> Committed<R>
+where
+    F: FnMut(&mut TxCtx<'_, '_>) -> TxResult<R> + Unpin,
+{
+    match atomically_async_ro_budgeted(stm, proc, u32::MAX, body).await {
+        Ok(c) => c,
+        Err(e) => panic!("atomically_async_ro: {e}"),
+    }
+}

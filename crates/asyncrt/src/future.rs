@@ -74,6 +74,14 @@ pub(crate) struct ParkCore<'s> {
     /// arms yet another timer: the chains self-perpetuate and multiply
     /// with every commit, burying the "fewer wasted re-runs" win.
     parked_until: Option<std::time::Instant>,
+    /// Attempts begin via [`WordStm::begin_ro`], and aborts never park:
+    /// a read-only abort means a conflicting commit *just* landed, so the
+    /// immediate re-run observes the new snapshot and (on the wait-free
+    /// backends) cannot abort the same way again — parking would trade
+    /// that certain progress for a wake round-trip. Past the immediate-
+    /// retry budget the future yields (self-wake) instead of parking, so
+    /// a contended executor still interleaves peers.
+    read_only: bool,
 }
 
 /// What the poll loop does after an aborted attempt.
@@ -97,6 +105,15 @@ impl<'s> ParkCore<'s> {
             footprint: Vec::new(),
             snap: WaitSnapshot::new(),
             parked_until: None,
+            read_only: false,
+        }
+    }
+
+    /// Read-only retry core: see the `read_only` field docs.
+    pub fn new_ro(stm: &'s dyn WordStm, proc: u32, max_attempts: u32) -> Self {
+        ParkCore {
+            read_only: true,
+            ..Self::new(stm, proc, max_attempts)
         }
     }
 
@@ -131,15 +148,25 @@ impl<'s> ParkCore<'s> {
     pub fn begin_attempt(&mut self) -> Box<dyn WordTx + 's> {
         self.attempts += 1;
         self.footprint.clear();
-        self.stm.begin(self.proc)
+        if self.read_only {
+            self.stm.begin_ro(self.proc)
+        } else {
+            self.stm.begin(self.proc)
+        }
     }
 
     /// Captures `tx`'s footprint (call on every attempt right before its
     /// fate is decided — `tryC` consumes the transaction, and an abort
-    /// needs the footprint to park on).
+    /// needs the footprint to park on). [`WordTx::footprint`] may emit
+    /// duplicates (collection traversals re-touch link words constantly),
+    /// so the log is deduplicated here, before anything registers
+    /// per-entry state on it: parking on an N-op transaction must
+    /// register each notify shard once, not once per touch.
     pub fn capture_footprint(&mut self, tx: &dyn WordTx) {
         self.footprint.clear();
         tx.footprint(&mut self.footprint);
+        self.footprint.sort_unstable();
+        self.footprint.dedup();
     }
 
     pub fn committed<R>(&self, value: R) -> Committed<R> {
@@ -155,6 +182,12 @@ impl<'s> ParkCore<'s> {
         self.consecutive_aborts += 1;
         if self.policy.retry_immediately(self.consecutive_aborts) {
             return AfterAbort::RetryNow;
+        }
+        if self.read_only {
+            // Read-only futures never park (see the field docs): yield so
+            // the executor can interleave, then re-run.
+            waker.wake_by_ref();
+            return AfterAbort::Pend;
         }
         if self.footprint.is_empty() {
             // Nothing to watch: yield (stay runnable, let peers in).
@@ -264,5 +297,36 @@ where
     match run_transaction_async_budgeted(stm, proc, u32::MAX, body).await {
         Ok(c) => c,
         Err(e) => panic!("run_transaction_async: {e}"),
+    }
+}
+
+/// Read-only [`run_transaction_async_budgeted`]: attempts run on
+/// [`WordStm::begin_ro`] (the backend's cheapest consistent read path)
+/// and aborted attempts **never park** — they retry inline or yield.
+/// `Committed::parks` is therefore always zero.
+pub fn run_transaction_async_ro_budgeted<'s, R, F>(
+    stm: &'s dyn WordStm,
+    proc: u32,
+    max_attempts: u32,
+    body: F,
+) -> TxFuture<'s, R, F>
+where
+    F: FnMut(&mut dyn WordTx) -> TxResult<R> + Unpin,
+{
+    TxFuture {
+        core: ParkCore::new_ro(stm, proc, max_attempts),
+        body,
+        _r: std::marker::PhantomData,
+    }
+}
+
+/// Read-only [`run_transaction_async`].
+pub async fn run_transaction_async_ro<R, F>(stm: &dyn WordStm, proc: u32, body: F) -> Committed<R>
+where
+    F: FnMut(&mut dyn WordTx) -> TxResult<R> + Unpin,
+{
+    match run_transaction_async_ro_budgeted(stm, proc, u32::MAX, body).await {
+        Ok(c) => c,
+        Err(e) => panic!("run_transaction_async_ro: {e}"),
     }
 }

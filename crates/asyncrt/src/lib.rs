@@ -70,8 +70,14 @@ mod future;
 pub mod timer;
 
 pub use collections::{AsyncHashMap, AsyncIntSet, AsyncQueue};
-pub use ctx::{atomically_async, atomically_async_budgeted, CtxFuture};
-pub use future::{run_transaction_async, run_transaction_async_budgeted, Committed, TxFuture};
+pub use ctx::{
+    atomically_async, atomically_async_budgeted, atomically_async_ro, atomically_async_ro_budgeted,
+    CtxFuture,
+};
+pub use future::{
+    run_transaction_async, run_transaction_async_budgeted, run_transaction_async_ro,
+    run_transaction_async_ro_budgeted, Committed, TxFuture,
+};
 
 #[allow(unused_imports)] // rustdoc links
 use oftm_core::{api::WordStm, notify::CommitNotifier};

@@ -9,7 +9,9 @@ mod common;
 
 use async_executor::Executor;
 use common::{make_stm, STM_NAMES};
-use oftm_asyncrt::{atomically_async_budgeted, run_transaction_async_budgeted};
+use oftm_asyncrt::{
+    atomically_async_budgeted, run_transaction_async_budgeted, run_transaction_async_ro_budgeted,
+};
 use oftm_core::api::{run_transaction_with_budget, WordStm};
 use oftm_histories::TVarId;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
@@ -322,4 +324,77 @@ fn dropped_parked_future_is_harmless() {
     // The notifier still works: a fresh client completes normally.
     let (attempts, _) = run_async_counter(&stm, 2, 4, 50);
     assert!(attempts >= 200);
+}
+
+/// Declared read-only futures never park: aborted RO attempts retry
+/// inline or yield (they hold no footprint a peer's commit could
+/// unblock), so `parks` stays zero on every backend even with a writer
+/// continuously committing into the read footprint.
+#[test]
+fn read_only_futures_never_park() {
+    use std::sync::atomic::AtomicBool;
+
+    /// Stops the writer even if an assertion below unwinds, so a failure
+    /// cannot leak a spinning thread into the rest of the suite.
+    struct StopOnDrop(Arc<AtomicBool>);
+    impl Drop for StopOnDrop {
+        fn drop(&mut self) {
+            self.0.store(true, Ordering::Relaxed);
+        }
+    }
+
+    for name in STM_NAMES {
+        let stm = make_stm(name);
+        stm.register_tvar(COUNTER, 0);
+        let reads: u32 = if name.starts_with("algo2") { 40 } else { 400 };
+        let stop = Arc::new(AtomicBool::new(false));
+        let _stop_guard = StopOnDrop(Arc::clone(&stop));
+
+        let writer = {
+            let stm = Arc::clone(&stm);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    run_transaction_with_budget(&*stm, 0, BUDGET, |tx| {
+                        let v = tx.read(COUNTER)?;
+                        tx.write(COUNTER, v + 1)
+                    })
+                    .expect("writer livelocked");
+                }
+            })
+        };
+
+        let ex = Executor::new(2);
+        let handles: Vec<_> = (1..=3u32)
+            .map(|c| {
+                let stm = Arc::clone(&stm);
+                ex.spawn(async move {
+                    let mut parks = 0u64;
+                    let mut last = 0u64;
+                    for _ in 0..reads {
+                        let done = run_transaction_async_ro_budgeted(&*stm, c, BUDGET, |tx| {
+                            tx.read(COUNTER)
+                        })
+                        .await
+                        .expect("RO future livelocked");
+                        parks += u64::from(done.parks);
+                        assert!(done.value >= last, "RO reads went backwards");
+                        last = done.value;
+                    }
+                    parks
+                })
+            })
+            .collect();
+        let mut parks = 0u64;
+        for h in handles {
+            parks += h.join();
+        }
+        stop.store(true, Ordering::Relaxed);
+        writer.join().unwrap();
+        assert_eq!(
+            parks, 0,
+            "{name}: read-only futures parked {parks} times — the RO path must \
+             yield, never park"
+        );
+    }
 }

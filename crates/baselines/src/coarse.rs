@@ -12,6 +12,16 @@
 //! [`WordStm::alloc_tvar`] insert fresh t-variables without touching the
 //! gate — so a *running* transaction (which holds the gate) can allocate
 //! list nodes without self-deadlocking.
+//!
+//! **Read-only transactions.** The strongest cheap path a global lock
+//! admits: a declared-RO transaction ([`oftm_core::api::WordStm::begin_ro`])
+//! keeps no undo log and no footprint log, its reads are raw cell loads
+//! under the gate, and its commit publishes nothing. Progress guarantee:
+//! **abort-free but blocking** — a coarse RO transaction can never abort
+//! (nothing to validate; the gate serializes it totally), but it waits for
+//! the gate like everyone else, so it is not wait-free. Detect-on-commit
+//! promotion is implicit: an empty undo log already skips rollback and
+//! publish work.
 
 use crossbeam_epoch::{self as epoch, Guard};
 use oftm_core::api::{TxResult, WordStm, WordTx};
@@ -95,6 +105,8 @@ struct CoarseTx<'s> {
     /// discarded) on abort.
     grace: Option<TxGrace>,
     retired: Vec<RetiredBlock>,
+    /// Declared read-only: reads skip the footprint log, writes panic.
+    ro: bool,
     /// Transaction-lifetime epoch pin: the paged-slab table's per-access
     /// pins nest under it (a counter bump instead of an epoch
     /// publication per read/write).
@@ -123,11 +135,15 @@ impl WordTx for CoarseTx<'_> {
             r.invoke(self.id, TmOp::Read(x));
         }
         debug_assert!(self.guard.is_some(), "transaction completed");
-        self.touched.push(x);
+        if !self.ro {
+            self.touched.push(x);
+        }
+        // The handle is not retained (undo logging happens on writes
+        // only): borrow under the pin, skip the `Arc` refcount RMWs.
         let v = self
             .stm
             .store
-            .get_or_panic_in(x, &self.pin)
+            .get_ref_or_panic_in(x, &self.pin)
             .load(Ordering::Acquire);
         if let Some(r) = self.rec() {
             r.respond(self.id, TmResp::Value(v));
@@ -136,6 +152,10 @@ impl WordTx for CoarseTx<'_> {
     }
 
     fn write(&mut self, x: TVarId, v: Value) -> TxResult<()> {
+        assert!(
+            !self.ro,
+            "coarse: write on a declared read-only transaction"
+        );
         if let Some(r) = self.rec() {
             r.invoke(self.id, TmOp::Write(x, v));
         }
@@ -191,6 +211,10 @@ impl WordTx for CoarseTx<'_> {
     }
 
     fn retire_tvar_block(&mut self, base: TVarId, len: usize) {
+        assert!(
+            !self.ro,
+            "coarse: retire on a declared read-only transaction"
+        );
         self.retired.push(RetiredBlock { base, len });
     }
 
@@ -256,6 +280,27 @@ impl WordStm for CoarseStm {
             touched: Vec::new(),
             grace: Some(self.reclaim.begin()),
             retired: Vec::new(),
+            ro: false,
+            pin: epoch::pin(),
+        })
+    }
+
+    fn begin_ro(&self, proc: u32) -> Box<dyn WordTx + '_> {
+        let seq = self.tx_seq.fetch_add(1, Ordering::Relaxed);
+        let id = TxId::new(proc, seq);
+        let guard = self.gate.lock();
+        if let Some(r) = self.recorder.as_deref() {
+            r.step(id.process(), Some(id), self.lock_base, Access::Modify);
+        }
+        Box::new(CoarseTx {
+            stm: self,
+            id,
+            guard: Some(guard),
+            undo: Vec::new(),
+            touched: Vec::new(),
+            grace: Some(self.reclaim.begin()),
+            retired: Vec::new(),
+            ro: true,
             pin: epoch::pin(),
         })
     }
@@ -337,6 +382,26 @@ mod tests {
             }
         });
         assert_eq!(s.peek(X), Some(401));
+    }
+
+    #[test]
+    fn ro_reads_commit_and_skip_bookkeeping() {
+        let s = stm();
+        let mut ro = s.begin_ro(0);
+        assert_eq!(ro.read(X).unwrap(), 1);
+        assert_eq!(ro.read(Y).unwrap(), 2);
+        let mut fp = Vec::new();
+        ro.footprint(&mut fp);
+        assert!(fp.is_empty(), "RO keeps no footprint log");
+        assert!(ro.try_commit().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "read-only")]
+    fn ro_write_panics() {
+        let s = stm();
+        let mut ro = s.begin_ro(0);
+        let _ = ro.write(X, 1);
     }
 
     #[test]

@@ -20,6 +20,7 @@
 //! | [`TlStm`]     | blocking (commit-time per-object locks) | **yes** |
 //! | [`Tl2Stm`]    | blocking + global version clock | no (the clock) |
 
+mod clock;
 pub mod coarse;
 pub mod tl;
 pub mod tl2;

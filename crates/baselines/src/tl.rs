@@ -4,12 +4,25 @@
 //! The paper (Section 1) singles this design out as *strictly
 //! disjoint-access-parallel*: the only base objects a transaction touches
 //! are the lock/version/value words of the t-variables it accesses — no
-//! shared descriptor, no global clock. `exp_conflict_density` confirms
-//! zero unrelated conflicts for this implementation, the foil to
-//! Theorem 13's result for OFTMs.
+//! shared descriptor, no global clock. One measured deviation since the
+//! read-only fast path landed: a **writing commit** stamps its versions
+//! from the sharded commit clock ([`crate::clock`]), bumping only its own
+//! process's shard — so writers whose process ids collide modulo
+//! [`CLOCK_SHARDS`] share one clock cell, while writers on distinct
+//! shards, and all plain transactional reads, remain strictly disjoint
+//! (`exp_conflict_density` sees the difference). This is the deliberate
+//! price of giving read-only transactions a begin-time snapshot.
 //!
 //! It is, of course, *blocking*: a preempted transaction that holds commit
 //! locks stalls every writer of those variables (E9 measures the stall).
+//!
+//! **Read-only transactions.** Same two tiers as TL2: detect-on-commit
+//! promotion (an empty write-set skips locking and the clock bump; the
+//! read-set is still validated — plain TL reads are not snapshot-anchored)
+//! and the *declared* path ([`oftm_core::api::WordStm::begin_ro`],
+//! [`TlRoTx`]) with no read-set, per-read snapshot validation, and a
+//! commit that validates nothing. Declared-RO reads are bounded —
+//! wait-free per operation — and a single-read transaction never retries.
 //!
 //! Transactions reuse pooled scratch buffers (read-set, write-set, lock
 //! log) across their lifetimes, the write-set carries the variable
@@ -17,6 +30,7 @@
 //! transaction-lifetime epoch pin makes the paged-slab table's per-read
 //! pins nest for free — steady-state transactions allocate nothing.
 
+use crate::clock::{readable, ShardedClock, CLOCK_SHARDS, LOCK_BIT};
 use crossbeam_epoch::{self as epoch, Guard};
 use oftm_core::api::{TxError, TxResult, WordStm, WordTx};
 use oftm_core::notify::CommitNotifier;
@@ -28,11 +42,14 @@ use oftm_histories::{Access, BaseObjId, TVarId, TmOp, TmResp, TxId, Value};
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 
-const LOCK_BIT: u64 = 1 << 63;
-
 /// One t-variable: a versioned lock word and the value cell.
 pub(crate) struct VLockVar {
-    /// High bit: locked; low bits: version number.
+    /// High bit: locked; rest: a packed `(shard, count)` clock stamp (see
+    /// [`crate::clock`]). Commit validation is still pure *equality* on
+    /// this word — each stamp is issued once, so equality means unchanged
+    /// — but packing clock stamps instead of a per-variable counter is
+    /// what gives the read-only path a begin-time snapshot to validate
+    /// against.
     lock: AtomicU64,
     value: AtomicU64,
     lock_base: BaseObjId,
@@ -72,10 +89,11 @@ impl VLockVar {
             .map(|_| cur)
     }
 
-    /// Releases the lock, bumping the version iff `wrote`.
-    fn unlock(&self, prev: u64, wrote: bool) {
-        let next = if wrote { prev + 1 } else { prev };
-        self.lock.store(next, Ordering::Release);
+    /// Releases the lock, restoring (abort) or installing (commit) the
+    /// given unlocked version word.
+    fn unlock(&self, word: u64) {
+        debug_assert_eq!(word & LOCK_BIT, 0);
+        self.lock.store(word, Ordering::Release);
     }
 }
 
@@ -93,6 +111,11 @@ pub struct TlStm {
     vars: VarTable<VLockVar>,
     reclaim: GraceTracker,
     notify: CommitNotifier,
+    /// Commit-stamp source for the read-only snapshot path. Ordinary
+    /// transactions never *read* it (reads stay strictly DAP); a writing
+    /// commit bumps only its own shard, and only declared-RO transactions
+    /// sample the whole vector.
+    clocks: ShardedClock,
     tx_seq: AtomicU32,
     recorder: Option<Arc<Recorder>>,
     scratch: SlotPool<Scratch>,
@@ -113,6 +136,7 @@ impl TlStm {
             vars: VarTable::new(),
             reclaim: GraceTracker::new(),
             notify: CommitNotifier::new(),
+            clocks: ShardedClock::new(),
             tx_seq: AtomicU32::new(0),
             recorder: None,
             scratch: SlotPool::new(),
@@ -136,6 +160,21 @@ impl TlStm {
         {
             self.vars.remove_block(blk.base, blk.len);
         }
+    }
+
+    /// Samples the begin-time read-version vector for a declared
+    /// read-only transaction, recording one Read step per shard cell.
+    /// Only the RO path pays this; plain transactions never touch the
+    /// clock outside their own commit shard.
+    fn sample_rv(&self, id: TxId) -> [u64; CLOCK_SHARDS] {
+        let mut rv = [0u64; CLOCK_SHARDS];
+        for (s, shard) in self.clocks.shards().iter().enumerate() {
+            rv[s] = shard.count.load(Ordering::Acquire);
+            if let Some(r) = self.recorder.as_deref() {
+                r.step(id.process(), Some(id), shard.base, Access::Read);
+            }
+        }
+        rv
     }
 }
 
@@ -263,6 +302,28 @@ impl WordTx for TlTx<'_> {
             return Err(TxError::Aborted);
         }
 
+        if self.writes.is_empty() {
+            // Detect-on-commit promotion: no locks to take and no clock
+            // bump. Unlike TL2, the read-set must still be validated —
+            // plain TL reads are not anchored to a begin-time snapshot,
+            // so this is what makes two reads at different times mutually
+            // consistent.
+            for (var, _x, ver) in &self.reads {
+                self.rstep(var.lock_base, Access::Read);
+                let cur = var.lock.load(Ordering::Acquire);
+                if cur != *ver {
+                    self.rrespond(TmResp::Aborted);
+                    return Err(TxError::Aborted);
+                }
+            }
+            self.rrespond(TmResp::Committed);
+            let grace = self.grace.take().expect("grace slot held until completion");
+            let mut retired = std::mem::take(&mut self.retired);
+            self.stm.reclaim_after_commit(grace, &mut retired);
+            self.retired = retired;
+            return Ok(());
+        }
+
         // Deduplicate the write-set in place (stable sort; last value
         // wins) and lock in global t-variable order to avoid deadlock
         // among committers. No table probe, no allocation.
@@ -278,7 +339,7 @@ impl WordTx for TlTx<'_> {
 
         let unlock_all = |writes: &[(TVarId, Value, Arc<VLockVar>)], locked: &[u64]| {
             for ((_, _, var), prev) in writes.iter().zip(locked).rev() {
-                var.unlock(*prev, false);
+                var.unlock(*prev);
             }
         };
 
@@ -302,6 +363,15 @@ impl WordTx for TlTx<'_> {
             }
         }
 
+        // Obtain the commit stamp: a bump of OUR clock shard only. This
+        // is the one non-strictly-DAP access of a TL writing commit —
+        // writers of processes that map to the same shard meet here (the
+        // price of giving read-only transactions a begin-time snapshot);
+        // writers on distinct shards, and all plain reads, stay disjoint.
+        let wv = self.stm.clocks.tick(self.id.proc);
+        let shard = self.id.proc as usize & (CLOCK_SHARDS - 1);
+        self.rstep(self.stm.clocks.shards()[shard].base, Access::Modify);
+
         // Validate the read-set: versions unchanged and not locked by
         // someone else (our own locks are fine).
         for (var, x, ver) in &self.reads {
@@ -316,11 +386,11 @@ impl WordTx for TlTx<'_> {
             }
         }
 
-        // Apply and release with version bump.
-        for ((_x, v, var), prev) in self.writes.iter().zip(&self.locked) {
+        // Apply and release with the new commit stamp.
+        for (_x, v, var) in self.writes.iter() {
             var.value.store(*v, Ordering::Release);
             self.rstep(var.value_base, Access::Modify);
-            var.unlock(*prev, true);
+            var.unlock(wv);
             self.rstep(var.lock_base, Access::Modify);
         }
         // Writes are visible and unlocked: wake parked conflicters.
@@ -371,6 +441,134 @@ impl Drop for TlTx<'_> {
     }
 }
 
+/// A **declared read-only** TL transaction — the exact counterpart of
+/// [`crate::tl2::Tl2Stm`]'s `Tl2RoTx` (see its docs for the snapshot
+/// refresh and freeze rules): no read-set, per-read validation against
+/// the begin-time version vector, commit without revalidation. Bounded
+/// loads per read (wait-free reads); a single-read transaction never
+/// retries.
+struct TlRoTx<'s> {
+    stm: &'s TlStm,
+    id: TxId,
+    rv: [u64; CLOCK_SHARDS],
+    /// A read has succeeded: the snapshot is frozen from here on.
+    read_any: bool,
+    grace: Option<TxGrace>,
+    dead: bool,
+    conflict_hint: Option<TVarId>,
+    pin: Guard,
+}
+
+impl TlRoTx<'_> {
+    fn rinvoke(&self, op: TmOp) {
+        if let Some(r) = self.stm.recorder.as_deref() {
+            r.invoke(self.id, op);
+        }
+    }
+
+    fn rrespond(&self, resp: TmResp) {
+        if let Some(r) = self.stm.recorder.as_deref() {
+            r.respond(self.id, resp);
+        }
+    }
+
+    fn rstep(&self, obj: BaseObjId, access: Access) {
+        if let Some(r) = self.stm.recorder.as_deref() {
+            r.step(self.id.process(), Some(self.id), obj, access);
+        }
+    }
+}
+
+impl WordTx for TlRoTx<'_> {
+    fn id(&self) -> TxId {
+        self.id
+    }
+
+    fn read(&mut self, x: TVarId) -> TxResult<Value> {
+        self.rinvoke(TmOp::Read(x));
+        if self.dead {
+            self.rrespond(TmResp::Aborted);
+            return Err(TxError::Aborted);
+        }
+        // No read-set to retain the handle in: borrow under the pin and
+        // skip the per-read `Arc` refcount round-trip.
+        let var = self.stm.vars.get_ref_or_panic_in(x, &self.pin);
+        self.rstep(var.lock_base, Access::Read);
+        let (ver, val) = match var.read_consistent() {
+            Some(pair) => pair,
+            None => {
+                // Locked by a committing writer: bounded spin, kept out
+                // of line so the unlocked fast path stays straight.
+                let mut patience = self.stm.lock_patience;
+                loop {
+                    patience = patience.saturating_sub(1);
+                    if patience == 0 {
+                        self.dead = true;
+                        self.conflict_hint = Some(x);
+                        self.rrespond(TmResp::Aborted);
+                        return Err(TxError::Aborted);
+                    }
+                    std::hint::spin_loop();
+                    self.rstep(var.lock_base, Access::Read);
+                    if let Some(pair) = var.read_consistent() {
+                        break pair;
+                    }
+                }
+            }
+        };
+        self.rstep(var.value_base, Access::Read);
+        if !readable(ver, &self.rv) {
+            if self.read_any {
+                // Snapshot frozen; this value postdates it.
+                self.dead = true;
+                self.conflict_hint = Some(x);
+                self.rrespond(TmResp::Aborted);
+                return Err(TxError::Aborted);
+            }
+            // First read: refresh the snapshot instead of aborting (the
+            // stamp we saw was published before the resample, so it is
+            // readable afterwards).
+            self.rv = self.stm.sample_rv(self.id);
+            debug_assert!(readable(ver, &self.rv));
+        }
+        self.read_any = true;
+        self.rrespond(TmResp::Value(val));
+        Ok(val)
+    }
+
+    fn write(&mut self, _x: TVarId, _v: Value) -> TxResult<()> {
+        panic!("tl: write on a declared read-only transaction");
+    }
+
+    fn try_commit(mut self: Box<Self>) -> TxResult<()> {
+        self.rinvoke(TmOp::TryCommit);
+        if self.dead {
+            self.rrespond(TmResp::Aborted);
+            return Err(TxError::Aborted);
+        }
+        // Every read was within the begin-time snapshot: nothing to
+        // validate or lock. Commit is just the grace release.
+        self.rrespond(TmResp::Committed);
+        let grace = self.grace.take().expect("grace slot held until completion");
+        let mut retired = Vec::new();
+        self.stm.reclaim_after_commit(grace, &mut retired);
+        Ok(())
+    }
+
+    fn try_abort(self: Box<Self>) {
+        self.rinvoke(TmOp::TryAbort);
+        self.rrespond(TmResp::Aborted);
+    }
+
+    fn retire_tvar_block(&mut self, _base: TVarId, _len: usize) {
+        panic!("tl: retire on a declared read-only transaction");
+    }
+
+    fn footprint(&self, out: &mut Vec<TVarId>) {
+        out.extend(self.conflict_hint);
+    }
+}
+
 impl WordStm for TlStm {
     fn name(&self) -> &'static str {
         "tl"
@@ -407,6 +605,22 @@ impl WordStm for TlStm {
             locked: scratch.locked,
             grace: Some(self.reclaim.begin()),
             retired: scratch.retired,
+            dead: false,
+            conflict_hint: None,
+            pin: epoch::pin(),
+        })
+    }
+
+    fn begin_ro(&self, proc: u32) -> Box<dyn WordTx + '_> {
+        let seq = self.tx_seq.fetch_add(1, Ordering::Relaxed);
+        let id = TxId::new(proc, seq);
+        let rv = self.sample_rv(id);
+        Box::new(TlRoTx {
+            stm: self,
+            id,
+            rv,
+            read_any: false,
+            grace: Some(self.reclaim.begin()),
             dead: false,
             conflict_hint: None,
             pin: epoch::pin(),
@@ -482,6 +696,48 @@ mod tests {
         // TL validates and aborts conservatively, and a write makes it
         // mandatory:
         t1.write(Y, 1).unwrap();
+        assert!(t1.try_commit().is_err());
+    }
+
+    #[test]
+    fn ro_first_read_refreshes_snapshot() {
+        let s = stm();
+        let mut ro = s.begin_ro(0); // rv = all-zero vector
+        run_transaction(&s, 1, |tx| tx.write(X, 9)); // stamped after begin
+        assert_eq!(ro.read(X).unwrap(), 9, "first read slides the snapshot");
+        assert!(ro.try_commit().is_ok());
+    }
+
+    #[test]
+    fn ro_snapshot_frozen_after_first_read() {
+        let s = stm();
+        run_transaction(&s, 0, |tx| tx.write(Y, 1));
+        let mut ro = s.begin_ro(0);
+        assert_eq!(ro.read(Y).unwrap(), 1); // snapshot now frozen
+        run_transaction(&s, 1, |tx| tx.write(X, 7));
+        assert!(
+            ro.read(X).is_err(),
+            "a post-freeze commit must not leak into the snapshot"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "read-only")]
+    fn ro_write_panics() {
+        let s = stm();
+        let mut ro = s.begin_ro(0);
+        let _ = ro.write(X, 1);
+    }
+
+    #[test]
+    fn promoted_read_only_commit_still_validates() {
+        // Detect-on-commit promotion must not skip read validation: TL
+        // reads are not snapshot-anchored, so an empty-write-set commit
+        // whose reads went stale has to abort.
+        let s = stm();
+        let mut t1 = s.begin(0);
+        assert_eq!(t1.read(X).unwrap(), 0);
+        run_transaction(&s, 1, |tx| tx.write(X, 9));
         assert!(t1.try_commit().is_err());
     }
 

@@ -31,7 +31,22 @@
 //! handles it resolved, and a transaction-lifetime epoch pin makes the
 //! paged-slab table's per-read pins nest for free — steady-state
 //! transactions allocate nothing and take no lock before commit.
+//!
+//! **Read-only transactions.** Two tiers:
+//! * *detect-on-commit promotion* — an ordinary transaction that never
+//!   wrote commits on an empty-write-set fast path (no locks, no clock
+//!   bump, no revalidation: its reads were validated against `rv` at read
+//!   time);
+//! * *declared* ([`oftm_core::api::WordStm::begin_ro`], [`Tl2RoTx`]) —
+//!   additionally keeps **no read-set** and performs bounded work per
+//!   read: a version sandwich against the begin-time vector, with a
+//!   one-shot snapshot refresh before the first successful read.
+//!   Per-operation step counts are bounded (wait-free reads); a
+//!   transaction reading a single t-variable never aborts at all, and a
+//!   multi-read transaction aborts only when a writer commits *into its
+//!   frozen snapshot footprint* mid-scan.
 
+use crate::clock::{readable, ShardedClock, LOCK_BIT};
 use crossbeam_epoch::{self as epoch, Guard};
 use oftm_core::api::{TxError, TxResult, WordStm, WordTx};
 use oftm_core::notify::CommitNotifier;
@@ -43,36 +58,9 @@ use oftm_histories::{Access, BaseObjId, TVarId, TmOp, TmResp, TxId, Value};
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 
-const LOCK_BIT: u64 = 1 << 63;
-
-/// Number of clock shards; a power of two so the shard of a process is a
-/// mask away.
-pub const CLOCK_SHARDS: usize = 8;
-
-/// Version-word layout: bit 63 lock, bits 56..63 shard, bits 0..56 count.
-const SHARD_SHIFT: u32 = 56;
-const COUNT_MASK: u64 = (1 << SHARD_SHIFT) - 1;
-
-fn ver_shard(v: u64) -> usize {
-    (((v & !LOCK_BIT) >> SHARD_SHIFT) as usize) & (CLOCK_SHARDS - 1)
-}
-
-fn ver_count(v: u64) -> u64 {
-    v & COUNT_MASK
-}
-
-fn pack_version(shard: usize, count: u64) -> u64 {
-    debug_assert!(count <= COUNT_MASK);
-    ((shard as u64) << SHARD_SHIFT) | count
-}
-
-/// A clock shard on its own cache line (the whole point of sharding is
-/// that disjoint committers do not bounce one line).
-#[repr(align(64))]
-struct ClockShard {
-    count: AtomicU64,
-    base: BaseObjId,
-}
+pub use crate::clock::CLOCK_SHARDS;
+#[cfg(test)]
+use crate::clock::{pack_version, ver_count, ver_shard};
 
 struct ClockVar {
     /// High bit: locked; rest: a packed `(shard, count)` timestamp.
@@ -109,7 +97,7 @@ pub struct Tl2Stm {
     vars: VarTable<ClockVar>,
     reclaim: GraceTracker,
     notify: CommitNotifier,
-    clocks: Box<[ClockShard]>,
+    clocks: ShardedClock,
     tx_seq: AtomicU32,
     recorder: Option<Arc<Recorder>>,
     scratch: SlotPool<Scratch>,
@@ -128,12 +116,7 @@ impl Tl2Stm {
             vars: VarTable::new(),
             reclaim: GraceTracker::new(),
             notify: CommitNotifier::new(),
-            clocks: (0..CLOCK_SHARDS)
-                .map(|_| ClockShard {
-                    count: AtomicU64::new(0),
-                    base: fresh_base_id(),
-                })
-                .collect(),
+            clocks: ShardedClock::new(),
             tx_seq: AtomicU32::new(0),
             recorder: None,
             scratch: SlotPool::new(),
@@ -153,10 +136,21 @@ impl Tl2Stm {
     /// Total commits stamped so far across all shards (diagnostics; the
     /// lazy-merged "current time").
     pub fn clock_now(&self) -> u64 {
-        self.clocks
-            .iter()
-            .map(|s| s.count.load(Ordering::Acquire))
-            .sum()
+        self.clocks.now()
+    }
+
+    /// Samples the begin-time read-version vector, recording one Read
+    /// step per shard cell — the common clock memory where disjoint
+    /// transactions still meet (the paper's point about TL2).
+    fn sample_rv(&self, id: TxId) -> [u64; CLOCK_SHARDS] {
+        let mut rv = [0u64; CLOCK_SHARDS];
+        for (s, shard) in self.clocks.shards().iter().enumerate() {
+            rv[s] = shard.count.load(Ordering::Acquire);
+            if let Some(r) = self.recorder.as_deref() {
+                r.step(id.process(), Some(id), shard.base, Access::Read);
+            }
+        }
+        rv
     }
 
     fn reclaim_after_commit(&self, grace: TxGrace, retired: &mut Vec<RetiredBlock>) {
@@ -238,7 +232,7 @@ impl Tl2Tx<'_> {
 
     /// A packed version `v` is within this transaction's read snapshot.
     fn readable(&self, v: u64) -> bool {
-        ver_count(v) <= self.rv[ver_shard(v)]
+        readable(v, &self.rv)
     }
 }
 
@@ -353,10 +347,9 @@ impl WordTx for Tl2Tx<'_> {
 
         // The clock increment: only OUR shard — the sharded replacement
         // for the global hot spot of Section 1.
+        let wv = self.stm.clocks.tick(self.id.proc);
         let shard = self.id.proc as usize & (CLOCK_SHARDS - 1);
-        let count = self.stm.clocks[shard].count.fetch_add(1, Ordering::AcqRel) + 1;
-        let wv = pack_version(shard, count);
-        self.rstep(self.stm.clocks[shard].base, Access::Modify);
+        self.rstep(self.stm.clocks.shards()[shard].base, Access::Modify);
 
         // Validate the read-set against the per-shard read snapshot.
         for (var, x) in &self.reads {
@@ -439,6 +432,155 @@ impl Drop for Tl2Tx<'_> {
     }
 }
 
+/// A **declared read-only** TL2 transaction ([`WordStm::begin_ro`]).
+///
+/// Keeps *no read-set*: each read is a lock-word/value/lock-word sandwich
+/// validated against the begin-time version vector `rv`, so it is
+/// serializable at begin time the moment it loads — nothing to revalidate
+/// at commit, no locks, no clock bump. Per-operation work is bounded
+/// (one sandwich, at most one snapshot refresh, at most `lock_patience`
+/// spins on a locked word before aborting), which is the wait-free bound
+/// the read-only oracle asserts.
+///
+/// Two refinements keep single-read transactions abort-free:
+/// * **first-read snapshot refresh** — until the first read succeeds, no
+///   value has been exposed, so on observing a consistent-but-too-new
+///   version the transaction slides `rv` forward (resample) instead of
+///   aborting. The observed stamp `(s, c)` was published before the
+///   resample, so `rv[s] ≥ c` afterwards and the read succeeds — a
+///   transaction whose footprint is one t-variable therefore *never*
+///   retries, no matter how fast writers commit to it;
+/// * after the first read the snapshot is frozen (a later refresh could
+///   tear a multi-variable invariant), and a too-new version aborts.
+struct Tl2RoTx<'s> {
+    stm: &'s Tl2Stm,
+    id: TxId,
+    rv: [u64; CLOCK_SHARDS],
+    /// A read has succeeded: the snapshot is frozen from here on.
+    read_any: bool,
+    grace: Option<TxGrace>,
+    dead: bool,
+    conflict_hint: Option<TVarId>,
+    pin: Guard,
+}
+
+impl Tl2RoTx<'_> {
+    fn rinvoke(&self, op: TmOp) {
+        if let Some(r) = self.stm.recorder.as_deref() {
+            r.invoke(self.id, op);
+        }
+    }
+
+    fn rrespond(&self, resp: TmResp) {
+        if let Some(r) = self.stm.recorder.as_deref() {
+            r.respond(self.id, resp);
+        }
+    }
+
+    fn rstep(&self, obj: BaseObjId, access: Access) {
+        if let Some(r) = self.stm.recorder.as_deref() {
+            r.step(self.id.process(), Some(self.id), obj, access);
+        }
+    }
+}
+
+impl WordTx for Tl2RoTx<'_> {
+    fn id(&self) -> TxId {
+        self.id
+    }
+
+    fn read(&mut self, x: TVarId) -> TxResult<Value> {
+        self.rinvoke(TmOp::Read(x));
+        if self.dead {
+            self.rrespond(TmResp::Aborted);
+            return Err(TxError::Aborted);
+        }
+        // No read-set to retain the handle in: borrow under the pin and
+        // skip the per-read `Arc` refcount round-trip.
+        let var = self.stm.vars.get_ref_or_panic_in(x, &self.pin);
+        self.rstep(var.lock_base, Access::Read);
+        let mut v1 = var.lock.load(Ordering::Acquire);
+        let mut val = var.value.load(Ordering::Acquire);
+        self.rstep(var.value_base, Access::Read);
+        let mut v2 = var.lock.load(Ordering::Acquire);
+        if v1 & LOCK_BIT != 0 || v1 != v2 {
+            // Locked by a committing writer (or torn): bounded spin,
+            // kept out of line so the unlocked fast path stays straight.
+            let mut patience = self.stm.lock_patience;
+            loop {
+                patience = patience.saturating_sub(1);
+                if patience == 0 {
+                    self.dead = true;
+                    self.conflict_hint = Some(x);
+                    self.rrespond(TmResp::Aborted);
+                    return Err(TxError::Aborted);
+                }
+                std::hint::spin_loop();
+                self.rstep(var.lock_base, Access::Read);
+                v1 = var.lock.load(Ordering::Acquire);
+                val = var.value.load(Ordering::Acquire);
+                self.rstep(var.value_base, Access::Read);
+                v2 = var.lock.load(Ordering::Acquire);
+                if v1 & LOCK_BIT == 0 && v1 == v2 {
+                    break;
+                }
+            }
+        }
+        if !readable(v1, &self.rv) {
+            if self.read_any {
+                // Snapshot frozen; this value postdates it.
+                self.dead = true;
+                self.conflict_hint = Some(x);
+                self.rrespond(TmResp::Aborted);
+                return Err(TxError::Aborted);
+            }
+            // First read: refresh the snapshot instead of aborting. The
+            // stamp we saw was published before the resample, so it is
+            // readable afterwards.
+            self.rv = self.stm.sample_rv(self.id);
+            debug_assert!(readable(v1, &self.rv));
+        }
+        self.read_any = true;
+        self.rrespond(TmResp::Value(val));
+        Ok(val)
+    }
+
+    fn write(&mut self, _x: TVarId, _v: Value) -> TxResult<()> {
+        panic!("tl2: write on a declared read-only transaction");
+    }
+
+    fn try_commit(mut self: Box<Self>) -> TxResult<()> {
+        self.rinvoke(TmOp::TryCommit);
+        if self.dead {
+            self.rrespond(TmResp::Aborted);
+            return Err(TxError::Aborted);
+        }
+        // Every read was serializable at begin time: nothing to validate,
+        // nothing to lock, no clock bump. Commit is the grace release.
+        self.rrespond(TmResp::Committed);
+        let grace = self.grace.take().expect("grace slot held until completion");
+        let mut retired = Vec::new();
+        self.stm.reclaim_after_commit(grace, &mut retired);
+        Ok(())
+    }
+
+    fn try_abort(self: Box<Self>) {
+        self.rinvoke(TmOp::TryAbort);
+        self.rrespond(TmResp::Aborted);
+    }
+
+    fn retire_tvar_block(&mut self, _base: TVarId, _len: usize) {
+        panic!("tl2: retire on a declared read-only transaction");
+    }
+
+    fn footprint(&self, out: &mut Vec<TVarId>) {
+        // No read-set is kept; only the variable an abort gave up on is
+        // known. Read-only futures never park, so this is purely
+        // diagnostic.
+        out.extend(self.conflict_hint);
+    }
+}
+
 impl WordStm for Tl2Stm {
     fn name(&self) -> &'static str {
         "tl2"
@@ -463,16 +605,7 @@ impl WordStm for Tl2Stm {
     fn begin(&self, proc: u32) -> Box<dyn WordTx + '_> {
         let seq = self.tx_seq.fetch_add(1, Ordering::Relaxed);
         let id = TxId::new(proc, seq);
-        // Sampling the clock vector is a (read) step on every shard cell:
-        // this is where disjoint transactions still meet on common memory
-        // — the paper's point about TL2 — even though nobody writes.
-        let mut rv = [0u64; CLOCK_SHARDS];
-        for (s, shard) in self.clocks.iter().enumerate() {
-            rv[s] = shard.count.load(Ordering::Acquire);
-            if let Some(r) = self.recorder.as_deref() {
-                r.step(id.process(), Some(id), shard.base, Access::Read);
-            }
-        }
+        let rv = self.sample_rv(id);
         let scratch = self
             .scratch
             .take(proc as usize)
@@ -487,6 +620,22 @@ impl WordStm for Tl2Stm {
             locked: scratch.locked,
             grace: Some(self.reclaim.begin()),
             retired: scratch.retired,
+            dead: false,
+            conflict_hint: None,
+            pin: epoch::pin(),
+        })
+    }
+
+    fn begin_ro(&self, proc: u32) -> Box<dyn WordTx + '_> {
+        let seq = self.tx_seq.fetch_add(1, Ordering::Relaxed);
+        let id = TxId::new(proc, seq);
+        let rv = self.sample_rv(id);
+        Box::new(Tl2RoTx {
+            stm: self,
+            id,
+            rv,
+            read_any: false,
+            grace: Some(self.reclaim.begin()),
             dead: false,
             conflict_hint: None,
             pin: epoch::pin(),
@@ -587,6 +736,49 @@ mod tests {
                 "stale read validated at commit (writer proc {writer_proc})"
             );
         }
+    }
+
+    #[test]
+    fn ro_first_read_refreshes_snapshot() {
+        let s = stm();
+        let mut ro = s.begin_ro(0); // rv = all-zero vector
+        run_transaction(&s, 1, |tx| tx.write(X, 9)); // newer than rv
+                                                     // A plain transaction aborts here (stale_snapshot_aborts_on_read);
+                                                     // the declared-RO first read slides its snapshot forward instead.
+        assert_eq!(ro.read(X).unwrap(), 9);
+        assert!(ro.try_commit().is_ok());
+    }
+
+    #[test]
+    fn ro_snapshot_frozen_after_first_read() {
+        let s = stm();
+        run_transaction(&s, 0, |tx| tx.write(Y, 1));
+        let mut ro = s.begin_ro(0);
+        assert_eq!(ro.read(Y).unwrap(), 1); // snapshot now frozen
+        run_transaction(&s, 1, |tx| tx.write(X, 7));
+        assert!(
+            ro.read(X).is_err(),
+            "a post-freeze commit must not leak into the snapshot"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "read-only")]
+    fn ro_write_panics() {
+        let s = stm();
+        let mut ro = s.begin_ro(0);
+        let _ = ro.write(X, 1);
+    }
+
+    #[test]
+    fn ro_commit_does_not_advance_clock() {
+        let s = stm();
+        run_transaction(&s, 0, |tx| tx.write(X, 3));
+        let before = s.clock_now();
+        let mut ro = s.begin_ro(1);
+        assert_eq!(ro.read(X).unwrap(), 3);
+        assert!(ro.try_commit().is_ok());
+        assert_eq!(s.clock_now(), before);
     }
 
     #[test]

@@ -11,7 +11,16 @@
 //! This binary pins the workloads that exercise the lookup path hardest:
 //!
 //! * `intset-read-mostly` — 90% `contains`, 5% `insert`, 5% `remove` on a
-//!   pre-populated sorted-list set: long traversals, almost all reads;
+//!   pre-populated sorted-list set: long traversals, almost all reads.
+//!   The `contains` ops run as *declared read-only* transactions
+//!   ([`atomically_ro_budgeted`]) — on TL/TL2 that path validates against
+//!   the begin-time version vector and commits without read-set
+//!   bookkeeping or revalidation;
+//! * `intset-ro-scan` — 90% whole-set `snapshot` scans as declared
+//!   read-only transactions, 5% `insert`, 5% `remove`: the longest read
+//!   footprint in the suite, overlapping writers — the workload the RO
+//!   fast path exists for (a scan's read-set is the entire list, so the
+//!   default path pays O(n) validation on top of the O(n) traversal);
 //! * `intset-write-heavy` — 50% `insert`, 50% `remove`: allocation,
 //!   retirement and commit-lock churn;
 //! * `mixed-map` — 40% `put`, 20% `del`, 40% `get` on a bucketed map:
@@ -33,11 +42,16 @@
 use oftm_bench::harness::{base_seed, ATTEMPT_BUDGET};
 use oftm_bench::{make_stm, SplitMix, STM_NAMES};
 use oftm_core::api::WordStm;
-use oftm_structs::{atomically_budgeted, TxHashMap, TxIntSet};
+use oftm_structs::{atomically_budgeted, atomically_ro_budgeted, TxHashMap, TxIntSet};
 use std::io::Write;
 use std::time::Instant;
 
-const SCENARIOS: &[&str] = &["intset-read-mostly", "intset-write-heavy", "mixed-map"];
+const SCENARIOS: &[&str] = &[
+    "intset-read-mostly",
+    "intset-ro-scan",
+    "intset-write-heavy",
+    "mixed-map",
+];
 
 struct Cell {
     scenario: &'static str,
@@ -80,8 +94,22 @@ fn run_one(
                 1 => atomically_budgeted(stm, proc, ATTEMPT_BUDGET, |ctx| {
                     set.remove_in(ctx, v).map(|_| ())
                 }),
-                _ => atomically_budgeted(stm, proc, ATTEMPT_BUDGET, |ctx| {
+                _ => atomically_ro_budgeted(stm, proc, ATTEMPT_BUDGET, |ctx| {
                     set.contains_in(ctx, v).map(|_| ())
+                }),
+            }
+        }
+        "intset-ro-scan" => {
+            let v = rng.next() % universe;
+            match rng.next() % 20 {
+                0 => atomically_budgeted(stm, proc, ATTEMPT_BUDGET, |ctx| {
+                    set.insert_in(ctx, v).map(|_| ())
+                }),
+                1 => atomically_budgeted(stm, proc, ATTEMPT_BUDGET, |ctx| {
+                    set.remove_in(ctx, v).map(|_| ())
+                }),
+                _ => atomically_ro_budgeted(stm, proc, ATTEMPT_BUDGET, |ctx| {
+                    set.snapshot_in(ctx).map(|_| ())
                 }),
             }
         }

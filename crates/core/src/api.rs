@@ -78,7 +78,9 @@ pub trait WordTx {
     }
 
     /// Appends the t-variables this transaction has accessed so far (its
-    /// *footprint*: reads and writes, duplicates allowed) to `out`.
+    /// *footprint*: reads and writes) to `out`. Implementations may emit
+    /// duplicates — a consumer that registers per-entry state (e.g. park
+    /// registration in the async runtime) must dedup first.
     ///
     /// The async runtime calls this on an aborted transaction before
     /// dropping it: the footprint is exactly the set of t-variables whose
@@ -134,6 +136,26 @@ pub trait WordStm: Send + Sync {
 
     /// Begins a transaction on behalf of process `proc`.
     fn begin(&self, proc: u32) -> Box<dyn WordTx + '_>;
+
+    /// Begins a **declared read-only** transaction on behalf of `proc`.
+    ///
+    /// The returned handle supports `read` and `try_commit` only — calling
+    /// `write` (or `retire_tvar_block`) on it is a programming error and
+    /// panics. In exchange, backends override this with the cheapest
+    /// consistent-read path they admit; on TL/TL2 every read validates
+    /// against a begin-time version vector, so the transaction keeps **no
+    /// read-set, takes no locks, and commits without revalidation** — a
+    /// bounded number of loads per operation, hence wait-free. Other
+    /// backends document their guarantee in their module docs.
+    ///
+    /// The default is the plain [`WordStm::begin`] path: an ordinary
+    /// transaction that never writes is already a correct read-only
+    /// transaction, and every backend additionally *promotes* such
+    /// transactions at commit (detect-on-commit: an empty write-set skips
+    /// lock/CAS commit work).
+    fn begin_ro(&self, proc: u32) -> Box<dyn WordTx + '_> {
+        self.begin(proc)
+    }
 
     /// The commit-notification endpoint of this STM instance. Every
     /// backend publishes its written t-variables here after a successful
@@ -201,6 +223,45 @@ pub fn run_transaction_with_budget<R>(
     stm: &dyn WordStm,
     proc: u32,
     max_attempts: u32,
+    body: impl FnMut(&mut dyn WordTx) -> TxResult<R>,
+) -> Result<(R, u32), BudgetExceeded> {
+    retry_loop(|| stm.begin(proc), proc, max_attempts, body)
+}
+
+/// Read-only counterpart of [`run_transaction`]: every attempt begins via
+/// [`WordStm::begin_ro`], so the body must not write. On TL/TL2 the first
+/// attempt cannot abort (reads are wait-free against the begin-time
+/// version vector), so `attempts` is 1 there by construction.
+pub fn run_transaction_ro<R>(
+    stm: &dyn WordStm,
+    proc: u32,
+    body: impl FnMut(&mut dyn WordTx) -> TxResult<R>,
+) -> (R, u32) {
+    match run_transaction_ro_with_budget(stm, proc, u32::MAX, body) {
+        Ok(out) => out,
+        Err(e) => panic!("run_transaction_ro: {e}"),
+    }
+}
+
+/// Like [`run_transaction_ro`], but gives up after `max_attempts` aborted
+/// attempts (relevant on the backends whose read-only path can still
+/// abort: DSTM and both Algorithm 2 configurations).
+pub fn run_transaction_ro_with_budget<R>(
+    stm: &dyn WordStm,
+    proc: u32,
+    max_attempts: u32,
+    body: impl FnMut(&mut dyn WordTx) -> TxResult<R>,
+) -> Result<(R, u32), BudgetExceeded> {
+    retry_loop(|| stm.begin_ro(proc), proc, max_attempts, body)
+}
+
+/// The shared retry loop of [`run_transaction_with_budget`] and
+/// [`run_transaction_ro_with_budget`] — identical except for how each
+/// attempt's transaction begins.
+fn retry_loop<'s, R>(
+    begin: impl Fn() -> Box<dyn WordTx + 's>,
+    proc: u32,
+    max_attempts: u32,
     mut body: impl FnMut(&mut dyn WordTx) -> TxResult<R>,
 ) -> Result<(R, u32), BudgetExceeded> {
     let mut attempts = 0;
@@ -209,7 +270,7 @@ pub fn run_transaction_with_budget<R>(
             retry_backoff(proc, attempts);
         }
         attempts += 1;
-        let mut tx = stm.begin(proc);
+        let mut tx = begin();
         match body(tx.as_mut()) {
             Ok(r) => match tx.try_commit() {
                 Ok(()) => return Ok((r, attempts)),

@@ -81,6 +81,13 @@ impl Default for ContentionPolicy {
     }
 }
 
+/// Hard ceiling on any park watchdog timeout: one second. The timeout is
+/// a liveness safety net, not a wait estimate — an uncapped
+/// `park_scale × backoff` product (a caller-supplied scale can be
+/// anything up to `u32::MAX`) would turn a missed wake-up into an
+/// effectively permanent sleep instead of a late re-run.
+pub const MAX_PARK_MICROS: u64 = 1_000_000;
+
 impl ContentionPolicy {
     /// True if the `n`-th consecutive abort (1-based) should re-run
     /// immediately instead of parking.
@@ -89,11 +96,13 @@ impl ContentionPolicy {
     }
 
     /// Watchdog deadline distance for a park after `consecutive_aborts`
-    /// aborts — the safety net, not the expected wake path.
+    /// aborts — the safety net, not the expected wake path. Clamped to
+    /// `[park_floor_micros, `[`MAX_PARK_MICROS`]`]`.
     pub fn park_timeout(&self, proc: u32, consecutive_aborts: u32) -> Duration {
         let micros = backoff_micros(proc, consecutive_aborts)
             .saturating_mul(u64::from(self.park_scale))
-            .max(self.park_floor_micros);
+            .max(self.park_floor_micros)
+            .min(MAX_PARK_MICROS);
         Duration::from_micros(micros)
     }
 }
@@ -125,5 +134,24 @@ mod tests {
         assert!(p.retry_immediately(1));
         assert!(!p.retry_immediately(2));
         assert!(p.park_timeout(0, 2) >= Duration::from_micros(p.park_floor_micros));
+    }
+
+    #[test]
+    fn park_timeout_is_capped() {
+        // Regression: `backoff × park_scale` had no upper bound, so an
+        // overflow-sized scale parked a transaction for (effectively)
+        // forever if its wake-up was ever missed.
+        let p = ContentionPolicy {
+            immediate_retries: 1,
+            park_scale: u32::MAX,
+            park_floor_micros: 50,
+        };
+        for proc in 0..8 {
+            for aborts in 1..32 {
+                assert!(p.park_timeout(proc, aborts) <= Duration::from_micros(MAX_PARK_MICROS));
+            }
+        }
+        // The floor still applies below the cap.
+        assert!(p.park_timeout(0, 1) >= Duration::from_micros(50));
     }
 }

@@ -324,6 +324,34 @@ impl<'s> Tx<'s> {
         }
     }
 
+    /// Read-only `tryC`: validates the read-set and completes without the
+    /// commit CAS.
+    ///
+    /// Sound only for a transaction that acquired nothing: reads are
+    /// invisible and install no locators, so no peer ever holds a
+    /// reference to this descriptor, never consults its status word, and
+    /// never races `try_abort` against us — the status CAS would publish
+    /// nothing and can be elided. The final validation is still the
+    /// linearization point (everything read was simultaneously current at
+    /// that instant).
+    pub fn commit_read_only(mut self) -> TxResult<()> {
+        assert_eq!(
+            self.writes, 0,
+            "commit_read_only on a transaction that acquired variables"
+        );
+        if self.desc.status() != TxState::Live {
+            self.finished = true;
+            return Err(TxError::Aborted);
+        }
+        if !self.validate() {
+            self.abort_self();
+            return Err(TxError::Aborted);
+        }
+        self.finished = true;
+        self.stm.cm().on_commit(&self.desc);
+        Ok(())
+    }
+
     /// `tryA`: voluntarily aborts. Consumes the transaction.
     pub fn rollback(mut self) {
         self.abort_self();
@@ -520,6 +548,27 @@ mod tests {
         let mut t2 = s.begin(2);
         assert_eq!(t2.read(&x).unwrap(), 5);
         t2.commit().unwrap();
+    }
+
+    #[test]
+    fn read_only_commit_detects_stale_read() {
+        let s = stm();
+        let x: TVar<u64> = TVar::new(TVarId(0), 0);
+        let mut t1 = s.begin(1);
+        assert_eq!(t1.read(&x).unwrap(), 0);
+        let mut t2 = s.begin(2);
+        t2.write(&x, 1).unwrap();
+        t2.commit().unwrap();
+        assert_eq!(t1.commit_read_only(), Err(TxError::Aborted));
+    }
+
+    #[test]
+    fn read_only_commit_succeeds_without_interference() {
+        let s = stm();
+        let x: TVar<u64> = TVar::new(TVarId(0), 7);
+        let mut t1 = s.begin(1);
+        assert_eq!(t1.read(&x).unwrap(), 7);
+        t1.commit_read_only().unwrap();
     }
 
     #[test]

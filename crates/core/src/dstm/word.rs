@@ -1,6 +1,19 @@
 //! Word-level adapter: exposes a [`Dstm`] through the uniform [`WordStm`]
 //! interface and records the high-level TM events (Section 2.2's
 //! invocations and responses) when a recorder is attached.
+//!
+//! ## Read-only transactions
+//!
+//! [`WordStm::begin_ro`] returns a handle whose `write`/`retire` panic and
+//! whose commit takes the validate-only completion of
+//! [`Tx::commit_read_only`]: no locator allocation, no acquisition, no
+//! commit-status CAS, no commit notification. A plain transaction that
+//! happens to write nothing is *promoted* to the same completion at
+//! `try_commit` (detect-on-commit). Progress is the backend's usual
+//! obstruction-freedom — reads may still have to abort a live writer via
+//! the contention manager — and consistency still comes from incremental
+//! revalidation (invisible reads have no snapshot clock), so a read costs
+//! O(|read-set|); cheaper than the write path, but not wait-free.
 
 use super::stm::Dstm;
 use super::tvar::TVar;
@@ -69,6 +82,26 @@ impl DstmWord {
             self.vars.remove_block(blk.base, blk.len);
         }
     }
+
+    fn begin_inner(&self, proc: u32, ro: bool) -> Box<dyn WordTx + '_> {
+        let scratch = self
+            .scratch
+            .take(proc as usize)
+            .map(|b| *b)
+            .unwrap_or_default();
+        Box::new(DstmWordTx {
+            tx: Some(self.stm.begin(proc)),
+            word: self,
+            proc,
+            grace: Some(self.reclaim.begin()),
+            retired: Vec::new(),
+            touched: scratch.touched,
+            written: scratch.written,
+            last_var: None,
+            ro,
+            pin: crossbeam_epoch::pin(),
+        })
+    }
 }
 
 struct DstmWordTx<'s> {
@@ -88,6 +121,9 @@ struct DstmWordTx<'s> {
     /// immediately writes it back (the upgrade pattern), so a one-entry
     /// cache removes the second table probe.
     last_var: Option<(TVarId, TVar<Value>)>,
+    /// Declared read-only: writes and retires panic (caller bug), and the
+    /// commit takes the CAS-free read-only completion unconditionally.
+    ro: bool,
     /// Adapter-lifetime epoch pin threaded through table lookups (the
     /// typed transaction holds its own for locator protection).
     pin: crossbeam_epoch::Guard,
@@ -138,6 +174,7 @@ impl WordTx for DstmWordTx<'_> {
     }
 
     fn write(&mut self, x: TVarId, v: Value) -> TxResult<()> {
+        assert!(!self.ro, "dstm: write on a declared read-only transaction");
         let var = self.var(x);
         self.touched.push(x);
         self.written.push(x);
@@ -155,13 +192,24 @@ impl WordTx for DstmWordTx<'_> {
         let tx = self.tx.take().expect("transaction still running");
         let id = tx.id();
         self.record_invoke_for(id, TmOp::TryCommit);
-        let r = tx.commit();
+        // Detect-on-commit promotion: a transaction that wrote nothing
+        // installed no locators, so its descriptor is unreachable from
+        // every t-variable and the status CAS publishes nothing — take
+        // the validate-only read-only completion. Declared read-only
+        // transactions (`begin_ro`) land here by construction.
+        let r = if self.written.is_empty() {
+            tx.commit_read_only()
+        } else {
+            tx.commit()
+        };
         match &r {
             Ok(()) => {
                 self.record_respond(id, TmResp::Committed);
                 // The commit's status CAS made the new values current:
                 // wake transactions parked on what we wrote.
-                self.word.notify.publish(self.written.iter().copied());
+                if !self.written.is_empty() {
+                    self.word.notify.publish(self.written.iter().copied());
+                }
                 // The typed transaction (and its epoch pin) is finished:
                 // hand the retire-set to the grace tracker and evict every
                 // block whose grace period has elapsed.
@@ -186,6 +234,7 @@ impl WordTx for DstmWordTx<'_> {
     }
 
     fn retire_tvar_block(&mut self, base: TVarId, len: usize) {
+        assert!(!self.ro, "dstm: retire on a declared read-only transaction");
         self.retired.push(RetiredBlock { base, len });
     }
 
@@ -236,22 +285,11 @@ impl WordStm for DstmWord {
     }
 
     fn begin(&self, proc: u32) -> Box<dyn WordTx + '_> {
-        let scratch = self
-            .scratch
-            .take(proc as usize)
-            .map(|b| *b)
-            .unwrap_or_default();
-        Box::new(DstmWordTx {
-            tx: Some(self.stm.begin(proc)),
-            word: self,
-            proc,
-            grace: Some(self.reclaim.begin()),
-            retired: Vec::new(),
-            touched: scratch.touched,
-            written: scratch.written,
-            last_var: None,
-            pin: crossbeam_epoch::pin(),
-        })
+        self.begin_inner(proc, false)
+    }
+
+    fn begin_ro(&self, proc: u32) -> Box<dyn WordTx + '_> {
+        self.begin_inner(proc, true)
     }
 
     fn notifier(&self) -> &CommitNotifier {
@@ -412,6 +450,38 @@ mod tests {
         s.free_tvar_block(node, 1);
         let mut tx = s.begin(1);
         let _ = tx.read(node);
+    }
+
+    #[test]
+    fn ro_commit_validates_and_succeeds() {
+        let s = word_stm();
+        s.register_tvar(TVarId(0), 3);
+        s.register_tvar(TVarId(1), 4);
+        let mut tx = s.begin_ro(1);
+        assert_eq!(tx.read(TVarId(0)).unwrap(), 3);
+        assert_eq!(tx.read(TVarId(1)).unwrap(), 4);
+        tx.try_commit().unwrap();
+    }
+
+    #[test]
+    fn ro_stale_read_aborts_at_commit() {
+        let s = word_stm();
+        s.register_tvar(TVarId(0), 0);
+        let mut t1 = s.begin_ro(1);
+        assert_eq!(t1.read(TVarId(0)).unwrap(), 0);
+        let mut t2 = s.begin(2);
+        t2.write(TVarId(0), 1).unwrap();
+        t2.try_commit().unwrap();
+        assert_eq!(t1.try_commit(), Err(TxError::Aborted));
+    }
+
+    #[test]
+    #[should_panic(expected = "read-only")]
+    fn ro_write_panics() {
+        let s = word_stm();
+        s.register_tvar(TVarId(0), 0);
+        let mut tx = s.begin_ro(1);
+        let _ = tx.write(TVarId(0), 1);
     }
 
     #[test]

@@ -377,6 +377,24 @@ mod tests {
     }
 
     #[test]
+    fn park_registers_each_shard_exactly_once() {
+        // Transaction footprints carry duplicates (every traversal
+        // re-touches link words); a park must land one registration per
+        // distinct shard, never one per touch.
+        let n = CommitNotifier::new();
+        let (a, b) = distinct_shard_ids();
+        let (counter, waker) = counting_waker();
+        let mut snap = WaitSnapshot::new();
+        n.snapshot([a, b, a, a, b, a], &mut snap);
+        assert_eq!(snap.shards.len(), 2);
+        assert!(n.park(&snap, &waker));
+        assert_eq!(n.parked_wakers(), 2, "one registration per shard");
+        n.publish([a]);
+        assert_eq!(counter.0.load(Ordering::SeqCst), 1, "woken exactly once");
+        assert_eq!(n.parked_wakers(), 1, "only shard a drained");
+    }
+
+    #[test]
     fn empty_footprint_snapshot_is_empty() {
         let n = CommitNotifier::new();
         let mut snap = WaitSnapshot::new();

@@ -49,62 +49,50 @@ use std::sync::{Arc, Mutex};
 /// Slot value meaning "no transaction registered here".
 const IDLE: u64 = u64::MAX;
 
-/// Slots per chunk of the lock-free slot array.
+/// Slots per chunk of the lock-free slot list.
 const SLOT_CHUNK: usize = 64;
-/// Chunks in the spine: capacity `SLOT_CHUNK * SLOT_SPINE` concurrent
-/// transactions (far above any plausible thread count; `begin` panics
-/// past it rather than silently misbehaving).
-const SLOT_SPINE: usize = 64;
 
-/// A lock-free, append-only array of active-transaction slots: chunks are
+/// One chunk of active-transaction slots, chained into an unbounded
+/// append-only list.
+struct SlotChunk {
+    slots: [Arc<AtomicU64>; SLOT_CHUNK],
+    next: AtomicPtr<SlotChunk>,
+}
+
+impl SlotChunk {
+    fn new() -> SlotChunk {
+        SlotChunk {
+            slots: std::array::from_fn(|_| Arc::new(AtomicU64::new(IDLE))),
+            next: AtomicPtr::default(),
+        }
+    }
+}
+
+/// A lock-free, append-only list of active-transaction slots: chunks are
 /// installed on demand with a CAS and never move, so registration
 /// (`begin`, on every transaction) scans and claims without any lock —
-/// the `RwLock` this replaces sat on the begin path of every backend.
+/// the `RwLock` this replaced sat on the begin path of every backend.
+/// The list grows without bound (a fixed spine used to panic past
+/// 64 × 64 concurrent registrations), and only ever to the peak
+/// concurrency: slots are recycled front-first.
 struct SlotArray {
-    chunks: Box<[AtomicPtr<[Arc<AtomicU64>; SLOT_CHUNK]>]>,
+    head: SlotChunk,
 }
 
 impl SlotArray {
     fn new() -> Self {
         SlotArray {
-            chunks: (0..SLOT_SPINE).map(|_| AtomicPtr::default()).collect(),
+            head: SlotChunk::new(),
         }
-    }
-
-    /// The chunk at `k`, installing it if absent.
-    fn chunk(&self, k: usize) -> &[Arc<AtomicU64>; SLOT_CHUNK] {
-        let cell = &self.chunks[k];
-        let mut p = cell.load(Ordering::Acquire);
-        if p.is_null() {
-            let fresh: Box<[Arc<AtomicU64>; SLOT_CHUNK]> =
-                Box::new(std::array::from_fn(|_| Arc::new(AtomicU64::new(IDLE))));
-            let raw = Box::into_raw(fresh);
-            // SeqCst install: `min_active`'s scan must be guaranteed to
-            // observe any chunk whose slots a registered transaction
-            // occupies (see the ordering note there).
-            match cell.compare_exchange(
-                std::ptr::null_mut(),
-                raw,
-                Ordering::SeqCst,
-                Ordering::Acquire,
-            ) {
-                Ok(_) => p = raw,
-                Err(winner) => {
-                    // SAFETY: `raw` never escaped.
-                    drop(unsafe { Box::from_raw(raw) });
-                    p = winner;
-                }
-            }
-        }
-        // SAFETY: chunks are append-only and live as long as the array.
-        unsafe { &*p }
     }
 
     /// Claims an idle slot with value `e`; scans from the front so slots
-    /// recycle densely (sequential use stays at one slot).
+    /// recycle densely (sequential use stays at one slot), appending a
+    /// fresh chunk whenever every existing slot is taken.
     fn claim(&self, e: u64) -> Arc<AtomicU64> {
-        for k in 0..SLOT_SPINE {
-            for slot in self.chunk(k).iter() {
+        let mut chunk = &self.head;
+        loop {
+            for slot in chunk.slots.iter() {
                 if slot.load(Ordering::Relaxed) == IDLE
                     && slot
                         .compare_exchange(IDLE, e, Ordering::SeqCst, Ordering::Relaxed)
@@ -113,36 +101,52 @@ impl SlotArray {
                     return Arc::clone(slot);
                 }
             }
+            let mut p = chunk.next.load(Ordering::Acquire);
+            if p.is_null() {
+                let raw = Box::into_raw(Box::new(SlotChunk::new()));
+                // SeqCst install: `min_active`'s scan must be guaranteed
+                // to observe any chunk whose slots a registered
+                // transaction occupies (see the ordering note there).
+                match chunk.next.compare_exchange(
+                    std::ptr::null_mut(),
+                    raw,
+                    Ordering::SeqCst,
+                    Ordering::Acquire,
+                ) {
+                    Ok(_) => p = raw,
+                    Err(winner) => {
+                        // SAFETY: `raw` never escaped.
+                        drop(unsafe { Box::from_raw(raw) });
+                        p = winner;
+                    }
+                }
+            }
+            // SAFETY: chunks are append-only and live as long as the list.
+            chunk = unsafe { &*p };
         }
-        panic!(
-            "more than {} concurrent transactions",
-            SLOT_CHUNK * SLOT_SPINE
-        );
     }
 
     /// Minimum epoch over all registered slots (`u64::MAX` when none).
     ///
-    /// Ordering: chunk installation and this scan's chunk loads are both
-    /// `SeqCst`, and the scan walks **every** spine entry rather than
-    /// stopping at the first null — a transaction that overflowed into a
-    /// freshly installed chunk registered its slot (`SeqCst`) after the
-    /// install, so a scan that could miss the chunk pointer under weaker
-    /// ordering would silently skip a registered transaction and free
-    /// blocks it can still reach.
+    /// Ordering: chunk installation and this scan's `next` loads are both
+    /// `SeqCst` — a transaction that overflowed into a freshly installed
+    /// chunk registered its slot (`SeqCst`) after the install, so a scan
+    /// that could miss the chunk pointer under weaker ordering would
+    /// silently skip a registered transaction and free blocks it can
+    /// still reach.
     fn min_active(&self) -> u64 {
         let mut min = u64::MAX;
-        for cell in self.chunks.iter() {
-            let p = cell.load(Ordering::SeqCst);
-            if p.is_null() {
-                continue;
-            }
-            // SAFETY: append-only, alive while the array is.
-            for slot in unsafe { &*p }.iter() {
+        let mut chunk = Some(&self.head);
+        while let Some(c) = chunk {
+            for slot in c.slots.iter() {
                 let e = slot.load(Ordering::SeqCst);
                 if e != IDLE && e < min {
                     min = e;
                 }
             }
+            let p = c.next.load(Ordering::SeqCst);
+            // SAFETY: append-only, alive while the list is.
+            chunk = (!p.is_null()).then(|| unsafe { &*p });
         }
         min
     }
@@ -150,23 +154,26 @@ impl SlotArray {
     /// Number of installed slots (tests/diagnostics).
     #[cfg(test)]
     fn capacity(&self) -> usize {
-        self.chunks
-            .iter()
-            .take_while(|c| !c.load(Ordering::Acquire).is_null())
-            .count()
-            * SLOT_CHUNK
+        let mut n = 0;
+        let mut chunk = Some(&self.head);
+        while let Some(c) = chunk {
+            n += SLOT_CHUNK;
+            let p = c.next.load(Ordering::Acquire);
+            // SAFETY: as in `min_active`.
+            chunk = (!p.is_null()).then(|| unsafe { &*p });
+        }
+        n
     }
 }
 
 impl Drop for SlotArray {
     fn drop(&mut self) {
-        for cell in self.chunks.iter() {
-            let p = cell.load(Ordering::Relaxed);
-            if !p.is_null() {
-                // SAFETY: installed via Box::into_raw; outstanding
-                // `TxGrace` handles hold their own `Arc`s.
-                drop(unsafe { Box::from_raw(p) });
-            }
+        let mut p = self.head.next.load(Ordering::Relaxed);
+        while !p.is_null() {
+            // SAFETY: installed via Box::into_raw; outstanding `TxGrace`
+            // handles hold their own `Arc`s into the slots.
+            let chunk = unsafe { Box::from_raw(p) };
+            p = chunk.next.load(Ordering::Relaxed);
         }
     }
 }
@@ -403,6 +410,22 @@ mod tests {
             "sequential use must stay within the first chunk"
         );
         assert_eq!(t.slots.min_active(), u64::MAX, "all slots released");
+    }
+
+    #[test]
+    fn capacity_grows_past_the_old_spine_limit() {
+        // Regression: a fixed 64-chunk spine panicked at the 4097th
+        // concurrent registration ("more than 4096 concurrent
+        // transactions"); the chained list must keep growing instead.
+        let t = GraceTracker::new();
+        let held: Vec<TxGrace> = (0..4097).map(|_| t.begin()).collect();
+        assert!(t.slots.capacity() > 4096);
+        // Reclamation still honors every one of them.
+        let committer = t.begin();
+        let freed = t.retire_and_flush(committer, vec![blk(100, 1)]);
+        assert!(freed.is_empty(), "predating registrations must delay it");
+        drop(held);
+        assert_eq!(t.flush(), vec![blk(100, 1)]);
     }
 
     #[test]

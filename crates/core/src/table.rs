@@ -320,6 +320,33 @@ impl<V> VarTable<V> {
         self.get_in(x, &epoch::pin())
     }
 
+    /// Borrowing variant of [`VarTable::get_in`] for read paths that do
+    /// not retain the handle past the current operation (the declared
+    /// read-only transactions keep no read-set): skips the `Arc`
+    /// refcount round-trip — two atomic RMWs per read on the hottest
+    /// path in the workspace. The reference is valid for the guard's
+    /// lifetime: eviction retires the slot's `Arc` via `defer_destroy`,
+    /// which cannot run before the pin is released.
+    pub fn get_ref_in<'g>(&self, x: TVarId, guard: &'g Guard) -> Option<&'g V> {
+        let slot = self.slot(x, false)?;
+        let sh = slot.load(Ordering::Acquire, guard);
+        if sh.is_null() {
+            None
+        } else {
+            // SAFETY: loaded under the pin; `remove` retires slot contents
+            // via `defer_destroy`, so the `Arc` — and hence the pointee it
+            // keeps alive — outlives the guard.
+            Some(unsafe { &**sh.deref() })
+        }
+    }
+
+    /// Looks up `x` by reference under a caller-held pin, panicking with
+    /// the uniform diagnostic if absent.
+    pub fn get_ref_or_panic_in<'g>(&self, x: TVarId, guard: &'g Guard) -> &'g V {
+        self.get_ref_in(x, guard)
+            .unwrap_or_else(|| panic!("t-variable {x} not registered"))
+    }
+
     /// Looks up `x` under a caller-held pin, panicking with the uniform
     /// diagnostic if absent.
     pub fn get_or_panic_in(&self, x: TVarId, guard: &Guard) -> Arc<V> {

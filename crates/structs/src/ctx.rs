@@ -126,6 +126,44 @@ pub fn atomically_budgeted<R>(
     stm: &dyn WordStm,
     proc: u32,
     max_attempts: u32,
+    body: impl FnMut(&mut TxCtx<'_, '_>) -> TxResult<R>,
+) -> Result<(R, u32), BudgetExceeded> {
+    attempt_loop(stm, proc, max_attempts, false, body)
+}
+
+/// Read-only variant of [`atomically`]: attempts run on
+/// [`WordStm::begin_ro`], so backends take their cheapest consistent read
+/// path (wait-free per-read validation on TL/TL2, invisible scans on
+/// Algorithm 2 — see each backend's module docs). The body must not
+/// write or retire (backends panic if it does); allocation is likewise
+/// out of place in a read-only body.
+pub fn atomically_ro<R>(
+    stm: &dyn WordStm,
+    proc: u32,
+    body: impl FnMut(&mut TxCtx<'_, '_>) -> TxResult<R>,
+) -> R {
+    match atomically_ro_budgeted(stm, proc, u32::MAX, body) {
+        Ok((r, _)) => r,
+        Err(e) => panic!("atomically_ro: {e}"),
+    }
+}
+
+/// Like [`atomically_ro`] but bounded, returning the attempt count (the
+/// wait-free oracles assert on it).
+pub fn atomically_ro_budgeted<R>(
+    stm: &dyn WordStm,
+    proc: u32,
+    max_attempts: u32,
+    body: impl FnMut(&mut TxCtx<'_, '_>) -> TxResult<R>,
+) -> Result<(R, u32), BudgetExceeded> {
+    attempt_loop(stm, proc, max_attempts, true, body)
+}
+
+fn attempt_loop<R>(
+    stm: &dyn WordStm,
+    proc: u32,
+    max_attempts: u32,
+    ro: bool,
     mut body: impl FnMut(&mut TxCtx<'_, '_>) -> TxResult<R>,
 ) -> Result<(R, u32), BudgetExceeded> {
     let mut attempts = 0;
@@ -138,7 +176,11 @@ pub fn atomically_budgeted<R>(
             retry_backoff(proc, attempts);
         }
         attempts += 1;
-        let mut tx = stm.begin(proc);
+        let mut tx = if ro {
+            stm.begin_ro(proc)
+        } else {
+            stm.begin(proc)
+        };
         let (out, mut allocs) = {
             let mut ctx =
                 TxCtx::with_alloc_buffer(stm, tx.as_mut(), std::mem::take(&mut alloc_buf));

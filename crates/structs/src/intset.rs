@@ -1,7 +1,7 @@
 //! The sorted linked-list integer set — DSTM's original benchmark
 //! workload, over word t-variables.
 
-use crate::ctx::{atomically, TxCtx};
+use crate::ctx::{atomically, atomically_ro, TxCtx};
 use crate::NIL;
 use oftm_core::api::WordStm;
 use oftm_core::TxResult;
@@ -128,25 +128,26 @@ impl TxIntSet {
         atomically(stm, proc, |ctx| self.remove_in(ctx, v))
     }
 
-    /// Membership test in its own transaction.
+    /// Membership test in its own **read-only** transaction (the backend's
+    /// cheapest consistent read path — see [`atomically_ro`]).
     pub fn contains(&self, stm: &dyn WordStm, proc: u32, v: u64) -> bool {
-        atomically(stm, proc, |ctx| self.contains_in(ctx, v))
+        atomically_ro(stm, proc, |ctx| self.contains_in(ctx, v))
     }
 
-    /// Snapshot in its own transaction.
+    /// Snapshot in its own read-only transaction.
     pub fn snapshot(&self, stm: &dyn WordStm, proc: u32) -> Vec<u64> {
-        atomically(stm, proc, |ctx| self.snapshot_in(ctx))
+        atomically_ro(stm, proc, |ctx| self.snapshot_in(ctx))
     }
 
-    /// Number of elements (walks the list in its own transaction, via
-    /// [`TxIntSet::count_in`] — no snapshot allocation).
+    /// Number of elements (walks the list in its own read-only
+    /// transaction, via [`TxIntSet::count_in`] — no snapshot allocation).
     pub fn len(&self, stm: &dyn WordStm, proc: u32) -> usize {
-        atomically(stm, proc, |ctx| self.count_in(ctx))
+        atomically_ro(stm, proc, |ctx| self.count_in(ctx))
     }
 
     /// True iff the set is empty.
     pub fn is_empty(&self, stm: &dyn WordStm, proc: u32) -> bool {
-        atomically(stm, proc, |ctx| Ok(ctx.read(self.head)? == NIL))
+        atomically_ro(stm, proc, |ctx| Ok(ctx.read(self.head)? == NIL))
     }
 }
 

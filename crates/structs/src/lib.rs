@@ -61,7 +61,7 @@ mod map;
 mod queue;
 
 pub use counter::TxCounter;
-pub use ctx::{atomically, atomically_budgeted, TxCtx};
+pub use ctx::{atomically, atomically_budgeted, atomically_ro, atomically_ro_budgeted, TxCtx};
 pub use intset::TxIntSet;
 pub use map::TxHashMap;
 pub use queue::TxQueue;

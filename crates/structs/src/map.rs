@@ -1,6 +1,6 @@
 //! A bucketed hash map (separate chaining) over word t-variables.
 
-use crate::ctx::{atomically, TxCtx};
+use crate::ctx::{atomically, atomically_ro, TxCtx};
 use crate::{mix64, NIL};
 use oftm_core::api::WordStm;
 use oftm_core::TxResult;
@@ -127,12 +127,12 @@ impl TxHashMap {
 
     /// `get` in its own transaction.
     pub fn get(&self, stm: &dyn WordStm, proc: u32, key: u64) -> Option<Value> {
-        atomically(stm, proc, |ctx| self.get_in(ctx, key))
+        atomically_ro(stm, proc, |ctx| self.get_in(ctx, key))
     }
 
     /// Snapshot in its own transaction.
     pub fn snapshot(&self, stm: &dyn WordStm, proc: u32) -> Vec<(u64, Value)> {
-        atomically(stm, proc, |ctx| self.snapshot_in(ctx))
+        atomically_ro(stm, proc, |ctx| self.snapshot_in(ctx))
     }
 
     /// Entry count (walks every chain in one transaction).

@@ -1,6 +1,6 @@
 //! An MPMC FIFO queue over word t-variables.
 
-use crate::ctx::{atomically, TxCtx};
+use crate::ctx::{atomically, atomically_ro, TxCtx};
 use crate::NIL;
 use oftm_core::api::WordStm;
 use oftm_core::TxResult;
@@ -89,7 +89,7 @@ impl TxQueue {
 
     /// Snapshot in its own transaction.
     pub fn snapshot(&self, stm: &dyn WordStm, proc: u32) -> Vec<Value> {
-        atomically(stm, proc, |ctx| self.snapshot_in(ctx))
+        atomically_ro(stm, proc, |ctx| self.snapshot_in(ctx))
     }
 
     /// Queue length (walks the chain in one transaction).
@@ -99,7 +99,7 @@ impl TxQueue {
 
     /// True iff the queue is empty.
     pub fn is_empty(&self, stm: &dyn WordStm, proc: u32) -> bool {
-        atomically(stm, proc, |ctx| Ok(ctx.read(self.head())? == NIL))
+        atomically_ro(stm, proc, |ctx| Ok(ctx.read(self.head())? == NIL))
     }
 }
 
