@@ -69,9 +69,11 @@ use oftm_core::record::{fresh_base_id, Recorder};
 use oftm_core::table::{VarTable, DYNAMIC_TVAR_BASE};
 use oftm_foc::{CasFoc, FoConsensus, SplitterFoc};
 use oftm_histories::{Access, BaseObjId, TVarId, TmOp, TmResp, TxId, Value};
+use oftm_obs::{AbortCause, Counter, StmStats};
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Transaction fate values proposed to `State[T_k]`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -212,6 +214,12 @@ pub struct Algo2Stm {
     notify: CommitNotifier,
     tx_seq: AtomicU32,
     recorder: Option<Arc<Recorder>>,
+    /// Always-on telemetry (begins/commits/aborts-by-cause, latency
+    /// histograms). Algorithm 2 has no contention manager: peers race
+    /// fo-consensus proposals instead, so its aborts land in the
+    /// `cas_lost` (a propose lost to a peer) and `read_validation`
+    /// (decided-chain/`V[x]`/`Aborted[Tk]` checks) buckets.
+    stats: StmStats,
     /// Ablation switch: disables the paper's "essential implementation
     /// detail" #1 — the `Aborted[Tk]` re-check at the end of `acquire`.
     /// Exists only so tests can demonstrate *why* the paper calls it
@@ -236,8 +244,14 @@ impl Algo2Stm {
             notify: CommitNotifier::new(),
             tx_seq: AtomicU32::new(0),
             recorder: None,
+            stats: StmStats::new(),
             ablate_aborted_check: false,
         }
+    }
+
+    /// The telemetry registry of this instance.
+    pub fn stats(&self) -> &StmStats {
+        &self.stats
     }
 
     pub fn with_recorder(mut self, rec: Arc<Recorder>) -> Self {
@@ -268,6 +282,10 @@ impl Algo2Stm {
 
     fn reclaim_after_commit(&self, grace: TxGrace, retired: Vec<RetiredBlock>) {
         let freeable = self.reclaim.retire_and_flush(grace, retired);
+        if !freeable.is_empty() {
+            // `free_tvar_block` below accounts the freed t-variables.
+            self.stats.incr(Counter::GraceFlushes);
+        }
         for blk in &freeable {
             self.free_tvar_block(blk.base, blk.len);
         }
@@ -289,9 +307,19 @@ pub struct Algo2Tx<'s> {
     grace: Option<TxGrace>,
     retired: Vec<RetiredBlock>,
     completed: bool,
+    /// Whether an abort cause has been recorded for this attempt (first
+    /// tag wins; exactly one cause per aborted attempt).
+    cause_tagged: bool,
 }
 
 impl<'s> Algo2Tx<'s> {
+    fn tag_abort(&mut self, cause: AbortCause) {
+        if !self.cause_tagged {
+            self.cause_tagged = true;
+            self.stm.stats.abort(cause);
+        }
+    }
+
     fn rstep(&self, obj: BaseObjId, access: Access) {
         if let Some(rec) = &self.stm.recorder {
             rec.step(self.id.process(), Some(self.id), obj, access);
@@ -340,7 +368,11 @@ impl<'s> Algo2Tx<'s> {
                 let owner = owner_cell.propose(self.id.proc, encode_tx(self.id));
                 self.rstep(owner_cell.base, Access::Modify);
                 let owner = match owner {
-                    None => return Err(TxError::Aborted), // owner = ⊥
+                    None => {
+                        // owner = ⊥: our Owner proposal lost outright.
+                        self.tag_abort(AbortCause::CasLost);
+                        return Err(TxError::Aborted);
+                    }
                     Some(o) => decode_tx(o),
                 };
                 if owner != self.id {
@@ -349,7 +381,11 @@ impl<'s> Algo2Tx<'s> {
                     let s = sc.propose(self.id.proc, Fate::Aborted as u8);
                     self.rstep(sc.base, Access::Modify);
                     match s {
-                        None => return Err(TxError::Aborted), // s = ⊥
+                        None => {
+                            // s = ⊥: the State proposal itself failed.
+                            self.tag_abort(AbortCause::CasLost);
+                            return Err(TxError::Aborted);
+                        }
                         Some(s) if s == Fate::Committed as u8 => {
                             // state ← TVar[x, owner]
                             let cell = self.stm.tvar.get_or_create(&(x, owner), || RegCell::new(0));
@@ -375,6 +411,9 @@ impl<'s> Algo2Tx<'s> {
                 let now = v_cell.val.load(Ordering::Acquire);
                 self.rstep(v_cell.base, Access::Read);
                 if now != v_snapshot {
+                    // The V[x] change check: our snapshot of the variable
+                    // is stale (the paper's wait-freedom guard).
+                    self.tag_abort(AbortCause::ReadValidation);
                     return Err(TxError::Aborted);
                 }
                 version += 1;
@@ -411,6 +450,9 @@ impl<'s> Algo2Tx<'s> {
             let dead = flag.val.load(Ordering::Acquire);
             self.rstep(flag.base, Access::Read);
             if dead {
+                // Aborted[Tk]: a peer revoked one of our ownerships and
+                // the final re-check stops us — a stale-state abort.
+                self.tag_abort(AbortCause::ReadValidation);
                 return Err(TxError::Aborted);
             }
         }
@@ -480,6 +522,7 @@ impl WordTx for Algo2Tx<'_> {
         // overhead. (Anything that *read* acquired, and must still settle
         // its fate below for the scanners that will find it.)
         if self.wset.is_empty() && self.touched.is_empty() {
+            self.stm.stats.incr(Counter::CommitsPromoted);
             self.rrespond(TmResp::Committed);
             self.stm.reclaim_after_commit(
                 self.grace.take().expect("grace slot held until completion"),
@@ -487,11 +530,18 @@ impl WordTx for Algo2Tx<'_> {
             );
             return Ok(());
         }
+        // The commit critical section of Algorithm 2 is the single fate
+        // proposal to our own State cell.
+        let cs_started = Instant::now();
         let sc = self.stm.state_cell(self.id);
         let s = sc.propose(self.id.proc, Fate::Committed as u8);
         self.rstep(sc.base, Access::Modify);
+        self.stm
+            .stats
+            .record_commit_cs_ns(cs_started.elapsed().as_nanos() as u64);
         match s {
             Some(v) if v == Fate::Committed as u8 => {
+                self.stm.stats.incr(Counter::Commits);
                 self.rrespond(TmResp::Committed);
                 // Every acquired variable gained a decided version owned
                 // by us (reads acquire too in Algorithm 2): publish the
@@ -505,6 +555,9 @@ impl WordTx for Algo2Tx<'_> {
                 Ok(())
             }
             _ => {
+                // A peer decided our State `aborted` before our own
+                // `committed` proposal: the fate race was lost.
+                self.tag_abort(AbortCause::CasLost);
                 self.rrespond(TmResp::Aborted);
                 Err(TxError::Aborted)
             }
@@ -519,6 +572,9 @@ impl WordTx for Algo2Tx<'_> {
         let sc = self.stm.state_cell(self.id);
         let _ = sc.propose(self.id.proc, Fate::Aborted as u8);
         self.rstep(sc.base, Access::Modify);
+        // tryA on a still-viable attempt is an explicit retry; if a cause
+        // was already tagged, the attempt was dead anyway.
+        self.tag_abort(AbortCause::ExplicitRetry);
         self.rrespond(TmResp::Aborted);
         // Dropping `grace` releases the reclamation slot; the retire-set
         // is discarded with the transaction.
@@ -541,6 +597,7 @@ impl Drop for Algo2Tx<'_> {
         if !self.completed {
             let sc = self.stm.state_cell(self.id);
             let _ = sc.propose(self.id.proc, Fate::Aborted as u8);
+            self.tag_abort(AbortCause::ExplicitRetry);
         }
     }
 }
@@ -561,6 +618,8 @@ pub struct Algo2RoTx<'s> {
     /// adopted from committed owners, so retire-sets published while it
     /// runs must not be freed under it.
     grace: Option<TxGrace>,
+    completed: bool,
+    cause_tagged: bool,
 }
 
 impl<'s> Algo2RoTx<'s> {
@@ -681,6 +740,10 @@ impl WordTx for Algo2RoTx<'_> {
         // whole read-set so a live read-only transaction never observes a
         // torn snapshot (opacity, not just commit-time serializability).
         if !self.validate() {
+            if !self.cause_tagged {
+                self.cause_tagged = true;
+                self.stm.stats.abort(AbortCause::ReadValidation);
+            }
             self.rrespond(TmResp::Aborted);
             return Err(TxError::Aborted);
         }
@@ -694,10 +757,12 @@ impl WordTx for Algo2RoTx<'_> {
 
     fn try_commit(mut self: Box<Self>) -> TxResult<()> {
         self.rinvoke(TmOp::TryCommit);
+        self.completed = true;
         // No peer ever learned of this transaction (it proposed nothing),
         // so there is no `State` cell to decide: the final validation is
         // the commit.
         if self.validate() {
+            self.stm.stats.incr(Counter::CommitsRo);
             self.rrespond(TmResp::Committed);
             self.stm.reclaim_after_commit(
                 self.grace.take().expect("grace slot held until completion"),
@@ -705,6 +770,10 @@ impl WordTx for Algo2RoTx<'_> {
             );
             Ok(())
         } else {
+            if !self.cause_tagged {
+                self.cause_tagged = true;
+                self.stm.stats.abort(AbortCause::ReadValidation);
+            }
             self.rrespond(TmResp::Aborted);
             Err(TxError::Aborted)
         }
@@ -712,6 +781,11 @@ impl WordTx for Algo2RoTx<'_> {
 
     fn try_abort(mut self: Box<Self>) {
         self.rinvoke(TmOp::TryAbort);
+        self.completed = true;
+        if !self.cause_tagged {
+            self.cause_tagged = true;
+            self.stm.stats.abort(AbortCause::ExplicitRetry);
+        }
         self.rrespond(TmResp::Aborted);
         self.grace.take();
     }
@@ -722,6 +796,15 @@ impl WordTx for Algo2RoTx<'_> {
 
     fn footprint(&self, out: &mut Vec<TVarId>) {
         out.extend_from_slice(&self.touched);
+    }
+}
+
+impl Drop for Algo2RoTx<'_> {
+    fn drop(&mut self) {
+        if !self.completed && !self.cause_tagged {
+            self.cause_tagged = true;
+            self.stm.stats.abort(AbortCause::ExplicitRetry);
+        }
     }
 }
 
@@ -737,14 +820,18 @@ impl WordStm for Algo2Stm {
         // Atomic keep-first semantics (re-registration must not reset
         // state the version scans already adopted), like the
         // `Registry::get_or_create` this replaced.
+        self.stats.incr(Counter::TvarsAllocated);
         self.initial.insert_if_absent(x, initial);
     }
 
     fn alloc_tvar_block(&self, initials: &[Value]) -> TVarId {
+        self.stats
+            .add(Counter::TvarsAllocated, initials.len() as u64);
         self.initial.alloc_block(initials, |_, v| v)
     }
 
     fn free_tvar_block(&self, base: TVarId, len: usize) {
+        self.stats.add(Counter::TvarsFreed, len as u64);
         self.initial.remove_block(base, len);
         for k in 0..len {
             let x = TVarId(base.0 + k as u64);
@@ -772,6 +859,7 @@ impl WordStm for Algo2Stm {
     }
 
     fn begin(&self, proc: u32) -> Box<dyn WordTx + '_> {
+        self.stats.incr(Counter::Begins);
         let seq = self.tx_seq.fetch_add(1, Ordering::Relaxed);
         Box::new(Algo2Tx {
             stm: self,
@@ -781,10 +869,13 @@ impl WordStm for Algo2Stm {
             grace: Some(self.reclaim.begin()),
             retired: Vec::new(),
             completed: false,
+            cause_tagged: false,
         })
     }
 
     fn begin_ro(&self, proc: u32) -> Box<dyn WordTx + '_> {
+        self.stats.incr(Counter::Begins);
+        self.stats.incr(Counter::BeginsRo);
         let seq = self.tx_seq.fetch_add(1, Ordering::Relaxed);
         Box::new(Algo2RoTx {
             stm: self,
@@ -792,11 +883,17 @@ impl WordStm for Algo2Stm {
             reads: Vec::new(),
             touched: Vec::new(),
             grace: Some(self.reclaim.begin()),
+            completed: false,
+            cause_tagged: false,
         })
     }
 
     fn notifier(&self) -> &CommitNotifier {
         &self.notify
+    }
+
+    fn stats(&self) -> &StmStats {
+        &self.stats
     }
 
     fn is_obstruction_free(&self) -> bool {

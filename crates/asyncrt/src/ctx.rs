@@ -44,9 +44,7 @@ where
         }
         loop {
             if this.core.exhausted() {
-                return Poll::Ready(Err(BudgetExceeded {
-                    attempts: this.core.max_attempts,
-                }));
+                return Poll::Ready(Err(this.core.budget_exhausted()));
             }
             let stm = this.core.stm;
             let mut tx = this.core.begin_attempt();
@@ -70,6 +68,7 @@ where
                     None
                 }
             };
+            this.core.end_attempt();
             match committed {
                 Some(r) => {
                     allocs.clear(); // committed attempt's blocks are published
@@ -88,9 +87,7 @@ where
             if this.core.exhausted() {
                 // The final attempt just aborted: report immediately (see
                 // the same check in `TxFuture::poll`).
-                return Poll::Ready(Err(BudgetExceeded {
-                    attempts: this.core.max_attempts,
-                }));
+                return Poll::Ready(Err(this.core.budget_exhausted()));
             }
             match this.core.after_abort(cx.waker()) {
                 AfterAbort::RetryNow => continue,

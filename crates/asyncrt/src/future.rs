@@ -35,6 +35,7 @@ use oftm_core::contention::ContentionPolicy;
 use oftm_core::notify::WaitSnapshot;
 use oftm_core::{BudgetExceeded, TxError};
 use oftm_histories::TVarId;
+use oftm_obs::{AbortCause, Counter};
 use std::future::Future;
 use std::pin::Pin;
 use std::task::{Context, Poll, Waker};
@@ -74,6 +75,12 @@ pub(crate) struct ParkCore<'s> {
     /// arms yet another timer: the chains self-perpetuate and multiply
     /// with every commit, burying the "fewer wasted re-runs" win.
     parked_until: Option<std::time::Instant>,
+    /// When the current park began (set with `parked_until`); feeds the
+    /// park-duration histogram on the unparking poll.
+    parked_at: Option<std::time::Instant>,
+    /// When the in-flight attempt began; feeds the attempt-latency
+    /// histogram when the attempt's fate settles ([`ParkCore::end_attempt`]).
+    attempt_started: Option<std::time::Instant>,
     /// Attempts begin via [`WordStm::begin_ro`], and aborts never park:
     /// a read-only abort means a conflicting commit *just* landed, so the
     /// immediate re-run observes the new snapshot and (on the wait-free
@@ -105,6 +112,8 @@ impl<'s> ParkCore<'s> {
             footprint: Vec::new(),
             snap: WaitSnapshot::new(),
             parked_until: None,
+            parked_at: None,
+            attempt_started: None,
             read_only: false,
         }
     }
@@ -128,12 +137,18 @@ impl<'s> ParkCore<'s> {
         match self.parked_until {
             None => true,
             Some(deadline) => {
+                let stats = self.stm.stats();
                 if self.stm.notifier().changed_since(&self.snap)
                     || std::time::Instant::now() >= deadline
                 {
                     self.parked_until = None;
+                    stats.incr(Counter::Wakes);
+                    if let Some(at) = self.parked_at.take() {
+                        stats.record_park_ns(at.elapsed().as_nanos() as u64);
+                    }
                     true
                 } else {
+                    stats.incr(Counter::StaleWakes);
                     false
                 }
             }
@@ -146,12 +161,42 @@ impl<'s> ParkCore<'s> {
     }
 
     pub fn begin_attempt(&mut self) -> Box<dyn WordTx + 's> {
+        if self.attempts > 0 {
+            self.stm.stats().incr(Counter::Retries);
+        }
         self.attempts += 1;
         self.footprint.clear();
+        self.attempt_started = Some(std::time::Instant::now());
         if self.read_only {
             self.stm.begin_ro(self.proc)
         } else {
             self.stm.begin(self.proc)
+        }
+    }
+
+    /// Records the attempt-latency sample once the attempt's fate is
+    /// settled (committed, or aborted and its transaction dropped). Parks
+    /// happen between attempts, so park time never inflates the sample.
+    pub fn end_attempt(&mut self) {
+        if let Some(at) = self.attempt_started.take() {
+            self.stm
+                .stats()
+                .record_attempt_ns(at.elapsed().as_nanos() as u64);
+        }
+    }
+
+    /// Tags the spent retry budget on the cause taxonomy (the async
+    /// analogue of the sync loops' budget accounting).
+    pub fn budget_exhausted(&self) -> BudgetExceeded {
+        self.stm.stats().abort(AbortCause::BudgetExhausted);
+        oftm_obs::ring::emit(
+            "budget_exhausted",
+            "async_park_core",
+            u64::from(self.proc),
+            u64::from(self.max_attempts),
+        );
+        BudgetExceeded {
+            attempts: self.max_attempts,
         }
     }
 
@@ -202,8 +247,11 @@ impl<'s> ParkCore<'s> {
             return AfterAbort::RetryNow;
         }
         self.parks += 1;
+        self.stm.stats().incr(Counter::Parks);
         let timeout = self.policy.park_timeout(self.proc, self.consecutive_aborts);
-        self.parked_until = Some(std::time::Instant::now() + timeout);
+        let now = std::time::Instant::now();
+        self.parked_until = Some(now + timeout);
+        self.parked_at = Some(now);
         timer::wake_after(timeout, waker.clone());
         AfterAbort::Pend
     }
@@ -229,17 +277,18 @@ where
         }
         loop {
             if this.core.exhausted() {
-                return Poll::Ready(Err(BudgetExceeded {
-                    attempts: this.core.max_attempts,
-                }));
+                return Poll::Ready(Err(this.core.budget_exhausted()));
             }
             let mut tx = this.core.begin_attempt();
             match (this.body)(tx.as_mut()) {
                 Ok(r) => {
                     this.core.capture_footprint(tx.as_ref());
                     match tx.try_commit() {
-                        Ok(()) => return Poll::Ready(Ok(this.core.committed(r))),
-                        Err(TxError::Aborted) => {}
+                        Ok(()) => {
+                            this.core.end_attempt();
+                            return Poll::Ready(Ok(this.core.committed(r)));
+                        }
+                        Err(TxError::Aborted) => this.core.end_attempt(),
                     }
                 }
                 Err(TxError::Aborted) => {
@@ -247,6 +296,7 @@ where
                     // the body already observed the abort event.
                     this.core.capture_footprint(tx.as_ref());
                     drop(tx);
+                    this.core.end_attempt();
                 }
             }
             if this.core.exhausted() {
@@ -254,9 +304,7 @@ where
                 // the sync loop does — parking here would delay the error
                 // by a park timeout and count a park that could never
                 // precede another attempt.
-                return Poll::Ready(Err(BudgetExceeded {
-                    attempts: this.core.max_attempts,
-                }));
+                return Poll::Ready(Err(this.core.budget_exhausted()));
             }
             match this.core.after_abort(cx.waker()) {
                 AfterAbort::RetryNow => continue,

@@ -30,9 +30,11 @@ use oftm_core::reclaim::{GraceTracker, RetiredBlock, TxGrace};
 use oftm_core::record::{fresh_base_id, Recorder};
 use oftm_core::table::VarTable;
 use oftm_histories::{Access, TVarId, TmOp, TmResp, TxId, Value};
+use oftm_obs::{AbortCause, Counter, StmStats};
 use parking_lot::{Mutex, MutexGuard};
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Global-mutex TM.
 pub struct CoarseStm {
@@ -49,6 +51,11 @@ pub struct CoarseStm {
     lock_base: oftm_histories::BaseObjId,
     tx_seq: AtomicU32,
     recorder: Option<Arc<Recorder>>,
+    /// Always-on telemetry. Coarse is abort-free (the gate serializes
+    /// everything), so the only cause it can ever tag is an explicit
+    /// retry; the commit-critical-section histogram records how long each
+    /// transaction held the gate — the time everyone else was stalled.
+    stats: StmStats,
 }
 
 impl Default for CoarseStm {
@@ -67,6 +74,7 @@ impl CoarseStm {
             lock_base: fresh_base_id(),
             tx_seq: AtomicU32::new(0),
             recorder: None,
+            stats: StmStats::new(),
         }
     }
 
@@ -84,7 +92,15 @@ impl CoarseStm {
     }
 
     fn reclaim_after_commit(&self, grace: TxGrace, retired: Vec<RetiredBlock>) {
-        for blk in self.reclaim.retire_and_flush(grace, retired) {
+        let freed = self.reclaim.retire_and_flush(grace, retired);
+        if !freed.is_empty() {
+            self.stats.incr(Counter::GraceFlushes);
+            self.stats.add(
+                Counter::TvarsFreed,
+                freed.iter().map(|b| b.len as u64).sum(),
+            );
+        }
+        for blk in freed {
             self.store.remove_block(blk.base, blk.len);
         }
     }
@@ -107,6 +123,9 @@ struct CoarseTx<'s> {
     retired: Vec<RetiredBlock>,
     /// Declared read-only: reads skip the footprint log, writes panic.
     ro: bool,
+    /// When the gate was acquired; its hold length is this backend's
+    /// commit critical section.
+    gate_held_at: Instant,
     /// Transaction-lifetime epoch pin: the paged-slab table's per-access
     /// pins nest under it (a counter bump instead of an epoch
     /// publication per read/write).
@@ -177,8 +196,18 @@ impl WordTx for CoarseTx<'_> {
         }
         self.rstep(Access::Modify); // lock release is a modifying step
         self.guard = None; // release
-                           // The gate is released and the in-place writes stand: wake parked
-                           // conflicters.
+        self.stm
+            .stats
+            .record_commit_cs_ns(self.gate_held_at.elapsed().as_nanos() as u64);
+        self.stm.stats.incr(if self.ro {
+            Counter::CommitsRo
+        } else if self.undo.is_empty() {
+            Counter::CommitsPromoted
+        } else {
+            Counter::Commits
+        });
+        // The gate is released and the in-place writes stand: wake parked
+        // conflicters.
         self.stm
             .notify
             .publish(self.undo.iter().map(|(x, _, _)| *x));
@@ -203,6 +232,12 @@ impl WordTx for CoarseTx<'_> {
         }
         self.rstep(Access::Modify);
         self.guard = None;
+        self.stm
+            .stats
+            .record_commit_cs_ns(self.gate_held_at.elapsed().as_nanos() as u64);
+        // Coarse transactions never fail: aborting one is always a
+        // voluntary abandonment.
+        self.stm.stats.abort(AbortCause::ExplicitRetry);
         if let Some(r) = self.rec() {
             r.respond(self.id, TmResp::Aborted);
         }
@@ -234,6 +269,10 @@ impl Drop for CoarseTx<'_> {
             for (_, cell, v) in self.undo.drain(..).rev() {
                 cell.store(v, Ordering::Release);
             }
+            self.stm
+                .stats
+                .record_commit_cs_ns(self.gate_held_at.elapsed().as_nanos() as u64);
+            self.stm.stats.abort(AbortCause::ExplicitRetry);
         }
     }
 }
@@ -244,12 +283,15 @@ impl WordStm for CoarseStm {
     }
 
     fn register_tvar(&self, x: TVarId, initial: Value) {
+        self.stats.incr(Counter::TvarsAllocated);
         self.store.insert(x, AtomicU64::new(initial));
     }
 
     fn alloc_tvar_block(&self, initials: &[Value]) -> TVarId {
         // Deliberately does not take the gate: a running transaction holds
         // it, and allocation is not a transactional effect.
+        self.stats
+            .add(Counter::TvarsAllocated, initials.len() as u64);
         self.store.alloc_block(initials, |_, v| AtomicU64::new(v))
     }
 
@@ -257,6 +299,7 @@ impl WordStm for CoarseStm {
         // Like allocation, eviction does not take the gate: the committing
         // transaction may still notionally hold it, and the cells are Arc-
         // shared, so an undo log referencing them stays valid.
+        self.stats.add(Counter::TvarsFreed, len as u64);
         self.store.remove_block(base, len);
     }
 
@@ -265,6 +308,7 @@ impl WordStm for CoarseStm {
     }
 
     fn begin(&self, proc: u32) -> Box<dyn WordTx + '_> {
+        self.stats.incr(Counter::Begins);
         let seq = self.tx_seq.fetch_add(1, Ordering::Relaxed);
         let id = TxId::new(proc, seq);
         // Acquiring the global lock is a modifying step on the lock word.
@@ -281,11 +325,14 @@ impl WordStm for CoarseStm {
             grace: Some(self.reclaim.begin()),
             retired: Vec::new(),
             ro: false,
+            gate_held_at: Instant::now(),
             pin: epoch::pin(),
         })
     }
 
     fn begin_ro(&self, proc: u32) -> Box<dyn WordTx + '_> {
+        self.stats.incr(Counter::Begins);
+        self.stats.incr(Counter::BeginsRo);
         let seq = self.tx_seq.fetch_add(1, Ordering::Relaxed);
         let id = TxId::new(proc, seq);
         let guard = self.gate.lock();
@@ -301,12 +348,17 @@ impl WordStm for CoarseStm {
             grace: Some(self.reclaim.begin()),
             retired: Vec::new(),
             ro: true,
+            gate_held_at: Instant::now(),
             pin: epoch::pin(),
         })
     }
 
     fn notifier(&self) -> &CommitNotifier {
         &self.notify
+    }
+
+    fn stats(&self) -> &StmStats {
+        &self.stats
     }
 
     fn is_obstruction_free(&self) -> bool {

@@ -39,8 +39,10 @@ use oftm_core::reclaim::{GraceTracker, RetiredBlock, TxGrace};
 use oftm_core::record::{fresh_base_id, Recorder};
 use oftm_core::table::VarTable;
 use oftm_histories::{Access, BaseObjId, TVarId, TmOp, TmResp, TxId, Value};
+use oftm_obs::{AbortCause, Counter, StmStats};
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// One t-variable: a versioned lock word and the value cell.
 pub(crate) struct VLockVar {
@@ -119,6 +121,9 @@ pub struct TlStm {
     tx_seq: AtomicU32,
     recorder: Option<Arc<Recorder>>,
     scratch: SlotPool<Scratch>,
+    /// Always-on telemetry (begins/commits/aborts-by-cause, latency
+    /// histograms).
+    stats: StmStats,
     /// Bounded spin on a locked variable before giving up and aborting
     /// (keeps writers from deadlocking; readers never block).
     pub lock_patience: u32,
@@ -140,6 +145,7 @@ impl TlStm {
             tx_seq: AtomicU32::new(0),
             recorder: None,
             scratch: SlotPool::new(),
+            stats: StmStats::new(),
             lock_patience: 4096,
         }
     }
@@ -154,10 +160,17 @@ impl TlStm {
     }
 
     fn reclaim_after_commit(&self, grace: TxGrace, retired: &mut Vec<RetiredBlock>) {
-        for blk in self
+        let freed = self
             .reclaim
-            .retire_and_flush(grace, std::mem::take(retired))
-        {
+            .retire_and_flush(grace, std::mem::take(retired));
+        if !freed.is_empty() {
+            self.stats.incr(Counter::GraceFlushes);
+            self.stats.add(
+                Counter::TvarsFreed,
+                freed.iter().map(|b| b.len as u64).sum(),
+            );
+        }
+        for blk in freed {
             self.vars.remove_block(blk.base, blk.len);
         }
     }
@@ -194,6 +207,10 @@ struct TlTx<'s> {
     grace: Option<TxGrace>,
     retired: Vec<RetiredBlock>,
     dead: bool,
+    /// Completed through `try_commit`/`try_abort`: every abort cause is
+    /// already tagged. A live transaction dropped without either settles
+    /// as an explicit retry in the abort taxonomy.
+    finished: bool,
     /// The variable an abort gave up on (lock-patience exhausted at
     /// read): it is in neither log yet, but it *is* part of the conflict
     /// footprint a parked re-run must wake on.
@@ -276,6 +293,7 @@ impl WordTx for TlTx<'_> {
             if patience == 0 {
                 self.dead = true;
                 self.conflict_hint = Some(x);
+                self.stm.stats.abort(AbortCause::LockBusy);
                 self.rrespond(TmResp::Aborted);
                 return Err(TxError::Aborted);
             }
@@ -297,6 +315,7 @@ impl WordTx for TlTx<'_> {
 
     fn try_commit(mut self: Box<Self>) -> TxResult<()> {
         self.rinvoke(TmOp::TryCommit);
+        self.finished = true;
         if self.dead {
             self.rrespond(TmResp::Aborted);
             return Err(TxError::Aborted);
@@ -312,10 +331,12 @@ impl WordTx for TlTx<'_> {
                 self.rstep(var.lock_base, Access::Read);
                 let cur = var.lock.load(Ordering::Acquire);
                 if cur != *ver {
+                    self.stm.stats.abort(AbortCause::ReadValidation);
                     self.rrespond(TmResp::Aborted);
                     return Err(TxError::Aborted);
                 }
             }
+            self.stm.stats.incr(Counter::CommitsPromoted);
             self.rrespond(TmResp::Committed);
             let grace = self.grace.take().expect("grace slot held until completion");
             let mut retired = std::mem::take(&mut self.retired);
@@ -343,6 +364,9 @@ impl WordTx for TlTx<'_> {
             }
         };
 
+        // Commit critical section: from the first lock acquisition to the
+        // final unlock, every concurrent writer of these variables stalls.
+        let cs_started = Instant::now();
         self.locked.clear();
         for i in 0..self.writes.len() {
             let var = &self.writes[i].2;
@@ -356,6 +380,7 @@ impl WordTx for TlTx<'_> {
                 patience = patience.saturating_sub(1);
                 if patience == 0 {
                     unlock_all(&self.writes[..self.locked.len()], &self.locked);
+                    self.stm.stats.abort(AbortCause::LockBusy);
                     self.rrespond(TmResp::Aborted);
                     return Err(TxError::Aborted);
                 }
@@ -369,6 +394,7 @@ impl WordTx for TlTx<'_> {
         // price of giving read-only transactions a begin-time snapshot);
         // writers on distinct shards, and all plain reads, stay disjoint.
         let wv = self.stm.clocks.tick(self.id.proc);
+        self.stm.stats.incr(Counter::ClockShardTicks);
         let shard = self.id.proc as usize & (CLOCK_SHARDS - 1);
         self.rstep(self.stm.clocks.shards()[shard].base, Access::Modify);
 
@@ -381,6 +407,7 @@ impl WordTx for TlTx<'_> {
             let effective = if ours { cur & !LOCK_BIT } else { cur };
             if effective != *ver || (!ours && cur & LOCK_BIT != 0) {
                 unlock_all(&self.writes, &self.locked);
+                self.stm.stats.abort(AbortCause::ReadValidation);
                 self.rrespond(TmResp::Aborted);
                 return Err(TxError::Aborted);
             }
@@ -393,6 +420,10 @@ impl WordTx for TlTx<'_> {
             var.unlock(wv);
             self.rstep(var.lock_base, Access::Modify);
         }
+        self.stm
+            .stats
+            .record_commit_cs_ns(cs_started.elapsed().as_nanos() as u64);
+        self.stm.stats.incr(Counter::Commits);
         // Writes are visible and unlocked: wake parked conflicters.
         self.stm
             .notify
@@ -405,8 +436,13 @@ impl WordTx for TlTx<'_> {
         Ok(())
     }
 
-    fn try_abort(self: Box<Self>) {
+    fn try_abort(mut self: Box<Self>) {
         self.rinvoke(TmOp::TryAbort);
+        self.finished = true;
+        if !self.dead {
+            // Abandoning a still-viable attempt: an explicit retry.
+            self.stm.stats.abort(AbortCause::ExplicitRetry);
+        }
         self.rrespond(TmResp::Aborted);
         // Nothing to undo: writes were buffered; dropping `grace` releases
         // the reclamation slot and discards the retire-set.
@@ -425,6 +461,11 @@ impl WordTx for TlTx<'_> {
 
 impl Drop for TlTx<'_> {
     fn drop(&mut self) {
+        if !self.finished && !self.dead {
+            // Dropped live without tryC/tryA: counted as an explicit retry
+            // (the only way an attempt can end with no cause tagged).
+            self.stm.stats.abort(AbortCause::ExplicitRetry);
+        }
         // Return the (cleared) buffers to the pool: the next transaction
         // begins with warm capacity instead of fresh allocations.
         let mut s = Scratch {
@@ -455,6 +496,7 @@ struct TlRoTx<'s> {
     read_any: bool,
     grace: Option<TxGrace>,
     dead: bool,
+    finished: bool,
     conflict_hint: Option<TVarId>,
     pin: Guard,
 }
@@ -505,6 +547,7 @@ impl WordTx for TlRoTx<'_> {
                     if patience == 0 {
                         self.dead = true;
                         self.conflict_hint = Some(x);
+                        self.stm.stats.abort(AbortCause::LockBusy);
                         self.rrespond(TmResp::Aborted);
                         return Err(TxError::Aborted);
                     }
@@ -522,6 +565,7 @@ impl WordTx for TlRoTx<'_> {
                 // Snapshot frozen; this value postdates it.
                 self.dead = true;
                 self.conflict_hint = Some(x);
+                self.stm.stats.abort(AbortCause::ReadValidation);
                 self.rrespond(TmResp::Aborted);
                 return Err(TxError::Aborted);
             }
@@ -542,12 +586,14 @@ impl WordTx for TlRoTx<'_> {
 
     fn try_commit(mut self: Box<Self>) -> TxResult<()> {
         self.rinvoke(TmOp::TryCommit);
+        self.finished = true;
         if self.dead {
             self.rrespond(TmResp::Aborted);
             return Err(TxError::Aborted);
         }
         // Every read was within the begin-time snapshot: nothing to
         // validate or lock. Commit is just the grace release.
+        self.stm.stats.incr(Counter::CommitsRo);
         self.rrespond(TmResp::Committed);
         let grace = self.grace.take().expect("grace slot held until completion");
         let mut retired = Vec::new();
@@ -555,8 +601,12 @@ impl WordTx for TlRoTx<'_> {
         Ok(())
     }
 
-    fn try_abort(self: Box<Self>) {
+    fn try_abort(mut self: Box<Self>) {
         self.rinvoke(TmOp::TryAbort);
+        self.finished = true;
+        if !self.dead {
+            self.stm.stats.abort(AbortCause::ExplicitRetry);
+        }
         self.rrespond(TmResp::Aborted);
     }
 
@@ -569,20 +619,32 @@ impl WordTx for TlRoTx<'_> {
     }
 }
 
+impl Drop for TlRoTx<'_> {
+    fn drop(&mut self) {
+        if !self.finished && !self.dead {
+            self.stm.stats.abort(AbortCause::ExplicitRetry);
+        }
+    }
+}
+
 impl WordStm for TlStm {
     fn name(&self) -> &'static str {
         "tl"
     }
 
     fn register_tvar(&self, x: TVarId, initial: Value) {
+        self.stats.incr(Counter::TvarsAllocated);
         self.vars.insert(x, VLockVar::new(initial));
     }
 
     fn alloc_tvar_block(&self, initials: &[Value]) -> TVarId {
+        self.stats
+            .add(Counter::TvarsAllocated, initials.len() as u64);
         self.vars.alloc_block(initials, |_, v| VLockVar::new(v))
     }
 
     fn free_tvar_block(&self, base: TVarId, len: usize) {
+        self.stats.add(Counter::TvarsFreed, len as u64);
         self.vars.remove_block(base, len);
     }
 
@@ -591,6 +653,7 @@ impl WordStm for TlStm {
     }
 
     fn begin(&self, proc: u32) -> Box<dyn WordTx + '_> {
+        self.stats.incr(Counter::Begins);
         let seq = self.tx_seq.fetch_add(1, Ordering::Relaxed);
         let scratch = self
             .scratch
@@ -606,12 +669,15 @@ impl WordStm for TlStm {
             grace: Some(self.reclaim.begin()),
             retired: scratch.retired,
             dead: false,
+            finished: false,
             conflict_hint: None,
             pin: epoch::pin(),
         })
     }
 
     fn begin_ro(&self, proc: u32) -> Box<dyn WordTx + '_> {
+        self.stats.incr(Counter::Begins);
+        self.stats.incr(Counter::BeginsRo);
         let seq = self.tx_seq.fetch_add(1, Ordering::Relaxed);
         let id = TxId::new(proc, seq);
         let rv = self.sample_rv(id);
@@ -622,6 +688,7 @@ impl WordStm for TlStm {
             read_any: false,
             grace: Some(self.reclaim.begin()),
             dead: false,
+            finished: false,
             conflict_hint: None,
             pin: epoch::pin(),
         })
@@ -629,6 +696,10 @@ impl WordStm for TlStm {
 
     fn notifier(&self) -> &CommitNotifier {
         &self.notify
+    }
+
+    fn stats(&self) -> &StmStats {
+        &self.stats
     }
 
     fn is_obstruction_free(&self) -> bool {

@@ -55,8 +55,10 @@ use oftm_core::reclaim::{GraceTracker, RetiredBlock, TxGrace};
 use oftm_core::record::{fresh_base_id, Recorder};
 use oftm_core::table::VarTable;
 use oftm_histories::{Access, BaseObjId, TVarId, TmOp, TmResp, TxId, Value};
+use oftm_obs::{AbortCause, Counter, StmStats};
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 pub use crate::clock::CLOCK_SHARDS;
 #[cfg(test)]
@@ -101,6 +103,9 @@ pub struct Tl2Stm {
     tx_seq: AtomicU32,
     recorder: Option<Arc<Recorder>>,
     scratch: SlotPool<Scratch>,
+    /// Always-on telemetry (begins/commits/aborts-by-cause, latency
+    /// histograms).
+    stats: StmStats,
     pub lock_patience: u32,
 }
 
@@ -120,6 +125,7 @@ impl Tl2Stm {
             tx_seq: AtomicU32::new(0),
             recorder: None,
             scratch: SlotPool::new(),
+            stats: StmStats::new(),
             lock_patience: 4096,
         }
     }
@@ -154,10 +160,17 @@ impl Tl2Stm {
     }
 
     fn reclaim_after_commit(&self, grace: TxGrace, retired: &mut Vec<RetiredBlock>) {
-        for blk in self
+        let freed = self
             .reclaim
-            .retire_and_flush(grace, std::mem::take(retired))
-        {
+            .retire_and_flush(grace, std::mem::take(retired));
+        if !freed.is_empty() {
+            self.stats.incr(Counter::GraceFlushes);
+            self.stats.add(
+                Counter::TvarsFreed,
+                freed.iter().map(|b| b.len as u64).sum(),
+            );
+        }
+        for blk in freed {
             self.vars.remove_block(blk.base, blk.len);
         }
     }
@@ -178,6 +191,10 @@ struct Tl2Tx<'s> {
     grace: Option<TxGrace>,
     retired: Vec<RetiredBlock>,
     dead: bool,
+    /// Completed through `try_commit`/`try_abort`: every abort cause is
+    /// already tagged. A live transaction dropped without either settles
+    /// as an explicit retry in the abort taxonomy.
+    finished: bool,
     /// The variable an abort gave up on (too-new version or lock at read
     /// time): not in the read-set, but part of the conflict footprint a
     /// parked re-run must wake on.
@@ -262,6 +279,14 @@ impl WordTx for Tl2Tx<'_> {
         if v1 & LOCK_BIT != 0 || v1 != v2 || !self.readable(v1) {
             self.dead = true;
             self.conflict_hint = Some(x);
+            // Locked/torn sandwich means a committer holds the word
+            // (lock-busy); an unlocked-but-too-new stamp is the TL2
+            // snapshot check proper (read-validation).
+            self.stm.stats.abort(if v1 & LOCK_BIT != 0 || v1 != v2 {
+                AbortCause::LockBusy
+            } else {
+                AbortCause::ReadValidation
+            });
             self.rrespond(TmResp::Aborted);
             return Err(TxError::Aborted);
         }
@@ -284,6 +309,7 @@ impl WordTx for Tl2Tx<'_> {
 
     fn try_commit(mut self: Box<Self>) -> TxResult<()> {
         self.rinvoke(TmOp::TryCommit);
+        self.finished = true;
         if self.dead {
             self.rrespond(TmResp::Aborted);
             return Err(TxError::Aborted);
@@ -291,6 +317,7 @@ impl WordTx for Tl2Tx<'_> {
         if self.writes.is_empty() {
             // Read-only fast path: reads were validated against rv at read
             // time; nothing else to do (TL2's read-only optimization).
+            self.stm.stats.incr(Counter::CommitsPromoted);
             self.rrespond(TmResp::Committed);
             let grace = self.grace.take().expect("grace slot held until completion");
             let mut retired = std::mem::take(&mut self.retired);
@@ -319,6 +346,10 @@ impl WordTx for Tl2Tx<'_> {
             }
         };
 
+        // Commit critical section: from the first lock acquisition to the
+        // final stamped release, concurrent accessors of these variables
+        // spin or abort.
+        let cs_started = Instant::now();
         self.locked.clear();
         for i in 0..self.writes.len() {
             let var = &self.writes[i].2;
@@ -338,6 +369,7 @@ impl WordTx for Tl2Tx<'_> {
                 patience = patience.saturating_sub(1);
                 if patience == 0 {
                     unlock_all(&self.writes[..self.locked.len()], &self.locked);
+                    self.stm.stats.abort(AbortCause::LockBusy);
                     self.rrespond(TmResp::Aborted);
                     return Err(TxError::Aborted);
                 }
@@ -348,6 +380,7 @@ impl WordTx for Tl2Tx<'_> {
         // The clock increment: only OUR shard — the sharded replacement
         // for the global hot spot of Section 1.
         let wv = self.stm.clocks.tick(self.id.proc);
+        self.stm.stats.incr(Counter::ClockShardTicks);
         let shard = self.id.proc as usize & (CLOCK_SHARDS - 1);
         self.rstep(self.stm.clocks.shards()[shard].base, Access::Modify);
 
@@ -365,6 +398,7 @@ impl WordTx for Tl2Tx<'_> {
             } else {
                 if cur & LOCK_BIT != 0 {
                     unlock_all(&self.writes, &self.locked);
+                    self.stm.stats.abort(AbortCause::ReadValidation);
                     self.rrespond(TmResp::Aborted);
                     return Err(TxError::Aborted);
                 }
@@ -372,6 +406,7 @@ impl WordTx for Tl2Tx<'_> {
             };
             if !self.readable(version) {
                 unlock_all(&self.writes, &self.locked);
+                self.stm.stats.abort(AbortCause::ReadValidation);
                 self.rrespond(TmResp::Aborted);
                 return Err(TxError::Aborted);
             }
@@ -384,6 +419,10 @@ impl WordTx for Tl2Tx<'_> {
             var.lock.store(wv, Ordering::Release);
             self.rstep(var.lock_base, Access::Modify);
         }
+        self.stm
+            .stats
+            .record_commit_cs_ns(cs_started.elapsed().as_nanos() as u64);
+        self.stm.stats.incr(Counter::Commits);
         // Writes are visible and stamped: wake parked conflicters.
         self.stm
             .notify
@@ -396,8 +435,13 @@ impl WordTx for Tl2Tx<'_> {
         Ok(())
     }
 
-    fn try_abort(self: Box<Self>) {
+    fn try_abort(mut self: Box<Self>) {
         self.rinvoke(TmOp::TryAbort);
+        self.finished = true;
+        if !self.dead {
+            // Abandoning a still-viable attempt: an explicit retry.
+            self.stm.stats.abort(AbortCause::ExplicitRetry);
+        }
         self.rrespond(TmResp::Aborted);
         // Dropping `grace` releases the reclamation slot; the retire-set
         // is discarded with the transaction.
@@ -416,6 +460,11 @@ impl WordTx for Tl2Tx<'_> {
 
 impl Drop for Tl2Tx<'_> {
     fn drop(&mut self) {
+        if !self.finished && !self.dead {
+            // Dropped live without tryC/tryA: counted as an explicit retry
+            // (the only way an attempt can end with no cause tagged).
+            self.stm.stats.abort(AbortCause::ExplicitRetry);
+        }
         // Return the (cleared) buffers to the pool: the next transaction
         // begins with warm capacity instead of fresh allocations.
         let mut s = Scratch {
@@ -460,6 +509,7 @@ struct Tl2RoTx<'s> {
     read_any: bool,
     grace: Option<TxGrace>,
     dead: bool,
+    finished: bool,
     conflict_hint: Option<TVarId>,
     pin: Guard,
 }
@@ -512,6 +562,7 @@ impl WordTx for Tl2RoTx<'_> {
                 if patience == 0 {
                     self.dead = true;
                     self.conflict_hint = Some(x);
+                    self.stm.stats.abort(AbortCause::LockBusy);
                     self.rrespond(TmResp::Aborted);
                     return Err(TxError::Aborted);
                 }
@@ -531,6 +582,7 @@ impl WordTx for Tl2RoTx<'_> {
                 // Snapshot frozen; this value postdates it.
                 self.dead = true;
                 self.conflict_hint = Some(x);
+                self.stm.stats.abort(AbortCause::ReadValidation);
                 self.rrespond(TmResp::Aborted);
                 return Err(TxError::Aborted);
             }
@@ -551,12 +603,14 @@ impl WordTx for Tl2RoTx<'_> {
 
     fn try_commit(mut self: Box<Self>) -> TxResult<()> {
         self.rinvoke(TmOp::TryCommit);
+        self.finished = true;
         if self.dead {
             self.rrespond(TmResp::Aborted);
             return Err(TxError::Aborted);
         }
         // Every read was serializable at begin time: nothing to validate,
         // nothing to lock, no clock bump. Commit is the grace release.
+        self.stm.stats.incr(Counter::CommitsRo);
         self.rrespond(TmResp::Committed);
         let grace = self.grace.take().expect("grace slot held until completion");
         let mut retired = Vec::new();
@@ -564,8 +618,12 @@ impl WordTx for Tl2RoTx<'_> {
         Ok(())
     }
 
-    fn try_abort(self: Box<Self>) {
+    fn try_abort(mut self: Box<Self>) {
         self.rinvoke(TmOp::TryAbort);
+        self.finished = true;
+        if !self.dead {
+            self.stm.stats.abort(AbortCause::ExplicitRetry);
+        }
         self.rrespond(TmResp::Aborted);
     }
 
@@ -581,20 +639,32 @@ impl WordTx for Tl2RoTx<'_> {
     }
 }
 
+impl Drop for Tl2RoTx<'_> {
+    fn drop(&mut self) {
+        if !self.finished && !self.dead {
+            self.stm.stats.abort(AbortCause::ExplicitRetry);
+        }
+    }
+}
+
 impl WordStm for Tl2Stm {
     fn name(&self) -> &'static str {
         "tl2"
     }
 
     fn register_tvar(&self, x: TVarId, initial: Value) {
+        self.stats.incr(Counter::TvarsAllocated);
         self.vars.insert(x, ClockVar::new(initial));
     }
 
     fn alloc_tvar_block(&self, initials: &[Value]) -> TVarId {
+        self.stats
+            .add(Counter::TvarsAllocated, initials.len() as u64);
         self.vars.alloc_block(initials, |_, v| ClockVar::new(v))
     }
 
     fn free_tvar_block(&self, base: TVarId, len: usize) {
+        self.stats.add(Counter::TvarsFreed, len as u64);
         self.vars.remove_block(base, len);
     }
 
@@ -603,6 +673,7 @@ impl WordStm for Tl2Stm {
     }
 
     fn begin(&self, proc: u32) -> Box<dyn WordTx + '_> {
+        self.stats.incr(Counter::Begins);
         let seq = self.tx_seq.fetch_add(1, Ordering::Relaxed);
         let id = TxId::new(proc, seq);
         let rv = self.sample_rv(id);
@@ -621,12 +692,15 @@ impl WordStm for Tl2Stm {
             grace: Some(self.reclaim.begin()),
             retired: scratch.retired,
             dead: false,
+            finished: false,
             conflict_hint: None,
             pin: epoch::pin(),
         })
     }
 
     fn begin_ro(&self, proc: u32) -> Box<dyn WordTx + '_> {
+        self.stats.incr(Counter::Begins);
+        self.stats.incr(Counter::BeginsRo);
         let seq = self.tx_seq.fetch_add(1, Ordering::Relaxed);
         let id = TxId::new(proc, seq);
         let rv = self.sample_rv(id);
@@ -637,6 +711,7 @@ impl WordStm for Tl2Stm {
             read_any: false,
             grace: Some(self.reclaim.begin()),
             dead: false,
+            finished: false,
             conflict_hint: None,
             pin: epoch::pin(),
         })
@@ -644,6 +719,10 @@ impl WordStm for Tl2Stm {
 
     fn notifier(&self) -> &CommitNotifier {
         &self.notify
+    }
+
+    fn stats(&self) -> &StmStats {
+        &self.stats
     }
 
     fn is_obstruction_free(&self) -> bool {

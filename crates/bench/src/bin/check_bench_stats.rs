@@ -1,0 +1,240 @@
+//! **Telemetry gate** over the committed `BENCH_*.json` snapshots: every
+//! cell must carry a well-formed `stats` block, and the always-on
+//! instrumentation must not have made the hot path slower.
+//!
+//! Checks (all hard failures, non-zero exit):
+//!
+//! 1. **Presence** — every cell of `BENCH_hotpath.json` and
+//!    `BENCH_async.json` has a non-empty `stats` block: `begins > 0` and
+//!    an `attempt_ns` histogram with at least one sample.
+//! 2. **Cause accounting** — the cell's `abort_causes` sum to its
+//!    `aborts` exactly (the taxonomy is a partition: every aborted
+//!    attempt tagged exactly one cause).
+//! 3. **Commit accounting** — `commits + commits_ro + commits_promoted`
+//!    never exceeds `begins` (a commit without a begin is double
+//!    counting).
+//! 4. **Overhead guard** — the geometric-mean read-mostly throughput of
+//!    a fresh `exp_hotpath --smoke` run (stats always on) must stay
+//!    within noise of the committed pre-telemetry smoke snapshot
+//!    (`bench_baselines/hotpath_smoke_pr6.json`). Smoke cells are tiny
+//!    (tens of ops per thread), so per-cell numbers swing wildly; the
+//!    guard therefore compares the geomean over all non-algo2
+//!    `intset-read-mostly` cells and allows a generous floor — it
+//!    catches an accidental always-on tracing hot loop (order-of-
+//!    magnitude), not percent-level drift.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p oftm-bench --bin check_bench_stats
+//! cargo run --release -p oftm-bench --bin check_bench_stats -- \
+//!     BENCH_hotpath.json BENCH_async.json
+//! ```
+//!
+//! With explicit paths, only those tables are checked (the overhead
+//! guard still runs whenever the first path is a hotpath table and the
+//! baseline file exists).
+
+/// Extracts the number following `"key": ` in `line` (integers and
+/// decimals; the emitters never write exponents).
+fn num_after(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\": ");
+    let at = line.find(&pat)? + pat.len();
+    let rest = &line[at..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn str_after<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\": \"");
+    let at = line.find(&pat)? + pat.len();
+    let rest = &line[at..];
+    rest.split('"').next()
+}
+
+fn u64_after(line: &str, key: &str) -> Option<u64> {
+    num_after(line, key).map(|v| v as u64)
+}
+
+/// The result lines of a hand-rolled `BENCH_*.json` (one cell per line).
+fn cells(doc: &str) -> Vec<&str> {
+    doc.lines()
+        .filter(|l| l.trim_start().starts_with('{') && l.contains("\"stm\":"))
+        .collect()
+}
+
+fn check_table(path: &str, errors: &mut Vec<String>) -> Vec<String> {
+    let doc = match std::fs::read_to_string(path) {
+        Ok(d) => d,
+        Err(e) => {
+            errors.push(format!("{path}: unreadable: {e}"));
+            return Vec::new();
+        }
+    };
+    let rows = cells(&doc);
+    if rows.is_empty() {
+        errors.push(format!("{path}: no result cells"));
+    }
+    let mut owned = Vec::new();
+    for row in &rows {
+        let cell = format!(
+            "{path} [{}/{}]",
+            str_after(row, "scenario")
+                .or_else(|| str_after(row, "structure"))
+                .unwrap_or("?"),
+            str_after(row, "stm").unwrap_or("?")
+        );
+        // The stats block is the tail of the row; histogram `count`
+        // fields live inside it, so scope all stats lookups there.
+        let stats = match row.find("\"stats\": {") {
+            Some(at) => &row[at..],
+            None => {
+                errors.push(format!("{cell}: no stats block"));
+                continue;
+            }
+        };
+        let begins = u64_after(stats, "begins").unwrap_or(0);
+        if begins == 0 {
+            errors.push(format!("{cell}: stats block empty (begins = 0)"));
+            continue;
+        }
+        let aborts = u64_after(stats, "aborts").unwrap_or(0);
+        let causes: u64 = [
+            "read_validation",
+            "lock_busy",
+            "cas_lost",
+            "cm_arbitrated",
+            "explicit_retry",
+            "budget_exhausted",
+        ]
+        .iter()
+        .map(|c| {
+            u64_after(stats, c).unwrap_or_else(|| {
+                errors.push(format!("{cell}: abort cause {c} missing"));
+                0
+            })
+        })
+        .sum();
+        if causes != aborts {
+            errors.push(format!(
+                "{cell}: abort causes sum to {causes}, aborts says {aborts}"
+            ));
+        }
+        let commits = u64_after(stats, "commits").unwrap_or(0)
+            + u64_after(stats, "commits_ro").unwrap_or(0)
+            + u64_after(stats, "commits_promoted").unwrap_or(0);
+        if commits > begins {
+            errors.push(format!("{cell}: {commits} commits out of {begins} begins"));
+        }
+        let attempt = match stats.find("\"attempt_ns\": {") {
+            Some(at) => &stats[at..],
+            None => {
+                errors.push(format!("{cell}: no attempt_ns histogram"));
+                continue;
+            }
+        };
+        if u64_after(attempt, "count").unwrap_or(0) == 0 {
+            errors.push(format!("{cell}: attempt_ns histogram empty"));
+        }
+        if u64_after(attempt, "p50").is_none() || u64_after(attempt, "p99").is_none() {
+            errors.push(format!("{cell}: attempt_ns percentiles missing"));
+        }
+        owned.push(row.to_string());
+    }
+    owned
+}
+
+/// Geomean `ops_per_sec` over the non-algo2 read-mostly cells of a
+/// hotpath table (the overhead guard's unit of comparison).
+fn read_mostly_geomean(rows: &[String]) -> Option<f64> {
+    let mut log_sum = 0.0;
+    let mut n = 0u32;
+    for row in rows {
+        if str_after(row, "scenario") != Some("intset-read-mostly") {
+            continue;
+        }
+        match str_after(row, "stm") {
+            Some(s) if !s.starts_with("algo2") => {}
+            _ => continue,
+        }
+        let ops = num_after(row, "ops_per_sec")?;
+        if ops <= 0.0 {
+            return None;
+        }
+        log_sum += ops.ln();
+        n += 1;
+    }
+    (n > 0).then(|| (log_sum / f64::from(n)).exp())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let paths: Vec<String> = if args.is_empty() {
+        vec!["BENCH_hotpath.json".into(), "BENCH_async.json".into()]
+    } else {
+        args
+    };
+
+    let mut errors = Vec::new();
+    let mut hotpath_rows = Vec::new();
+    for path in &paths {
+        let rows = check_table(path, &mut errors);
+        println!("{path}: {} cells checked", rows.len());
+        if path.contains("hotpath") {
+            hotpath_rows = rows;
+        }
+    }
+
+    // Overhead guard (only meaningful against the same-shaped smoke
+    // profile the baseline was recorded with).
+    let baseline_path = "bench_baselines/hotpath_smoke_pr6.json";
+    let smoke = hotpath_rows.first().is_some_and(|_| {
+        std::fs::read_to_string("BENCH_hotpath.json")
+            .map(|d| d.contains("\"run_profile\": \"smoke\""))
+            .unwrap_or(false)
+    });
+    match (smoke, std::fs::read_to_string(baseline_path)) {
+        (true, Ok(base_doc)) => {
+            let base_rows: Vec<String> = cells(&base_doc).iter().map(|r| r.to_string()).collect();
+            match (
+                read_mostly_geomean(&hotpath_rows),
+                read_mostly_geomean(&base_rows),
+            ) {
+                (Some(now), Some(base)) => {
+                    let ratio = now / base;
+                    println!(
+                        "overhead guard: read-mostly geomean {now:.0} ops/s vs baseline \
+                         {base:.0} ops/s (ratio {ratio:.2})"
+                    );
+                    // Smoke cells run ~60 ops/thread: scheduling noise
+                    // alone swings single cells 3-5×. The geomean floor
+                    // of 0.3 catches a tracing hot loop (10-100× hits),
+                    // not percent-level regressions — those are the full
+                    // profile's job.
+                    if ratio < 0.3 {
+                        errors.push(format!(
+                            "always-on telemetry overhead: read-mostly geomean dropped to \
+                             {ratio:.2}× of the pre-telemetry baseline ({baseline_path})"
+                        ));
+                    }
+                }
+                _ => println!("overhead guard: no comparable read-mostly cells; skipped"),
+            }
+        }
+        (false, _) => {
+            println!("overhead guard: BENCH_hotpath.json is not a smoke run; skipped")
+        }
+        (true, Err(_)) => println!("overhead guard: no baseline at {baseline_path}; skipped"),
+    }
+
+    if errors.is_empty() {
+        println!("telemetry gate: all checks passed");
+    } else {
+        for e in &errors {
+            eprintln!("ERROR: {e}");
+        }
+        std::process::exit(1);
+    }
+}

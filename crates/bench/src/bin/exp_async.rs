@@ -56,6 +56,9 @@ struct Cell {
     parks: u64,
     livelocked: bool,
     profile: &'static str,
+    /// Telemetry delta of the run (abort causes, attempt/park latency
+    /// percentiles) — the per-cell `stats` block of `BENCH_async.json`.
+    stats: oftm_obs::StatsSnapshot,
 }
 
 impl Cell {
@@ -213,6 +216,9 @@ fn measure(
     let stm: Arc<dyn WordStm> = Arc::from(make_stm(stm_name, None));
     let inst = Arc::new(Instance::create(scenario, &*stm, universe));
 
+    // Telemetry baseline after setup: the cell's stats block describes
+    // the clients' transactions, not the structure pre-population.
+    let stats_base = stm.stats().snapshot();
     let ex = Executor::new(workers);
     let attempts = Arc::new(AtomicU64::new(0));
     let parks = Arc::new(AtomicU64::new(0));
@@ -243,6 +249,7 @@ fn measure(
     }
     let elapsed_s = start.elapsed().as_secs_f64();
     drop(ex);
+    let stats = oftm_bench::stats_since(&*stm, &stats_base);
     let completed = completed.load(Ordering::Relaxed);
 
     // Conservation oracle for the transfer scenario: the two queues must
@@ -282,6 +289,7 @@ fn measure(
         parks: parks.load(Ordering::Relaxed),
         livelocked: livelocked.load(Ordering::Relaxed),
         profile: if small { "small" } else { "full" },
+        stats,
     }
 }
 
@@ -358,28 +366,14 @@ fn main() {
 
     // Hand-rolled JSON, same style as the other BENCH emitters (the
     // serde shim is marker-only).
-    let mut json = String::new();
-    json.push_str("{\n");
-    json.push_str("  \"bench\": \"async\",\n");
-    json.push_str(&format!(
-        "  {},\n",
-        oftm_bench::bench_meta_json(seed, run_profile)
-    ));
-    json.push_str(&format!(
-        "  \"stms\": [{}],\n",
-        STM_NAMES
-            .iter()
-            .map(|n| format!("\"{n}\""))
-            .collect::<Vec<_>>()
-            .join(", ")
-    ));
+    let mut json = oftm_bench::bench_json_head("async", seed, run_profile, STM_NAMES);
     json.push_str("  \"results\": [\n");
     for (i, c) in cells.iter().enumerate() {
         json.push_str(&format!(
             "    {{\"scenario\": \"{}\", \"stm\": \"{}\", \"workers\": {}, \"clients\": {}, \
              \"ops\": {}, \"elapsed_s\": {:.6}, \"ops_per_sec\": {:.1}, \
              \"attempts_per_op\": {:.4}, \"parks\": {}, \"livelocked\": {}, \
-             \"profile\": \"{}\"}}{}\n",
+             \"profile\": \"{}\", \"stats\": {}}}{}\n",
             oftm_bench::json_escape_free(c.scenario),
             oftm_bench::json_escape_free(c.stm),
             c.workers,
@@ -391,6 +385,7 @@ fn main() {
             c.parks,
             c.livelocked,
             oftm_bench::json_escape_free(c.profile),
+            c.stats.json(),
             if i + 1 == cells.len() { "" } else { "," }
         ));
     }

@@ -62,6 +62,9 @@ struct Cell {
     attempts: u64,
     livelocked: bool,
     profile: &'static str,
+    /// Telemetry delta of the timed phase (abort causes, latency
+    /// percentiles) — the per-cell `stats` block of `BENCH_hotpath.json`.
+    stats: oftm_obs::StatsSnapshot,
 }
 
 impl Cell {
@@ -223,6 +226,9 @@ fn measure(
         universe,
     );
 
+    // Telemetry baseline after warmup: the cell's stats block describes
+    // the timed phase only.
+    let stats_base = stm.stats().snapshot();
     let start = Instant::now();
     let (attempts, livelocked) = run_phase(
         scenario,
@@ -235,6 +241,7 @@ fn measure(
         universe,
     );
     let elapsed_s = start.elapsed().as_secs_f64();
+    let stats = oftm_bench::stats_since(&*stm, &stats_base);
 
     Cell {
         scenario,
@@ -245,6 +252,7 @@ fn measure(
         attempts,
         livelocked: livelocked || warm_livelock,
         profile: if small { "small" } else { "full" },
+        stats,
     }
 }
 
@@ -294,27 +302,18 @@ fn main() {
 
     // Hand-rolled JSON, same style as BENCH_structs.json (the serde shim
     // is marker-only).
-    let mut json = String::new();
-    json.push_str("{\n");
-    json.push_str("  \"bench\": \"hotpath\",\n");
-    json.push_str(&format!(
-        "  {},\n",
-        oftm_bench::bench_meta_json(seed, if smoke { "smoke" } else { "full" })
-    ));
-    json.push_str(&format!(
-        "  \"stms\": [{}],\n",
-        STM_NAMES
-            .iter()
-            .map(|n| format!("\"{n}\""))
-            .collect::<Vec<_>>()
-            .join(", ")
-    ));
+    let mut json = oftm_bench::bench_json_head(
+        "hotpath",
+        seed,
+        if smoke { "smoke" } else { "full" },
+        STM_NAMES,
+    );
     json.push_str("  \"results\": [\n");
     for (i, c) in cells.iter().enumerate() {
         json.push_str(&format!(
             "    {{\"scenario\": \"{}\", \"stm\": \"{}\", \"threads\": {}, \"ops\": {}, \
              \"elapsed_s\": {:.6}, \"ops_per_sec\": {:.1}, \"attempts_per_op\": {:.4}, \
-             \"livelocked\": {}, \"profile\": \"{}\"}}{}\n",
+             \"livelocked\": {}, \"profile\": \"{}\", \"stats\": {}}}{}\n",
             oftm_bench::json_escape_free(c.scenario),
             oftm_bench::json_escape_free(c.stm),
             c.threads,
@@ -324,6 +323,7 @@ fn main() {
             c.attempts_per_op(),
             c.livelocked,
             oftm_bench::json_escape_free(c.profile),
+            c.stats.json(),
             if i + 1 == cells.len() { "" } else { "," }
         ));
     }

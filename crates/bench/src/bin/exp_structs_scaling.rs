@@ -60,6 +60,9 @@ struct Cell {
     /// rather impractical") — full-size structures do not terminate in
     /// reasonable time under contention.
     profile: &'static str,
+    /// Telemetry delta of the timed phase (abort causes, latency
+    /// percentiles) — the per-cell `stats` block of `BENCH_structs.json`.
+    stats: oftm_obs::StatsSnapshot,
 }
 
 impl Cell {
@@ -219,9 +222,14 @@ fn measure(
     // Untimed warmup: scratch pools, table pages and handle caches reach
     // steady state before the measured phase starts.
     run_phase(warmup_per_thread, seed ^ 0xDEAD_BEEF, false);
+    // Telemetry baseline after warmup: the stats block describes the
+    // timed phase only (the leak-probe transactions below run after the
+    // delta is taken).
+    let stats_base = stm.stats().snapshot();
     let start = Instant::now();
     run_phase(ops_per_thread, seed, true);
     let elapsed_s = start.elapsed().as_secs_f64();
+    let stats = oftm_bench::stats_since(&*stm, &stats_base);
 
     // Reclamation sanity check: after quiescence (the len() transactions
     // below commit with nobody else in flight, flushing every grace bin),
@@ -249,6 +257,7 @@ fn measure(
         live_tvars,
         expected_live,
         profile: if small { "small" } else { "full" },
+        stats,
     }
 }
 
@@ -340,20 +349,14 @@ fn main() {
 
     // Hand-rolled JSON (the serde shim is marker-only; the format is flat
     // enough that string assembly is clearer than a dependency).
-    let mut json = String::new();
-    json.push_str("{\n");
-    json.push_str("  \"bench\": \"structs_scaling\",\n");
-    json.push_str(&format!(
-        "  {},\n",
-        oftm_bench::bench_meta_json(seed, run_profile)
-    ));
+    let mut json = oftm_bench::bench_json_head("structs_scaling", seed, run_profile, &[]);
     json.push_str("  \"results\": [\n");
     for (i, c) in cells.iter().enumerate() {
         json.push_str(&format!(
             "    {{\"structure\": \"{}\", \"stm\": \"{}\", \"threads\": {}, \"ops\": {}, \
              \"elapsed_s\": {:.6}, \"ops_per_sec\": {:.1}, \"attempts_per_op\": {:.4}, \
              \"livelocked\": {}, \"live_tvars\": {}, \"expected_live\": {}, \
-             \"profile\": \"{}\"}}{}\n",
+             \"profile\": \"{}\", \"stats\": {}}}{}\n",
             oftm_bench::json_escape_free(c.structure),
             oftm_bench::json_escape_free(c.stm),
             c.threads,
@@ -365,6 +368,7 @@ fn main() {
             c.live_tvars,
             c.expected_live,
             oftm_bench::json_escape_free(c.profile),
+            c.stats.json(),
             if i + 1 == cells.len() { "" } else { "," }
         ));
     }

@@ -15,6 +15,7 @@ use oftm_core::cm::{Aggressive, ContentionManager, Greedy, Karma, Polite, Random
 use oftm_core::dstm::{Dstm, DstmWord};
 use oftm_core::record::Recorder;
 use oftm_histories::TVarId;
+use oftm_obs::StatsSnapshot;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -268,6 +269,35 @@ pub fn bench_meta_json(seed: u64, run_profile: &str) -> String {
         git_rev.push_str("-dirty");
     }
     format!("\"meta\": {{\"seed\": {seed}, \"git_rev\": \"{git_rev}\", \"run_profile\": \"{run_profile}\"}}")
+}
+
+/// The shared head of a `BENCH_*.json` document: the opening brace, the
+/// `"bench"` name, the [`bench_meta_json`] block, and (when `stms` is
+/// non-empty) the `"stms"` axis — assembly the table emitters used to
+/// duplicate. The caller appends `"results": [...]` and the closing
+/// brace.
+pub fn bench_json_head(bench: &str, seed: u64, run_profile: &str, stms: &[&str]) -> String {
+    let mut s = String::from("{\n");
+    s.push_str(&format!("  \"bench\": \"{}\",\n", json_escape_free(bench)));
+    s.push_str(&format!("  {},\n", bench_meta_json(seed, run_profile)));
+    if !stms.is_empty() {
+        s.push_str(&format!(
+            "  \"stms\": [{}],\n",
+            stms.iter()
+                .map(|n| format!("\"{}\"", json_escape_free(n)))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+    }
+    s
+}
+
+/// The telemetry delta of a timed phase: `stm`'s counters and histograms
+/// now, minus the `base` snapshot taken when the clock started (after
+/// warmup). Every `BENCH_*.json` cell embeds the result's
+/// [`StatsSnapshot::json`].
+pub fn stats_since(stm: &dyn WordStm, base: &StatsSnapshot) -> StatsSnapshot {
+    stm.stats().snapshot().since(base)
 }
 
 /// Asserts (rather than escapes) that a string destined for a

@@ -778,13 +778,17 @@ pub fn run_struct_differential(
     sc: &StructScenario,
 ) -> Result<StructDifferentialReport, Vec<StructHarnessFailure>> {
     let tapes = generate_tapes(sc);
-    let trace = std::env::var_os("HARNESS_TRACE").is_some();
+    // Same env trigger as ever (`HARNESS_TRACE=1`, or `OFTM_TRACE=1`),
+    // now shared with the structured event ring.
+    let trace = oftm_obs::ring::enabled();
     let mut failures = Vec::new();
     let mut outcomes = Vec::new();
 
     for &name in STM_NAMES {
         if trace {
             eprintln!("[structs-matrix]   concurrent {name}");
+            // a = threads, b = seed (truncation-free: seeds are u64).
+            oftm_obs::ring::emit("concurrent", name, sc.threads as u64, sc.seed);
         }
         match run_struct_concurrent(name, sc, &tapes) {
             Ok(o) => outcomes.push(o),
@@ -833,7 +837,11 @@ pub fn run_struct_differential(
 /// `HARNESS_SEED`). Set `HARNESS_TRACE=1` to print each cell to stderr as
 /// it starts — the first diagnostic to reach for when a run wedges.
 pub fn run_structs_matrix(thread_counts: &[usize], seeds_per_cell: u64) -> Result<usize, String> {
-    let trace = std::env::var_os("HARNESS_TRACE").is_some();
+    // The stderr progress lines keep their historical trigger and shape;
+    // the same gate now also records structured `cell` events on the
+    // event ring, drained to JSON at the end of the matrix so a wedged
+    // or failing run leaves a machine-readable timeline.
+    let trace = oftm_obs::ring::enabled();
     let mut cells = 0;
     let mut report = String::new();
     for &kind in ALL_STRUCT_SCENARIOS {
@@ -847,6 +855,9 @@ pub fn run_structs_matrix(thread_counts: &[usize], seeds_per_cell: u64) -> Resul
                         "[structs-matrix] cell {cells}: {} × {threads} threads, seed {seed:#018x}",
                         kind.name()
                     );
+                    // a = cell ordinal, b = seed; the scenario name rides
+                    // in the `stm` slot (static, allocation-free).
+                    oftm_obs::ring::emit("cell", kind.name(), cells as u64, seed);
                 }
                 if let Err(failures) = run_struct_differential(&sc) {
                     for f in failures {
@@ -854,6 +865,11 @@ pub fn run_structs_matrix(thread_counts: &[usize], seeds_per_cell: u64) -> Resul
                     }
                 }
             }
+        }
+    }
+    if trace {
+        if let Some(json) = oftm_obs::ring::drain_json() {
+            eprintln!("[structs-matrix] event ring:\n{json}");
         }
     }
     if report.is_empty() {

@@ -10,7 +10,9 @@
 
 use crate::notify::CommitNotifier;
 use oftm_histories::{TVarId, TxId, Value};
+use oftm_obs::{AbortCause, StmStats};
 use std::fmt;
+use std::time::Instant;
 
 /// Why a transactional operation did not produce a result.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -163,6 +165,14 @@ pub trait WordStm: Send + Sync {
     /// transactions on it (see [`crate::notify`]).
     fn notifier(&self) -> &CommitNotifier;
 
+    /// The telemetry registry of this STM instance. Backends tag every
+    /// aborted attempt with exactly one [`AbortCause`] and count
+    /// begins/commits/reclamation at their own sites; the retry loops
+    /// record attempt latencies and budget exhaustion into the same
+    /// registry (see [`oftm_obs`]). Always on — the cost is a handful of
+    /// uncontended relaxed increments per transaction.
+    fn stats(&self) -> &StmStats;
+
     /// True if this implementation claims obstruction-freedom (Definition
     /// 2). Used by experiments to decide which checkers apply.
     fn is_obstruction_free(&self) -> bool;
@@ -225,7 +235,7 @@ pub fn run_transaction_with_budget<R>(
     max_attempts: u32,
     body: impl FnMut(&mut dyn WordTx) -> TxResult<R>,
 ) -> Result<(R, u32), BudgetExceeded> {
-    retry_loop(|| stm.begin(proc), proc, max_attempts, body)
+    retry_loop(|| stm.begin(proc), stm.stats(), proc, max_attempts, body)
 }
 
 /// Read-only counterpart of [`run_transaction`]: every attempt begins via
@@ -252,7 +262,7 @@ pub fn run_transaction_ro_with_budget<R>(
     max_attempts: u32,
     body: impl FnMut(&mut dyn WordTx) -> TxResult<R>,
 ) -> Result<(R, u32), BudgetExceeded> {
-    retry_loop(|| stm.begin_ro(proc), proc, max_attempts, body)
+    retry_loop(|| stm.begin_ro(proc), stm.stats(), proc, max_attempts, body)
 }
 
 /// The shared retry loop of [`run_transaction_with_budget`] and
@@ -260,6 +270,7 @@ pub fn run_transaction_ro_with_budget<R>(
 /// attempt's transaction begins.
 fn retry_loop<'s, R>(
     begin: impl Fn() -> Box<dyn WordTx + 's>,
+    stats: &StmStats,
     proc: u32,
     max_attempts: u32,
     mut body: impl FnMut(&mut dyn WordTx) -> TxResult<R>,
@@ -268,17 +279,32 @@ fn retry_loop<'s, R>(
     while attempts < max_attempts {
         if attempts > 0 {
             retry_backoff(proc, attempts);
+            stats.incr(oftm_obs::Counter::Retries);
         }
         attempts += 1;
+        let started = Instant::now();
         let mut tx = begin();
-        match body(tx.as_mut()) {
+        let committed = match body(tx.as_mut()) {
             Ok(r) => match tx.try_commit() {
-                Ok(()) => return Ok((r, attempts)),
-                Err(TxError::Aborted) => continue,
+                Ok(()) => Some(r),
+                Err(TxError::Aborted) => None,
             },
-            Err(TxError::Aborted) => continue,
+            Err(TxError::Aborted) => None,
+        };
+        stats.record_attempt_ns(started.elapsed().as_nanos() as u64);
+        if let Some(r) = committed {
+            return Ok((r, attempts));
         }
     }
+    // Only the loop can see its budget run dry; the per-attempt causes
+    // were tagged by the backend as each attempt died.
+    stats.abort(AbortCause::BudgetExhausted);
+    oftm_obs::ring::emit(
+        "budget_exhausted",
+        "retry_loop",
+        u64::from(proc),
+        u64::from(max_attempts),
+    );
     Err(BudgetExceeded {
         attempts: max_attempts,
     })

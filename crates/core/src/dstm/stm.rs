@@ -9,6 +9,7 @@ use crate::cm::{Aggressive, ContentionManager};
 use crate::pool::SlotPool;
 use crate::record::Recorder;
 use oftm_histories::{TVarId, TxId};
+use oftm_obs::{Counter, StmStats};
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -43,6 +44,10 @@ pub struct Dstm {
     /// Pooled read-set buffers (keyed by process), recycled across
     /// transactions so the steady state allocates nothing per attempt.
     read_scratch: SlotPool<Vec<ReadEntry>>,
+    /// Always-on telemetry: begins/commits/aborts-by-cause and latency
+    /// histograms. Shared with the word-level adapter ([`super::word`]),
+    /// so one registry covers both API layers of this instance.
+    stats: StmStats,
 }
 
 impl Default for Dstm {
@@ -63,7 +68,15 @@ impl Dstm {
             tx_seq: AtomicU32::new(0),
             tvar_seq: AtomicU32::new(0),
             read_scratch: SlotPool::new(),
+            stats: StmStats::new(),
         }
+    }
+
+    /// The telemetry registry of this instance (shared with the word-level
+    /// adapter). Counters use relaxed sharded atomics; reading them is
+    /// always safe and never perturbs transactions.
+    pub fn stats(&self) -> &StmStats {
+        &self.stats
     }
 
     /// Pops a pooled read-set buffer (empty, warm capacity).
@@ -128,6 +141,7 @@ impl Dstm {
     pub fn begin(&self, proc: u32) -> Tx<'_> {
         let seq = self.tx_seq.fetch_add(1, Ordering::Relaxed);
         let desc = Arc::new(Descriptor::new(TxId::new(proc, seq), self.now_nanos()));
+        self.stats.incr(Counter::Begins);
         Tx::new(self, desc)
     }
 
@@ -147,17 +161,29 @@ impl Dstm {
     ) -> (R, u32) {
         let mut attempts = 0;
         loop {
+            if attempts > 0 {
+                self.stats.incr(Counter::Retries);
+            }
             attempts += 1;
+            let started = Instant::now();
             let mut tx = self.begin(proc);
-            match body(&mut tx) {
+            let committed = match body(&mut tx) {
                 Ok(r) => {
                     if tx.commit().is_ok() {
-                        return (r, attempts);
+                        Some(r)
+                    } else {
+                        None
                     }
                 }
                 Err(TxError::Aborted) => {
                     // body observed the abort; loop for a fresh attempt
+                    None
                 }
+            };
+            self.stats
+                .record_attempt_ns(started.elapsed().as_nanos() as u64);
+            if let Some(r) = committed {
+                return (r, attempts);
             }
         }
     }

@@ -24,6 +24,7 @@ use crate::api::{TxError, TxResult};
 use crate::cm::Resolution;
 use crossbeam_epoch::{Guard, Owned};
 use oftm_histories::{Access, ProcId, TxId};
+use oftm_obs::{AbortCause, Counter};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -49,6 +50,10 @@ pub struct Tx<'s> {
     /// Number of successful acquisitions (for statistics).
     writes: usize,
     finished: bool,
+    /// Whether an abort cause has been recorded for this attempt. Each
+    /// aborted attempt contributes exactly one cause to the telemetry; the
+    /// first site that discovers the attempt dead tags it.
+    cause_tagged: bool,
 }
 
 impl<'s> Tx<'s> {
@@ -64,6 +69,15 @@ impl<'s> Tx<'s> {
             read_set,
             writes: 0,
             finished: false,
+            cause_tagged: false,
+        }
+    }
+
+    /// Records the abort cause of this attempt, first tag wins.
+    fn tag_abort(&mut self, cause: AbortCause) {
+        if !self.cause_tagged {
+            self.cause_tagged = true;
+            self.stm.stats().abort(cause);
         }
     }
 
@@ -84,10 +98,13 @@ impl<'s> Tx<'s> {
     }
 
     /// Checks our own fate: a forcefully aborted transaction must stop.
-    fn check_self(&self) -> TxResult<()> {
+    /// Discovering the abort here means a peer killed us through the
+    /// contention manager — the only writer of a foreign status word.
+    fn check_self(&mut self) -> TxResult<()> {
         if self.desc.status() == TxState::Live {
             Ok(())
         } else {
+            self.tag_abort(AbortCause::CmArbitrated);
             Err(TxError::Aborted)
         }
     }
@@ -104,16 +121,20 @@ impl<'s> Tx<'s> {
         if self.validate() {
             Ok(())
         } else {
-            self.abort_self();
+            self.abort_self(AbortCause::ReadValidation);
             Err(TxError::Aborted)
         }
     }
 
-    /// Marks ourselves aborted (our own doing — e.g. failed validation).
-    fn abort_self(&mut self) {
-        if self.desc.try_abort() {
+    /// Marks ourselves aborted. `cause` attributes the abort when the
+    /// status CAS is ours to win; losing it means a peer got there first,
+    /// which re-attributes the attempt to contention-manager arbitration.
+    fn abort_self(&mut self, cause: AbortCause) {
+        let won = self.desc.try_abort();
+        if won {
             self.rstep(self.desc.base(), Access::Modify);
         }
+        self.tag_abort(if won { cause } else { AbortCause::CmArbitrated });
         self.stm.cm().on_abort(&self.desc);
         self.finished = true;
     }
@@ -268,7 +289,7 @@ impl<'s> Tx<'s> {
                 .iter()
                 .any(|e| e.id == v.inner.id && e.probe.addr != addr)
             {
-                self.abort_self();
+                self.abort_self(AbortCause::ReadValidation);
                 return Err(TxError::Aborted);
             }
 
@@ -302,11 +323,15 @@ impl<'s> Tx<'s> {
     /// transaction.
     pub fn commit(mut self) -> TxResult<()> {
         if self.desc.status() != TxState::Live {
+            self.tag_abort(AbortCause::CmArbitrated);
             self.finished = true;
             return Err(TxError::Aborted);
         }
+        // DSTM has no commit lock; the "critical section" is the terminal
+        // validate + status CAS, after which the new values are visible.
+        let cs_started = Instant::now();
         if !self.validate() {
-            self.abort_self();
+            self.abort_self(AbortCause::ReadValidation);
             return Err(TxError::Aborted);
         }
         let won = self.desc.try_commit();
@@ -315,10 +340,17 @@ impl<'s> Tx<'s> {
             if won { Access::Modify } else { Access::Read },
         );
         self.finished = true;
+        self.stm
+            .stats()
+            .record_commit_cs_ns(cs_started.elapsed().as_nanos() as u64);
         if won {
+            self.stm.stats().incr(Counter::Commits);
             self.stm.cm().on_commit(&self.desc);
             Ok(())
         } else {
+            // Lost the commit-point CAS on our own status word: a peer's
+            // `try_abort` raced us between validation and the CAS.
+            self.tag_abort(AbortCause::CasLost);
             self.stm.cm().on_abort(&self.desc);
             Err(TxError::Aborted)
         }
@@ -335,26 +367,44 @@ impl<'s> Tx<'s> {
     /// linearization point (everything read was simultaneously current at
     /// that instant).
     pub fn commit_read_only(mut self) -> TxResult<()> {
+        self.commit_read_only_inner(Counter::CommitsRo)
+    }
+
+    /// Read-only commit for a transaction that *declared* update intent but
+    /// acquired nothing; the word-level adapter routes such transactions
+    /// here and the promotion is counted separately.
+    pub(crate) fn commit_read_only_promoted(mut self) -> TxResult<()> {
+        self.commit_read_only_inner(Counter::CommitsPromoted)
+    }
+
+    fn commit_read_only_inner(&mut self, commit_counter: Counter) -> TxResult<()> {
         assert_eq!(
             self.writes, 0,
             "commit_read_only on a transaction that acquired variables"
         );
         if self.desc.status() != TxState::Live {
+            self.tag_abort(AbortCause::CmArbitrated);
             self.finished = true;
             return Err(TxError::Aborted);
         }
+        let cs_started = Instant::now();
         if !self.validate() {
-            self.abort_self();
+            self.abort_self(AbortCause::ReadValidation);
             return Err(TxError::Aborted);
         }
         self.finished = true;
+        self.stm
+            .stats()
+            .record_commit_cs_ns(cs_started.elapsed().as_nanos() as u64);
+        self.stm.stats().incr(commit_counter);
         self.stm.cm().on_commit(&self.desc);
         Ok(())
     }
 
-    /// `tryA`: voluntarily aborts. Consumes the transaction.
+    /// `tryA`: voluntarily aborts. Consumes the transaction. Abandoning a
+    /// still-viable attempt is an explicit retry in the abort taxonomy.
     pub fn rollback(mut self) {
-        self.abort_self();
+        self.abort_self(AbortCause::ExplicitRetry);
     }
 
     /// Number of t-variables this transaction has acquired for writing.
@@ -374,7 +424,7 @@ impl Drop for Tx<'_> {
         // early return) must not stay live: its ownerships would make peers
         // abort it anyway, but marking it aborted immediately is cleaner.
         if !self.finished {
-            self.abort_self();
+            self.abort_self(AbortCause::ExplicitRetry);
         }
         // Return the read-set buffer (cleared, capacity kept) to the pool.
         let mut buf = std::mem::take(&mut self.read_set);

@@ -24,6 +24,7 @@ use crate::pool::SlotPool;
 use crate::reclaim::{GraceTracker, RetiredBlock, TxGrace};
 use crate::table::VarTable;
 use oftm_histories::{TVarId, TmOp, TmResp, TxId, Value};
+use oftm_obs::{Counter, StmStats};
 
 /// A [`Dstm`] with a word-sized t-variable table, implementing [`WordStm`].
 ///
@@ -78,12 +79,26 @@ impl DstmWord {
     }
 
     fn reclaim_after_commit(&self, grace: TxGrace, retired: Vec<RetiredBlock>) {
-        for blk in self.reclaim.retire_and_flush(grace, retired) {
+        let freed = self.reclaim.retire_and_flush(grace, retired);
+        if !freed.is_empty() {
+            let stats = self.stm.stats();
+            stats.incr(Counter::GraceFlushes);
+            stats.add(
+                Counter::TvarsFreed,
+                freed.iter().map(|b| b.len as u64).sum(),
+            );
+        }
+        for blk in freed {
             self.vars.remove_block(blk.base, blk.len);
         }
     }
 
     fn begin_inner(&self, proc: u32, ro: bool) -> Box<dyn WordTx + '_> {
+        if ro {
+            // `Begins` counts every begin (the typed layer increments it);
+            // `BeginsRo` counts the declared read-only subset.
+            self.stm.stats().incr(Counter::BeginsRo);
+        }
         let scratch = self
             .scratch
             .take(proc as usize)
@@ -197,8 +212,10 @@ impl WordTx for DstmWordTx<'_> {
         // every t-variable and the status CAS publishes nothing — take
         // the validate-only read-only completion. Declared read-only
         // transactions (`begin_ro`) land here by construction.
-        let r = if self.written.is_empty() {
+        let r = if self.ro {
             tx.commit_read_only()
+        } else if self.written.is_empty() {
+            tx.commit_read_only_promoted()
         } else {
             tx.commit()
         };
@@ -269,14 +286,19 @@ impl WordStm for DstmWord {
     }
 
     fn register_tvar(&self, x: TVarId, initial: Value) {
+        self.stm.stats().incr(Counter::TvarsAllocated);
         self.vars.insert(x, TVar::new(x, initial));
     }
 
     fn alloc_tvar_block(&self, initials: &[Value]) -> TVarId {
+        self.stm
+            .stats()
+            .add(Counter::TvarsAllocated, initials.len() as u64);
         self.vars.alloc_block(initials, TVar::new)
     }
 
     fn free_tvar_block(&self, base: TVarId, len: usize) {
+        self.stm.stats().add(Counter::TvarsFreed, len as u64);
         self.vars.remove_block(base, len);
     }
 
@@ -294,6 +316,10 @@ impl WordStm for DstmWord {
 
     fn notifier(&self) -> &CommitNotifier {
         &self.notify
+    }
+
+    fn stats(&self) -> &StmStats {
+        self.stm.stats()
     }
 
     fn is_obstruction_free(&self) -> bool {

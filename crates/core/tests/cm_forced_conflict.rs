@@ -13,6 +13,7 @@ use oftm_core::cm::{Aggressive, ContentionManager, Greedy, Karma, Polite, Random
 use oftm_core::dstm::descriptor::Descriptor;
 use oftm_core::dstm::Dstm;
 use oftm_histories::TxId;
+use oftm_obs::{AbortCause, Counter, StatsSnapshot};
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::Duration;
@@ -75,6 +76,91 @@ fn backoff_durations_are_bounded() {
             }
         }
     }
+}
+
+/// Asserts that exactly the expected cause moved (by exactly `n`) in the
+/// delta between two snapshots — the abort-cause taxonomy is a
+/// partition, so a forced conflict may not leak into other buckets.
+fn assert_only_cause(delta: &StatsSnapshot, expected: AbortCause, n: u64) {
+    for &cause in oftm_obs::ABORT_CAUSES {
+        let want = if cause == expected { n } else { 0 };
+        assert_eq!(
+            delta.get(cause.counter()),
+            want,
+            "cause {} moved unexpectedly (wanted {expected:?} × {n})",
+            cause.name()
+        );
+    }
+    assert_eq!(delta.aborts(), n, "derived abort total");
+}
+
+/// Forced CM arbitration: under the Aggressive manager, a writer meeting
+/// a live owner kills it on the spot. The victim's next step discovers
+/// the kill, and the abort must land in `cm_arbitrated` — once, and in
+/// no other bucket.
+#[test]
+fn forced_peer_kill_tags_cm_arbitrated_exactly_once() {
+    let stm = Dstm::new(Arc::new(Aggressive));
+    let x = stm.new_tvar(0u64);
+    let before = stm.stats().snapshot();
+
+    let mut victim = stm.begin(0);
+    victim.write(&x, 1).expect("first ownership is uncontended");
+    // The killer: Aggressive resolves the ownership conflict by aborting
+    // the live owner immediately.
+    let mut killer = stm.begin(1);
+    killer.write(&x, 2).expect("aggressive kills the owner");
+    killer.commit().expect("killer commits unopposed");
+    // The victim discovers its death at its next operation; the engine
+    // tags the abort at that first discovery site.
+    assert!(victim.commit().is_err(), "killed transaction cannot commit");
+
+    let delta = stm.stats().snapshot().since(&before);
+    assert_only_cause(&delta, AbortCause::CmArbitrated, 1);
+    assert_eq!(delta.get(Counter::Begins), 2);
+    assert_eq!(delta.get(Counter::Commits), 1, "only the killer committed");
+}
+
+/// Forced stale read: a reader snapshots a t-variable, a peer commits a
+/// new version, and the reader's commit-time validation must fail — in
+/// `read_validation`, once, and in no other bucket.
+#[test]
+fn forced_stale_read_tags_read_validation_exactly_once() {
+    let stm = Dstm::new(Arc::new(Polite::default()));
+    let x = stm.new_tvar(0u64);
+    let before = stm.stats().snapshot();
+
+    let mut reader = stm.begin(0);
+    assert_eq!(reader.read(&x).expect("clean first read"), 0);
+    let mut writer = stm.begin(1);
+    writer.write(&x, 7).expect("writer is unopposed");
+    writer.commit().expect("writer commits");
+    assert!(
+        reader.commit().is_err(),
+        "validation must catch the stale read"
+    );
+
+    let delta = stm.stats().snapshot().since(&before);
+    assert_only_cause(&delta, AbortCause::ReadValidation, 1);
+    assert_eq!(delta.get(Counter::Commits), 1, "only the writer committed");
+}
+
+/// A voluntary rollback of a live transaction is an `explicit_retry` —
+/// exactly one, with every conflict bucket untouched.
+#[test]
+fn voluntary_rollback_tags_explicit_retry_exactly_once() {
+    let stm = Dstm::default();
+    let x = stm.new_tvar(0u64);
+    let before = stm.stats().snapshot();
+
+    let mut tx = stm.begin(0);
+    let _ = tx.read(&x).expect("clean read");
+    tx.rollback();
+
+    let delta = stm.stats().snapshot().since(&before);
+    assert_only_cause(&delta, AbortCause::ExplicitRetry, 1);
+    assert_eq!(delta.get(Counter::Begins), 1);
+    assert_eq!(delta.all_commits(), 0);
 }
 
 /// Engine level: two threads hammer one shared counter through the real

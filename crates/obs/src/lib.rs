@@ -1,0 +1,623 @@
+//! # oftm-obs — always-cheap STM telemetry
+//!
+//! Every STM instance in the workspace owns one [`StmStats`]: a sharded
+//! registry of relaxed-atomic counters (begins, commits, aborts **by
+//! cause**, retries, parks, reclamation and clock tallies) and three
+//! allocation-free log2-bucket latency histograms (attempt latency,
+//! commit-critical-section length, park duration). The always-on cost of
+//! a transaction is a handful of uncontended relaxed increments plus two
+//! monotonic clock reads — cheap enough that the numbers are *never*
+//! compiled out, so every `BENCH_*.json` cell and every postmortem has
+//! them.
+//!
+//! Why causes and not just counts: the paper's argument is about *where*
+//! progress is lost — helping, aborts, version-chain walks. A single
+//! `attempts_per_op` scalar says contention happened; the
+//! [`AbortCause`] breakdown says whether it was read-validation (TL2's
+//! documented failure mode), contention-manager arbitration (DSTM's), a
+//! lost ownership CAS (Algorithm 2's), or a retry budget running dry.
+//!
+//! The [`ring`] module adds a `HARNESS_TRACE`-style env-gated structured
+//! event ring: per-thread fixed-size rings of [`ring::TxEvent`] records,
+//! drained to JSON for per-transaction timelines. When the gate is off
+//! (the default), emitting an event is one relaxed boolean load.
+//!
+//! This crate is a dependency-free leaf so `oftm-core` can expose
+//! [`StmStats`] from the `WordStm` trait itself.
+
+pub mod ring;
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Why a transaction attempt aborted. Exactly one cause is tagged per
+/// aborted attempt (backends tag at the first operation that turns the
+/// attempt dead; untagged abandonment is tagged `ExplicitRetry` when the
+/// attempt settles).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AbortCause {
+    /// A read (or commit-time read-set validation) observed a version
+    /// outside the attempt's snapshot: TL/TL2 version-sandwich and
+    /// commit validation, DSTM validation and stale upgrade probes,
+    /// Algorithm 2 decided-chain validation.
+    ReadValidation,
+    /// A per-variable commit lock stayed busy past the lock patience
+    /// (TL/TL2 read spins and commit-time lock acquisition).
+    LockBusy,
+    /// An ownership or commit CAS lost a race to a peer (DSTM descriptor
+    /// commit CAS, Algorithm 2 ownership/state proposals).
+    CasLost,
+    /// A contention manager arbitrated the conflict against this
+    /// transaction — a peer was told `AbortOther` and killed it (DSTM).
+    CmArbitrated,
+    /// The caller abandoned a still-viable attempt: an explicit `tryA`,
+    /// or a body that returned `Err` without any backend operation
+    /// failing (collection retry loops do this to rerun a precondition).
+    ExplicitRetry,
+    /// The bounded retry loop gave up: `max_attempts` attempts all
+    /// aborted. Counted once per exhausted loop, by the loop.
+    BudgetExhausted,
+}
+
+/// All causes, in the order they appear in snapshots and JSON.
+pub const ABORT_CAUSES: &[AbortCause] = &[
+    AbortCause::ReadValidation,
+    AbortCause::LockBusy,
+    AbortCause::CasLost,
+    AbortCause::CmArbitrated,
+    AbortCause::ExplicitRetry,
+    AbortCause::BudgetExhausted,
+];
+
+impl AbortCause {
+    /// Stable snake_case name (JSON keys, event kinds).
+    pub fn name(self) -> &'static str {
+        match self {
+            AbortCause::ReadValidation => "read_validation",
+            AbortCause::LockBusy => "lock_busy",
+            AbortCause::CasLost => "cas_lost",
+            AbortCause::CmArbitrated => "cm_arbitrated",
+            AbortCause::ExplicitRetry => "explicit_retry",
+            AbortCause::BudgetExhausted => "budget_exhausted",
+        }
+    }
+
+    /// The dedicated counter slot this cause increments.
+    pub fn counter(self) -> Counter {
+        match self {
+            AbortCause::ReadValidation => Counter::AbortReadValidation,
+            AbortCause::LockBusy => Counter::AbortLockBusy,
+            AbortCause::CasLost => Counter::AbortCasLost,
+            AbortCause::CmArbitrated => Counter::AbortCmArbitrated,
+            AbortCause::ExplicitRetry => Counter::AbortExplicitRetry,
+            AbortCause::BudgetExhausted => Counter::AbortBudgetExhausted,
+        }
+    }
+}
+
+/// Every scalar counter an [`StmStats`] tracks. The discriminant is the
+/// index into each shard's counter array.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Counter {
+    /// Transactions begun via `begin`.
+    Begins,
+    /// Transactions begun via the declared read-only path (`begin_ro`).
+    BeginsRo,
+    /// Writing commits.
+    Commits,
+    /// Commits of declared read-only transactions.
+    CommitsRo,
+    /// Detect-on-commit promotions: transactions begun on the general
+    /// path that committed with an empty write-set and took the cheap
+    /// read-only commit.
+    CommitsPromoted,
+    AbortReadValidation,
+    AbortLockBusy,
+    AbortCasLost,
+    AbortCmArbitrated,
+    AbortExplicitRetry,
+    AbortBudgetExhausted,
+    /// Re-runs after an aborted attempt (attempt 2 and later of a retry
+    /// loop). `Begins - Retries` approximates distinct logical ops.
+    Retries,
+    /// Aborted async attempts that parked on the commit notifier.
+    Parks,
+    /// Parked attempts woken by a relevant commit.
+    Wakes,
+    /// Wakes whose footprint had not actually changed (watchdog timeouts
+    /// and raced parks) — the parking subsystem's false-positive rate.
+    StaleWakes,
+    /// Grace-period flushes that released at least one retired block.
+    GraceFlushes,
+    /// T-variables allocated (static registrations + dynamic blocks).
+    TvarsAllocated,
+    /// T-variables freed (grace-period evictions + aborted-attempt
+    /// allocation releases).
+    TvarsFreed,
+    /// Commit-clock shard bumps (TL/TL2 writing commits).
+    ClockShardTicks,
+}
+
+/// Number of counters (length of each shard's array).
+pub const COUNTER_KINDS: usize = Counter::ClockShardTicks as usize + 1;
+
+/// `(name, counter)` for every scalar counter, in snapshot/JSON order.
+pub const COUNTER_NAMES: &[(&str, Counter)] = &[
+    ("begins", Counter::Begins),
+    ("begins_ro", Counter::BeginsRo),
+    ("commits", Counter::Commits),
+    ("commits_ro", Counter::CommitsRo),
+    ("commits_promoted", Counter::CommitsPromoted),
+    ("abort_read_validation", Counter::AbortReadValidation),
+    ("abort_lock_busy", Counter::AbortLockBusy),
+    ("abort_cas_lost", Counter::AbortCasLost),
+    ("abort_cm_arbitrated", Counter::AbortCmArbitrated),
+    ("abort_explicit_retry", Counter::AbortExplicitRetry),
+    ("abort_budget_exhausted", Counter::AbortBudgetExhausted),
+    ("retries", Counter::Retries),
+    ("parks", Counter::Parks),
+    ("wakes", Counter::Wakes),
+    ("stale_wakes", Counter::StaleWakes),
+    ("grace_flushes", Counter::GraceFlushes),
+    ("tvars_allocated", Counter::TvarsAllocated),
+    ("tvars_freed", Counter::TvarsFreed),
+    ("clock_shard_ticks", Counter::ClockShardTicks),
+];
+
+/// Histogram bucket count: bucket 0 holds the value 0, bucket `b ≥ 1`
+/// holds values in `[2^(b-1), 2^b)`. 64 log2 buckets cover all of `u64`.
+pub const HIST_BUCKETS: usize = 65;
+
+/// The log2 bucket a value falls in.
+pub fn bucket_of(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// Smallest value of bucket `b`.
+pub fn bucket_floor(b: usize) -> u64 {
+    debug_assert!(b < HIST_BUCKETS);
+    if b == 0 {
+        0
+    } else {
+        1u64 << (b - 1)
+    }
+}
+
+/// Largest value of bucket `b`.
+pub fn bucket_ceiling(b: usize) -> u64 {
+    debug_assert!(b < HIST_BUCKETS);
+    if b == 0 {
+        0
+    } else if b == 64 {
+        u64::MAX
+    } else {
+        (1u64 << b) - 1
+    }
+}
+
+/// One allocation-free log2 histogram: 65 relaxed-atomic buckets.
+struct Histogram {
+    buckets: [AtomicU64; HIST_BUCKETS],
+}
+
+impl Histogram {
+    fn new() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    fn record(&self, v: u64) {
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|b| self.buckets[b].load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// A point-in-time copy of a histogram's buckets. Merging a snapshot per
+/// shard yields exactly the global snapshot (bucket-wise sums — the
+/// property the proptest in this crate pins down).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    pub buckets: [u64; HIST_BUCKETS],
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            buckets: [0; HIST_BUCKETS],
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Total recorded samples.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Bucket-wise accumulate.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+    }
+
+    /// Bucket-wise difference against an earlier snapshot of the same
+    /// histogram (buckets are monotonic, so saturation means misuse).
+    pub fn since(&self, base: &HistogramSnapshot) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|b| self.buckets[b].saturating_sub(base.buckets[b])),
+        }
+    }
+
+    /// The bucket containing the `p`-th percentile sample (nearest-rank:
+    /// the bucket of the `ceil(p/100 · count)`-th smallest sample).
+    /// `None` when empty.
+    pub fn percentile_bucket(&self, p: f64) -> Option<usize> {
+        let n = self.count();
+        if n == 0 {
+            return None;
+        }
+        let rank = ((p / 100.0) * n as f64).ceil().max(1.0) as u64;
+        let rank = rank.min(n);
+        let mut seen = 0u64;
+        for (b, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(b);
+            }
+        }
+        unreachable!("cumulative count reached total before last bucket")
+    }
+
+    /// Upper bound of the `p`-th percentile: the nearest-rank sample is
+    /// ≤ this and ≥ half of it (log2 bucket resolution). 0 when empty.
+    pub fn percentile(&self, p: f64) -> u64 {
+        self.percentile_bucket(p).map_or(0, bucket_ceiling)
+    }
+
+    /// `{"count": N, "p50": …, "p90": …, "p99": …}` (upper bounds, ns).
+    pub fn json(&self) -> String {
+        format!(
+            "{{\"count\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}}}",
+            self.count(),
+            self.percentile(50.0),
+            self.percentile(90.0),
+            self.percentile(99.0)
+        )
+    }
+}
+
+/// Shard count; a power of two. Threads map to shards round-robin on
+/// first use, so up to this many threads increment without sharing a
+/// cache line.
+pub const STAT_SHARDS: usize = 16;
+
+/// One stats shard, line-aligned so concurrent incrementers on distinct
+/// shards never bounce a line between them.
+#[repr(align(128))]
+struct StatShard {
+    counters: [AtomicU64; COUNTER_KINDS],
+    attempt_ns: Histogram,
+    commit_cs_ns: Histogram,
+    park_ns: Histogram,
+}
+
+impl StatShard {
+    fn new() -> Self {
+        StatShard {
+            counters: std::array::from_fn(|_| AtomicU64::new(0)),
+            attempt_ns: Histogram::new(),
+            commit_cs_ns: Histogram::new(),
+            park_ns: Histogram::new(),
+        }
+    }
+}
+
+static NEXT_SHARD: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// This thread's shard index, assigned round-robin on first use.
+    static MY_SHARD: usize = NEXT_SHARD.fetch_add(1, Ordering::Relaxed) & (STAT_SHARDS - 1);
+}
+
+fn my_shard() -> usize {
+    MY_SHARD.with(|s| *s)
+}
+
+/// The per-STM-instance telemetry registry (see module docs). All writes
+/// are relaxed increments into the calling thread's shard; reads merge
+/// every shard into a [`StatsSnapshot`].
+pub struct StmStats {
+    shards: Box<[StatShard]>,
+}
+
+impl Default for StmStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StmStats {
+    pub fn new() -> Self {
+        StmStats {
+            shards: (0..STAT_SHARDS).map(|_| StatShard::new()).collect(),
+        }
+    }
+
+    /// Adds 1 to `c` in the calling thread's shard.
+    #[inline]
+    pub fn incr(&self, c: Counter) {
+        self.add(c, 1);
+    }
+
+    /// Adds `n` to `c` in the calling thread's shard.
+    #[inline]
+    pub fn add(&self, c: Counter, n: u64) {
+        if n > 0 {
+            self.shards[my_shard()].counters[c as usize].fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Tags one aborted attempt with its cause.
+    #[inline]
+    pub fn abort(&self, cause: AbortCause) {
+        self.incr(cause.counter());
+    }
+
+    /// Records one attempt's wall-clock latency (begin → commit/abort).
+    #[inline]
+    pub fn record_attempt_ns(&self, ns: u64) {
+        self.shards[my_shard()].attempt_ns.record(ns);
+    }
+
+    /// Records one commit critical section (first lock/CAS → effects
+    /// visible; on the coarse backend, the whole gate hold).
+    #[inline]
+    pub fn record_commit_cs_ns(&self, ns: u64) {
+        self.shards[my_shard()].commit_cs_ns.record(ns);
+    }
+
+    /// Records one async park (park → wake).
+    #[inline]
+    pub fn record_park_ns(&self, ns: u64) {
+        self.shards[my_shard()].park_ns.record(ns);
+    }
+
+    /// Merged point-in-time copy of every shard.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let mut out = StatsSnapshot::default();
+        for s in self.shard_snapshots() {
+            out.merge(&s);
+        }
+        out
+    }
+
+    /// One snapshot per shard, unmerged (tests pin down that merging
+    /// these equals [`StmStats::snapshot`]).
+    pub fn shard_snapshots(&self) -> Vec<StatsSnapshot> {
+        self.shards
+            .iter()
+            .map(|s| StatsSnapshot {
+                counters: std::array::from_fn(|c| s.counters[c].load(Ordering::Relaxed)),
+                attempt_ns: s.attempt_ns.snapshot(),
+                commit_cs_ns: s.commit_cs_ns.snapshot(),
+                park_ns: s.park_ns.snapshot(),
+            })
+            .collect()
+    }
+}
+
+/// A merged point-in-time copy of an [`StmStats`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    counters: [u64; COUNTER_KINDS],
+    pub attempt_ns: HistogramSnapshot,
+    pub commit_cs_ns: HistogramSnapshot,
+    pub park_ns: HistogramSnapshot,
+}
+
+impl StatsSnapshot {
+    pub fn get(&self, c: Counter) -> u64 {
+        self.counters[c as usize]
+    }
+
+    /// Total aborted attempts — by construction the sum of the six cause
+    /// counters, so "causes sum to aborts" holds identically.
+    pub fn aborts(&self) -> u64 {
+        ABORT_CAUSES.iter().map(|&c| self.get(c.counter())).sum()
+    }
+
+    /// Total committed transactions on any path.
+    pub fn all_commits(&self) -> u64 {
+        self.get(Counter::Commits) + self.get(Counter::CommitsRo)
+    }
+
+    /// Accumulates `other` into `self` (counter-wise, bucket-wise).
+    pub fn merge(&mut self, other: &StatsSnapshot) {
+        for (a, b) in self.counters.iter_mut().zip(other.counters.iter()) {
+            *a += b;
+        }
+        self.attempt_ns.merge(&other.attempt_ns);
+        self.commit_cs_ns.merge(&other.commit_cs_ns);
+        self.park_ns.merge(&other.park_ns);
+    }
+
+    /// Difference against an earlier snapshot of the same stats — the
+    /// bench harnesses use this to report a timed phase net of warmup.
+    pub fn since(&self, base: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            counters: std::array::from_fn(|c| self.counters[c].saturating_sub(base.counters[c])),
+            attempt_ns: self.attempt_ns.since(&base.attempt_ns),
+            commit_cs_ns: self.commit_cs_ns.since(&base.commit_cs_ns),
+            park_ns: self.park_ns.since(&base.park_ns),
+        }
+    }
+
+    /// The canonical JSON object every `BENCH_*.json` cell embeds:
+    /// scalar counters, derived `aborts` (= sum of the cause breakdown
+    /// in `abort_causes`), and the three latency histograms.
+    pub fn json(&self) -> String {
+        let mut s = String::from("{");
+        for (name, c) in COUNTER_NAMES {
+            if c.is_cause() {
+                continue; // causes go in their own nested object
+            }
+            s.push_str(&format!("\"{name}\": {}, ", self.get(*c)));
+        }
+        s.push_str(&format!(
+            "\"aborts\": {}, \"abort_causes\": {{",
+            self.aborts()
+        ));
+        for (i, &cause) in ABORT_CAUSES.iter().enumerate() {
+            s.push_str(&format!(
+                "\"{}\": {}{}",
+                cause.name(),
+                self.get(cause.counter()),
+                if i + 1 == ABORT_CAUSES.len() {
+                    ""
+                } else {
+                    ", "
+                }
+            ));
+        }
+        s.push_str(&format!(
+            "}}, \"attempt_ns\": {}, \"commit_cs_ns\": {}, \"park_ns\": {}}}",
+            self.attempt_ns.json(),
+            self.commit_cs_ns.json(),
+            self.park_ns.json()
+        ));
+        s
+    }
+
+    /// The cause with the highest count (ties broken by taxonomy order),
+    /// or `None` when nothing aborted. Benches use this to label a
+    /// cell's dominant failure mode.
+    pub fn dominant_cause(&self) -> Option<AbortCause> {
+        ABORT_CAUSES
+            .iter()
+            .copied()
+            .max_by_key(|c| self.get(c.counter()))
+            .filter(|c| self.get(c.counter()) > 0)
+    }
+}
+
+impl Counter {
+    /// True for the six abort-cause counters.
+    pub fn is_cause(self) -> bool {
+        matches!(
+            self,
+            Counter::AbortReadValidation
+                | Counter::AbortLockBusy
+                | Counter::AbortCasLost
+                | Counter::AbortCmArbitrated
+                | Counter::AbortExplicitRetry
+                | Counter::AbortBudgetExhausted
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_log2() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        for b in 0..HIST_BUCKETS {
+            assert_eq!(bucket_of(bucket_floor(b)), b, "floor of bucket {b}");
+            assert_eq!(bucket_of(bucket_ceiling(b)), b, "ceiling of bucket {b}");
+            if b > 0 {
+                assert_eq!(bucket_floor(b), bucket_ceiling(b - 1) + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn counter_names_cover_every_counter_exactly_once() {
+        assert_eq!(COUNTER_NAMES.len(), COUNTER_KINDS);
+        for (i, (_, c)) in COUNTER_NAMES.iter().enumerate() {
+            assert_eq!(*c as usize, i, "COUNTER_NAMES out of discriminant order");
+        }
+    }
+
+    #[test]
+    fn aborts_is_sum_of_causes() {
+        let stats = StmStats::new();
+        stats.abort(AbortCause::ReadValidation);
+        stats.abort(AbortCause::ReadValidation);
+        stats.abort(AbortCause::CmArbitrated);
+        let snap = stats.snapshot();
+        assert_eq!(snap.aborts(), 3);
+        assert_eq!(snap.get(Counter::AbortReadValidation), 2);
+        assert_eq!(snap.dominant_cause(), Some(AbortCause::ReadValidation));
+    }
+
+    #[test]
+    fn json_shape() {
+        let stats = StmStats::new();
+        stats.incr(Counter::Begins);
+        stats.incr(Counter::Commits);
+        stats.abort(AbortCause::LockBusy);
+        stats.record_attempt_ns(1500);
+        let j = stats.snapshot().json();
+        assert!(j.starts_with('{') && j.ends_with('}'), "{j}");
+        assert!(j.contains("\"begins\": 1"), "{j}");
+        assert!(j.contains("\"aborts\": 1"), "{j}");
+        assert!(
+            j.contains("\"abort_causes\": {\"read_validation\": 0, \"lock_busy\": 1"),
+            "{j}"
+        );
+        assert!(j.contains("\"attempt_ns\": {\"count\": 1"), "{j}");
+        // Balanced braces (the benches splice this into hand-rolled JSON).
+        assert_eq!(j.matches('{').count(), j.matches('}').count(), "{j}");
+    }
+
+    #[test]
+    fn since_subtracts_warmup() {
+        let stats = StmStats::new();
+        stats.incr(Counter::Begins);
+        stats.abort(AbortCause::CasLost);
+        stats.record_attempt_ns(100);
+        let warm = stats.snapshot();
+        stats.incr(Counter::Begins);
+        stats.record_attempt_ns(100);
+        let net = stats.snapshot().since(&warm);
+        assert_eq!(net.get(Counter::Begins), 1);
+        assert_eq!(net.aborts(), 0);
+        assert_eq!(net.attempt_ns.count(), 1);
+    }
+
+    #[test]
+    fn concurrent_increments_all_land() {
+        let stats = std::sync::Arc::new(StmStats::new());
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let stats = std::sync::Arc::clone(&stats);
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        stats.incr(Counter::Begins);
+                        stats.record_attempt_ns(42);
+                    }
+                });
+            }
+        });
+        let snap = stats.snapshot();
+        assert_eq!(snap.get(Counter::Begins), 8000);
+        assert_eq!(snap.attempt_ns.count(), 8000);
+    }
+}

@@ -1,0 +1,244 @@
+//! Env-gated structured event ring: per-thread fixed-size rings of
+//! [`TxEvent`] records, drained to JSON for per-transaction postmortems.
+//!
+//! The gate follows the harness convention: set `HARNESS_TRACE=1` (or
+//! `OFTM_TRACE=1`) and every instrumented site records a timestamped
+//! event — abort causes as they are tagged, commits with their attempt
+//! counts, parks and wakes, harness cell markers. With the gate off (the
+//! default) an emit is a single relaxed load and branch, so the call
+//! sites stay in release builds.
+//!
+//! Rings are fixed-size and overwrite oldest-first: a wedged run keeps
+//! the *latest* window of events, which is the window a postmortem needs.
+//! [`drain_json`] merges every thread's ring into one time-sorted JSON
+//! array and empties the rings.
+
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Events retained per thread; oldest are overwritten (`dropped` counts
+/// the overwrites so a drain states what it lost).
+pub const RING_CAPACITY: usize = 4096;
+
+/// One structured trace record. Payload words `a`/`b` are event-kind
+/// specific (documented at each emitting site); keeping them as plain
+/// words keeps emission allocation-free.
+#[derive(Clone, Copy, Debug)]
+pub struct TxEvent {
+    /// Monotonic nanoseconds since the process's first trace-clock read.
+    pub nanos: u64,
+    /// Emitting thread (dense trace-local index, not the OS tid).
+    pub thread: u64,
+    /// Event kind: an abort-cause name, `"commit"`, `"park"`, `"wake"`,
+    /// `"budget_exhausted"`, `"cell"`, …
+    pub kind: &'static str,
+    /// STM backend name, or a harness label for non-backend events.
+    pub stm: &'static str,
+    pub a: u64,
+    pub b: u64,
+}
+
+struct RingBuf {
+    events: Vec<TxEvent>,
+    /// Next slot to write (wraps at `RING_CAPACITY`).
+    next: usize,
+    /// Total events overwritten after the ring filled.
+    dropped: u64,
+}
+
+struct Ring {
+    buf: Mutex<RingBuf>,
+}
+
+impl Ring {
+    fn push(&self, ev: TxEvent) {
+        let mut b = self.buf.lock().unwrap();
+        if b.events.len() < RING_CAPACITY {
+            b.events.push(ev);
+        } else {
+            let slot = b.next % RING_CAPACITY;
+            b.events[slot] = ev;
+            b.dropped += 1;
+        }
+        b.next = (b.next + 1) % RING_CAPACITY;
+    }
+}
+
+/// Tri-state gate: 0 unknown (consult env), 1 off, 2 on.
+static GATE: AtomicU8 = AtomicU8::new(0);
+static THREAD_IDS: AtomicU64 = AtomicU64::new(0);
+
+fn registry() -> &'static Mutex<Vec<Arc<Ring>>> {
+    static REGISTRY: OnceLock<Mutex<Vec<Arc<Ring>>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Monotonic nanoseconds on the trace clock (0 at first use).
+pub fn clock_ns() -> u64 {
+    epoch().elapsed().as_nanos() as u64
+}
+
+/// True when tracing is on: `HARNESS_TRACE` or `OFTM_TRACE` set in the
+/// environment (checked once), or forced by [`set_enabled`].
+#[inline]
+pub fn enabled() -> bool {
+    match GATE.load(Ordering::Relaxed) {
+        2 => true,
+        1 => false,
+        _ => {
+            let on = std::env::var_os("HARNESS_TRACE").is_some()
+                || std::env::var_os("OFTM_TRACE").is_some();
+            GATE.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+            on
+        }
+    }
+}
+
+/// Forces the gate (tests and tools; the env is read-only in-process).
+pub fn set_enabled(on: bool) {
+    GATE.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+}
+
+thread_local! {
+    static MY_RING: (u64, Arc<Ring>) = {
+        let ring = Arc::new(Ring {
+            buf: Mutex::new(RingBuf {
+                events: Vec::with_capacity(64),
+                next: 0,
+                dropped: 0,
+            }),
+        });
+        registry().lock().unwrap().push(Arc::clone(&ring));
+        (THREAD_IDS.fetch_add(1, Ordering::Relaxed), ring)
+    };
+}
+
+/// Records one event into the calling thread's ring. No-op (one relaxed
+/// load) when tracing is off.
+#[inline]
+pub fn emit(kind: &'static str, stm: &'static str, a: u64, b: u64) {
+    if !enabled() {
+        return;
+    }
+    let nanos = clock_ns();
+    MY_RING.with(|(thread, ring)| {
+        ring.push(TxEvent {
+            nanos,
+            thread: *thread,
+            kind,
+            stm,
+            a,
+            b,
+        });
+    });
+}
+
+/// Drains every thread's ring into one time-sorted JSON array
+/// (`{"dropped": N, "events": [...]}`), emptying the rings. Returns
+/// `None` when tracing is off and nothing was ever recorded.
+pub fn drain_json() -> Option<String> {
+    let rings: Vec<Arc<Ring>> = registry().lock().unwrap().clone();
+    let mut events: Vec<TxEvent> = Vec::new();
+    let mut dropped = 0u64;
+    for ring in &rings {
+        let mut b = ring.buf.lock().unwrap();
+        dropped += b.dropped;
+        // Oldest-first: the slice after `next` (if wrapped), then before.
+        if b.events.len() == RING_CAPACITY {
+            let next = b.next;
+            events.extend_from_slice(&b.events[next..]);
+            events.extend_from_slice(&b.events[..next]);
+        } else {
+            events.extend_from_slice(&b.events);
+        }
+        b.events.clear();
+        b.next = 0;
+        b.dropped = 0;
+    }
+    if events.is_empty() && dropped == 0 {
+        return None;
+    }
+    events.sort_by_key(|e| e.nanos);
+    let mut s = format!("{{\"dropped\": {dropped}, \"events\": [\n");
+    for (i, e) in events.iter().enumerate() {
+        s.push_str(&format!(
+            "  {{\"ns\": {}, \"thread\": {}, \"kind\": \"{}\", \"stm\": \"{}\", \
+             \"a\": {}, \"b\": {}}}{}\n",
+            e.nanos,
+            e.thread,
+            e.kind,
+            e.stm,
+            e.a,
+            e.b,
+            if i + 1 == events.len() { "" } else { "," }
+        ));
+    }
+    s.push_str("]}\n");
+    Some(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The gate and registry are process-global; tests that toggle them
+    /// must not interleave.
+    fn serial() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap()
+    }
+
+    #[test]
+    fn ring_records_and_drains_when_enabled() {
+        let _g = serial();
+        set_enabled(true);
+        emit("commit", "tl2", 3, 0);
+        emit("read_validation", "tl2", 7, 1);
+        let json = drain_json().expect("events recorded");
+        assert!(json.contains("\"kind\": \"commit\""), "{json}");
+        assert!(json.contains("\"kind\": \"read_validation\""), "{json}");
+        assert!(json.contains("\"dropped\": 0"), "{json}");
+        // Drained: a second drain on this thread starts empty (other
+        // tests may race their own events in, so only check our kinds).
+        let again = drain_json().unwrap_or_default();
+        assert!(!again.contains("\"kind\": \"commit\""), "{again}");
+        set_enabled(false);
+    }
+
+    #[test]
+    fn disabled_gate_drops_events() {
+        let _g = serial();
+        set_enabled(false);
+        emit("never", "tl", 0, 0);
+        let json = drain_json().unwrap_or_default();
+        assert!(!json.contains("never"), "{json}");
+    }
+
+    #[test]
+    fn overwrite_keeps_latest_window() {
+        let _g = serial();
+        set_enabled(true);
+        std::thread::spawn(|| {
+            for i in 0..(RING_CAPACITY as u64 + 10) {
+                emit("tick", "test", i, 0);
+            }
+            let json = drain_json().expect("events recorded");
+            assert!(json.contains("\"dropped\": 10"), "{json}");
+            // The oldest 10 were overwritten; the newest survive.
+            assert!(!json.contains("\"a\": 9,"), "{json}");
+            assert!(
+                json.contains(&format!("\"a\": {}", RING_CAPACITY as u64 + 9)),
+                "{json}"
+            );
+        })
+        .join()
+        .unwrap();
+        set_enabled(false);
+    }
+}

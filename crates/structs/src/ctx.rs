@@ -14,6 +14,8 @@
 use oftm_core::api::{retry_backoff, WordStm, WordTx};
 use oftm_core::{BudgetExceeded, TxResult};
 use oftm_histories::{TVarId, Value};
+use oftm_obs::{AbortCause, Counter};
+use std::time::Instant;
 
 /// A live transaction paired with its STM.
 ///
@@ -171,11 +173,14 @@ fn attempt_loop<R>(
     // into its `TxCtx` and hands it back (drained on abort), so retries
     // reuse the same buffer.
     let mut alloc_buf: Vec<(TVarId, usize)> = Vec::new();
+    let stats = stm.stats();
     while attempts < max_attempts {
         if attempts > 0 {
+            stats.incr(Counter::Retries);
             retry_backoff(proc, attempts);
         }
         attempts += 1;
+        let started = Instant::now();
         let mut tx = if ro {
             stm.begin_ro(proc)
         } else {
@@ -190,8 +195,12 @@ fn attempt_loop<R>(
         };
         match out {
             Ok(r) => match tx.try_commit() {
-                Ok(()) => return Ok((r, attempts)),
+                Ok(()) => {
+                    stats.record_attempt_ns(started.elapsed().as_nanos() as u64);
+                    return Ok((r, attempts));
+                }
                 Err(_) => {
+                    stats.record_attempt_ns(started.elapsed().as_nanos() as u64);
                     release_attempt_allocs(stm, &mut allocs);
                     alloc_buf = allocs;
                 }
@@ -204,11 +213,19 @@ fn attempt_loop<R>(
                 // drop. The drop also releases the grace slot before the
                 // blocks are freed below.
                 drop(tx);
+                stats.record_attempt_ns(started.elapsed().as_nanos() as u64);
                 release_attempt_allocs(stm, &mut allocs);
                 alloc_buf = allocs;
             }
         }
     }
+    stats.abort(AbortCause::BudgetExhausted);
+    oftm_obs::ring::emit(
+        "budget_exhausted",
+        "attempt_loop",
+        u64::from(proc),
+        u64::from(max_attempts),
+    );
     Err(BudgetExceeded {
         attempts: max_attempts,
     })

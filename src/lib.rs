@@ -58,6 +58,7 @@ pub use oftm_baselines as baselines;
 pub use oftm_core as core;
 pub use oftm_foc as foc;
 pub use oftm_histories as histories;
+pub use oftm_obs as obs;
 pub use oftm_sim as sim;
 pub use oftm_structs as structs;
 
