@@ -359,6 +359,8 @@ impl<'s> Algo2Tx<'s> {
                 .get_or_create(&x, || parking_lot::Mutex::new((1, self.stm.initial_of(x))));
             let (mut version, mut state) = *hint.lock();
             let v_cell = self.stm.v.get_or_create(&x, || RegCell::new(V_BOTTOM));
+            // ord: Acquire pairs with owners' Release V[x] stores — the
+            // wait-freedom guard re-reads this below.
             let v_snapshot = v_cell.val.load(Ordering::Acquire);
             self.rstep(v_cell.base, Access::Read);
 
@@ -389,12 +391,17 @@ impl<'s> Algo2Tx<'s> {
                         Some(s) if s == Fate::Committed as u8 => {
                             // state ← TVar[x, owner]
                             let cell = self.stm.tvar.get_or_create(&(x, owner), || RegCell::new(0));
+                            // ord: Acquire pairs with the owner's Release
+                            // TVar store: Committed implies its tentative
+                            // value is visible.
                             state = cell.val.load(Ordering::Acquire);
                             self.rstep(cell.base, Access::Read);
                         }
                         Some(_) => {
                             // Aborted[owner] ← true
                             let flag = self.stm.aborted.get_or_create(&owner, FlagCell::new);
+                            // ord: Release pairs with the owner's Acquire
+                            // Aborted[Tk] re-check on its own paths.
                             flag.val.store(true, Ordering::Release);
                             self.rstep(flag.base, Access::Modify);
                         }
@@ -408,6 +415,7 @@ impl<'s> Algo2Tx<'s> {
                     }
                 }
                 // if V[x] ≠ v then return Ak  (wait-freedom guard)
+                // ord: Acquire pairs with owners' Release V[x] stores.
                 let now = v_cell.val.load(Ordering::Acquire);
                 self.rstep(v_cell.base, Access::Read);
                 if now != v_snapshot {
@@ -428,6 +436,8 @@ impl<'s> Algo2Tx<'s> {
                 .stm
                 .tvar
                 .get_or_create(&(x, self.id), || RegCell::new(0));
+            // ord: Release TVar store before Release V[x] store — a peer
+            // that Acquires V[x] = Tk sees our tentative state.
             own_cell.val.store(state, Ordering::Release);
             self.rstep(own_cell.base, Access::Modify);
             v_cell.val.store(encode_tx(self.id), Ordering::Release);
@@ -439,6 +449,8 @@ impl<'s> Algo2Tx<'s> {
                 .stm
                 .tvar
                 .get_or_create(&(x, self.id), || RegCell::new(0));
+            // ord: Acquire — own cell; Acquire keeps the read ordered
+            // after the ownership steps that created it.
             let s = cell.val.load(Ordering::Acquire);
             self.rstep(cell.base, Access::Read);
             s
@@ -447,6 +459,7 @@ impl<'s> Algo2Tx<'s> {
         // if Aborted[Tk] then return Ak  ("essential detail" #1)
         if !self.stm.ablate_aborted_check {
             let flag = self.stm.aborted.get_or_create(&self.id, FlagCell::new);
+            // ord: Acquire pairs with peers' Release Aborted[Tk] stores.
             let dead = flag.val.load(Ordering::Acquire);
             self.rstep(flag.base, Access::Read);
             if dead {
@@ -504,6 +517,8 @@ impl WordTx for Algo2Tx<'_> {
                     .stm
                     .tvar
                     .get_or_create(&(x, self.id), || RegCell::new(0));
+                // ord: Release publishes the tentative value to peers'
+                // Acquire TVar reads after our fate is decided.
                 cell.val.store(v, Ordering::Release);
                 self.rstep(cell.base, Access::Modify);
                 self.rrespond(TmResp::Ok);
@@ -671,6 +686,8 @@ impl<'s> Algo2RoTx<'s> {
             match sc.decided() {
                 Some(s) if s == Fate::Committed as u8 => {
                     let tv = self.stm.tvar.get_or_create(&(x, owner), || RegCell::new(0));
+                    // ord: Acquire pairs with the committed owner's Release
+                    // TVar store.
                     state = tv.val.load(Ordering::Acquire);
                     self.rstep(tv.base, Access::Read);
                 }
@@ -860,6 +877,7 @@ impl WordStm for Algo2Stm {
 
     fn begin(&self, proc: u32) -> Box<dyn WordTx + '_> {
         self.stats.incr(Counter::Begins);
+        // ord: Relaxed — atomicity alone keeps transaction ids unique.
         let seq = self.tx_seq.fetch_add(1, Ordering::Relaxed);
         Box::new(Algo2Tx {
             stm: self,
@@ -876,6 +894,7 @@ impl WordStm for Algo2Stm {
     fn begin_ro(&self, proc: u32) -> Box<dyn WordTx + '_> {
         self.stats.incr(Counter::Begins);
         self.stats.incr(Counter::BeginsRo);
+        // ord: Relaxed — atomicity alone keeps transaction ids unique.
         let seq = self.tx_seq.fetch_add(1, Ordering::Relaxed);
         Box::new(Algo2RoTx {
             stm: self,

@@ -70,22 +70,32 @@ impl VLockVar {
 
     /// A consistent (version, value) snapshot, or `None` if locked/racing.
     fn read_consistent(&self) -> Option<(u64, Value)> {
+        // ord: Acquire pairs with `unlock`'s Release so a clean version
+        // word implies the committed value store is visible.
         let v1 = self.lock.load(Ordering::Acquire);
         if v1 & LOCK_BIT != 0 {
             return None;
         }
+        // ord: Acquire pairs with the committer's Release value store.
         let val = self.value.load(Ordering::Acquire);
+        // ord: Acquire re-read — an unchanged version word proves no
+        // commit overlapped the value load (seqlock validation).
         let v2 = self.lock.load(Ordering::Acquire);
         (v1 == v2).then_some((v1, val))
     }
 
     /// Tries to take the commit lock, preserving the version bits.
     fn try_lock(&self) -> Option<u64> {
+        // ord: Acquire pairs with the previous holder's Release unlock.
         let cur = self.lock.load(Ordering::Acquire);
         if cur & LOCK_BIT != 0 {
             return None;
         }
         self.lock
+            // ord: AcqRel — Acquire makes the previous commit's writes
+            // visible to the new lock holder; Release orders the lock
+            // acquisition for validators. Failure Acquire pairs with the
+            // racing locker.
             .compare_exchange(cur, cur | LOCK_BIT, Ordering::AcqRel, Ordering::Acquire)
             .ok()
             .map(|_| cur)
@@ -95,6 +105,8 @@ impl VLockVar {
     /// given unlocked version word.
     fn unlock(&self, word: u64) {
         debug_assert_eq!(word & LOCK_BIT, 0);
+        // ord: Release publishes the value stores made under the lock to
+        // readers' Acquire version loads (seqlock release half).
         self.lock.store(word, Ordering::Release);
     }
 }
@@ -156,6 +168,8 @@ impl TlStm {
     }
 
     pub fn peek(&self, x: TVarId) -> Option<Value> {
+        // ord: Acquire pairs with the committer's Release value store
+        // (oracle/inspection read; not validated against the lock word).
         self.vars.get(x).map(|v| v.value.load(Ordering::Acquire))
     }
 
@@ -182,6 +196,8 @@ impl TlStm {
     fn sample_rv(&self, id: TxId) -> [u64; CLOCK_SHARDS] {
         let mut rv = [0u64; CLOCK_SHARDS];
         for (s, shard) in self.clocks.shards().iter().enumerate() {
+            // ord: Acquire pairs with the shard tick's Release so commits
+            // stamped below the sampled vector are fully visible.
             rv[s] = shard.count.load(Ordering::Acquire);
             if let Some(r) = self.recorder.as_deref() {
                 r.step(id.process(), Some(id), shard.base, Access::Read);
@@ -329,6 +345,8 @@ impl WordTx for TlTx<'_> {
             // consistent.
             for (var, _x, ver) in &self.reads {
                 self.rstep(var.lock_base, Access::Read);
+                // ord: Acquire pairs with `unlock`'s Release — an unchanged
+                // version word proves the read still holds.
                 let cur = var.lock.load(Ordering::Acquire);
                 if cur != *ver {
                     self.stm.stats.abort(AbortCause::ReadValidation);
@@ -402,6 +420,7 @@ impl WordTx for TlTx<'_> {
         // someone else (our own locks are fine).
         for (var, x, ver) in &self.reads {
             self.rstep(var.lock_base, Access::Read);
+            // ord: Acquire pairs with `unlock`'s Release (validation read).
             let cur = var.lock.load(Ordering::Acquire);
             let ours = self.writes.binary_search_by_key(x, |(w, _, _)| *w).is_ok();
             let effective = if ours { cur & !LOCK_BIT } else { cur };
@@ -415,6 +434,8 @@ impl WordTx for TlTx<'_> {
 
         // Apply and release with the new commit stamp.
         for (_x, v, var) in self.writes.iter() {
+            // ord: Release — together with `unlock`'s Release version store,
+            // pairs with readers' Acquire value/version loads.
             var.value.store(*v, Ordering::Release);
             self.rstep(var.value_base, Access::Modify);
             var.unlock(wv);
@@ -654,6 +675,7 @@ impl WordStm for TlStm {
 
     fn begin(&self, proc: u32) -> Box<dyn WordTx + '_> {
         self.stats.incr(Counter::Begins);
+        // ord: Relaxed — atomicity alone keeps transaction ids unique.
         let seq = self.tx_seq.fetch_add(1, Ordering::Relaxed);
         let scratch = self
             .scratch
@@ -678,6 +700,7 @@ impl WordStm for TlStm {
     fn begin_ro(&self, proc: u32) -> Box<dyn WordTx + '_> {
         self.stats.incr(Counter::Begins);
         self.stats.incr(Counter::BeginsRo);
+        // ord: Relaxed — atomicity alone keeps transaction ids unique.
         let seq = self.tx_seq.fetch_add(1, Ordering::Relaxed);
         let id = TxId::new(proc, seq);
         let rv = self.sample_rv(id);

@@ -136,6 +136,8 @@ impl Tl2Stm {
     }
 
     pub fn peek(&self, x: TVarId) -> Option<Value> {
+        // ord: Acquire pairs with the committer's Release value store
+        // (oracle/inspection read; not validated against the lock word).
         self.vars.get(x).map(|v| v.value.load(Ordering::Acquire))
     }
 
@@ -151,6 +153,8 @@ impl Tl2Stm {
     fn sample_rv(&self, id: TxId) -> [u64; CLOCK_SHARDS] {
         let mut rv = [0u64; CLOCK_SHARDS];
         for (s, shard) in self.clocks.shards().iter().enumerate() {
+            // ord: Acquire pairs with the shard tick's Release so commits
+            // stamped at or below the sampled vector are fully visible.
             rv[s] = shard.count.load(Ordering::Acquire);
             if let Some(r) = self.recorder.as_deref() {
                 r.step(id.process(), Some(id), shard.base, Access::Read);
@@ -272,6 +276,9 @@ impl WordTx for Tl2Tx<'_> {
         // TL2 read: value is valid iff the variable is unlocked and its
         // stamp is within our per-shard read snapshot.
         self.rstep(var.lock_base, Access::Read);
+        // ord: Acquire triplet — v1 pairs with the committer's Release
+        // stamp store; the value load then re-reading an unchanged, clean
+        // version word proves no commit overlapped it (seqlock sandwich).
         let v1 = var.lock.load(Ordering::Acquire);
         let val = var.value.load(Ordering::Acquire);
         self.rstep(var.value_base, Access::Read);
@@ -342,6 +349,8 @@ impl WordTx for Tl2Tx<'_> {
 
         let unlock_all = |writes: &[(TVarId, Value, Arc<ClockVar>)], locked: &[u64]| {
             for ((_, _, var), prev) in writes.iter().zip(locked).rev() {
+                // ord: Release restores the unlocked word; pairs with
+                // readers'/lockers' Acquire loads.
                 var.lock.store(*prev, Ordering::Release);
             }
         };
@@ -356,10 +365,14 @@ impl WordTx for Tl2Tx<'_> {
             let mut patience = self.stm.lock_patience;
             loop {
                 self.rstep(var.lock_base, Access::Modify);
+                // ord: Acquire pairs with the previous holder's Release.
                 let cur = var.lock.load(Ordering::Acquire);
                 if cur & LOCK_BIT == 0
                     && var
                         .lock
+                        // ord: AcqRel — Acquire makes the previous commit's
+                        // writes visible to the new holder; failure Acquire
+                        // pairs with the racing locker.
                         .compare_exchange(cur, cur | LOCK_BIT, Ordering::AcqRel, Ordering::Acquire)
                         .is_ok()
                 {
@@ -387,6 +400,8 @@ impl WordTx for Tl2Tx<'_> {
         // Validate the read-set against the per-shard read snapshot.
         for (var, x) in &self.reads {
             self.rstep(var.lock_base, Access::Read);
+            // ord: Acquire pairs with committers' Release stamp stores
+            // (validation read).
             let cur = var.lock.load(Ordering::Acquire);
             let ours = self.writes.binary_search_by_key(x, |(w, _, _)| *w).is_ok();
             let version = if ours {
@@ -414,6 +429,9 @@ impl WordTx for Tl2Tx<'_> {
 
         // Apply writes and release with the new write version.
         for (_x, v, var) in self.writes.iter() {
+            // ord: Release value store, then Release stamp store — readers
+            // Acquire the stamp and re-validate, so a clean sandwich
+            // implies they saw this value.
             var.value.store(*v, Ordering::Release);
             self.rstep(var.value_base, Access::Modify);
             var.lock.store(wv, Ordering::Release);
@@ -549,6 +567,9 @@ impl WordTx for Tl2RoTx<'_> {
         // skip the per-read `Arc` refcount round-trip.
         let var = self.stm.vars.get_ref_or_panic_in(x, &self.pin);
         self.rstep(var.lock_base, Access::Read);
+        // ord: Acquire triplet — seqlock sandwich as in the writable path:
+        // clean, unchanged version word proves the value load saw a
+        // committed, un-torn value.
         let mut v1 = var.lock.load(Ordering::Acquire);
         let mut val = var.value.load(Ordering::Acquire);
         self.rstep(var.value_base, Access::Read);
@@ -568,6 +589,7 @@ impl WordTx for Tl2RoTx<'_> {
                 }
                 std::hint::spin_loop();
                 self.rstep(var.lock_base, Access::Read);
+                // ord: Acquire triplet — seqlock sandwich retry.
                 v1 = var.lock.load(Ordering::Acquire);
                 val = var.value.load(Ordering::Acquire);
                 self.rstep(var.value_base, Access::Read);
@@ -674,6 +696,7 @@ impl WordStm for Tl2Stm {
 
     fn begin(&self, proc: u32) -> Box<dyn WordTx + '_> {
         self.stats.incr(Counter::Begins);
+        // ord: Relaxed — atomicity alone keeps transaction ids unique.
         let seq = self.tx_seq.fetch_add(1, Ordering::Relaxed);
         let id = TxId::new(proc, seq);
         let rv = self.sample_rv(id);
@@ -701,6 +724,7 @@ impl WordStm for Tl2Stm {
     fn begin_ro(&self, proc: u32) -> Box<dyn WordTx + '_> {
         self.stats.incr(Counter::Begins);
         self.stats.incr(Counter::BeginsRo);
+        // ord: Relaxed — atomicity alone keeps transaction ids unique.
         let seq = self.tx_seq.fetch_add(1, Ordering::Relaxed);
         let id = TxId::new(proc, seq);
         let rv = self.sample_rv(id);

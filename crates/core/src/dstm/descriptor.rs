@@ -69,6 +69,8 @@ impl Descriptor {
     /// locator of every t-variable: the "initializing transaction T_0").
     pub fn committed(id: TxId) -> Self {
         let d = Descriptor::new(id, 0);
+        // ord: Release publishes the descriptor's construction to readers
+        // that Acquire-load the status via `status()`.
         d.status.store(TxState::Committed as u8, Ordering::Release);
         d
     }
@@ -91,6 +93,7 @@ impl Descriptor {
     /// releasing commit CAS so that the tentative value it published (the
     /// locator's `new` field) is visible to us.
     pub fn status(&self) -> TxState {
+        // ord: Acquire pairs with the commit/abort CAS's Release (doc above).
         TxState::from_u8(self.status.load(Ordering::Acquire))
     }
 
@@ -103,6 +106,8 @@ impl Descriptor {
     /// transaction.
     pub fn try_commit(&self) -> bool {
         self.status
+            // ord: AcqRel per the doc above; failure Acquire pairs with the
+            // racing settling CAS so the loser sees why it lost.
             .compare_exchange(
                 TxState::Live as u8,
                 TxState::Committed as u8,
@@ -118,20 +123,26 @@ impl Descriptor {
     /// aborted the transaction (false: it was already committed/aborted).
     pub fn try_abort(&self) -> bool {
         self.status
+            // ord: AcqRel — Release makes the Aborted verdict the settled
+            // state readers Acquire; failure Acquire pairs with the racing
+            // settling CAS.
             .compare_exchange(
                 TxState::Live as u8,
                 TxState::Aborted as u8,
                 Ordering::AcqRel,
-                Ordering::Acquire,
+                Ordering::Acquire, // ord: pairs with the settling CAS
             )
             .is_ok()
     }
 
     pub fn karma(&self) -> u64 {
+        // ord: Relaxed — monotonic priority counter; contention-manager
+        // heuristics tolerate stale reads.
         self.karma.load(Ordering::Relaxed)
     }
 
     pub fn add_karma(&self, n: u64) {
+        // ord: Relaxed — heuristic counter, no payload to order.
         self.karma.fetch_add(n, Ordering::Relaxed);
     }
 
@@ -141,6 +152,9 @@ impl Descriptor {
         let now = now.max(1); // 0 is the "unset" sentinel
         match self
             .first_conflict
+            // ord: AcqRel keeps the first-conflict timestamp write-once;
+            // failure Acquire pairs with the first writer's Release so
+            // `prev` is the stable value every caller agrees on.
             .compare_exchange(0, now, Ordering::AcqRel, Ordering::Acquire)
         {
             Ok(_) => now,

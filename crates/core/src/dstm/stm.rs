@@ -129,6 +129,8 @@ impl Dstm {
 
     /// Creates a fresh t-variable managed by this instance.
     pub fn new_tvar<T: Clone + Send + Sync + 'static>(&self, initial: T) -> TVar<T> {
+        // ord: Relaxed — atomicity alone keeps ids unique; the t-variable
+        // itself is published by the registry's Release install.
         let id = TVarId(u64::from(self.tvar_seq.fetch_add(1, Ordering::Relaxed)));
         TVar::new(id, initial)
     }
@@ -139,6 +141,7 @@ impl Dstm {
     /// id with a counter; we use a global counter, which also yields unique
     /// ids.
     pub fn begin(&self, proc: u32) -> Tx<'_> {
+        // ord: Relaxed — atomicity alone keeps transaction ids unique.
         let seq = self.tx_seq.fetch_add(1, Ordering::Relaxed);
         let desc = Arc::new(Descriptor::new(TxId::new(proc, seq), self.now_nanos()));
         self.stats.incr(Counter::Begins);

@@ -67,6 +67,8 @@ impl<T: Clone + Send + Sync + 'static> TVar<T> {
     /// read.
     pub fn read_atomic(&self) -> T {
         let guard = crossbeam_epoch::pin();
+        // ord: Acquire pairs with the Release half of the locator-install
+        // CAS so the locator's fields are visible.
         let shared = self.inner.ptr.load(Ordering::Acquire, &guard);
         // SAFETY: `shared` was loaded under `guard`; locators are only
         // retired via `defer_destroy` after being unlinked, so the
@@ -88,6 +90,7 @@ impl<T: Clone + Send + Sync + 'static> Drop for TVarInner<T> {
         // the current locator can be reclaimed immediately.
         unsafe {
             let guard = crossbeam_epoch::unprotected();
+            // ord: Relaxed — exclusive access in Drop (&mut self).
             let shared = self.ptr.load(Ordering::Relaxed, guard);
             if !shared.is_null() {
                 drop(shared.into_owned());
@@ -119,6 +122,7 @@ impl<T: Clone + Send + Sync + 'static> TVarDyn for TVarInner<T> {
     }
 
     fn probe(&self, guard: &Guard, me: &Descriptor) -> Probe {
+        // ord: Acquire pairs with the locator-install CAS's Release half.
         let shared = self.ptr.load(Ordering::Acquire, guard);
         // SAFETY: loaded under `guard`; see `read_atomic`.
         let loc = unsafe { shared.deref() };
@@ -133,6 +137,7 @@ impl<T: Clone + Send + Sync + 'static> TVarDyn for TVarInner<T> {
 impl<T: Clone + Send + Sync + 'static> TVarInner<T> {
     /// Loads the current locator under `guard`.
     pub(crate) fn load<'g>(&self, guard: &'g Guard) -> Shared<'g, Locator<T>> {
+        // ord: Acquire pairs with the locator-install CAS's Release half.
         self.ptr.load(Ordering::Acquire, guard)
     }
 
@@ -147,6 +152,9 @@ impl<T: Clone + Send + Sync + 'static> TVarInner<T> {
     ) -> Result<usize, Owned<Locator<T>>> {
         match self
             .ptr
+            // ord: AcqRel — Release publishes the new locator's fields to
+            // Acquire loaders; Acquire orders the unlinked `current` before
+            // defer_destroy. Failure Acquire pairs with the winner's install.
             .compare_exchange(current, new, Ordering::AcqRel, Ordering::Acquire, guard)
         {
             Ok(installed) => {

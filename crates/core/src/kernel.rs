@@ -1,0 +1,550 @@
+//! **Protocol kernels behind a synchronization facade** — the seam that
+//! lets `oftm-verify`'s bounded model checker execute the *production*
+//! protocol code under a deterministic scheduler.
+//!
+//! The two most safety-critical lock-free kernels in this crate are the
+//! commit-notification snapshot/park-vs-publish protocol ([`crate::notify`])
+//! and the grace-period slot-claim/flush protocol ([`crate::reclaim`]).
+//! Both used to hard-code `std::sync::atomic`; their correctness arguments
+//! lived entirely in module docs, checked only by stochastic tests. This
+//! module makes the argument mechanizable: the protocol logic is written
+//! once, generically over a [`SyncFacade`] (an atomic-`u64` + mutex + waker
+//! vocabulary), and instantiated twice:
+//!
+//! * [`StdSync`] — `std::sync::atomic::AtomicU64` + `parking_lot::Mutex` +
+//!   `std::task::Waker`. This is what [`crate::notify::CommitNotifier`] and
+//!   [`crate::reclaim::GraceTracker`] ship; every method is `#[inline]`
+//!   monomorphized, so the facade costs nothing at runtime.
+//! * `ModelSync` (in `oftm-verify`) — every atomic operation is a
+//!   scheduling decision point of a bounded-preemption DFS explorer. The
+//!   `model_notify`/`model_grace` suites there exhaustively interleave the
+//!   *same* [`NotifyProto`]/[`GraceCore`] code that runs in production and
+//!   assert that no schedule loses a wakeup or flushes a retire-set a live
+//!   reader predates.
+//!
+//! The model explores sequentially consistent interleavings (CHESS-style);
+//! the `Ordering` arguments threaded through the facade document the
+//! weak-memory side of the argument but all collapse to SC under the
+//! model. The `// ord:` lint in `oftm-verify` keeps the per-site pairing
+//! justifications honest; the prose arguments for the sub-SC orderings
+//! remain in the instantiating modules' docs.
+
+use oftm_histories::TVarId;
+use std::ops::Deref;
+use std::sync::atomic::Ordering;
+
+/// Slot value meaning "no transaction registered here" (grace protocol).
+pub const IDLE_SLOT: u64 = u64::MAX;
+
+/// The atomic-`u64` vocabulary a kernel needs. Implemented by
+/// `std::sync::atomic::AtomicU64` (production) and by the model checker's
+/// instrumented atomic (every call a scheduling decision point).
+pub trait AtomicU64Like: Send + Sync {
+    fn new(v: u64) -> Self;
+    fn load(&self, ord: Ordering) -> u64;
+    fn store(&self, v: u64, ord: Ordering);
+    fn fetch_add(&self, v: u64, ord: Ordering) -> u64;
+    fn fetch_sub(&self, v: u64, ord: Ordering) -> u64;
+    fn compare_exchange(
+        &self,
+        current: u64,
+        new: u64,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<u64, u64>;
+}
+
+impl AtomicU64Like for std::sync::atomic::AtomicU64 {
+    #[inline]
+    fn new(v: u64) -> Self {
+        std::sync::atomic::AtomicU64::new(v)
+    }
+    #[inline]
+    fn load(&self, ord: Ordering) -> u64 {
+        std::sync::atomic::AtomicU64::load(self, ord)
+    }
+    #[inline]
+    fn store(&self, v: u64, ord: Ordering) {
+        std::sync::atomic::AtomicU64::store(self, v, ord)
+    }
+    #[inline]
+    fn fetch_add(&self, v: u64, ord: Ordering) -> u64 {
+        std::sync::atomic::AtomicU64::fetch_add(self, v, ord)
+    }
+    #[inline]
+    fn fetch_sub(&self, v: u64, ord: Ordering) -> u64 {
+        std::sync::atomic::AtomicU64::fetch_sub(self, v, ord)
+    }
+    #[inline]
+    fn compare_exchange(
+        &self,
+        current: u64,
+        new: u64,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<u64, u64> {
+        std::sync::atomic::AtomicU64::compare_exchange(self, current, new, success, failure)
+    }
+}
+
+/// Closure-scoped mutex: `with` runs `f` under the lock. The closure API
+/// (instead of a guard type) keeps the facade free of GAT lifetime
+/// plumbing and makes lock scopes explicit at every call site.
+pub trait MutexLike<T: Send>: Send + Sync {
+    fn new(value: T) -> Self;
+    fn with<R>(&self, f: impl FnOnce(&mut T) -> R) -> R;
+}
+
+impl<T: Send> MutexLike<T> for parking_lot::Mutex<T> {
+    #[inline]
+    fn new(value: T) -> Self {
+        parking_lot::Mutex::new(value)
+    }
+    #[inline]
+    fn with<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        f(&mut self.lock())
+    }
+}
+
+/// A cloneable wake handle (the kernel-level view of `std::task::Waker`).
+pub trait WakeRef: Clone {
+    /// Wakes the task. Waking a completed task must be a harmless no-op.
+    fn wake_ref(&self);
+    /// True if both handles wake the same task (used to deregister every
+    /// clone of a task after a failed park).
+    fn will_wake(&self, other: &Self) -> bool;
+}
+
+impl WakeRef for std::task::Waker {
+    #[inline]
+    fn wake_ref(&self) {
+        self.wake_by_ref()
+    }
+    #[inline]
+    fn will_wake(&self, other: &Self) -> bool {
+        std::task::Waker::will_wake(self, other)
+    }
+}
+
+/// The synchronization vocabulary a kernel is generic over.
+pub trait SyncFacade: 'static {
+    type Au64: AtomicU64Like;
+    type Mutex<T: Send>: MutexLike<T>;
+}
+
+/// Production facade: real atomics, `parking_lot` mutexes.
+pub struct StdSync;
+
+impl SyncFacade for StdSync {
+    type Au64 = std::sync::atomic::AtomicU64;
+    type Mutex<T: Send> = parking_lot::Mutex<T>;
+}
+
+// ---------------------------------------------------------------------------
+// Notify kernel: the no-lost-wakeup snapshot/park-vs-publish protocol.
+// ---------------------------------------------------------------------------
+
+/// One notification shard (cache-padded: committers of disjoint shards
+/// must not bounce a line).
+#[repr(align(64))]
+struct ProtoShard<F: SyncFacade, W: WakeRef + Send> {
+    /// Commits that wrote this shard so far (the validation word of the
+    /// no-lost-wakeup protocol).
+    seq: F::Au64,
+    /// Wakers currently registered (the committer's cheap "anyone
+    /// parked?" probe).
+    parked: F::Au64,
+    waiters: F::Mutex<Vec<W>>,
+}
+
+impl<F: SyncFacade, W: WakeRef + Send> ProtoShard<F, W> {
+    fn new() -> Self {
+        ProtoShard {
+            seq: F::Au64::new(0),
+            parked: F::Au64::new(0),
+            waiters: F::Mutex::new(Vec::new()),
+        }
+    }
+}
+
+/// The commit-notification protocol over abstract shard indices: the
+/// numbered steps (1)–(4) of [`crate::notify`]'s Dekker argument, written
+/// once and shared by [`crate::notify::CommitNotifier`] (`StdSync` +
+/// `std::task::Waker`) and the `oftm-verify` model checker. Mapping
+/// t-variables onto shard indices (hashing, bitmask dedup) stays with the
+/// caller — the protocol's correctness does not depend on it.
+pub struct NotifyProto<F: SyncFacade, W: WakeRef + Send> {
+    shards: Box<[ProtoShard<F, W>]>,
+}
+
+impl<F: SyncFacade, W: WakeRef + Send> NotifyProto<F, W> {
+    pub fn new(shards: usize) -> Self {
+        NotifyProto {
+            shards: (0..shards).map(|_| ProtoShard::new()).collect(),
+        }
+    }
+
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Committer half: for each listed shard, bump `seq` (1), probe
+    /// `parked` (2), and drain the waiter list if anyone is registered.
+    /// Wakes run after all shards are drained, outside the shard locks —
+    /// a waker may schedule work re-entrantly (executor queues), which
+    /// must not run under our lock.
+    pub fn publish(&self, shard_indices: impl IntoIterator<Item = usize>) {
+        let mut woken: Vec<W> = Vec::new();
+        for s in shard_indices {
+            let shard = &self.shards[s];
+            // ord: (1) SeqCst seq bump; Dekker-pairs with the waiter's
+            // SeqCst validation re-read (4) in `park`.
+            shard.seq.fetch_add(1, Ordering::SeqCst);
+            // ord: (2) SeqCst parked probe; Dekker-pairs with the waiter's
+            // SeqCst registration bump (3) in `park`: in the SC total
+            // order either (2) sees (3) and we drain, or (1) precedes (4)
+            // and the waiter refuses to park.
+            if shard.parked.load(Ordering::SeqCst) != 0 {
+                shard.waiters.with(|ws| {
+                    // ord: SeqCst under the waiter-list lock; keeps the
+                    // parked count exactly equal to the list length for
+                    // every observer (diagnostics and the probe above).
+                    shard.parked.fetch_sub(ws.len() as u64, Ordering::SeqCst);
+                    woken.append(ws);
+                });
+            }
+        }
+        for w in woken {
+            w.wake_ref();
+        }
+    }
+
+    /// Waiter step 1: sample `seq` of every listed shard into `snap`
+    /// (cleared first).
+    pub fn snapshot(
+        &self,
+        shard_indices: impl IntoIterator<Item = usize>,
+        snap: &mut Vec<(usize, u64)>,
+    ) {
+        snap.clear();
+        for s in shard_indices {
+            // ord: SeqCst sample; the value `park`'s validation (4)
+            // compares against — must order with the committer's bump (1).
+            snap.push((s, self.shards[s].seq.load(Ordering::SeqCst)));
+        }
+    }
+
+    /// Waiter step 2: register `waker` on every snapshot shard (3), then
+    /// re-read every sampled `seq` (4). Returns `true` if the park
+    /// **stands** (a future publish will wake the waker); `false` if a
+    /// publish raced the registration — the caller must treat itself as
+    /// already woken. A failed park deregisters the wakers it just pushed
+    /// (and any earlier stale clone for the same task).
+    #[must_use]
+    pub fn park(&self, snap: &[(usize, u64)], waker: &W) -> bool {
+        debug_assert!(!snap.is_empty(), "parking on an empty footprint");
+        for &(s, _) in snap {
+            let shard = &self.shards[s];
+            shard.waiters.with(|ws| {
+                ws.push(waker.clone());
+                // ord: (3) SeqCst registration bump; Dekker-pairs with the
+                // committer's SeqCst parked probe (2) in `publish`.
+                shard.parked.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        for &(s, seen) in snap {
+            // ord: (4) SeqCst validation re-read; Dekker-pairs with the
+            // committer's SeqCst seq bump (1): if (2) missed our (3), (1)
+            // precedes this load, which then observes the change.
+            if self.shards[s].seq.load(Ordering::SeqCst) != seen {
+                self.unregister(snap, waker);
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Removes every registration of `waker`'s task from the shards of
+    /// `snap` (identity via [`WakeRef::will_wake`]), keeping the parked
+    /// counts exact.
+    fn unregister(&self, snap: &[(usize, u64)], waker: &W) {
+        for &(s, _) in snap {
+            let shard = &self.shards[s];
+            shard.waiters.with(|ws| {
+                let before = ws.len();
+                ws.retain(|w| !w.will_wake(waker));
+                let removed = (before - ws.len()) as u64;
+                if removed > 0 {
+                    // ord: SeqCst under the waiter-list lock, as in
+                    // `publish`'s drain: the count stays exact.
+                    shard.parked.fetch_sub(removed, Ordering::SeqCst);
+                }
+            });
+        }
+    }
+
+    /// True if any shard of `snap` has published since the snapshot was
+    /// taken (diagnostics / tests).
+    pub fn changed_since(&self, snap: &[(usize, u64)]) -> bool {
+        snap.iter()
+            // ord: SeqCst diagnostic read of the protocol word.
+            .any(|&(s, seen)| self.shards[s].seq.load(Ordering::SeqCst) != seen)
+    }
+
+    /// Total wakers currently registered across all shards (diagnostics).
+    pub fn parked_wakers(&self) -> usize {
+        self.shards
+            .iter()
+            // ord: SeqCst diagnostic read of the protocol word.
+            .map(|s| s.parked.load(Ordering::SeqCst) as usize)
+            .sum()
+    }
+
+    /// Total publishes across all shards (diagnostics).
+    pub fn publish_count(&self) -> u64 {
+        self.shards
+            .iter()
+            // ord: SeqCst diagnostic read of the protocol word.
+            .map(|s| s.seq.load(Ordering::SeqCst))
+            .sum()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Grace kernel: epoch + slot claim/flush for transaction-safe reclamation.
+// ---------------------------------------------------------------------------
+
+/// A contiguous block of t-variables scheduled for reclamation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetiredBlock {
+    /// First t-variable id of the block.
+    pub base: TVarId,
+    /// Number of contiguous ids.
+    pub len: usize,
+}
+
+/// The active-transaction slot store the grace kernel is generic over.
+/// Production uses [`crate::reclaim`]'s lock-free chunked `SlotArray`
+/// (`AtomicPtr`-chained, unbounded); the model checker uses a fixed array
+/// of instrumented atomics. Both claim with the same CAS protocol; the
+/// chunk-installation visibility argument is `SlotArray`-specific and
+/// stays prose (the model cannot express pointer installation).
+pub trait SlotSet<A: AtomicU64Like>: Send + Sync {
+    /// Owning reference to a claimed slot; dropping the kernel's
+    /// [`GraceHandle`] around it stores [`IDLE_SLOT`] through it.
+    type Handle: Deref<Target = A> + Send;
+    /// Claims an idle slot, storing `e` into it (CAS from [`IDLE_SLOT`]).
+    fn claim(&self, e: u64) -> Self::Handle;
+    /// Minimum epoch over all registered slots ([`IDLE_SLOT`] when none).
+    fn min_active(&self) -> u64;
+}
+
+/// An active-transaction registration. Dropping it releases the slot —
+/// abort paths need nothing beyond dropping the transaction.
+pub struct GraceHandle<H>
+where
+    H: Deref,
+    H::Target: AtomicU64Like,
+{
+    slot: H,
+}
+
+impl<H> GraceHandle<H>
+where
+    H: Deref,
+    H::Target: AtomicU64Like,
+{
+    /// Republishes the slot's epoch (the begin-revalidation loop).
+    fn publish_epoch(&self, e: u64) {
+        // ord: SeqCst slot publication; must be ordered against the
+        // retirer's SeqCst epoch bump so a flush scan cannot miss a
+        // registered predecessor (see `GraceCore::begin`).
+        self.slot.store(e, Ordering::SeqCst);
+    }
+
+    fn current(&self) -> u64 {
+        // ord: Relaxed — own slot, only this handle writes it between
+        // claim and drop; the value is compared against a SeqCst epoch
+        // re-read that provides the ordering.
+        self.slot.load(Ordering::Relaxed)
+    }
+}
+
+impl<H> Drop for GraceHandle<H>
+where
+    H: Deref,
+    H::Target: AtomicU64Like,
+{
+    fn drop(&mut self) {
+        // ord: SeqCst release of the slot: a concurrent flush scan either
+        // sees the registration (and holds our bins) or sees IDLE after
+        // we are finished and can no longer touch any block.
+        self.slot.store(IDLE_SLOT, Ordering::SeqCst);
+    }
+}
+
+/// One retired batch awaiting its grace period.
+struct Bin {
+    epoch: u64,
+    blocks: Vec<RetiredBlock>,
+}
+
+/// The grace-period protocol (epoch counter, per-transaction slots,
+/// retired bins), written once and shared by
+/// [`crate::reclaim::GraceTracker`] (`StdSync` + chunked `SlotArray`) and
+/// the `oftm-verify` model checker (instrumented atomics + fixed slots).
+/// See [`crate::reclaim`] for the full why-this-is-safe argument; the
+/// `model_grace` suite in `oftm-verify` checks it exhaustively at
+/// preemption bound ≥ 2.
+pub struct GraceCore<F: SyncFacade, S: SlotSet<F::Au64>> {
+    /// Monotonic epoch; advanced by every retiring commit.
+    epoch: F::Au64,
+    slots: S,
+    /// Retired batches not yet past their grace period.
+    bins: F::Mutex<Vec<Bin>>,
+    /// Blocks currently sitting in `bins` (kept in sync under the `bins`
+    /// lock). Lets the hot no-reclamation path — every commit of a
+    /// workload that never retires anything — skip the lock entirely.
+    pending: F::Au64,
+    retired_blocks: F::Au64,
+    freed_blocks: F::Au64,
+}
+
+impl<F: SyncFacade, S: SlotSet<F::Au64>> GraceCore<F, S> {
+    pub fn new(slots: S) -> Self {
+        GraceCore {
+            epoch: F::Au64::new(1),
+            slots,
+            bins: F::Mutex::new(Vec::new()),
+            pending: F::Au64::new(0),
+            retired_blocks: F::Au64::new(0),
+            freed_blocks: F::Au64::new(0),
+        }
+    }
+
+    /// The slot store (tests/diagnostics).
+    pub fn slots(&self) -> &S {
+        &self.slots
+    }
+
+    /// Registers a beginning transaction. Must be called before the
+    /// transaction performs its first read.
+    pub fn begin(&self) -> GraceHandle<S::Handle> {
+        // ord: SeqCst epoch sample: the claimed slot value must order
+        // against retirements' SeqCst epoch bumps.
+        let e = self.epoch.load(Ordering::SeqCst);
+        let handle = GraceHandle {
+            slot: self.slots.claim(e),
+        };
+        // Revalidate (all `SeqCst`): if the epoch did not move, our slot
+        // write is SeqCst-ordered before any later retirement's bump, so
+        // that retirement's flush must see us. If it moved, republish —
+        // reading the bump (a SeqCst RMW) happens-before-orders the
+        // retirer's committed unlink ahead of every read this transaction
+        // will do, so the blocks its bin frees are unreachable to us.
+        // Without this, a flush racing our registration could miss the
+        // slot while our reads still observe pre-unlink state on weakly
+        // ordered hardware.
+        loop {
+            // ord: SeqCst epoch re-read of the revalidation loop (see the
+            // block comment above).
+            let now = self.epoch.load(Ordering::SeqCst);
+            if now == handle.current() {
+                break;
+            }
+            handle.publish_epoch(now);
+        }
+        handle
+    }
+
+    /// Commit hook: releases the committing transaction's slot, enters its
+    /// retire-set (if any) as a new batch, and returns every batch whose
+    /// grace period has elapsed. The caller must evict the returned blocks
+    /// from its variable table — the kernel records ids, not state.
+    pub fn retire_and_flush(
+        &self,
+        grace: GraceHandle<S::Handle>,
+        retired: Vec<RetiredBlock>,
+    ) -> Vec<RetiredBlock> {
+        // Release our slot first: the batch we are about to enter must not
+        // wait on the very transaction that retired it.
+        drop(grace);
+        if !retired.is_empty() {
+            // ord: Relaxed — diagnostic counter only.
+            self.retired_blocks
+                .fetch_add(retired.len() as u64, Ordering::Relaxed);
+            // ord: SeqCst epoch bump: orders the batch tag against every
+            // beginner's SeqCst slot publication (the flush rule's "slot
+            // epoch > batch epoch" comparison depends on it).
+            let tag = self.epoch.fetch_add(1, Ordering::SeqCst);
+            self.bins.with(|bins| {
+                // ord: Release pending bump under the bins lock; pairs
+                // with `flush`'s Acquire fast-path probe.
+                self.pending
+                    .fetch_add(retired.len() as u64, Ordering::Release);
+                bins.push(Bin {
+                    epoch: tag,
+                    blocks: retired,
+                });
+            });
+        }
+        self.flush()
+    }
+
+    /// Returns every retired batch that no active transaction predates.
+    pub fn flush(&self) -> Vec<RetiredBlock> {
+        // Fast path: nothing pending — workloads that never retire (the
+        // word-level harnesses and benches) pay one relaxed load per
+        // commit instead of two lock acquisitions.
+        // ord: Acquire probe pairing with the Release bumps under the
+        // bins lock; a stale zero only skips a flush some other commit
+        // will perform.
+        if self.pending.load(Ordering::Acquire) == 0 {
+            return Vec::new();
+        }
+        // Lock the bins BEFORE scanning the slots (the same order as the
+        // epoch shim's collector). Reversed, a bin pushed between the two
+        // steps could be freed against a stale scan that missed a reader
+        // registered after it — with the lock held first, every bin we
+        // examine was pushed before we locked, so any reader that can
+        // reach its blocks registered (and is visible) before our scan.
+        let out = self.bins.with(|bins| {
+            let min_active = self.slots.min_active();
+            let mut out = Vec::new();
+            bins.retain_mut(|bin| {
+                if bin.epoch < min_active {
+                    out.append(&mut bin.blocks);
+                    false
+                } else {
+                    true
+                }
+            });
+            // ord: Release pending decrement under the bins lock; pairs
+            // with the Acquire fast-path probe above.
+            self.pending.fetch_sub(out.len() as u64, Ordering::Release);
+            out
+        });
+        // ord: Relaxed — diagnostic counter only.
+        self.freed_blocks
+            .fetch_add(out.len() as u64, Ordering::Relaxed);
+        out
+    }
+
+    /// Number of retired blocks still awaiting their grace period.
+    pub fn pending_blocks(&self) -> usize {
+        self.bins
+            .with(|bins| bins.iter().map(|b| b.blocks.len()).sum())
+    }
+
+    /// Total blocks ever retired (diagnostics).
+    pub fn retired_total(&self) -> u64 {
+        // ord: Relaxed — diagnostic counter only.
+        self.retired_blocks.load(Ordering::Relaxed)
+    }
+
+    /// Total blocks whose grace period has elapsed (diagnostics).
+    pub fn freed_total(&self) -> u64 {
+        // ord: Relaxed — diagnostic counter only.
+        self.freed_blocks.load(Ordering::Relaxed)
+    }
+}

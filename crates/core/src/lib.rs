@@ -21,6 +21,9 @@
 //!   actually changes.
 //! * [`contention`] — the shared retry policy (backoff schedule, park
 //!   timeouts) behind both the sync spin loops and the async park path.
+//! * [`kernel`] — the notify/grace protocol kernels written generically
+//!   over a synchronization facade, so `oftm-verify`'s bounded model
+//!   checker can interleave the production protocol code exhaustively.
 //!
 //! ## Quick start
 //!
@@ -41,6 +44,7 @@ pub mod api;
 pub mod cm;
 pub mod contention;
 pub mod dstm;
+pub mod kernel;
 pub mod notify;
 pub mod pool;
 pub mod reclaim;

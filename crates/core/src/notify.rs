@@ -61,36 +61,39 @@
 //! When no async clients exist, `parked` is zero everywhere and the whole
 //! subsystem costs a commit one `fetch_add` + one load per written shard
 //! — the same order as TL2's sharded clock stamp.
+//!
+//! ## Mechanized argument
+//!
+//! The numbered protocol steps live in [`crate::kernel::NotifyProto`],
+//! generic over a synchronization facade; this module instantiates it with
+//! real atomics ([`crate::kernel::StdSync`]) and only adds the
+//! t-variable → shard mapping. `oftm-verify`'s bounded model checker runs
+//! the *same* kernel under a deterministic DFS scheduler
+//! (`crates/verify/tests/model_notify.rs`) and exhaustively confirms, at
+//! preemption bound ≥ 2, that no interleaving strands a parked waiter
+//! whose shard has published — the prose Dekker argument above, checked
+//! schedule by schedule.
 
+use crate::kernel::{NotifyProto, StdSync};
 use oftm_histories::TVarId;
-use parking_lot::Mutex;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::task::Waker;
 
 /// Number of notification shards. A power of two, and exactly 64 so a
 /// footprint's deduplicated shard set is a single `u64` bitmask.
 pub const NOTIFY_SHARDS: usize = 64;
 
-/// One notification shard (cache-padded: committers of disjoint shards
-/// must not bounce a line).
-#[repr(align(64))]
-struct Shard {
-    /// Commits that wrote this shard so far (the validation word of the
-    /// no-lost-wakeup protocol).
-    seq: AtomicU64,
-    /// Wakers currently registered (the committer's cheap "anyone
-    /// parked?" probe).
-    parked: AtomicU64,
-    waiters: Mutex<Vec<Waker>>,
-}
+/// Iterator over the set bit positions of a shard bitmask.
+struct MaskBits(u64);
 
-impl Shard {
-    fn new() -> Self {
-        Shard {
-            seq: AtomicU64::new(0),
-            parked: AtomicU64::new(0),
-            waiters: Mutex::new(Vec::new()),
+impl Iterator for MaskBits {
+    type Item = usize;
+    fn next(&mut self) -> Option<usize> {
+        if self.0 == 0 {
+            return None;
         }
+        let s = self.0.trailing_zeros() as usize;
+        self.0 &= self.0 - 1;
+        Some(s)
     }
 }
 
@@ -118,7 +121,7 @@ impl WaitSnapshot {
 
 /// The per-STM commit-notification endpoint (see module docs).
 pub struct CommitNotifier {
-    shards: Box<[Shard]>,
+    proto: NotifyProto<StdSync, Waker>,
 }
 
 impl Default for CommitNotifier {
@@ -130,7 +133,7 @@ impl Default for CommitNotifier {
 impl CommitNotifier {
     pub fn new() -> Self {
         CommitNotifier {
-            shards: (0..NOTIFY_SHARDS).map(|_| Shard::new()).collect(),
+            proto: NotifyProto::new(NOTIFY_SHARDS),
         }
     }
 
@@ -160,40 +163,15 @@ impl CommitNotifier {
     /// commit's writes are visible, so a woken re-run observes the new
     /// state. Duplicates in `written` are free (one bit per shard).
     pub fn publish(&self, written: impl IntoIterator<Item = TVarId>) {
-        let mut mask = Self::mask_of(written);
-        // Wake outside the shard lock: a waker may schedule work
-        // re-entrantly (executor queues), which must not run under our
-        // lock.
-        let mut woken: Vec<Waker> = Vec::new();
-        while mask != 0 {
-            let s = mask.trailing_zeros() as usize;
-            mask &= mask - 1;
-            let shard = &self.shards[s];
-            shard.seq.fetch_add(1, Ordering::SeqCst); // (1)
-            if shard.parked.load(Ordering::SeqCst) != 0 {
-                // (2)
-                let mut ws = shard.waiters.lock();
-                shard.parked.fetch_sub(ws.len() as u64, Ordering::SeqCst);
-                woken.append(&mut ws);
-            }
-        }
-        for w in woken {
-            w.wake();
-        }
+        self.proto.publish(MaskBits(Self::mask_of(written)));
     }
 
     /// Samples the current sequence number of every shard in `footprint`
     /// into `snap` (cleared first; duplicates dedup to one entry). This is
     /// the waiter's step preceding [`CommitNotifier::park`].
     pub fn snapshot(&self, footprint: impl IntoIterator<Item = TVarId>, snap: &mut WaitSnapshot) {
-        snap.shards.clear();
-        let mut mask = Self::mask_of(footprint);
-        while mask != 0 {
-            let s = mask.trailing_zeros() as usize;
-            mask &= mask - 1;
-            snap.shards
-                .push((s, self.shards[s].seq.load(Ordering::SeqCst)));
-        }
+        self.proto
+            .snapshot(MaskBits(Self::mask_of(footprint)), &mut snap.shards);
     }
 
     /// Registers `waker` on every shard of `snap`, then validates the
@@ -206,72 +184,32 @@ impl CommitNotifier {
     /// not stay pinned in a shard list that may never publish again.
     #[must_use]
     pub fn park(&self, snap: &WaitSnapshot, waker: &Waker) -> bool {
-        debug_assert!(!snap.is_empty(), "parking on an empty footprint");
-        for &(s, _) in &snap.shards {
-            let shard = &self.shards[s];
-            let mut ws = shard.waiters.lock();
-            ws.push(waker.clone());
-            shard.parked.fetch_add(1, Ordering::SeqCst); // (3)
-        }
-        for &(s, seen) in &snap.shards {
-            if self.shards[s].seq.load(Ordering::SeqCst) != seen {
-                // (4)
-                self.unregister(snap, waker);
-                return false;
-            }
-        }
-        true
-    }
-
-    /// Removes every registration of `waker`'s task from the shards of
-    /// `snap` (identity via [`Waker::will_wake`]), keeping the parked
-    /// counts exact. Removing an older clone of the same task is
-    /// harmless: the caller is about to re-run and will re-register if
-    /// it parks again.
-    fn unregister(&self, snap: &WaitSnapshot, waker: &Waker) {
-        for &(s, _) in &snap.shards {
-            let shard = &self.shards[s];
-            let mut ws = shard.waiters.lock();
-            let before = ws.len();
-            ws.retain(|w| !w.will_wake(waker));
-            let removed = (before - ws.len()) as u64;
-            if removed > 0 {
-                shard.parked.fetch_sub(removed, Ordering::SeqCst);
-            }
-        }
+        self.proto.park(&snap.shards, waker)
     }
 
     /// True if any shard of `snap` has published since the snapshot was
     /// taken (diagnostics / tests).
     pub fn changed_since(&self, snap: &WaitSnapshot) -> bool {
-        snap.shards
-            .iter()
-            .any(|&(s, seen)| self.shards[s].seq.load(Ordering::SeqCst) != seen)
+        self.proto.changed_since(&snap.shards)
     }
 
     /// Total wakers currently registered across all shards (diagnostics;
     /// a waiter parked on k shards counts k times).
     pub fn parked_wakers(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.parked.load(Ordering::SeqCst) as usize)
-            .sum()
+        self.proto.parked_wakers()
     }
 
     /// Total publishes across all shards (diagnostics; a commit writing k
     /// distinct shards counts k times).
     pub fn publish_count(&self) -> u64 {
-        self.shards
-            .iter()
-            .map(|s| s.seq.load(Ordering::SeqCst))
-            .sum()
+        self.proto.publish_count()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicUsize;
+    use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Arc;
     use std::task::Wake;
 

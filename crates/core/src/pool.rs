@@ -46,6 +46,8 @@ impl<T> SlotPool<T> {
 
     /// Pops the bundle parked under `key`'s slot, if any.
     pub fn take(&self, key: usize) -> Option<Box<T>> {
+        // ord: AcqRel — Acquire pairs with `put`'s Release so the parked
+        // bundle's contents are visible to the new owner.
         let p = self.slots[key & (SLOTS - 1)].swap(std::ptr::null_mut(), Ordering::AcqRel);
         if p.is_null() {
             None
@@ -58,6 +60,8 @@ impl<T> SlotPool<T> {
 
     /// Parks `t` under `key`'s slot, dropping any incumbent.
     pub fn put(&self, key: usize, t: Box<T>) {
+        // ord: AcqRel — Release publishes the bundle to `take`'s Acquire;
+        // Acquire pairs with the incumbent's publishing swap before it drops.
         let old = self.slots[key & (SLOTS - 1)].swap(Box::into_raw(t), Ordering::AcqRel);
         if !old.is_null() {
             // SAFETY: as in `take`.
@@ -69,6 +73,7 @@ impl<T> SlotPool<T> {
 impl<T> Drop for SlotPool<T> {
     fn drop(&mut self) {
         for slot in self.slots.iter() {
+            // ord: Relaxed — exclusive access in Drop (&mut self).
             let p = slot.load(Ordering::Relaxed);
             if !p.is_null() {
                 // SAFETY: sole owner in Drop.

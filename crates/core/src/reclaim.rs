@@ -41,13 +41,25 @@
 //! the epoch bump use `SeqCst` so a flush that misses an in-flight slot
 //! registration can only involve a transaction that began after the
 //! retiring commit — one that cannot reach the block anyway.
+//!
+//! The race-prone core of this argument — slot claim/revalidation vs.
+//! concurrent retire-and-flush — is **mechanized**: the generic kernel
+//! ([`crate::kernel::GraceCore`], which this module instantiates with
+//! real atomics) also runs under `oftm-verify`'s bounded interleaving
+//! model checker (`crates/verify/tests/model_grace.rs`), which
+//! exhaustively checks, at preemption bound 2, that no block is freed
+//! under a predating reader and that every retired block is freed
+//! exactly once — and that broken variants (inclusive flush epoch,
+//! read-before-register misuse) are caught with a replayable schedule.
 
-use oftm_histories::TVarId;
+use crate::kernel::{GraceCore, GraceHandle, SlotSet, StdSync, IDLE_SLOT};
 use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
+
+pub use crate::kernel::RetiredBlock;
 
 /// Slot value meaning "no transaction registered here".
-const IDLE: u64 = u64::MAX;
+const IDLE: u64 = IDLE_SLOT;
 
 /// Slots per chunk of the lock-free slot list.
 const SLOT_CHUNK: usize = 64;
@@ -93,7 +105,11 @@ impl SlotArray {
         let mut chunk = &self.head;
         loop {
             for slot in chunk.slots.iter() {
+                // ord: Relaxed pre-screen — the SeqCst CAS is what claims.
                 if slot.load(Ordering::Relaxed) == IDLE
+                    // ord: SeqCst registration Dekker-pairs with `flush`'s
+                    // SeqCst slot scan (via GraceCore::begin's revalidation
+                    // loop); failure is Relaxed — a lost race retries.
                     && slot
                         .compare_exchange(IDLE, e, Ordering::SeqCst, Ordering::Relaxed)
                         .is_ok()
@@ -101,17 +117,20 @@ impl SlotArray {
                     return Arc::clone(slot);
                 }
             }
+            // ord: Acquire pairs with the installing CAS's Release half so
+            // the fresh chunk's slots are visible.
             let mut p = chunk.next.load(Ordering::Acquire);
             if p.is_null() {
                 let raw = Box::into_raw(Box::new(SlotChunk::new()));
-                // SeqCst install: `min_active`'s scan must be guaranteed
-                // to observe any chunk whose slots a registered
-                // transaction occupies (see the ordering note there).
+                // ord: SeqCst install — `min_active`'s SeqCst scan must be
+                // guaranteed to observe any chunk whose slots a registered
+                // transaction occupies (see the ordering note there);
+                // failure Acquire pairs with the winner's install.
                 match chunk.next.compare_exchange(
                     std::ptr::null_mut(),
                     raw,
-                    Ordering::SeqCst,
-                    Ordering::Acquire,
+                    Ordering::SeqCst,  // ord: see install note above
+                    Ordering::Acquire, // ord: pairs with the winner's install
                 ) {
                     Ok(_) => p = raw,
                     Err(winner) => {
@@ -139,11 +158,16 @@ impl SlotArray {
         let mut chunk = Some(&self.head);
         while let Some(c) = chunk {
             for slot in c.slots.iter() {
+                // ord: SeqCst scan Dekker-pairs with `claim`'s SeqCst
+                // registration: either the scan sees the slot, or the
+                // registrant's begin-revalidation sees the bumped epoch.
                 let e = slot.load(Ordering::SeqCst);
                 if e != IDLE && e < min {
                     min = e;
                 }
             }
+            // ord: SeqCst — must not miss a chunk installed (SeqCst) before
+            // a registration this scan is obligated to observe.
             let p = c.next.load(Ordering::SeqCst);
             // SAFETY: append-only, alive while the list is.
             chunk = (!p.is_null()).then(|| unsafe { &*p });
@@ -158,6 +182,7 @@ impl SlotArray {
         let mut chunk = Some(&self.head);
         while let Some(c) = chunk {
             n += SLOT_CHUNK;
+            // ord: Acquire pairs with the installing CAS (test diagnostic).
             let p = c.next.load(Ordering::Acquire);
             // SAFETY: as in `min_active`.
             chunk = (!p.is_null()).then(|| unsafe { &*p });
@@ -168,59 +193,40 @@ impl SlotArray {
 
 impl Drop for SlotArray {
     fn drop(&mut self) {
+        // ord: Relaxed — exclusive access in Drop (&mut self).
         let mut p = self.head.next.load(Ordering::Relaxed);
         while !p.is_null() {
             // SAFETY: installed via Box::into_raw; outstanding `TxGrace`
             // handles hold their own `Arc`s into the slots.
             let chunk = unsafe { Box::from_raw(p) };
+            // ord: Relaxed — exclusive access in Drop (&mut self).
             p = chunk.next.load(Ordering::Relaxed);
         }
     }
 }
 
-/// A contiguous block of t-variables scheduled for reclamation.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct RetiredBlock {
-    /// First t-variable id of the block.
-    pub base: TVarId,
-    /// Number of contiguous ids.
-    pub len: usize,
-}
+impl SlotSet<AtomicU64> for SlotArray {
+    type Handle = Arc<AtomicU64>;
 
-/// An active-transaction registration. Dropping it releases the slot —
-/// abort paths need nothing beyond dropping the transaction.
-pub struct TxGrace {
-    slot: Arc<AtomicU64>,
-}
+    fn claim(&self, e: u64) -> Arc<AtomicU64> {
+        SlotArray::claim(self, e)
+    }
 
-impl Drop for TxGrace {
-    fn drop(&mut self) {
-        self.slot.store(IDLE, Ordering::SeqCst);
+    fn min_active(&self) -> u64 {
+        SlotArray::min_active(self)
     }
 }
 
-/// One retired batch awaiting its grace period.
-struct Bin {
-    epoch: u64,
-    blocks: Vec<RetiredBlock>,
-}
+/// An active-transaction registration. Dropping it releases the slot —
+/// abort paths need nothing beyond dropping the transaction. (The drop
+/// behavior lives in [`crate::kernel::GraceHandle`].)
+pub type TxGrace = GraceHandle<Arc<AtomicU64>>;
 
-/// The per-STM-instance grace-period tracker (see module docs).
+/// The per-STM-instance grace-period tracker (see module docs): the
+/// generic grace kernel ([`crate::kernel::GraceCore`]) instantiated with
+/// real atomics and the lock-free chunked [`SlotArray`].
 pub struct GraceTracker {
-    /// Monotonic epoch; advanced by every retiring commit.
-    epoch: AtomicU64,
-    /// Active-transaction slots: `IDLE` or the registering epoch. Slots
-    /// are recycled; the lock-free chunked array only grows to the peak
-    /// concurrency.
-    slots: SlotArray,
-    /// Retired batches not yet past their grace period.
-    bins: Mutex<Vec<Bin>>,
-    /// Blocks currently sitting in `bins` (kept in sync under the `bins`
-    /// lock). Lets the hot no-reclamation path — every commit of a
-    /// workload that never retires anything — skip the lock entirely.
-    pending: AtomicU64,
-    retired_blocks: AtomicU64,
-    freed_blocks: AtomicU64,
+    core: GraceCore<StdSync, SlotArray>,
 }
 
 impl Default for GraceTracker {
@@ -232,12 +238,7 @@ impl Default for GraceTracker {
 impl GraceTracker {
     pub fn new() -> Self {
         GraceTracker {
-            epoch: AtomicU64::new(1),
-            slots: SlotArray::new(),
-            bins: Mutex::new(Vec::new()),
-            pending: AtomicU64::new(0),
-            retired_blocks: AtomicU64::new(0),
-            freed_blocks: AtomicU64::new(0),
+            core: GraceCore::new(SlotArray::new()),
         }
     }
 
@@ -246,25 +247,7 @@ impl GraceTracker {
     /// `begin`). The returned handle is released by dropping it or by
     /// passing it to [`GraceTracker::retire_and_flush`].
     pub fn begin(&self) -> TxGrace {
-        let e = self.epoch.load(Ordering::SeqCst);
-        let slot = self.slots.claim(e);
-        // Revalidate (all `SeqCst`): if the epoch did not move, our slot
-        // write is SeqCst-ordered before any later retirement's bump, so
-        // that retirement's flush must see us. If it moved, republish —
-        // reading the bump (a SeqCst RMW) happens-before-orders the
-        // retirer's committed unlink ahead of every read this transaction
-        // will do, so the blocks its bin frees are unreachable to us.
-        // Without this, a flush racing our registration could miss the
-        // slot while our reads still observe pre-unlink state on weakly
-        // ordered hardware.
-        loop {
-            let now = self.epoch.load(Ordering::SeqCst);
-            if now == slot.load(Ordering::Relaxed) {
-                break;
-            }
-            slot.store(now, Ordering::SeqCst);
-        }
-        TxGrace { slot }
+        self.core.begin()
     }
 
     /// Commit hook: releases the committing transaction's slot, enters its
@@ -276,80 +259,34 @@ impl GraceTracker {
         grace: TxGrace,
         retired: Vec<RetiredBlock>,
     ) -> Vec<RetiredBlock> {
-        // Release our slot first: the batch we are about to enter must not
-        // wait on the very transaction that retired it.
-        drop(grace);
-        if !retired.is_empty() {
-            self.retired_blocks
-                .fetch_add(retired.len() as u64, Ordering::Relaxed);
-            let tag = self.epoch.fetch_add(1, Ordering::SeqCst);
-            let mut bins = self.bins.lock().unwrap();
-            self.pending
-                .fetch_add(retired.len() as u64, Ordering::Release);
-            bins.push(Bin {
-                epoch: tag,
-                blocks: retired,
-            });
-        }
-        self.flush()
+        self.core.retire_and_flush(grace, retired)
     }
 
     /// Returns every retired batch that no active transaction predates.
     pub fn flush(&self) -> Vec<RetiredBlock> {
-        // Fast path: nothing pending — workloads that never retire (the
-        // word-level harnesses and benches) pay one relaxed load per
-        // commit instead of two lock acquisitions.
-        if self.pending.load(Ordering::Acquire) == 0 {
-            return Vec::new();
-        }
-        // Lock the bins BEFORE scanning the slots (the same order as the
-        // epoch shim's collector). Reversed, a bin pushed between the two
-        // steps could be freed against a stale scan that missed a reader
-        // registered after it — with the lock held first, every bin we
-        // examine was pushed before we locked, so any reader that can
-        // reach its blocks registered (and is visible) before our scan.
-        let mut bins = self.bins.lock().unwrap();
-        let min_active = self.slots.min_active();
-        let mut out = Vec::new();
-        bins.retain_mut(|bin| {
-            if bin.epoch < min_active {
-                out.append(&mut bin.blocks);
-                false
-            } else {
-                true
-            }
-        });
-        self.pending.fetch_sub(out.len() as u64, Ordering::Release);
-        drop(bins);
-        self.freed_blocks
-            .fetch_add(out.len() as u64, Ordering::Relaxed);
-        out
+        self.core.flush()
     }
 
     /// Number of retired blocks still awaiting their grace period.
     pub fn pending_blocks(&self) -> usize {
-        self.bins
-            .lock()
-            .unwrap()
-            .iter()
-            .map(|b| b.blocks.len())
-            .sum()
+        self.core.pending_blocks()
     }
 
     /// Total blocks ever retired (diagnostics).
     pub fn retired_total(&self) -> u64 {
-        self.retired_blocks.load(Ordering::Relaxed)
+        self.core.retired_total()
     }
 
     /// Total blocks whose grace period has elapsed (diagnostics).
     pub fn freed_total(&self) -> u64 {
-        self.freed_blocks.load(Ordering::Relaxed)
+        self.core.freed_total()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use oftm_histories::TVarId;
 
     fn blk(base: u64, len: usize) -> RetiredBlock {
         RetiredBlock {
@@ -405,11 +342,11 @@ mod tests {
             drop(g);
         }
         assert_eq!(
-            t.slots.capacity(),
+            t.core.slots().capacity(),
             SLOT_CHUNK,
             "sequential use must stay within the first chunk"
         );
-        assert_eq!(t.slots.min_active(), u64::MAX, "all slots released");
+        assert_eq!(t.core.slots().min_active(), u64::MAX, "all slots released");
     }
 
     #[test]
@@ -419,7 +356,7 @@ mod tests {
         // transactions"); the chained list must keep growing instead.
         let t = GraceTracker::new();
         let held: Vec<TxGrace> = (0..4097).map(|_| t.begin()).collect();
-        assert!(t.slots.capacity() > 4096);
+        assert!(t.core.slots().capacity() > 4096);
         // Reclamation still honors every one of them.
         let committer = t.begin();
         let freed = t.retire_and_flush(committer, vec![blk(100, 1)]);

@@ -129,6 +129,8 @@ impl<V> Drop for Page<V> {
         // SAFETY: `Drop` has exclusive access; no concurrent readers.
         let guard = unsafe { epoch::unprotected() };
         for slot in self.slots.iter() {
+            // ord: Relaxed — exclusive access in Drop; &mut self already
+            // synchronized-with every past writer.
             let sh = slot.load(Ordering::Relaxed, guard);
             if !sh.is_null() {
                 // SAFETY: sole owner; the pointee was allocated by
@@ -155,17 +157,22 @@ impl<V> L1<V> {
 /// Installs-or-reuses the pointee of an append-only directory cell.
 /// Returns `None` when absent and `create` is false.
 fn dir_entry<T>(cell: &AtomicPtr<T>, create: bool, make: impl FnOnce() -> T) -> Option<&T> {
+    // ord: Acquire pairs with the Release half of the installing CAS below,
+    // so a non-null pointer implies the pointee's construction is visible.
     let mut p = cell.load(Ordering::Acquire);
     if p.is_null() {
         if !create {
             return None;
         }
         let fresh = Box::into_raw(Box::new(make()));
+        // ord: AcqRel — Release publishes the freshly built directory entry
+        // to the Acquire load above; Acquire (success and failure) pairs
+        // with a racing installer's Release so `winner` is safe to deref.
         match cell.compare_exchange(
             std::ptr::null_mut(),
             fresh,
             Ordering::AcqRel,
-            Ordering::Acquire,
+            Ordering::Acquire, // ord: failure pairs with the winner's Release
         ) {
             Ok(_) => p = fresh,
             Err(winner) => {
@@ -259,8 +266,12 @@ impl<V> VarTable<V> {
     /// Fills `slot` with `v`, adjusting the live count (and retiring a
     /// replaced value through the epoch, for re-registration).
     fn fill(&self, slot: &Atomic<Arc<V>>, v: Arc<V>, guard: &Guard) {
+        // ord: AcqRel — Release publishes `v`'s construction to `get_in`'s
+        // Acquire load; Acquire pairs with the previous occupant's
+        // publishing swap before we retire it.
         let old = slot.swap(Owned::new(v), Ordering::AcqRel, guard);
         if old.is_null() {
+            // ord: Relaxed counter — read only by the `len` diagnostic.
             self.live.fetch_add(1, Ordering::Relaxed);
         } else {
             // SAFETY: `old` was unlinked by the swap; no new load returns it.
@@ -282,14 +293,18 @@ impl<V> VarTable<V> {
     pub fn insert_if_absent(&self, x: TVarId, v: V) -> bool {
         let slot = self.slot(x, true).expect("slot created");
         let guard = epoch::pin();
+        // ord: AcqRel — Release publishes the new state to readers'
+        // Acquire loads; Acquire on both outcomes pairs with the
+        // incumbent's publishing store.
         match slot.compare_exchange(
             Shared::null(),
             Owned::new(Arc::new(v)),
             Ordering::AcqRel,
-            Ordering::Acquire,
+            Ordering::Acquire, // ord: failure pairs with the incumbent's Release
             &guard,
         ) {
             Ok(_) => {
+                // ord: Relaxed counter — read only by the `len` diagnostic.
                 self.live.fetch_add(1, Ordering::Relaxed);
                 true
             }
@@ -304,6 +319,8 @@ impl<V> VarTable<V> {
     /// through here, so the per-read cost is pure loads.
     pub fn get_in(&self, x: TVarId, guard: &Guard) -> Option<Arc<V>> {
         let slot = self.slot(x, false)?;
+        // ord: Acquire pairs with the Release swap/CAS that installed the
+        // slot's value, making the pointee's construction visible.
         let sh = slot.load(Ordering::Acquire, guard);
         if sh.is_null() {
             None
@@ -329,6 +346,8 @@ impl<V> VarTable<V> {
     /// which cannot run before the pin is released.
     pub fn get_ref_in<'g>(&self, x: TVarId, guard: &'g Guard) -> Option<&'g V> {
         let slot = self.slot(x, false)?;
+        // ord: Acquire pairs with the Release swap/CAS that installed the
+        // slot's value, making the pointee's construction visible.
         let sh = slot.load(Ordering::Acquire, guard);
         if sh.is_null() {
             None
@@ -371,6 +390,9 @@ impl<V> VarTable<V> {
         mut make: impl FnMut(TVarId, Value) -> V,
     ) -> TVarId {
         assert!(!initials.is_empty(), "alloc_block of zero t-variables");
+        // ord: Relaxed — the fetch_add's atomicity alone guarantees
+        // disjoint id blocks; slot contents are published by `fill`'s
+        // Release swap, not by this counter.
         let base = self
             .next_dynamic
             .fetch_add(initials.len() as u64, Ordering::Relaxed);
@@ -387,6 +409,9 @@ impl<V> VarTable<V> {
 
     /// Tombstones the slot behind `slot`, returning whether it was full.
     fn clear(&self, slot: &Atomic<Arc<V>>, guard: &Guard) -> bool {
+        // ord: AcqRel — Acquire pairs with the publishing swap so the
+        // retired value is fully visible before `defer_destroy`; Release
+        // orders the tombstone for subsequent Acquire readers.
         let old = slot.swap(Shared::null(), Ordering::AcqRel, guard);
         if old.is_null() {
             return false;
@@ -394,6 +419,7 @@ impl<V> VarTable<V> {
         // SAFETY: unlinked by the swap; racing readers that loaded it
         // earlier hold the epoch pin `defer_destroy` waits out.
         unsafe { guard.defer_destroy(old) };
+        // ord: Relaxed counters — read only by the len/freed diagnostics.
         self.freed.fetch_add(1, Ordering::Relaxed);
         self.live.fetch_sub(1, Ordering::Relaxed);
         true
@@ -425,6 +451,7 @@ impl<V> VarTable<V> {
 
     /// Number of live t-variables (exact; the leak-regression metric).
     pub fn len(&self) -> usize {
+        // ord: Relaxed — monotonic diagnostic counter, no payload to order.
         self.live.load(Ordering::Relaxed) as usize
     }
 
@@ -434,6 +461,7 @@ impl<V> VarTable<V> {
 
     /// Number of dynamic ids handed out so far (diagnostics).
     pub fn dynamic_allocated(&self) -> u64 {
+        // ord: Relaxed — monotonic diagnostic counter, no payload to order.
         self.next_dynamic.load(Ordering::Relaxed) - DYNAMIC_TVAR_BASE
     }
 
@@ -441,6 +469,7 @@ impl<V> VarTable<V> {
     /// slot actually tombstoned by [`VarTable::remove`]/
     /// [`VarTable::remove_block`]).
     pub fn freed(&self) -> u64 {
+        // ord: Relaxed — monotonic diagnostic counter, no payload to order.
         self.freed.load(Ordering::Relaxed)
     }
 }
@@ -451,6 +480,7 @@ impl<V> Drop for VarTable<V> {
             .static_pages
             .iter()
             .chain(self.dynamic_l1s.iter().flat_map(|l1| {
+                // ord: Relaxed — exclusive access in Drop (&mut self).
                 let p = l1.load(Ordering::Relaxed);
                 // SAFETY: exclusive access in Drop; entries are boxed.
                 if p.is_null() {
@@ -460,6 +490,7 @@ impl<V> Drop for VarTable<V> {
                 }
             }))
         {
+            // ord: Relaxed — exclusive access in Drop (&mut self).
             let p = cell.load(Ordering::Relaxed);
             if !p.is_null() {
                 // SAFETY: installed via Box::into_raw; Page::drop frees
@@ -468,6 +499,7 @@ impl<V> Drop for VarTable<V> {
             }
         }
         for l1 in self.dynamic_l1s.iter() {
+            // ord: Relaxed — exclusive access in Drop (&mut self).
             let p = l1.load(Ordering::Relaxed);
             if !p.is_null() {
                 // SAFETY: installed via Box::into_raw; pages already freed.

@@ -88,6 +88,8 @@ struct ParticipantHandle(Arc<Participant>);
 
 impl Drop for ParticipantHandle {
     fn drop(&mut self) {
+        // ord: SeqCst joins the protocol's single total order so a
+        // collector's retain-scan sees dead+unpinned consistently.
         self.0.dead.store(true, Ordering::SeqCst);
     }
 }
@@ -112,6 +114,8 @@ thread_local! {
 /// workloads that never retire.)
 fn try_collect() {
     let g = global();
+    // ord: Acquire pairs with the enqueuer's Release `pending` bump so a
+    // non-zero count implies the garbage push is visible under the lock.
     if g.pending.load(Ordering::Acquire) == 0 {
         return;
     }
@@ -126,10 +130,14 @@ fn try_collect() {
     };
     let min_pinned = {
         participants.retain(|p| {
+            // ord: SeqCst — prune only records whose death and unpin are
+            // both settled in the protocol's total order.
             !(p.dead.load(Ordering::SeqCst) && p.epoch.load(Ordering::SeqCst) == NOT_PINNED)
         });
         let min = participants
             .iter()
+            // ord: SeqCst scan Dekker-pairs with `pin`'s SeqCst
+            // publish-and-revalidate (see the note there).
             .map(|p| p.epoch.load(Ordering::SeqCst))
             .filter(|&e| e != NOT_PINNED)
             .min()
@@ -146,6 +154,8 @@ fn try_collect() {
             true
         }
     });
+    // ord: Release keeps the count's decrement ordered after the retain
+    // under the lock (pairs with the fast path's Acquire).
     g.pending.fetch_sub(dead.len(), Ordering::Release);
     // Run the (arbitrary) destructors outside the garbage lock.
     drop(garbage);
@@ -166,13 +176,19 @@ pub struct Guard {
     /// thread is live (a record is only pruned when dead *and* unpinned,
     /// and `epoch` stays published until the last guard drops).
     part: *const Participant,
+    /// Debug-only: thread that created the pin. A `Guard` must be dropped
+    /// on the thread that pinned — a cross-thread drop would decrement a
+    /// foreign participant's pin count (see the `Send`/`Sync` note below).
+    #[cfg(debug_assertions)]
+    pinner: Option<std::thread::ThreadId>,
 }
 
 // SAFETY: shim simplification, matching the previous `Arc`-holding guard
 // (which was auto-`Send`/`Sync`): all fields behind the pointer are
 // atomics, and validity is maintained by the registry as described above.
 // The real crate's `Guard` is `!Send`; every guard in this workspace is
-// used by its owning thread only.
+// used by its owning thread only — enforced in debug builds by the
+// cross-thread-drop assertion in `Drop`.
 unsafe impl Send for Guard {}
 unsafe impl Sync for Guard {}
 
@@ -181,6 +197,8 @@ pub fn pin() -> Guard {
     let part = PARTICIPANT.with(|h| Arc::as_ptr(&h.0));
     // SAFETY: see `Guard::part` — the registry keeps the record alive.
     let p = unsafe { &*part };
+    // ord: Relaxed — `pins` is mutated only by the owning thread; the
+    // epoch publication below carries the cross-thread ordering.
     if p.pins.fetch_add(1, Ordering::Relaxed) == 0 {
         // Publish-and-revalidate, all `SeqCst`: store the observed epoch,
         // then re-read the global. If it did not move, our store is
@@ -193,15 +211,24 @@ pub fn pin() -> Guard {
         // load-then-store would leave a window where a concurrent
         // collector misses the slot while our Acquire pointer loads may
         // still return the unlinked value on weakly ordered hardware.
+        // ord: SeqCst throughout — the publish-and-revalidate protocol
+        // described above needs the store and both loads in the single
+        // total order shared with `defer_destroy`'s epoch bump and the
+        // collector's scan.
         loop {
             let e = global().epoch.load(Ordering::SeqCst);
             p.epoch.store(e, Ordering::SeqCst);
+            // ord: SeqCst revalidation (see the protocol note above).
             if global().epoch.load(Ordering::SeqCst) == e {
                 break;
             }
         }
     }
-    Guard { part }
+    Guard {
+        part,
+        #[cfg(debug_assertions)]
+        pinner: Some(std::thread::current().id()),
+    }
 }
 
 impl Drop for Guard {
@@ -211,10 +238,24 @@ impl Drop for Guard {
         }
         // SAFETY: see `Guard::part`.
         let p = unsafe { &*self.part };
+        #[cfg(debug_assertions)]
+        let cross_thread = self
+            .pinner
+            .is_some_and(|id| id != std::thread::current().id());
+        // ord: Relaxed — owner-thread-only counter, as in `pin`.
         if p.pins.fetch_sub(1, Ordering::Relaxed) == 1 {
+            // ord: SeqCst unpin joins the protocol's total order so the
+            // collector's scan and this release cannot reorder.
             p.epoch.store(NOT_PINNED, Ordering::SeqCst);
             try_collect();
         }
+        // Checked after the release so even a violating (debug) drop
+        // leaves the participant consistent for the rest of the process.
+        #[cfg(debug_assertions)]
+        assert!(
+            !cross_thread,
+            "epoch Guard dropped on a different thread than the one that pinned it"
+        );
     }
 }
 
@@ -227,6 +268,8 @@ impl Drop for Guard {
 pub unsafe fn unprotected() -> &'static Guard {
     static GUARD: Guard = Guard {
         part: std::ptr::null(),
+        #[cfg(debug_assertions)]
+        pinner: None,
     };
     &GUARD
 }
@@ -245,8 +288,12 @@ impl Guard {
             return;
         }
         let g = global();
+        // ord: SeqCst bump — later pins' publish-and-revalidate must
+        // observe it (or be observed by the collector); see `pin`.
         let tag = g.epoch.fetch_add(1, Ordering::SeqCst);
         let mut garbage = g.garbage.lock().unwrap();
+        // ord: Release pairs with the fast path's Acquire in `try_collect`
+        // (done under the garbage lock, before the push is visible).
         g.pending.fetch_add(1, Ordering::Release);
         garbage.push(Garbage {
             ptr: ptr.ptr as *mut (),
@@ -261,6 +308,8 @@ pub struct Owned<T> {
     ptr: *mut T,
 }
 
+// SAFETY: `Owned` is a unique owner (a `Box` by another name); sending
+// it transfers the single handle, which is safe exactly when `T: Send`.
 unsafe impl<T: Send> Send for Owned<T> {}
 
 impl<T> Owned<T> {
@@ -291,12 +340,18 @@ impl<T> std::fmt::Debug for Owned<T> {
 impl<T> std::ops::Deref for Owned<T> {
     type Target = T;
     fn deref(&self) -> &T {
+        // SAFETY: `ptr` came from `Box::into_raw` in `new` and is only
+        // freed by `Drop` (or handed off whole by `into_shared`, which
+        // forgets `self`), so it is live and uniquely ours here.
         unsafe { &*self.ptr }
     }
 }
 
 impl<T> Drop for Owned<T> {
     fn drop(&mut self) {
+        // SAFETY: same provenance as `deref` — the pointer is the live
+        // `Box::into_raw` allocation and this is its unique owner, so
+        // reconstituting the box here frees it exactly once.
         unsafe { drop(Box::from_raw(self.ptr)) }
     }
 }
@@ -383,7 +438,13 @@ pub struct Atomic<T> {
     ptr: AtomicPtr<T>,
 }
 
+// SAFETY: `Atomic` shares `T` across every thread that loads the
+// pointer (it is a `&T` factory), so both auto-traits require
+// `T: Send + Sync`; with that bound, sharing or sending the pointer
+// cell adds nothing beyond what `&T`/`T` already permit.
 unsafe impl<T: Send + Sync> Send for Atomic<T> {}
+// SAFETY: as above — `&Atomic<T>` only hands out loads/stores of a
+// pointer whose pointee is `Send + Sync`.
 unsafe impl<T: Send + Sync> Sync for Atomic<T> {}
 
 impl<T> Atomic<T> {
@@ -582,6 +643,18 @@ mod tests {
         assert_eq!(drops.load(Ordering::SeqCst), 0);
         drop(outer);
         assert_eq!(drops.load(Ordering::SeqCst), 1);
+    }
+
+    /// Satellite of the verification pass: a `Guard` migrated to and
+    /// dropped on a foreign thread must trip the debug assertion — the
+    /// drop would decrement that thread's view of a foreign participant.
+    #[test]
+    #[cfg(debug_assertions)]
+    fn cross_thread_guard_drop_is_caught_in_debug() {
+        let _serial = serial();
+        let g = pin();
+        let r = std::thread::spawn(move || drop(g)).join();
+        assert!(r.is_err(), "cross-thread Guard drop must panic in debug");
     }
 
     #[test]

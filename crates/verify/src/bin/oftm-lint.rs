@@ -1,0 +1,73 @@
+//! Workspace STM-invariant lint driver. Usage:
+//!
+//! ```text
+//! oftm-lint [--root <workspace-root>]
+//! ```
+//!
+//! Walks every `src/` tree under the root (default: the current
+//! directory, falling back to the nearest ancestor containing
+//! `Cargo.toml` + `crates/`), applies the rules in [`oftm_verify::lint`],
+//! prints each violation as `path:line: [rule] message`, and exits with
+//! status 1 if any were found.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn find_root(explicit: Option<PathBuf>) -> PathBuf {
+    if let Some(r) = explicit {
+        return r;
+    }
+    let mut dir = std::env::current_dir().expect("cwd");
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return dir;
+        }
+        if !dir.pop() {
+            return std::env::current_dir().expect("cwd");
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut root = None;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => root = args.next().map(PathBuf::from),
+            "--help" | "-h" => {
+                println!("usage: oftm-lint [--root <workspace-root>]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("oftm-lint: unknown argument {other:?}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let root = find_root(root);
+    let report = match oftm_verify::lint::lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("oftm-lint: walking {} failed: {e}", root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    for v in &report.violations {
+        println!("{v}");
+    }
+    if report.violations.is_empty() {
+        println!(
+            "oftm-lint: {} files clean (root {})",
+            report.files_scanned,
+            root.display()
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "oftm-lint: {} violation(s) across {} files",
+            report.violations.len(),
+            report.files_scanned
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,565 @@
+//! **Bounded-preemption interleaving explorer** — a miniature loom/CHESS.
+//!
+//! [`check`] runs a scenario (a handful of threads over instrumented
+//! synchronization primitives, [`sync`]) under a cooperative scheduler
+//! that serializes every visible operation: exactly one thread runs at a
+//! time, and before each atomic/lock operation the scheduler picks who
+//! goes next. A DFS over those decisions enumerates **every**
+//! sequentially consistent interleaving whose number of *preemptions*
+//! (switching away from a thread that could have continued) is within the
+//! configured bound — the CHESS result is that almost all concurrency
+//! bugs surface within two. Weak-memory reorderings are out of scope: the
+//! explorer checks the interleaving/ordering structure of a protocol, not
+//! its fence placement (those arguments stay in the module docs and are
+//! kept honest by `oftm-lint`'s `// ord:` rule).
+//!
+//! A scenario fails by panicking in a thread body (`assert!`), by
+//! deadlocking (no thread runnable — which is also how a *lost wakeup*
+//! manifests: the waiter blocks forever on a wake that never comes), or
+//! by a failed [`Builder::after`] post-condition. The failing schedule is
+//! reported as a [`Counterexample`] carrying a step-by-step trace and a
+//! replay seed: set `OFTM_MODEL_SEED=<seed>` (mirroring the differential
+//! harness's `HARNESS_SEED`) to re-run exactly that interleaving.
+//!
+//! The protocol code under test is **production code**: the kernels in
+//! [`oftm_core::kernel`] are generic over a synchronization facade, and
+//! [`sync::ModelSync`] instruments every operation as a decision point.
+
+pub mod sync;
+
+use std::cell::RefCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// A scheduling predicate for a blocked thread: the thread is runnable
+/// again once it returns `true` (lock released, wake flag set, ...).
+pub type Pred = Box<dyn Fn() -> bool + Send>;
+
+/// Exploration parameters.
+#[derive(Clone)]
+pub struct Config {
+    /// Scenario name (reported in counterexamples).
+    pub name: &'static str,
+    /// Maximum preemptions per schedule (CHESS context bound). Schedules
+    /// that only switch at blocking points are always explored.
+    pub preemption_bound: usize,
+    /// Hard ceiling on explored schedules: exceeding it fails loudly
+    /// (the exhaustiveness claim would otherwise silently be false).
+    pub max_executions: usize,
+}
+
+impl Config {
+    pub fn new(name: &'static str) -> Self {
+        Config {
+            name,
+            preemption_bound: 2,
+            max_executions: 500_000,
+        }
+    }
+
+    pub fn preemptions(mut self, bound: usize) -> Self {
+        self.preemption_bound = bound;
+        self
+    }
+
+    pub fn max_executions(mut self, n: usize) -> Self {
+        self.max_executions = n;
+        self
+    }
+}
+
+/// Per-execution scenario assembly: register thread bodies (and an
+/// optional post-condition) for one run. The scenario closure is invoked
+/// fresh for every explored schedule.
+type ThreadBody = Box<dyn FnOnce() + Send>;
+
+#[derive(Default)]
+pub struct Builder {
+    threads: Vec<(&'static str, ThreadBody)>,
+    after: Option<Box<dyn FnOnce()>>,
+}
+
+impl Builder {
+    /// Registers a model thread. Bodies communicate through the
+    /// instrumented primitives in [`sync`]; a panic (failed `assert!`)
+    /// becomes a counterexample.
+    pub fn thread(&mut self, name: &'static str, body: impl FnOnce() + Send + 'static) {
+        self.threads.push((name, Box::new(body)));
+    }
+
+    /// Registers a post-condition, run single-threaded after every thread
+    /// finished. Model primitives may be used freely here (they no longer
+    /// yield). A panic becomes a counterexample.
+    pub fn after(&mut self, f: impl FnOnce() + 'static) {
+        self.after = Some(Box::new(f));
+    }
+}
+
+/// Successful exhaustive exploration.
+#[derive(Debug)]
+pub struct Report {
+    /// Number of distinct schedules executed.
+    pub executions: usize,
+}
+
+/// A failing schedule: what went wrong, the step-by-step interleaving,
+/// and the seed that replays it.
+#[derive(Debug)]
+pub struct Counterexample {
+    pub name: &'static str,
+    pub message: String,
+    /// Decision positions, the raw schedule encoding.
+    pub schedule: Vec<usize>,
+    /// `OFTM_MODEL_SEED` value replaying exactly this schedule.
+    pub seed: String,
+    /// Human-readable interleaving: one line per granted step.
+    pub trace: String,
+}
+
+impl std::fmt::Display for Counterexample {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "model '{}' counterexample: {}", self.name, self.message)?;
+        writeln!(f, "replay with OFTM_MODEL_SEED={}", self.seed)?;
+        write!(f, "{}", self.trace)
+    }
+}
+
+pub type Outcome = Result<Report, Box<Counterexample>>;
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Phase {
+    /// Spawned, not yet at its first decision point.
+    Born,
+    /// At a decision point, unconditionally runnable.
+    Ready,
+    /// At a decision point, runnable only when its predicate holds.
+    Blocked,
+    /// Holds the token (or is between decision points).
+    Running,
+    Finished,
+}
+
+struct ExecState {
+    phase: Vec<Phase>,
+    labels: Vec<&'static str>,
+    preds: Vec<Option<Pred>>,
+    granted: Option<usize>,
+    /// Set on failure: every thread unwinds at its next decision point.
+    abandoned: bool,
+    failure: Option<String>,
+    trace: Vec<(usize, &'static str)>,
+}
+
+pub(crate) struct Execution {
+    st: Mutex<ExecState>,
+    cv: Condvar,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<(Arc<Execution>, usize)>> = const { RefCell::new(None) };
+}
+
+/// Panic payload used to unwind worker threads of an abandoned execution.
+struct AbandonMarker;
+
+/// One scheduling decision point: blocks until the scheduler grants this
+/// thread the token. Called by every instrumented operation *before* it
+/// executes. Outside a model execution (setup, `after`, plain tests) it
+/// is a no-op, so kernels behave normally when used un-scheduled.
+pub(crate) fn step(label: &'static str) {
+    step_inner(label, None)
+}
+
+/// As [`step`], but the thread is only runnable once `pred` holds (lock
+/// acquisition, waiting for a wake). The scheduler evaluates `pred` at
+/// every decision; if every unfinished thread's predicate is false the
+/// execution is reported as a deadlock.
+pub(crate) fn step_blocked(label: &'static str, pred: Pred) {
+    step_inner(label, Some(pred))
+}
+
+fn step_inner(label: &'static str, pred: Option<Pred>) {
+    let ctx = CTX.with(|c| c.borrow().clone());
+    let Some((exec, me)) = ctx else { return };
+    let mut st = exec.st.lock().unwrap();
+    st.labels[me] = label;
+    st.phase[me] = if pred.is_some() {
+        Phase::Blocked
+    } else {
+        Phase::Ready
+    };
+    st.preds[me] = pred;
+    exec.cv.notify_all();
+    loop {
+        if st.abandoned {
+            drop(st);
+            std::panic::panic_any(AbandonMarker);
+        }
+        if st.granted == Some(me) {
+            st.granted = None;
+            st.phase[me] = Phase::Running;
+            st.preds[me] = None;
+            st.trace.push((me, label));
+            break;
+        }
+        st = exec.cv.wait(st).unwrap();
+    }
+}
+
+/// One decision of a finished run, with enough structure to enumerate its
+/// untried alternatives under the preemption bound.
+struct Decision {
+    /// Preemption cost (0 or 1) of each candidate, in exploration order
+    /// (candidate 0 is "continue the current thread" when possible).
+    cand_costs: Vec<usize>,
+    /// Position chosen this run.
+    pos: usize,
+    /// Preemptions spent strictly before this decision.
+    preempt_before: usize,
+}
+
+struct RunResult {
+    decisions: Vec<Decision>,
+    positions: Vec<usize>,
+    failure: Option<String>,
+    trace: String,
+}
+
+fn payload_msg(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+fn format_trace(names: &[&'static str], trace: &[(usize, &'static str)]) -> String {
+    let mut out = String::new();
+    for (k, (t, label)) in trace.iter().enumerate() {
+        out.push_str(&format!("  step {k:3}: [{}] {}\n", names[*t], label));
+    }
+    out
+}
+
+fn run_once(scenario: &dyn Fn(&mut Builder), plan: &[usize]) -> RunResult {
+    let mut b = Builder::default();
+    scenario(&mut b);
+    let n = b.threads.len();
+    assert!(n > 0, "model scenario registered no threads");
+    let names: Vec<&'static str> = b.threads.iter().map(|(nm, _)| *nm).collect();
+    let exec = Arc::new(Execution {
+        st: Mutex::new(ExecState {
+            phase: vec![Phase::Born; n],
+            labels: vec![""; n],
+            preds: (0..n).map(|_| None).collect(),
+            granted: None,
+            abandoned: false,
+            failure: None,
+            trace: Vec::new(),
+        }),
+        cv: Condvar::new(),
+    });
+
+    let handles: Vec<_> = b
+        .threads
+        .into_iter()
+        .enumerate()
+        .map(|(i, (name, body))| {
+            let exec = Arc::clone(&exec);
+            std::thread::Builder::new()
+                .name(format!("model-{name}"))
+                .spawn(move || {
+                    CTX.with(|c| *c.borrow_mut() = Some((Arc::clone(&exec), i)));
+                    let r = catch_unwind(AssertUnwindSafe(body));
+                    CTX.with(|c| *c.borrow_mut() = None);
+                    let mut st = exec.st.lock().unwrap();
+                    st.phase[i] = Phase::Finished;
+                    if let Err(p) = r {
+                        if p.downcast_ref::<AbandonMarker>().is_none() {
+                            if st.failure.is_none() {
+                                st.failure =
+                                    Some(format!("thread '{name}' panicked: {}", payload_msg(&*p)));
+                            }
+                            st.abandoned = true;
+                        }
+                    }
+                    exec.cv.notify_all();
+                })
+                .expect("spawn model thread")
+        })
+        .collect();
+
+    let mut decisions: Vec<Decision> = Vec::new();
+    let mut positions: Vec<usize> = Vec::new();
+    let mut preemptions = 0usize;
+    let mut prev: Option<usize> = None;
+    {
+        let mut st = exec.st.lock().unwrap();
+        loop {
+            while !st.abandoned
+                && st
+                    .phase
+                    .iter()
+                    .any(|p| matches!(p, Phase::Born | Phase::Running))
+            {
+                st = exec.cv.wait(st).unwrap();
+            }
+            if st.abandoned {
+                // Unwind everyone still parked at a decision point.
+                while !st.phase.iter().all(|p| *p == Phase::Finished) {
+                    exec.cv.notify_all();
+                    st = exec.cv.wait(st).unwrap();
+                }
+                break;
+            }
+            if st.phase.iter().all(|p| *p == Phase::Finished) {
+                break;
+            }
+            let enabled: Vec<usize> = (0..n)
+                .filter(|&t| match st.phase[t] {
+                    Phase::Ready => true,
+                    Phase::Blocked => st.preds[t].as_ref().is_some_and(|p| p()),
+                    _ => false,
+                })
+                .collect();
+            if enabled.is_empty() {
+                let waiting: Vec<String> = (0..n)
+                    .filter(|&t| st.phase[t] != Phase::Finished)
+                    .map(|t| format!("[{}] blocked at {}", names[t], st.labels[t]))
+                    .collect();
+                st.failure = Some(format!(
+                    "deadlock: no runnable thread ({})",
+                    waiting.join(", ")
+                ));
+                st.abandoned = true;
+                exec.cv.notify_all();
+                continue;
+            }
+            let mut cands: Vec<usize> = Vec::new();
+            if let Some(p) = prev {
+                if enabled.contains(&p) {
+                    cands.push(p);
+                }
+            }
+            for &t in &enabled {
+                if Some(t) != prev {
+                    cands.push(t);
+                }
+            }
+            let depth = decisions.len();
+            let pos = plan.get(depth).copied().unwrap_or(0);
+            if pos >= cands.len() {
+                st.failure = Some(format!(
+                    "schedule replay mismatch at decision {depth}: position {pos} of {} candidates",
+                    cands.len()
+                ));
+                st.abandoned = true;
+                exec.cv.notify_all();
+                continue;
+            }
+            let cand_costs: Vec<usize> = cands
+                .iter()
+                .map(|&c| match prev {
+                    Some(p) if enabled.contains(&p) && c != p => 1,
+                    _ => 0,
+                })
+                .collect();
+            preemptions += cand_costs[pos];
+            decisions.push(Decision {
+                preempt_before: preemptions - cand_costs[pos],
+                cand_costs,
+                pos,
+            });
+            positions.push(pos);
+            let chosen = cands[pos];
+            st.granted = Some(chosen);
+            st.phase[chosen] = Phase::Running;
+            prev = Some(chosen);
+            exec.cv.notify_all();
+        }
+    }
+    for h in handles {
+        let _ = h.join();
+    }
+    let mut st = exec.st.lock().unwrap();
+    let mut failure = st.failure.take();
+    let trace_events = std::mem::take(&mut st.trace);
+    drop(st);
+    if failure.is_none() {
+        if let Some(after) = b.after {
+            if let Err(p) = catch_unwind(AssertUnwindSafe(after)) {
+                failure = Some(format!("post-condition failed: {}", payload_msg(&*p)));
+            }
+        }
+    }
+    RunResult {
+        decisions,
+        positions,
+        failure,
+        trace: format_trace(&names, &trace_events),
+    }
+}
+
+fn counterexample(cfg: &Config, r: RunResult) -> Box<Counterexample> {
+    let seed = r
+        .positions
+        .iter()
+        .map(|p| p.to_string())
+        .collect::<Vec<_>>()
+        .join(",");
+    Box::new(Counterexample {
+        name: cfg.name,
+        message: r.failure.unwrap_or_default(),
+        schedule: r.positions,
+        seed,
+        trace: r.trace,
+    })
+}
+
+/// Explores every schedule of `scenario` within `cfg.preemption_bound`
+/// preemptions. Returns the number of schedules on success, or the first
+/// failing schedule as a [`Counterexample`].
+///
+/// If `OFTM_MODEL_SEED` is set (a comma-separated decision list printed
+/// with every counterexample), only that single schedule is replayed.
+pub fn check(cfg: Config, scenario: impl Fn(&mut Builder)) -> Outcome {
+    if let Ok(seed) = std::env::var("OFTM_MODEL_SEED") {
+        let plan: Vec<usize> = seed
+            .split(',')
+            .filter(|s| !s.trim().is_empty())
+            .map(|s| {
+                s.trim()
+                    .parse()
+                    .unwrap_or_else(|_| panic!("bad OFTM_MODEL_SEED component {s:?}"))
+            })
+            .collect();
+        eprintln!(
+            "model '{}': replaying OFTM_MODEL_SEED with {} decisions",
+            cfg.name,
+            plan.len()
+        );
+        let r = run_once(&scenario, &plan);
+        return match r.failure {
+            Some(_) => Err(counterexample(&cfg, r)),
+            None => Ok(Report { executions: 1 }),
+        };
+    }
+
+    let mut plan: Vec<usize> = Vec::new();
+    let mut executions = 0usize;
+    loop {
+        let r = run_once(&scenario, &plan);
+        executions += 1;
+        if r.failure.is_some() {
+            let ce = counterexample(&cfg, r);
+            eprintln!("{ce}");
+            return Err(ce);
+        }
+        assert!(
+            executions < cfg.max_executions,
+            "model '{}' exceeded max_executions={} before exhausting the schedule space",
+            cfg.name,
+            cfg.max_executions
+        );
+        // Backtrack: deepest decision with an untried alternative whose
+        // preemption cost still fits the bound.
+        let mut ds = r.decisions;
+        let mut next: Option<Vec<usize>> = None;
+        while let Some(d) = ds.pop() {
+            for p in d.pos + 1..d.cand_costs.len() {
+                if d.preempt_before + d.cand_costs[p] <= cfg.preemption_bound {
+                    let mut v: Vec<usize> = ds.iter().map(|x| x.pos).collect();
+                    v.push(p);
+                    next = Some(v);
+                    break;
+                }
+            }
+            if next.is_some() {
+                break;
+            }
+        }
+        match next {
+            Some(v) => plan = v,
+            None => return Ok(Report { executions }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::sync::MAtomicU64;
+    use oftm_core::kernel::AtomicU64Like;
+    use std::sync::atomic::Ordering::SeqCst;
+    use std::sync::Arc;
+
+    /// Two independent threads of 3 ops each. The schedules within
+    /// preemption bound 2 are hand-countable: 2 serial, 4 with one
+    /// preemption (A^i B^3 A^(3-i) and mirrored), 8 with two
+    /// (A^i B^j A^(3-i) B^(3-j), i,j ∈ {1,2}, and mirrored) — 14 total.
+    /// Locks down the explorer's enumeration (no missed or duplicated
+    /// schedules).
+    #[test]
+    fn explorer_enumerates_exactly_the_bounded_schedules() {
+        let count = |bound: usize| {
+            check(
+                Config::new("three-by-three").preemptions(bound),
+                |b: &mut Builder| {
+                    for name in ["a", "b"] {
+                        let x = Arc::new(MAtomicU64::new(0));
+                        b.thread(name, move || {
+                            for _ in 0..3 {
+                                x.load(SeqCst);
+                            }
+                        });
+                    }
+                },
+            )
+            .expect("no assertions to fail")
+            .executions
+        };
+        assert_eq!(count(0), 2);
+        assert_eq!(count(1), 6);
+        assert_eq!(count(2), 14);
+        // Unbounded (6 preemptions cover every interleaving of 3+3 ops):
+        // C(6,3) = 20 interleavings.
+        assert_eq!(count(6), 20);
+    }
+
+    #[test]
+    fn deadlock_is_reported_with_trace_and_seed() {
+        let err = check(Config::new("stuck"), |b: &mut Builder| {
+            b.thread("waits-forever", || {
+                step_blocked("never", Box::new(|| false));
+            });
+        })
+        .expect_err("must deadlock");
+        assert!(err.message.contains("deadlock"), "{err}");
+        assert!(err.message.contains("blocked at never"), "{err}");
+    }
+
+    #[test]
+    fn max_executions_overflow_is_loud() {
+        let r = std::panic::catch_unwind(|| {
+            let _ = check(
+                Config::new("too-big").preemptions(2).max_executions(3),
+                |b: &mut Builder| {
+                    for name in ["a", "b"] {
+                        let x = Arc::new(MAtomicU64::new(0));
+                        b.thread(name, move || {
+                            for _ in 0..3 {
+                                x.load(SeqCst);
+                            }
+                        });
+                    }
+                },
+            );
+        });
+        assert!(
+            r.is_err(),
+            "exceeding max_executions must panic, not truncate"
+        );
+    }
+}

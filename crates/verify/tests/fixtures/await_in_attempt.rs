@@ -1,0 +1,18 @@
+//! Lint oracle: `.await` in a function that starts a word-STM attempt
+//! must trip `await-in-attempt` (a live `WordTx` must never cross a
+//! suspension point — the PR 5 poll-runs-whole-attempts invariant).
+
+pub async fn bad_attempt_crosses_await(core: &mut ParkCore<'_>) {
+    let tx = core.begin_attempt();
+    yield_to_executor().await;
+    drop(tx);
+}
+
+pub fn good_poll_runs_attempt_synchronously(core: &mut ParkCore<'_>) {
+    let tx = core.begin_attempt();
+    drop(tx);
+}
+
+pub async fn good_wrapper_only_awaits_the_future(f: TxFuture<'_, u64>) -> u64 {
+    f.await
+}

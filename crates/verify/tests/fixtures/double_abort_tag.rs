@@ -1,0 +1,24 @@
+//! Lint oracle: tagging an abort cause in a function that never touches
+//! the per-transaction tag-once flags (`dead`/`finished`) must trip
+//! `abort-tag-once` — nothing stops a second tag for the same attempt.
+
+impl BadTx {
+    fn abort_on_conflict(&mut self) {
+        self.stats.abort(AbortCause::ReadConflict);
+    }
+}
+
+impl GoodTx {
+    fn abort_on_conflict(&mut self) {
+        if !self.dead {
+            self.dead = true;
+            self.stats.abort(AbortCause::ReadConflict);
+        }
+    }
+
+    fn spend_budget(&self) {
+        // BudgetExhausted is exempt: retry loops tag it after the attempt
+        // (and its flags) are gone.
+        self.stats.abort(AbortCause::BudgetExhausted);
+    }
+}

@@ -1,0 +1,23 @@
+//! Lint oracle for the unsafe-justification rule: a block lacking the
+//! required comment must trip it; a justified twin must not. (This doc
+//! deliberately avoids the magic words — they would satisfy the
+//! lookback window for the first block below.)
+
+pub fn read_word(p: *const u64) -> u64 {
+    unsafe { *p }
+}
+
+pub fn read_word_justified(p: *const u64) -> u64 {
+    // SAFETY: the caller guarantees `p` is valid, aligned, and not
+    // concurrently written (checked by the pool's slot discipline).
+    unsafe { *p }
+}
+
+/// An `unsafe fn` is also fine when its doc carries a `# Safety` section.
+///
+/// # Safety
+///
+/// `p` must point into a live allocation.
+pub unsafe fn read_word_documented(p: *const u64) -> u64 {
+    *p
+}

@@ -1,0 +1,9 @@
+//! Lint oracle: `std::sync::Mutex`/`RwLock` outside the allowlist must
+//! trip `std-sync-lock`.
+
+use std::sync::Mutex;
+
+pub struct Cache {
+    map: std::sync::RwLock<Vec<u64>>,
+    count: Mutex<u64>,
+}

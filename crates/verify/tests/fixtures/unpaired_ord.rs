@@ -1,0 +1,20 @@
+//! Lint oracle for the ordering-pairing rule: an atomic ordering in a
+//! protocol-critical module without the required pairing comment must
+//! trip it. (This doc deliberately avoids the magic marker — it would
+//! satisfy the lookback window for the first site below.)
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bump(x: &AtomicU64) -> u64 {
+    x.fetch_add(1, Ordering::SeqCst)
+}
+
+pub fn bump_justified(x: &AtomicU64) -> u64 {
+    // ord: SeqCst bump Dekker-pairs with the waiter's validation re-read.
+    x.fetch_add(1, Ordering::SeqCst)
+}
+
+pub fn not_an_atomic_ordering(a: u64, b: u64) -> std::cmp::Ordering {
+    // `cmp::Ordering` variants must not be confused with atomic orderings.
+    a.cmp(&b)
+}

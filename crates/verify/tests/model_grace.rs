@@ -1,0 +1,244 @@
+//! Exhaustive bounded-preemption checks of the grace-period kernel
+//! ([`oftm_core::kernel::GraceCore`]) — the *production* code behind
+//! `oftm_core::reclaim::GraceTracker` — plus negative oracles.
+//!
+//! The property is **no premature flush**: a retired batch must never be
+//! handed back for reclamation while a transaction that began before the
+//! retirement (and might therefore still reach the retired blocks) is
+//! still active. The scenario models the classic unlink race: a reader
+//! loads a "pointer" to a block while a retirer unlinks and retires it;
+//! if the reader observed the pre-unlink pointer, the block must not
+//! have been freed by the time the reader dereferences it.
+
+use oftm_core::kernel::{AtomicU64Like, GraceCore, MutexLike, RetiredBlock, SlotSet};
+use oftm_verify::model::sync::{FixedSlots, MAtomicU64, MMutex, ModelSync};
+use oftm_verify::model::{check, Builder, Config};
+use std::sync::atomic::Ordering::SeqCst;
+use std::sync::Arc;
+
+/// Epoch-tagged retire bins of the hand-rolled broken variant.
+type EpochBins = Vec<(u64, Vec<RetiredBlock>)>;
+
+type Core = GraceCore<ModelSync, FixedSlots>;
+
+const BLOCK: RetiredBlock = RetiredBlock {
+    base: oftm_histories::TVarId(7),
+    len: 1,
+};
+
+#[test]
+fn grace_no_premature_flush() {
+    let report = check(
+        Config::new("grace-unlink-race").preemptions(2),
+        |b: &mut Builder| {
+            let core: Arc<Core> = Arc::new(GraceCore::new(FixedSlots::new(2)));
+            // link = 1: the block is reachable; the retirer stores 0 to
+            // unlink it before retiring. freed = 1 once the retirer got
+            // the block back from a flush.
+            let link = Arc::new(MAtomicU64::new(1));
+            let freed = Arc::new(MAtomicU64::new(0));
+            {
+                let (core, link, freed) =
+                    (Arc::clone(&core), Arc::clone(&link), Arc::clone(&freed));
+                b.thread("reader", move || {
+                    let g = core.begin();
+                    if link.load(SeqCst) != 0 {
+                        // We hold the pre-unlink pointer: dereferencing it
+                        // is only sound if the block has not been freed.
+                        assert_eq!(
+                            freed.load(SeqCst),
+                            0,
+                            "block freed while a predating reader could still reach it"
+                        );
+                    }
+                    drop(g);
+                });
+            }
+            {
+                let (core, link, freed) =
+                    (Arc::clone(&core), Arc::clone(&link), Arc::clone(&freed));
+                b.thread("retirer", move || {
+                    let g = core.begin();
+                    link.store(0, SeqCst);
+                    let out = core.retire_and_flush(g, vec![BLOCK]);
+                    if !out.is_empty() {
+                        assert_eq!(out, vec![BLOCK]);
+                        freed.store(1, SeqCst);
+                    }
+                });
+            }
+            // Exactly-once accounting: the block is either freed or still
+            // parked in a bin, never both, never neither.
+            b.after(move || {
+                let pending = core.pending_blocks();
+                let freed = freed.load(SeqCst) as usize;
+                assert_eq!(pending + freed, 1, "pending={pending} freed={freed}");
+            });
+        },
+    )
+    .unwrap_or_else(|ce| panic!("{ce}"));
+    assert!(
+        report.executions > 20,
+        "only {} schedules",
+        report.executions
+    );
+    eprintln!(
+        "grace-unlink-race: {} schedules, no counterexample",
+        report.executions
+    );
+}
+
+#[test]
+fn grace_flush_after_reader_exit_frees() {
+    // Liveness-ish companion: once every predating reader is gone, a
+    // later flush must hand the block back (no leak).
+    let report = check(
+        Config::new("grace-eventual-free").preemptions(2),
+        |b: &mut Builder| {
+            let core: Arc<Core> = Arc::new(GraceCore::new(FixedSlots::new(2)));
+            {
+                let core = Arc::clone(&core);
+                b.thread("reader", move || {
+                    let g = core.begin();
+                    drop(g);
+                });
+            }
+            {
+                let core = Arc::clone(&core);
+                b.thread("retirer", move || {
+                    let g = core.begin();
+                    let _ = core.retire_and_flush(g, vec![BLOCK]);
+                });
+            }
+            b.after(move || {
+                // All transactions done: a final flush must drain the bin
+                // (freed_total counts in-run frees and this one alike).
+                let _ = core.flush();
+                assert_eq!(
+                    core.freed_total(),
+                    1,
+                    "retired block neither freed during the run nor drainable after it"
+                );
+                assert_eq!(core.pending_blocks(), 0);
+            });
+        },
+    )
+    .unwrap_or_else(|ce| panic!("{ce}"));
+    assert!(
+        report.executions > 20,
+        "only {} schedules",
+        report.executions
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Negative oracles.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn broken_inclusive_flush_epoch_is_caught() {
+    // A hand-rolled grace protocol whose flush uses `bin.epoch <=
+    // min_active` instead of `<`: a reader that began in the same epoch
+    // the batch was tagged with no longer protects it. The model must
+    // find the schedule where the reader holds the pre-unlink pointer and
+    // the block is freed under it.
+    let err = check(
+        Config::new("broken-inclusive-flush").preemptions(2),
+        |b: &mut Builder| {
+            let epoch = Arc::new(MAtomicU64::new(1));
+            let slots = Arc::new(FixedSlots::new(2));
+            let bins: Arc<MMutex<EpochBins>> = Arc::new(MMutex::new(Vec::new()));
+            let link = Arc::new(MAtomicU64::new(1));
+            let freed = Arc::new(MAtomicU64::new(0));
+            {
+                let (epoch, slots, link, freed) = (
+                    Arc::clone(&epoch),
+                    Arc::clone(&slots),
+                    Arc::clone(&link),
+                    Arc::clone(&freed),
+                );
+                b.thread("reader", move || {
+                    let e = epoch.load(SeqCst);
+                    let slot = slots.claim(e);
+                    if link.load(SeqCst) != 0 {
+                        assert_eq!(freed.load(SeqCst), 0, "freed under a predating reader");
+                    }
+                    slot.store(oftm_core::kernel::IDLE_SLOT, SeqCst);
+                });
+            }
+            {
+                b.thread("retirer", move || {
+                    link.store(0, SeqCst);
+                    let tag = epoch.fetch_add(1, SeqCst);
+                    bins.with(|bs| bs.push((tag, vec![BLOCK])));
+                    let out = bins.with(|bs| {
+                        let min_active = slots.min_active();
+                        let mut out = Vec::new();
+                        // BUG: inclusive comparison — a reader whose slot
+                        // equals the batch tag no longer protects it.
+                        bs.retain_mut(|(e, blocks)| {
+                            if *e <= min_active {
+                                out.append(blocks);
+                                false
+                            } else {
+                                true
+                            }
+                        });
+                        out
+                    });
+                    if !out.is_empty() {
+                        freed.store(1, SeqCst);
+                    }
+                });
+            }
+        },
+    )
+    .expect_err("inclusive flush epoch must free under a live reader");
+    assert!(
+        err.message.contains("freed under a predating reader"),
+        "{err}"
+    );
+    assert!(!err.seed.is_empty());
+}
+
+#[test]
+fn broken_read_before_register_is_caught() {
+    // Client misuse of the REAL kernel: the reader dereferences the link
+    // before `begin()`. The kernel's contract ("must be called before the
+    // transaction performs its first read") exists precisely because this
+    // interleaving frees the block out from under the unregistered read.
+    let err = check(
+        Config::new("broken-read-before-register").preemptions(2),
+        |b: &mut Builder| {
+            let core: Arc<Core> = Arc::new(GraceCore::new(FixedSlots::new(2)));
+            let link = Arc::new(MAtomicU64::new(1));
+            let freed = Arc::new(MAtomicU64::new(0));
+            {
+                let (core, link, freed) =
+                    (Arc::clone(&core), Arc::clone(&link), Arc::clone(&freed));
+                b.thread("reader", move || {
+                    // BUG: the read happens before the registration.
+                    let l = link.load(SeqCst);
+                    let g = core.begin();
+                    if l != 0 {
+                        assert_eq!(freed.load(SeqCst), 0, "freed under an unregistered read");
+                    }
+                    drop(g);
+                });
+            }
+            {
+                let (core, link, freed) = (Arc::clone(&core), link, Arc::clone(&freed));
+                b.thread("retirer", move || {
+                    let g = core.begin();
+                    link.store(0, SeqCst);
+                    let out = core.retire_and_flush(g, vec![BLOCK]);
+                    if !out.is_empty() {
+                        freed.store(1, SeqCst);
+                    }
+                });
+            }
+        },
+    )
+    .expect_err("reading before begin() must be refuted by the model");
+    assert!(err.message.contains("unregistered read"), "{err}");
+}

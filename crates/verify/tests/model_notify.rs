@@ -1,0 +1,284 @@
+//! Exhaustive bounded-preemption checks of the commit-notification
+//! kernel ([`oftm_core::kernel::NotifyProto`]) — the *production* code
+//! behind `oftm_core::notify::CommitNotifier` — plus negative oracles:
+//! deliberately broken protocol variants the model must refute.
+//!
+//! The property is **no lost wakeup**: a waiter that observed a stale
+//! value and parked must eventually be woken by the publish that changed
+//! it. Under the model, a lost wakeup is a deadlock — the waiter sits in
+//! `wait_woken` forever while the publisher has finished.
+
+use oftm_core::kernel::{AtomicU64Like, MutexLike, NotifyProto};
+use oftm_verify::model::sync::{MAtomicU64, MMutex, MWaker, ModelSync};
+use oftm_verify::model::{check, Builder, Config};
+use std::sync::Arc;
+
+type Proto = NotifyProto<ModelSync, MWaker>;
+
+/// A wait loop exercising exactly the kernel's contract: *no publish
+/// after the snapshot is lost*. The snapshot is taken first, then the
+/// condition is sampled, then the waiter parks — so every publish is
+/// either (a) fully before the snapshot, in which case the sample sees
+/// the new value; or (b) after it, in which case `park` must fail
+/// validation or the registered waker must be woken. (The production
+/// async runtime samples *before* snapshotting — its attempt runs first —
+/// and covers that pre-snapshot window with the park-timeout watchdog in
+/// `oftm-asyncrt`; the Dekker argument, and this model, own the
+/// snapshot-to-park window.)
+fn waiter_loop(proto: &Proto, value: &MAtomicU64, shards: &[usize], waker: &MWaker) {
+    use std::sync::atomic::Ordering::SeqCst;
+    let mut snap = Vec::new();
+    loop {
+        proto.snapshot(shards.iter().copied(), &mut snap);
+        if value.load(SeqCst) == 1 {
+            return;
+        }
+        if proto.park(&snap, waker) {
+            waker.wait_woken();
+            waker.reset();
+        }
+    }
+}
+
+#[test]
+fn notify_no_lost_wakeup_single_shard() {
+    let report = check(
+        Config::new("notify-single-shard").preemptions(2),
+        |b: &mut Builder| {
+            let proto: Arc<Proto> = Arc::new(NotifyProto::new(1));
+            let value = Arc::new(MAtomicU64::new(0));
+            let waker = MWaker::new();
+            {
+                let (proto, value, waker) = (Arc::clone(&proto), Arc::clone(&value), waker.clone());
+                b.thread("waiter", move || waiter_loop(&proto, &value, &[0], &waker));
+            }
+            {
+                let (proto, value) = (proto, Arc::clone(&value));
+                b.thread("publisher", move || {
+                    use std::sync::atomic::Ordering::SeqCst;
+                    value.store(1, SeqCst);
+                    proto.publish([0]);
+                });
+            }
+            b.after(move || {
+                assert_eq!(value.load(std::sync::atomic::Ordering::SeqCst), 1);
+            });
+        },
+    )
+    .unwrap_or_else(|ce| panic!("{ce}"));
+    // Exhaustiveness sanity: the schedule space at bound 2 is not trivial.
+    assert!(
+        report.executions > 20,
+        "only {} schedules",
+        report.executions
+    );
+    eprintln!(
+        "notify-single-shard: {} schedules, no counterexample",
+        report.executions
+    );
+}
+
+#[test]
+fn notify_no_lost_wakeup_multi_shard_footprint() {
+    // The waiter's footprint spans two shards; the publisher writes only
+    // the second. The park registers on both, and the wake must still
+    // arrive through the written one.
+    let report = check(
+        Config::new("notify-multi-shard").preemptions(2),
+        |b: &mut Builder| {
+            let proto: Arc<Proto> = Arc::new(NotifyProto::new(2));
+            let value = Arc::new(MAtomicU64::new(0));
+            let waker = MWaker::new();
+            {
+                let (proto, value, waker) = (Arc::clone(&proto), Arc::clone(&value), waker.clone());
+                b.thread("waiter", move || {
+                    waiter_loop(&proto, &value, &[0, 1], &waker)
+                });
+            }
+            {
+                let (proto, value) = (proto, value);
+                b.thread("publisher", move || {
+                    use std::sync::atomic::Ordering::SeqCst;
+                    value.store(1, SeqCst);
+                    proto.publish([1]);
+                });
+            }
+        },
+    )
+    .unwrap_or_else(|ce| panic!("{ce}"));
+    assert!(
+        report.executions > 20,
+        "only {} schedules",
+        report.executions
+    );
+}
+
+#[test]
+fn notify_failed_park_leaves_no_stale_waker() {
+    // After the race (publish between snapshot and park), the waiter's
+    // registration must be fully withdrawn: parked counts return to zero.
+    let report = check(
+        Config::new("notify-unregister").preemptions(2),
+        |b: &mut Builder| {
+            let proto: Arc<Proto> = Arc::new(NotifyProto::new(1));
+            let value = Arc::new(MAtomicU64::new(0));
+            let waker = MWaker::new();
+            {
+                let (proto, value, waker) = (Arc::clone(&proto), Arc::clone(&value), waker.clone());
+                b.thread("waiter", move || waiter_loop(&proto, &value, &[0], &waker));
+            }
+            {
+                let (proto, value) = (Arc::clone(&proto), value);
+                b.thread("publisher", move || {
+                    use std::sync::atomic::Ordering::SeqCst;
+                    value.store(1, SeqCst);
+                    proto.publish([0]);
+                });
+            }
+            b.after(move || {
+                assert_eq!(
+                    proto.parked_wakers(),
+                    0,
+                    "stale waker registration survived"
+                );
+            });
+        },
+    )
+    .unwrap_or_else(|ce| panic!("{ce}"));
+    assert!(report.executions > 20);
+}
+
+// ---------------------------------------------------------------------------
+// Negative oracles: broken variants the model must refute.
+// ---------------------------------------------------------------------------
+
+/// One notification shard built from raw model primitives, so the tests
+/// can wire up *wrong* protocols (the real kernel does not expose its
+/// internals, deliberately).
+struct RawShard {
+    seq: MAtomicU64,
+    parked: MAtomicU64,
+    waiters: MMutex<Vec<MWaker>>,
+}
+
+impl RawShard {
+    fn new() -> Self {
+        RawShard {
+            seq: MAtomicU64::new(0),
+            parked: MAtomicU64::new(0),
+            waiters: MMutex::new(Vec::new()),
+        }
+    }
+}
+
+#[test]
+fn broken_park_without_validation_is_caught() {
+    use std::sync::atomic::Ordering::SeqCst;
+    // The waiter registers but never re-reads `seq` (protocol step (4)
+    // removed). A publish that lands between its value check and its
+    // registration is lost, and the model must find that schedule.
+    let err = check(
+        Config::new("broken-no-validation").preemptions(2),
+        |b: &mut Builder| {
+            let shard = Arc::new(RawShard::new());
+            let value = Arc::new(MAtomicU64::new(0));
+            let waker = MWaker::new();
+            {
+                let (shard, value, waker) = (Arc::clone(&shard), Arc::clone(&value), waker);
+                b.thread("waiter", move || loop {
+                    let _seen = shard.seq.load(SeqCst);
+                    if value.load(SeqCst) == 1 {
+                        return;
+                    }
+                    shard.waiters.with(|ws| {
+                        ws.push(waker.clone());
+                        shard.parked.fetch_add(1, SeqCst);
+                    });
+                    // BUG: `_seen` is never re-read — parks unconditionally.
+                    waker.wait_woken();
+                    waker.reset();
+                });
+            }
+            {
+                b.thread("publisher", move || {
+                    value.store(1, SeqCst);
+                    shard.seq.fetch_add(1, SeqCst);
+                    if shard.parked.load(SeqCst) != 0 {
+                        let woken = shard.waiters.with(|ws| {
+                            shard.parked.fetch_sub(ws.len() as u64, SeqCst);
+                            std::mem::take(ws)
+                        });
+                        for w in woken {
+                            use oftm_core::kernel::WakeRef;
+                            w.wake_ref();
+                        }
+                    }
+                });
+            }
+        },
+    )
+    .expect_err("validation-free park must lose a wakeup");
+    assert!(err.message.contains("deadlock"), "{err}");
+    assert!(!err.seed.is_empty());
+}
+
+#[test]
+fn broken_probe_before_bump_is_caught() {
+    use std::sync::atomic::Ordering::SeqCst;
+    // The publisher probes `parked` BEFORE bumping `seq` (committer steps
+    // (1)/(2) swapped): the waiter can register and validate against the
+    // un-bumped seq after the probe already missed it.
+    let err = check(
+        Config::new("broken-probe-first").preemptions(2),
+        |b: &mut Builder| {
+            let shard = Arc::new(RawShard::new());
+            let value = Arc::new(MAtomicU64::new(0));
+            let waker = MWaker::new();
+            {
+                let (shard, value, waker) = (Arc::clone(&shard), Arc::clone(&value), waker);
+                b.thread("waiter", move || loop {
+                    let seen = shard.seq.load(SeqCst);
+                    if value.load(SeqCst) == 1 {
+                        return;
+                    }
+                    shard.waiters.with(|ws| {
+                        ws.push(waker.clone());
+                        shard.parked.fetch_add(1, SeqCst);
+                    });
+                    if shard.seq.load(SeqCst) != seen {
+                        // Correct waiter-side unregister on a raced park.
+                        shard.waiters.with(|ws| {
+                            use oftm_core::kernel::WakeRef;
+                            let before = ws.len();
+                            ws.retain(|w| !w.will_wake(&waker));
+                            shard.parked.fetch_sub((before - ws.len()) as u64, SeqCst);
+                        });
+                        continue;
+                    }
+                    waker.wait_woken();
+                    waker.reset();
+                });
+            }
+            {
+                b.thread("publisher", move || {
+                    value.store(1, SeqCst);
+                    // BUG: probe first, bump second.
+                    let anyone = shard.parked.load(SeqCst) != 0;
+                    shard.seq.fetch_add(1, SeqCst);
+                    if anyone {
+                        let woken = shard.waiters.with(|ws| {
+                            shard.parked.fetch_sub(ws.len() as u64, SeqCst);
+                            std::mem::take(ws)
+                        });
+                        for w in woken {
+                            use oftm_core::kernel::WakeRef;
+                            w.wake_ref();
+                        }
+                    }
+                });
+            }
+        },
+    )
+    .expect_err("probe-before-bump publisher must lose a wakeup");
+    assert!(err.message.contains("deadlock"), "{err}");
+}

@@ -1,0 +1,67 @@
+//! Deterministic counterexample replay: a failing schedule's printed
+//! `OFTM_MODEL_SEED` must reproduce exactly that interleaving (the model
+//! checker's mirror of the differential harness's `HARNESS_SEED`).
+//!
+//! Kept in its own integration-test binary: the seed travels through a
+//! process-global environment variable, which must not race the other
+//! model suites running in parallel threads.
+
+use oftm_core::kernel::AtomicU64Like;
+use oftm_verify::model::sync::MAtomicU64;
+use oftm_verify::model::{check, Builder, Config};
+use std::sync::atomic::Ordering::SeqCst;
+use std::sync::Arc;
+
+/// A deliberately racy scenario: two threads do a non-atomic
+/// read-modify-write on a shared counter. Some interleaving loses an
+/// increment and trips the post-condition.
+fn racy_increments(b: &mut Builder) {
+    let counter = Arc::new(MAtomicU64::new(0));
+    for name in ["inc-a", "inc-b"] {
+        let counter = Arc::clone(&counter);
+        b.thread(name, move || {
+            let v = counter.load(SeqCst);
+            counter.store(v + 1, SeqCst);
+        });
+    }
+    b.after(move || {
+        assert_eq!(counter.load(SeqCst), 2, "lost increment");
+    });
+}
+
+#[test]
+fn seed_replays_the_exact_counterexample() {
+    let ce = check(
+        Config::new("racy-increments").preemptions(2),
+        racy_increments,
+    )
+    .expect_err("the lost-increment schedule must be found");
+    assert!(ce.message.contains("lost increment"), "{ce}");
+
+    std::env::set_var("OFTM_MODEL_SEED", &ce.seed);
+    let replay = check(
+        Config::new("racy-increments-replay").preemptions(2),
+        racy_increments,
+    )
+    .expect_err("replaying the seed must reproduce the failure");
+    std::env::remove_var("OFTM_MODEL_SEED");
+
+    assert_eq!(
+        replay.schedule, ce.schedule,
+        "replay diverged from the recorded schedule"
+    );
+    assert_eq!(
+        replay.trace, ce.trace,
+        "replayed interleaving differs step-for-step"
+    );
+
+    // And a seed that names a conflict-free schedule passes: the explorer
+    // found the bug only on *some* interleaving, not all of them.
+    std::env::set_var("OFTM_MODEL_SEED", "");
+    let serial = check(Config::new("racy-increments-serial"), racy_increments);
+    std::env::remove_var("OFTM_MODEL_SEED");
+    assert!(
+        serial.is_ok(),
+        "the all-defaults (serial) schedule must not lose an increment"
+    );
+}

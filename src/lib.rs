@@ -27,7 +27,11 @@
 //!   park as pending futures and are woken by the commit-notification
 //!   subsystem ([`core::notify`]) when their footprint actually changes,
 //!   so many more logical clients than OS threads can wait without
-//!   burning CPU in retry backoff.
+//!   burning CPU in retry backoff;
+//! * [`verify`] — correctness tooling: the `oftm-lint` STM-invariant
+//!   static-analysis pass and a bounded-preemption interleaving model
+//!   checker that exhaustively interleaves the production notify and
+//!   grace-period kernels ([`core::kernel`]).
 //!
 //! ## Quick start
 //!
@@ -61,6 +65,7 @@ pub use oftm_histories as histories;
 pub use oftm_obs as obs;
 pub use oftm_sim as sim;
 pub use oftm_structs as structs;
+pub use oftm_verify as verify;
 
 pub use oftm_asyncrt::{atomically_async, run_transaction_async};
 pub use oftm_core::{
