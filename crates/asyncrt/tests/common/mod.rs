@@ -2,14 +2,22 @@
 //!
 //! `oftm-bench::make_stm` cannot be used here (oftm-bench depends on this
 //! crate for `exp_async`, so the dev-dependency would be circular); the
-//! six backends are built directly instead. Names match `STM_NAMES`.
+//! seven backends are built directly instead. Names match `STM_NAMES`.
 
 use oftm_core::api::WordStm;
 use oftm_core::cm::Polite;
 use oftm_core::dstm::{Dstm, DstmWord};
 use std::sync::Arc;
 
-pub const STM_NAMES: &[&str] = &["dstm", "tl", "tl2", "coarse", "algo2-cas", "algo2-splitter"];
+pub const STM_NAMES: &[&str] = &[
+    "dstm",
+    "tl",
+    "tl2",
+    "coarse",
+    "algo2-cas",
+    "algo2-splitter",
+    "hybrid",
+];
 
 pub fn make_stm(name: &str) -> Arc<dyn WordStm> {
     match name {
@@ -19,6 +27,14 @@ pub fn make_stm(name: &str) -> Arc<dyn WordStm> {
         "coarse" => Arc::new(oftm_baselines::CoarseStm::new()),
         "algo2-cas" => Arc::new(oftm_algo2::Algo2Stm::new(oftm_algo2::FocKind::Cas)),
         "algo2-splitter" => Arc::new(oftm_algo2::Algo2Stm::new(oftm_algo2::FocKind::SplitterTas)),
+        "hybrid" => Arc::new(oftm_hybrid::HybridStm::new(
+            oftm_hybrid::HybridConfig::default(),
+        )),
+        // Hair-trigger migration policy (not in STM_NAMES): lets the
+        // parking tests force TL2↔DSTM switches under parked waiters.
+        "hybrid-eager" => Arc::new(oftm_hybrid::HybridStm::new(
+            oftm_hybrid::HybridConfig::eager(),
+        )),
         other => panic!("unknown STM {other}"),
     }
 }

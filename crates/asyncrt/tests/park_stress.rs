@@ -220,6 +220,72 @@ fn parked_retries_waste_less_than_spin_backoff() {
     }
 }
 
+/// Parking must survive a hybrid mode migration: a waiter parks on the
+/// hybrid's notifier while the instance is in TL2 mode, a contention
+/// storm migrates it to DSTM, and the satisfying commit is executed by
+/// the *other* embedded engine — which must still wake the parked waiter
+/// (the facade owns the notification endpoint, not the engines).
+#[test]
+fn hybrid_parked_waiter_survives_migration() {
+    const STORM: TVarId = TVarId(1);
+    // Budget-only escalation (windowed controller effectively off): the
+    // storm below holds a stale transaction open across a foreign commit,
+    // and a window-triggered migration at that moment would wait out the
+    // holder — the documented way to force a deterministic escalation
+    // without that interaction.
+    let cfg = oftm_hybrid::HybridConfig {
+        window_ops: 1 << 40,
+        ..oftm_hybrid::HybridConfig::eager()
+    };
+    let hy = Arc::new(oftm_hybrid::HybridStm::new(cfg));
+    let stm: Arc<dyn WordStm> = Arc::clone(&hy) as Arc<dyn WordStm>;
+    stm.register_tvar(COUNTER, 0);
+    stm.register_tvar(STORM, 0);
+    assert_eq!(hy.mode(), oftm_hybrid::Mode::Tl2);
+
+    let ex = Executor::new(2);
+    let waiter = {
+        let stm = Arc::clone(&stm);
+        ex.spawn(async move {
+            run_transaction_async_budgeted(&*stm, 5, BUDGET, |tx| {
+                if tx.read(COUNTER)? == 0 {
+                    return Err(oftm_core::TxError::Aborted); // condition unmet
+                }
+                Ok(())
+            })
+            .await
+            .expect("waiter livelocked")
+        })
+    };
+    // Let the waiter reach its parked state while still in TL2 mode.
+    std::thread::sleep(std::time::Duration::from_millis(5));
+
+    // Read-validation storm on a disjoint variable until the instance
+    // escalates: a stale transaction begun before a foreign commit.
+    for round in 0..200u64 {
+        let mut stale = stm.begin(0);
+        run_transaction_with_budget(&*stm, 1, BUDGET, |tx| tx.write(STORM, round + 1))
+            .expect("storm writer commits");
+        let _ = stale.read(STORM);
+        drop(stale);
+        if hy.migrations() > 0 {
+            break;
+        }
+    }
+    assert!(hy.migrations() > 0, "storm never forced a migration");
+    assert_eq!(hy.mode(), oftm_hybrid::Mode::Dstm);
+
+    // The satisfying commit now runs on the DSTM engine; the waiter —
+    // parked under TL2 — must wake and complete.
+    run_transaction_with_budget(&*stm, 2, BUDGET, |tx| tx.write(COUNTER, 1))
+        .expect("post-migration writer commits");
+    let done = waiter.join();
+    assert!(
+        done.parks > 0,
+        "waiter never parked — the scenario did not exercise the migration-crossing wake"
+    );
+}
+
 /// Composed async collection transactions stay conservative: clients
 /// shuttle elements between two queues (dequeue + enqueue in ONE
 /// transaction); the element multiset is invariant.

@@ -104,8 +104,9 @@ pub struct Tl2Stm {
     recorder: Option<Arc<Recorder>>,
     scratch: SlotPool<Scratch>,
     /// Always-on telemetry (begins/commits/aborts-by-cause, latency
-    /// histograms).
-    stats: StmStats,
+    /// histograms). Behind an `Arc` so an embedding backend (the hybrid)
+    /// can share one registry across engines.
+    stats: Arc<StmStats>,
     pub lock_patience: u32,
 }
 
@@ -125,7 +126,7 @@ impl Tl2Stm {
             tx_seq: AtomicU32::new(0),
             recorder: None,
             scratch: SlotPool::new(),
-            stats: StmStats::new(),
+            stats: Arc::new(StmStats::new()),
             lock_patience: 4096,
         }
     }
@@ -133,6 +134,33 @@ impl Tl2Stm {
     pub fn with_recorder(mut self, rec: Arc<Recorder>) -> Self {
         self.recorder = Some(rec);
         self
+    }
+
+    /// Replaces the telemetry registry with a shared one (the hybrid
+    /// backend routes both embedded engines into a single registry).
+    pub fn with_stats(mut self, stats: Arc<StmStats>) -> Self {
+        self.stats = stats;
+        self
+    }
+
+    /// Starts transaction sequence numbers at `base`, so two engines
+    /// embedded behind one facade (and one recorder) never mint colliding
+    /// `TxId`s for the same process.
+    pub fn with_tx_base(self, base: u32) -> Self {
+        // ord: Relaxed — single-threaded builder; atomicity alone keeps
+        // later ids unique.
+        self.tx_seq.store(base, Ordering::Relaxed);
+        self
+    }
+
+    /// Visits every live t-variable with its current committed value.
+    /// Exact only while no writer is in flight (racy snapshot otherwise) —
+    /// the hybrid's migration barrier provides that quiescence.
+    pub fn for_each_live_value(&self, mut f: impl FnMut(TVarId, Value)) {
+        self.vars.for_each_live(|id, var| {
+            // ord: Acquire pairs with the committer's Release value store.
+            f(id, var.value.load(Ordering::Acquire));
+        });
     }
 
     pub fn peek(&self, x: TVarId) -> Option<Value> {

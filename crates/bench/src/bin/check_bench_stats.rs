@@ -13,7 +13,19 @@
 //! 3. **Commit accounting** — `commits + commits_ro + commits_promoted`
 //!    never exceeds `begins` (a commit without a begin is double
 //!    counting).
-//! 4. **Overhead guard** — the geometric-mean read-mostly throughput of
+//! 4. **Hybrid telemetry** — every `hybrid` cell must additionally carry
+//!    the adaptive-backend counters (`mode_migrations`, `escalations`)
+//!    and a `mode` tag; a hybrid build whose migration machinery is
+//!    compiled out or disconnected from `StmStats` fails here even if
+//!    throughput looks fine.
+//! 5. **Phase-loss gate** — in every `contention-phase-shift-*` phase of
+//!    the hotpath table, the hybrid must not lose to *both* pure engines
+//!    it is built from. Losing to one is expected (TL2 wins calm phases,
+//!    DSTM wins storms); losing to both means the adaptive policy is
+//!    strictly worse than either fixed choice — the one outcome the
+//!    hybrid exists to rule out. A 0.9 noise floor keeps single-run
+//!    jitter from tripping the gate.
+//! 6. **Overhead guard** — the geometric-mean read-mostly throughput of
 //!    a fresh `exp_hotpath --smoke` run (stats always on) must stay
 //!    within noise of the committed pre-telemetry smoke snapshot
 //!    (`bench_baselines/hotpath_smoke_pr6.json`). Smoke cells are tiny
@@ -141,9 +153,75 @@ fn check_table(path: &str, errors: &mut Vec<String>) -> Vec<String> {
         if u64_after(attempt, "p50").is_none() || u64_after(attempt, "p99").is_none() {
             errors.push(format!("{cell}: attempt_ns percentiles missing"));
         }
+        // Hybrid cells carry the adaptive-backend telemetry on top of the
+        // common block; their absence means the migration machinery is
+        // disconnected from `StmStats`.
+        if str_after(row, "stm") == Some("hybrid") {
+            for key in ["mode_migrations", "escalations"] {
+                if u64_after(stats, key).is_none() {
+                    errors.push(format!("{cell}: hybrid counter {key} missing"));
+                }
+            }
+            if str_after(stats, "mode").is_none() {
+                errors.push(format!("{cell}: hybrid mode tag missing"));
+            }
+        }
         owned.push(row.to_string());
     }
     owned
+}
+
+/// The phase-loss gate: in every `(contention-phase-shift-* phase,
+/// thread-count)` cell group, the hybrid's throughput must be at least
+/// `0.9 × min(tl2, dstm)` — it may lose to one pure engine (that is the
+/// nature of a phase), never meaningfully to both. Returns one message
+/// per violating group; empty means the gate passed.
+fn phase_loss_failures(rows: &[String]) -> Vec<String> {
+    const NOISE_FLOOR: f64 = 0.9;
+    let mut failures = Vec::new();
+    // Collect the distinct (phase, threads) keys from the hybrid cells,
+    // then look up the pure engines for each.
+    let lookup = |scenario: &str, threads: u64, stm: &str| -> Option<f64> {
+        rows.iter().find_map(|r| {
+            (str_after(r, "scenario") == Some(scenario)
+                && u64_after(r, "threads") == Some(threads)
+                && str_after(r, "stm") == Some(stm))
+            .then(|| num_after(r, "ops_per_sec"))
+            .flatten()
+        })
+    };
+    for row in rows {
+        let Some(scenario) = str_after(row, "scenario") else {
+            continue;
+        };
+        if !scenario.starts_with("contention-phase-shift")
+            || str_after(row, "stm") != Some("hybrid")
+        {
+            continue;
+        }
+        let (Some(threads), Some(hybrid)) =
+            (u64_after(row, "threads"), num_after(row, "ops_per_sec"))
+        else {
+            continue;
+        };
+        let (Some(tl2), Some(dstm)) = (
+            lookup(scenario, threads, "tl2"),
+            lookup(scenario, threads, "dstm"),
+        ) else {
+            failures.push(format!(
+                "{scenario} t={threads}: hybrid cell has no tl2/dstm counterparts to compare"
+            ));
+            continue;
+        };
+        let floor = tl2.min(dstm) * NOISE_FLOOR;
+        if hybrid < floor {
+            failures.push(format!(
+                "{scenario} t={threads}: hybrid {hybrid:.0} ops/s loses to BOTH pure engines \
+                 (tl2 {tl2:.0}, dstm {dstm:.0}; floor {floor:.0})"
+            ));
+        }
+    }
+    failures
 }
 
 /// Geomean `ops_per_sec` over the non-algo2 read-mostly cells of a
@@ -186,6 +264,20 @@ fn main() {
             hotpath_rows = rows;
         }
     }
+
+    // Phase-loss gate over the hotpath table's contention-phase-shift
+    // cells (present in both smoke and full profiles).
+    let phase_losses = phase_loss_failures(&hotpath_rows);
+    if hotpath_rows
+        .iter()
+        .any(|r| str_after(r, "scenario").is_some_and(|s| s.starts_with("contention-phase-shift")))
+    {
+        println!(
+            "phase-loss gate: {} contention-phase-shift violations",
+            phase_losses.len()
+        );
+    }
+    errors.extend(phase_losses);
 
     // Overhead guard (only meaningful against the same-shaped smoke
     // profile the baseline was recorded with).
@@ -236,5 +328,84 @@ fn main() {
             eprintln!("ERROR: {e}");
         }
         std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(scenario: &str, stm: &str, threads: u64, ops: f64) -> String {
+        format!(
+            "{{\"scenario\": \"{scenario}\", \"stm\": \"{stm}\", \"threads\": {threads}, \
+             \"ops_per_sec\": {ops:.1}}}"
+        )
+    }
+
+    /// The negative oracle: a hybrid stuck in the wrong mode — here, one
+    /// that escalated to DSTM and never came back, so it crawls through
+    /// the calm phase at DSTM speed while TL2 flies — must trip the gate.
+    #[test]
+    fn phase_loss_gate_catches_hybrid_losing_to_both() {
+        let rows = vec![
+            cell("contention-phase-shift-low1", "tl2", 4, 1_000_000.0),
+            cell("contention-phase-shift-low1", "dstm", 4, 200_000.0),
+            cell("contention-phase-shift-low1", "hybrid", 4, 90_000.0),
+        ];
+        let failures = phase_loss_failures(&rows);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("loses to BOTH"), "{failures:?}");
+    }
+
+    /// Losing to exactly one pure engine is the expected shape of a
+    /// phase (TL2 wins calm, DSTM wins storms) and must pass.
+    #[test]
+    fn phase_loss_gate_accepts_losing_to_one() {
+        let rows = vec![
+            // Storm phase: hybrid beats tl2, trails dstm — fine.
+            cell("contention-phase-shift-high", "tl2", 8, 5_000.0),
+            cell("contention-phase-shift-high", "dstm", 8, 150_000.0),
+            cell("contention-phase-shift-high", "hybrid", 8, 80_000.0),
+            // Calm phase: hybrid trails tl2, beats dstm — fine.
+            cell("contention-phase-shift-low2", "tl2", 8, 1_000_000.0),
+            cell("contention-phase-shift-low2", "dstm", 8, 200_000.0),
+            cell("contention-phase-shift-low2", "hybrid", 8, 950_000.0),
+        ];
+        assert!(phase_loss_failures(&rows).is_empty());
+    }
+
+    /// Within the 0.9 noise floor of min(tl2, dstm) is not a loss.
+    #[test]
+    fn phase_loss_gate_allows_noise_floor() {
+        let rows = vec![
+            cell("contention-phase-shift-high", "tl2", 2, 100_000.0),
+            cell("contention-phase-shift-high", "dstm", 2, 300_000.0),
+            cell("contention-phase-shift-high", "hybrid", 2, 91_000.0),
+        ];
+        assert!(phase_loss_failures(&rows).is_empty());
+    }
+
+    /// A hybrid phase-shift cell with no pure-engine counterparts is a
+    /// malformed table, not a silent pass.
+    #[test]
+    fn phase_loss_gate_flags_missing_counterparts() {
+        let rows = vec![cell("contention-phase-shift-high", "hybrid", 2, 50_000.0)];
+        let failures = phase_loss_failures(&rows);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(
+            failures[0].contains("no tl2/dstm counterparts"),
+            "{failures:?}"
+        );
+    }
+
+    /// Non-phase-shift scenarios are out of scope for this gate.
+    #[test]
+    fn phase_loss_gate_ignores_other_scenarios() {
+        let rows = vec![
+            cell("intset-read-mostly", "tl2", 4, 1_000_000.0),
+            cell("intset-read-mostly", "dstm", 4, 500_000.0),
+            cell("intset-read-mostly", "hybrid", 4, 10_000.0),
+        ];
+        assert!(phase_loss_failures(&rows).is_empty());
     }
 }

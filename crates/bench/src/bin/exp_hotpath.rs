@@ -41,10 +41,11 @@
 
 use oftm_bench::harness::{base_seed, ATTEMPT_BUDGET};
 use oftm_bench::{make_stm, SplitMix, STM_NAMES};
-use oftm_core::api::WordStm;
+use oftm_core::api::{run_transaction_with_budget, WordStm};
+use oftm_histories::TVarId;
 use oftm_structs::{atomically_budgeted, atomically_ro_budgeted, TxHashMap, TxIntSet};
 use std::io::Write;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 const SCENARIOS: &[&str] = &[
     "intset-read-mostly",
@@ -52,6 +53,165 @@ const SCENARIOS: &[&str] = &[
     "intset-write-heavy",
     "mixed-map",
 ];
+
+/// The phase-shifting workload: conflict density goes low → high → low
+/// mid-run on **one live STM instance**, which is exactly the shape the
+/// adaptive hybrid exists for (escalate into the storm, de-escalate
+/// after it). Each phase is a separately timed cell with its own
+/// telemetry delta, so the JSON exposes per-phase throughput and — for
+/// the hybrid — per-phase `mode`/`mode_migrations` movements.
+const PHASE_NAMES: &[&str] = &[
+    "contention-phase-shift-low1",
+    "contention-phase-shift-high",
+    "contention-phase-shift-low2",
+];
+
+/// STMs in the phase-shift table. Algorithm 2 is excluded: its
+/// per-variable version chains under a sustained forced-preemption storm
+/// grow without bound within a phase (the paper calls the construction
+/// "rather impractical"; here it would only measure chain-walking).
+const PHASE_SHIFT_STMS: &[&str] = &["dstm", "tl", "tl2", "coarse", "hybrid"];
+
+/// Phase-shift variable space: one hot word plus a cold tail.
+const PS_HOT: TVarId = TVarId(0);
+const PS_COLD_VARS: u64 = 64;
+
+/// One phase-shift op. The high-contention shape is the *early-write
+/// tail*: acquire the hot word up front, then a long cold tail with a
+/// scheduler yield inside the conflict window — the shape that collapses
+/// commit-time-validation STMs on few-core hosts (every resumed
+/// transaction replays its full body only to fail validation), while
+/// eager-ownership arbitration keeps the owner running. The low shape is
+/// a handful of cold reads plus one cold write: conflicts are rare and
+/// optimistic commit wins.
+fn phase_shift_op(stm: &dyn WordStm, proc: u32, rng: &mut SplitMix, high: bool) -> Option<u32> {
+    // Draw the op's cold indices up front so every retry replays the
+    // identical footprint.
+    let cold = |r: u64| TVarId(1 + (r % PS_COLD_VARS));
+    if high {
+        let reads: Vec<TVarId> = (0..16).map(|_| cold(rng.next())).collect();
+        let wr = cold(rng.next());
+        run_transaction_with_budget(stm, proc, ATTEMPT_BUDGET, |tx| {
+            let h = tx.read(PS_HOT)?;
+            tx.write(PS_HOT, h + 1)?;
+            std::thread::yield_now(); // preemption point inside the conflict window
+            let mut acc = 0;
+            for &x in &reads {
+                acc += tx.read(x)?;
+            }
+            tx.write(wr, acc % 1024)
+        })
+        .ok()
+        .map(|(_, tries)| tries)
+    } else {
+        let reads: Vec<TVarId> = (0..8).map(|_| cold(rng.next())).collect();
+        let wr = cold(rng.next());
+        run_transaction_with_budget(stm, proc, ATTEMPT_BUDGET, |tx| {
+            let mut acc = 0;
+            for &x in &reads {
+                acc += tx.read(x)?;
+            }
+            tx.write(wr, acc % 1024)
+        })
+        .ok()
+        .map(|(_, tries)| tries)
+    }
+}
+
+/// Runs one timed phase-shift phase on a live instance; ops are counted,
+/// not fixed, so a collapsing backend degrades to a low count instead of
+/// stretching the wall clock.
+fn run_shift_phase(
+    stm: &dyn WordStm,
+    threads: usize,
+    high: bool,
+    dur: Duration,
+    seed: u64,
+) -> (u64, u64, f64, bool) {
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    let ops = AtomicU64::new(0);
+    let attempts = AtomicU64::new(0);
+    let livelocked = AtomicBool::new(false);
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let (ops, attempts, livelocked) = (&ops, &attempts, &livelocked);
+            s.spawn(move || {
+                let mut rng = SplitMix(seed ^ ((t as u64 + 1) << 40));
+                let (mut local_ops, mut local_att) = (0u64, 0u64);
+                while start.elapsed() < dur {
+                    match phase_shift_op(stm, t as u32, &mut rng, high) {
+                        Some(a) => {
+                            local_ops += 1;
+                            local_att += u64::from(a);
+                        }
+                        None => {
+                            livelocked.store(true, Ordering::Relaxed);
+                            break;
+                        }
+                    }
+                }
+                ops.fetch_add(local_ops, Ordering::Relaxed);
+                attempts.fetch_add(local_att, Ordering::Relaxed);
+            });
+        }
+    });
+    (
+        ops.load(std::sync::atomic::Ordering::Relaxed),
+        attempts.load(std::sync::atomic::Ordering::Relaxed),
+        start.elapsed().as_secs_f64(),
+        livelocked.load(std::sync::atomic::Ordering::Relaxed),
+    )
+}
+
+/// Runs the three phases back-to-back on one instance and returns one
+/// cell per phase.
+fn measure_phase_shift(
+    stm_name: &'static str,
+    threads: usize,
+    phase_ms: u64,
+    seed: u64,
+) -> Vec<Cell> {
+    let stm = make_stm(stm_name, None);
+    stm.register_tvar(PS_HOT, 0);
+    for i in 1..=PS_COLD_VARS {
+        stm.register_tvar(TVarId(i), i);
+    }
+    // Untimed warmup on the low shape: pages, pools, clock shards.
+    let _ = run_shift_phase(
+        &*stm,
+        threads,
+        false,
+        Duration::from_millis(phase_ms / 4),
+        seed ^ 0xDEAD_BEEF,
+    );
+    PHASE_NAMES
+        .iter()
+        .enumerate()
+        .map(|(i, &phase)| {
+            let high = i == 1;
+            let stats_base = stm.stats().snapshot();
+            let (ops, attempts, elapsed_s, livelocked) = run_shift_phase(
+                &*stm,
+                threads,
+                high,
+                Duration::from_millis(phase_ms),
+                seed ^ (i as u64) << 56,
+            );
+            Cell {
+                scenario: phase,
+                stm: stm_name,
+                threads,
+                ops,
+                elapsed_s,
+                attempts,
+                livelocked,
+                profile: "full",
+                stats: oftm_bench::stats_since(&*stm, &stats_base),
+            }
+        })
+        .collect()
+}
 
 struct Cell {
     scenario: &'static str,
@@ -284,6 +444,28 @@ fn main() {
                     continue;
                 }
                 let cell = measure(scenario, stm_name, threads, ops_per_thread, warmup, seed);
+                oftm_bench::print_row(&[
+                    cell.scenario.to_string(),
+                    cell.stm.to_string(),
+                    cell.threads.to_string(),
+                    if cell.livelocked {
+                        "LIVELOCK".into()
+                    } else {
+                        format!("{:.0}", cell.ops_per_sec())
+                    },
+                    format!("{:.2}", cell.attempts_per_op()),
+                ]);
+                cells.push(cell);
+            }
+        }
+    }
+
+    // Phase-shifting runs: one live instance per (stm, threads), three
+    // timed phases each.
+    let phase_ms: u64 = if smoke { 100 } else { 400 };
+    for &stm_name in PHASE_SHIFT_STMS {
+        for &threads in thread_axis {
+            for cell in measure_phase_shift(stm_name, threads, phase_ms, seed) {
                 oftm_bench::print_row(&[
                     cell.scenario.to_string(),
                     cell.stm.to_string(),

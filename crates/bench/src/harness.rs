@@ -208,6 +208,20 @@ fn generate_one(sc: &Scenario, thread: usize, rng: &mut SplitMix) -> TxProgram {
 /// transaction; returns the read observations and the attempt count, or
 /// `None` when the retry budget ran out (livelock).
 fn run_program(stm: &dyn WordStm, proc: u32, prog: &TxProgram) -> Option<(Vec<Value>, u32)> {
+    run_program_inner(stm, proc, prog, false)
+}
+
+/// `preempt` inserts a scheduler yield between a program's first read and
+/// its writes. Semantically a no-op (the program's effect is identical),
+/// but on few-core hosts it turns the read–write window into a real
+/// preemption point, so update transactions actually overlap and conflict
+/// — the deterministic contention source for migration-forcing cells.
+fn run_program_inner(
+    stm: &dyn WordStm,
+    proc: u32,
+    prog: &TxProgram,
+    preempt: bool,
+) -> Option<(Vec<Value>, u32)> {
     run_transaction_with_budget(stm, proc, ATTEMPT_BUDGET, |tx| match prog {
         TxProgram::ReadOnly(vars) => {
             let mut seen = Vec::with_capacity(vars.len());
@@ -218,11 +232,17 @@ fn run_program(stm: &dyn WordStm, proc: u32, prog: &TxProgram) -> Option<(Vec<Va
         }
         TxProgram::Increment(x, amount) => {
             let v = tx.read(*x)?;
+            if preempt {
+                std::thread::yield_now();
+            }
             tx.write(*x, v + amount)?;
             Ok(vec![])
         }
         TxProgram::Transfer { from, to, amount } => {
             let f = tx.read(*from)?;
+            if preempt {
+                std::thread::yield_now();
+            }
             if f >= *amount {
                 let t = tx.read(*to)?;
                 tx.write(*from, f - amount)?;
@@ -303,6 +323,9 @@ pub struct StmRunOutcome {
     /// Total transaction attempts across the workload (commits + aborts);
     /// `attempts / committed ops` is the retry overhead.
     pub attempts: u64,
+    /// The STM's telemetry at the end of the run (migration-forcing cells
+    /// assert on mode-switch counters here).
+    pub stats: oftm_obs::StatsSnapshot,
 }
 
 /// Runs `sc` concurrently on the named STM and applies the history and
@@ -311,6 +334,15 @@ pub fn run_concurrent(
     stm_name: &'static str,
     sc: &Scenario,
     programs: &[Vec<TxProgram>],
+) -> Result<StmRunOutcome, HarnessFailure> {
+    run_concurrent_inner(stm_name, sc, programs, false)
+}
+
+fn run_concurrent_inner(
+    stm_name: &'static str,
+    sc: &Scenario,
+    programs: &[Vec<TxProgram>],
+    preempt: bool,
 ) -> Result<StmRunOutcome, HarnessFailure> {
     let fail = |detail: String| HarnessFailure {
         stm: stm_name,
@@ -334,7 +366,7 @@ pub fn run_concurrent(
             let livelocked = &livelocked;
             s.spawn(move || {
                 for prog in thread_progs {
-                    match run_program(&**stm, t as u32, prog) {
+                    match run_program_inner(&**stm, t as u32, prog, preempt) {
                         Some((_, tries)) => {
                             attempts.fetch_add(u64::from(tries), Ordering::Relaxed);
                         }
@@ -402,6 +434,7 @@ pub fn run_concurrent(
         recorded_txs: tx_count,
         exact_checked,
         attempts: attempts.load(Ordering::Relaxed),
+        stats: stm.stats().snapshot(),
     })
 }
 
@@ -437,7 +470,8 @@ pub struct DifferentialReport {
     pub sequential_state: Vec<Value>,
 }
 
-/// The tentpole entry point: runs `sc` concurrently on **all six** STMs,
+/// The tentpole entry point: runs `sc` concurrently on **every
+/// registered** STM,
 /// applies the history + invariant oracles to each, then cross-checks
 /// every implementation's sequential replay for exact agreement (final
 /// state *and* every read-only observation).
@@ -485,6 +519,53 @@ pub fn run_differential(sc: &Scenario) -> Result<DifferentialReport, Vec<Harness
             outcomes,
             sequential_state: ref_state,
         })
+    } else {
+        Err(failures)
+    }
+}
+
+/// Migration-forcing differential cell: runs `sc` on the hair-trigger
+/// `hybrid-eager` policy (not in [`STM_NAMES`] — it deliberately thrashes
+/// on healthy workloads) with a preemption point inside every update
+/// transaction, under the full oracle set, cross-checks its sequential
+/// replay against `tl2`, and additionally **requires the run to have
+/// migrated modes at least once** — so the differential suite provably
+/// exercises the migration barrier mid-scenario, not just the TL2 fast
+/// path.
+pub fn run_migration_forcing(sc: &Scenario) -> Result<StmRunOutcome, Vec<HarnessFailure>> {
+    let programs = generate_programs(sc);
+    let outcome = run_concurrent_inner("hybrid-eager", sc, &programs, true).map_err(|f| vec![f])?;
+    let mut failures = Vec::new();
+    if outcome.stats.get(oftm_obs::Counter::ModeMigrations) == 0 {
+        failures.push(HarnessFailure {
+            stm: "hybrid-eager",
+            scenario: *sc,
+            detail: "migration-forcing cell completed without a single mode migration".into(),
+        });
+    }
+    let (ref_state, ref_observed) = sequential_replay("tl2", sc, &programs);
+    let (state, observed) = sequential_replay("hybrid-eager", sc, &programs);
+    if state != ref_state {
+        failures.push(HarnessFailure {
+            stm: "hybrid-eager",
+            scenario: *sc,
+            detail: format!(
+                "sequential replay diverged from tl2:\n    got      {state:?}\n    expected {ref_state:?}"
+            ),
+        });
+    } else if observed != ref_observed {
+        failures.push(HarnessFailure {
+            stm: "hybrid-eager",
+            scenario: *sc,
+            detail: format!(
+                "sequential read observations diverged from tl2 ({} vs {} values)",
+                observed.len(),
+                ref_observed.len()
+            ),
+        });
+    }
+    if failures.is_empty() {
+        Ok(outcome)
     } else {
         Err(failures)
     }

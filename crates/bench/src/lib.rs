@@ -11,16 +11,25 @@ pub mod structs_harness;
 
 use oftm_baselines::{CoarseStm, Tl2Stm, TlStm};
 use oftm_core::api::{run_transaction, WordStm};
-use oftm_core::cm::{Aggressive, ContentionManager, Greedy, Karma, Polite, Randomized};
+use oftm_core::cm::{Aggressive, ContentionManager, Courteous, Greedy, Karma, Polite, Randomized};
 use oftm_core::dstm::{Dstm, DstmWord};
 use oftm_core::record::Recorder;
 use oftm_histories::TVarId;
+use oftm_hybrid::{HybridConfig, HybridStm};
 use oftm_obs::StatsSnapshot;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// All STM implementations under test, by name.
-pub const STM_NAMES: &[&str] = &["dstm", "tl", "tl2", "coarse", "algo2-cas", "algo2-splitter"];
+pub const STM_NAMES: &[&str] = &[
+    "dstm",
+    "tl",
+    "tl2",
+    "coarse",
+    "algo2-cas",
+    "algo2-splitter",
+    "hybrid",
+];
 
 /// Builds an STM implementation by name, optionally instrumented.
 pub fn make_stm(name: &str, recorder: Option<Arc<Recorder>>) -> Box<dyn WordStm> {
@@ -67,6 +76,16 @@ pub fn make_stm(name: &str, recorder: Option<Arc<Recorder>>) -> Box<dyn WordStm>
             }
             Box::new(s)
         }
+        "hybrid" => match recorder {
+            Some(r) => Box::new(HybridStm::with_recorder(HybridConfig::default(), r)),
+            None => Box::new(HybridStm::new(HybridConfig::default())),
+        },
+        // Hair-trigger policy variant for migration-forcing runs; not in
+        // STM_NAMES (it deliberately thrashes on healthy workloads).
+        "hybrid-eager" => match recorder {
+            Some(r) => Box::new(HybridStm::with_recorder(HybridConfig::eager(), r)),
+            None => Box::new(HybridStm::new(HybridConfig::eager())),
+        },
         other => panic!("unknown STM {other}"),
     }
 }
@@ -79,12 +98,20 @@ pub fn make_dstm_with_cm(cm: &str) -> Box<dyn WordStm> {
         "karma" => Arc::new(Karma::default()),
         "greedy" => Arc::new(Greedy::default()),
         "randomized" => Arc::new(Randomized::default()),
+        "courteous" => Arc::new(Courteous::default()),
         other => panic!("unknown contention manager {other}"),
     };
     Box::new(DstmWord::new(Dstm::new(manager)))
 }
 
-pub const CM_NAMES: &[&str] = &["aggressive", "polite", "karma", "greedy", "randomized"];
+pub const CM_NAMES: &[&str] = &[
+    "aggressive",
+    "polite",
+    "karma",
+    "greedy",
+    "randomized",
+    "courteous",
+];
 
 /// A workload shape over word t-variables.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

@@ -2,7 +2,9 @@
 //! matrix. Any oracle violation panics with the scenario's reproduction
 //! seed (`HARNESS_SEED=… cargo test -p oftm-bench`).
 
-use oftm_bench::harness::{run_differential, run_matrix, Scenario, ScenarioKind, ALL_SCENARIOS};
+use oftm_bench::harness::{
+    run_differential, run_matrix, run_migration_forcing, Scenario, ScenarioKind, ALL_SCENARIOS,
+};
 
 /// All five scenarios × {1, 2, 4} threads, every STM, one seed per cell.
 #[test]
@@ -33,6 +35,33 @@ fn bank_transfer_multi_seed() {
         if let Err(failures) = run_differential(&sc) {
             let lines: Vec<String> = failures.iter().map(|f| f.to_string()).collect();
             panic!("bank-transfer differential failures:\n{}", lines.join("\n"));
+        }
+    }
+}
+
+/// Migration-forcing cells: the hair-trigger hybrid policy on the two
+/// conflict-heaviest scenarios, seeded, long enough that escalation
+/// must fire mid-scenario. The cell fails unless the run migrated at
+/// least once *and* agreed with tl2's sequential replay — covering the
+/// migration barrier itself, not just the TL2 fast path.
+#[test]
+fn hybrid_migration_forced_mid_scenario() {
+    for (salt, kind) in [
+        (0x316A_0001u64, ScenarioKind::Hotspot),
+        (0x316A_0002u64, ScenarioKind::WriteHeavy),
+    ] {
+        let seed = oftm_bench::harness::derive_seed(salt);
+        let mut sc = Scenario::new(kind, 8, seed);
+        sc.ops_per_thread = 256; // long enough that a storm must escalate
+        match run_migration_forcing(&sc) {
+            Ok(outcome) => assert!(
+                outcome.stats.get(oftm_obs::Counter::ModeMigrations) > 0,
+                "forcing cell reported success without migrations"
+            ),
+            Err(failures) => {
+                let lines: Vec<String> = failures.iter().map(|f| f.to_string()).collect();
+                panic!("migration-forcing failures:\n{}", lines.join("\n"));
+            }
         }
     }
 }

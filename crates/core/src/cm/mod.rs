@@ -16,12 +16,14 @@
 //! Aggressive, Polite, Karma, Greedy (timestamp) and Randomized.
 
 mod aggressive;
+mod courteous;
 mod greedy;
 mod karma;
 mod polite;
 mod randomized;
 
 pub use aggressive::Aggressive;
+pub use courteous::Courteous;
 pub use greedy::Greedy;
 pub use karma::Karma;
 pub use polite::Polite;
@@ -87,7 +89,7 @@ mod tests {
     }
 
     /// The obstruction-freedom contract: every manager must emit AbortOther
-    /// after finitely many attempts (we allow a generous bound of 64).
+    /// after finitely many attempts (we allow a generous bound of 128).
     #[test]
     fn all_managers_eventually_abort() {
         let managers: Vec<Box<dyn ContentionManager>> = vec![
@@ -96,6 +98,7 @@ mod tests {
             Box::new(Karma::default()),
             Box::new(Greedy::default()),
             Box::new(Randomized::default()),
+            Box::new(Courteous::default()),
         ];
         let me = desc(1, 0, 100);
         let other = desc(2, 0, 50); // older than me: worst case for Greedy
@@ -105,7 +108,7 @@ mod tests {
                 m.on_open(&other);
             }
             let mut aborted = false;
-            for attempt in 0..64 {
+            for attempt in 0..128 {
                 if m.resolve(&me, &other, attempt) == Resolution::AbortOther {
                     aborted = true;
                     break;

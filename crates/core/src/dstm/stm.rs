@@ -46,8 +46,10 @@ pub struct Dstm {
     read_scratch: SlotPool<Vec<ReadEntry>>,
     /// Always-on telemetry: begins/commits/aborts-by-cause and latency
     /// histograms. Shared with the word-level adapter ([`super::word`]),
-    /// so one registry covers both API layers of this instance.
-    stats: StmStats,
+    /// so one registry covers both API layers of this instance. Behind an
+    /// `Arc` so an embedding backend (the hybrid) can share one registry
+    /// across engines.
+    stats: Arc<StmStats>,
 }
 
 impl Default for Dstm {
@@ -68,8 +70,25 @@ impl Dstm {
             tx_seq: AtomicU32::new(0),
             tvar_seq: AtomicU32::new(0),
             read_scratch: SlotPool::new(),
-            stats: StmStats::new(),
+            stats: Arc::new(StmStats::new()),
         }
+    }
+
+    /// Replaces the telemetry registry with a shared one (the hybrid
+    /// backend routes both embedded engines into a single registry).
+    pub fn with_stats(mut self, stats: Arc<StmStats>) -> Self {
+        self.stats = stats;
+        self
+    }
+
+    /// Starts transaction sequence numbers at `base`, so two engines
+    /// embedded behind one facade (and one recorder) never mint colliding
+    /// `TxId`s for the same process.
+    pub fn with_tx_base(self, base: u32) -> Self {
+        // ord: Relaxed — single-threaded builder; atomicity alone keeps
+        // later ids unique.
+        self.tx_seq.store(base, Ordering::Relaxed);
+        self
     }
 
     /// The telemetry registry of this instance (shared with the word-level

@@ -73,6 +73,13 @@ impl DstmWord {
         self.vars.get(x).map(|v| v.read_atomic())
     }
 
+    /// Visits every live t-variable with its current committed value.
+    /// Exact only while no writer is in flight (racy snapshot otherwise) —
+    /// the hybrid's migration barrier provides that quiescence.
+    pub fn for_each_live_value(&self, mut f: impl FnMut(TVarId, Value)) {
+        self.vars.for_each_live(|id, v| f(id, v.read_atomic()));
+    }
+
     /// Retired blocks still awaiting their grace period (diagnostics).
     pub fn reclaim_pending(&self) -> usize {
         self.reclaim.pending_blocks()

@@ -472,6 +472,46 @@ impl<V> VarTable<V> {
         // ord: Relaxed — monotonic diagnostic counter, no payload to order.
         self.freed.load(Ordering::Relaxed)
     }
+
+    /// Visits every live t-variable (materialized pages only, non-null
+    /// slots only) under one epoch pin. The walk is a racy snapshot:
+    /// concurrent inserts/removals may or may not be observed — callers
+    /// needing an exact live set must quiesce writers first (the hybrid
+    /// backend's migration barrier does exactly that). Cost is
+    /// O(materialized pages × PAGE_SIZE), not O(ids ever allocated):
+    /// never-touched pages are skipped at the directory level.
+    pub fn for_each_live(&self, mut f: impl FnMut(TVarId, &V)) {
+        let guard = epoch::pin();
+        let mut visit_page = |page: &Page<V>, first_id: u64| {
+            for (k, slot) in page.slots.iter().enumerate() {
+                // ord: Acquire pairs with the Release swap/CAS that
+                // installed the slot's value (same pairing as `get_in`).
+                let sh = slot.load(Ordering::Acquire, &guard);
+                if !sh.is_null() {
+                    // SAFETY: loaded under the pin; eviction retires slot
+                    // contents via `defer_destroy`, so the pointee
+                    // outlives the guard.
+                    f(TVarId(first_id + k as u64), unsafe { sh.deref() });
+                }
+            }
+        };
+        for (i, cell) in self.static_pages.iter().enumerate() {
+            if let Some(page) = dir_entry(cell, false, Page::new) {
+                visit_page(page, (i * PAGE_SIZE) as u64);
+            }
+        }
+        for (a, l1cell) in self.dynamic_l1s.iter().enumerate() {
+            let Some(l1) = dir_entry(l1cell, false, L1::new) else {
+                continue;
+            };
+            for (b, cell) in l1.pages.iter().enumerate() {
+                if let Some(page) = dir_entry(cell, false, Page::new) {
+                    let d = ((a << (PAGE_BITS + L1_BITS)) + (b << PAGE_BITS)) as u64;
+                    visit_page(page, DYNAMIC_TVAR_BASE + d);
+                }
+            }
+        }
+    }
 }
 
 impl<V> Drop for VarTable<V> {
@@ -652,6 +692,25 @@ mod tests {
         assert!(t.remove(b));
         assert!(!t.remove(b));
         assert_eq!(t.freed(), 4);
+    }
+
+    #[test]
+    fn for_each_live_visits_exactly_the_live_set() {
+        let t: VarTable<u64> = VarTable::new();
+        t.insert(TVarId(3), 30);
+        t.insert(TVarId(7), 70);
+        let a = t.alloc_block(&[1, 2], |_, v| v);
+        let b = t.alloc_block(&[5], |_, v| v);
+        t.remove(TVarId(7));
+        t.remove_block(b, 1);
+        let mut seen: Vec<(u64, u64)> = Vec::new();
+        t.for_each_live(|id, v| seen.push((id.0, *v)));
+        seen.sort_unstable();
+        assert_eq!(
+            seen,
+            vec![(3, 30), (a.0, 1), (a.0 + 1, 2)],
+            "walk must see live slots only"
+        );
     }
 
     #[test]

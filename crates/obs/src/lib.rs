@@ -136,10 +136,17 @@ pub enum Counter {
     TvarsFreed,
     /// Commit-clock shard bumps (TL/TL2 writing commits).
     ClockShardTicks,
+    /// Process-wide default-mode switches of a hybrid backend (each
+    /// direction counts once; a full escalate+de-escalate cycle is 2).
+    ModeMigrations,
+    /// Per-transaction escalation requests of a hybrid backend: a retry
+    /// loop exhausted its escalation budget with a contention-dominated
+    /// cause profile and asked for the arbitrated mode.
+    Escalations,
 }
 
 /// Number of counters (length of each shard's array).
-pub const COUNTER_KINDS: usize = Counter::ClockShardTicks as usize + 1;
+pub const COUNTER_KINDS: usize = Counter::Escalations as usize + 1;
 
 /// `(name, counter)` for every scalar counter, in snapshot/JSON order.
 pub const COUNTER_NAMES: &[(&str, Counter)] = &[
@@ -162,7 +169,15 @@ pub const COUNTER_NAMES: &[(&str, Counter)] = &[
     ("tvars_allocated", Counter::TvarsAllocated),
     ("tvars_freed", Counter::TvarsFreed),
     ("clock_shard_ticks", Counter::ClockShardTicks),
+    ("mode_migrations", Counter::ModeMigrations),
+    ("escalations", Counter::Escalations),
 ];
+
+/// Execution-mode labels a backend may stamp on its stats (index into
+/// this table is the value passed to [`StmStats::set_mode`]). `"none"`
+/// is the default for single-engine backends; a hybrid stamps which
+/// engine currently runs the default path.
+pub const MODE_NAMES: &[&str] = &["none", "tl2", "dstm"];
 
 /// Histogram bucket count: bucket 0 holds the value 0, bucket `b ≥ 1`
 /// holds values in `[2^(b-1), 2^b)`. 64 log2 buckets cover all of `u64`.
@@ -339,6 +354,9 @@ fn my_shard() -> usize {
 /// every shard into a [`StatsSnapshot`].
 pub struct StmStats {
     shards: Box<[StatShard]>,
+    /// Index into [`MODE_NAMES`]: which engine currently runs the default
+    /// path (hybrid backends only; 0 = "none" everywhere else).
+    mode: AtomicUsize,
 }
 
 impl Default for StmStats {
@@ -351,7 +369,21 @@ impl StmStats {
     pub fn new() -> Self {
         StmStats {
             shards: (0..STAT_SHARDS).map(|_| StatShard::new()).collect(),
+            mode: AtomicUsize::new(0),
         }
+    }
+
+    /// Stamps the current execution mode (index into [`MODE_NAMES`]).
+    /// Advisory metadata: snapshots copy it, nothing synchronizes on it.
+    #[inline]
+    pub fn set_mode(&self, m: usize) {
+        debug_assert!(m < MODE_NAMES.len());
+        self.mode.store(m, Ordering::Relaxed);
+    }
+
+    /// The last stamped mode (index into [`MODE_NAMES`]).
+    pub fn mode(&self) -> usize {
+        self.mode.load(Ordering::Relaxed)
     }
 
     /// Adds 1 to `c` in the calling thread's shard.
@@ -399,6 +431,7 @@ impl StmStats {
         for s in self.shard_snapshots() {
             out.merge(&s);
         }
+        out.mode = self.mode();
         out
     }
 
@@ -412,6 +445,7 @@ impl StmStats {
                 attempt_ns: s.attempt_ns.snapshot(),
                 commit_cs_ns: s.commit_cs_ns.snapshot(),
                 park_ns: s.park_ns.snapshot(),
+                mode: 0,
             })
             .collect()
     }
@@ -424,6 +458,8 @@ pub struct StatsSnapshot {
     pub attempt_ns: HistogramSnapshot,
     pub commit_cs_ns: HistogramSnapshot,
     pub park_ns: HistogramSnapshot,
+    /// Mode stamp at snapshot time (index into [`MODE_NAMES`]).
+    pub mode: usize,
 }
 
 impl StatsSnapshot {
@@ -460,6 +496,56 @@ impl StatsSnapshot {
             attempt_ns: self.attempt_ns.since(&base.attempt_ns),
             commit_cs_ns: self.commit_cs_ns.since(&base.commit_cs_ns),
             park_ns: self.park_ns.since(&base.park_ns),
+            mode: self.mode,
+        }
+    }
+
+    /// Total attempts started on any path (`begins + begins_ro`).
+    pub fn all_begins(&self) -> u64 {
+        self.get(Counter::Begins) + self.get(Counter::BeginsRo)
+    }
+
+    /// Aborted attempts as a fraction of started attempts (0 when no
+    /// attempts started). On a `since()` delta this is the window's
+    /// abort ratio — the mode controller's primary escalation signal.
+    pub fn abort_ratio(&self) -> f64 {
+        let begins = self.all_begins();
+        if begins == 0 {
+            0.0
+        } else {
+            self.aborts() as f64 / begins as f64
+        }
+    }
+
+    /// `cause`'s fraction of all aborts (0 when nothing aborted). On a
+    /// `since()` delta this tells a controller *why* the window aborted.
+    pub fn cause_share(&self, cause: AbortCause) -> f64 {
+        let aborts = self.aborts();
+        if aborts == 0 {
+            0.0
+        } else {
+            self.get(cause.counter()) as f64 / aborts as f64
+        }
+    }
+
+    /// Per-second rates of this snapshot over `elapsed_secs` — meant for
+    /// a `since()` delta, so controllers and adapters don't each
+    /// reimplement the same division (non-positive elapsed yields zero
+    /// rates rather than infinities).
+    pub fn rates(&self, elapsed_secs: f64) -> WindowRates {
+        let per_sec = |n: u64| {
+            if elapsed_secs > 0.0 {
+                n as f64 / elapsed_secs
+            } else {
+                0.0
+            }
+        };
+        WindowRates {
+            elapsed_secs,
+            begins_per_sec: per_sec(self.all_begins()),
+            commits_per_sec: per_sec(self.all_commits()),
+            aborts_per_sec: per_sec(self.aborts()),
+            cause_per_sec: std::array::from_fn(|i| per_sec(self.get(ABORT_CAUSES[i].counter()))),
         }
     }
 
@@ -468,6 +554,7 @@ impl StatsSnapshot {
     /// in `abort_causes`), and the three latency histograms.
     pub fn json(&self) -> String {
         let mut s = String::from("{");
+        s.push_str(&format!("\"mode\": \"{}\", ", MODE_NAMES[self.mode]));
         for (name, c) in COUNTER_NAMES {
             if c.is_cause() {
                 continue; // causes go in their own nested object
@@ -508,6 +595,29 @@ impl StatsSnapshot {
             .copied()
             .max_by_key(|c| self.get(c.counter()))
             .filter(|c| self.get(c.counter()) > 0)
+    }
+}
+
+/// Per-second rates of one telemetry window (a `since()` delta divided
+/// by its wall-clock length) — see [`StatsSnapshot::rates`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WindowRates {
+    pub elapsed_secs: f64,
+    pub begins_per_sec: f64,
+    pub commits_per_sec: f64,
+    pub aborts_per_sec: f64,
+    /// Per-cause abort rates, indexed like [`ABORT_CAUSES`].
+    pub cause_per_sec: [f64; 6],
+}
+
+impl WindowRates {
+    /// `cause`'s aborts per second in this window.
+    pub fn cause_rate(&self, cause: AbortCause) -> f64 {
+        let i = ABORT_CAUSES
+            .iter()
+            .position(|&c| c == cause)
+            .expect("every cause is in ABORT_CAUSES");
+        self.cause_per_sec[i]
     }
 }
 
@@ -600,6 +710,68 @@ mod tests {
         assert_eq!(net.get(Counter::Begins), 1);
         assert_eq!(net.aborts(), 0);
         assert_eq!(net.attempt_ns.count(), 1);
+    }
+
+    #[test]
+    fn window_rates_divide_the_delta() {
+        let stats = StmStats::new();
+        stats.incr(Counter::Begins);
+        stats.abort(AbortCause::LockBusy);
+        let warm = stats.snapshot();
+        for _ in 0..10 {
+            stats.incr(Counter::Begins);
+        }
+        for _ in 0..4 {
+            stats.incr(Counter::Commits);
+        }
+        for _ in 0..6 {
+            stats.abort(AbortCause::LockBusy);
+        }
+        stats.abort(AbortCause::ReadValidation);
+        stats.incr(Counter::BeginsRo);
+        let delta = stats.snapshot().since(&warm);
+        let r = delta.rates(2.0);
+        assert_eq!(r.begins_per_sec, 5.5); // (10 + 1 ro) / 2s
+        assert_eq!(r.commits_per_sec, 2.0);
+        assert_eq!(r.aborts_per_sec, 3.5);
+        assert_eq!(r.cause_rate(AbortCause::LockBusy), 3.0);
+        assert_eq!(r.cause_rate(AbortCause::ReadValidation), 0.5);
+        assert_eq!(r.cause_rate(AbortCause::CasLost), 0.0);
+    }
+
+    #[test]
+    fn window_ratios_and_shares() {
+        let stats = StmStats::new();
+        for _ in 0..8 {
+            stats.incr(Counter::Begins);
+        }
+        for _ in 0..3 {
+            stats.abort(AbortCause::LockBusy);
+        }
+        stats.abort(AbortCause::CmArbitrated);
+        let snap = stats.snapshot();
+        assert_eq!(snap.abort_ratio(), 0.5);
+        assert_eq!(snap.cause_share(AbortCause::LockBusy), 0.75);
+        assert_eq!(snap.cause_share(AbortCause::CmArbitrated), 0.25);
+        assert_eq!(snap.cause_share(AbortCause::CasLost), 0.0);
+        // Empty snapshots yield zeros, never NaN/inf.
+        let empty = StatsSnapshot::default();
+        assert_eq!(empty.abort_ratio(), 0.0);
+        assert_eq!(empty.cause_share(AbortCause::LockBusy), 0.0);
+        assert_eq!(empty.rates(0.0).begins_per_sec, 0.0);
+    }
+
+    #[test]
+    fn mode_stamp_flows_into_snapshots_and_json() {
+        let stats = StmStats::new();
+        assert_eq!(stats.snapshot().mode, 0);
+        assert!(stats.snapshot().json().contains("\"mode\": \"none\""));
+        stats.set_mode(2);
+        let warm = stats.snapshot();
+        assert_eq!(warm.mode, 2);
+        let delta = stats.snapshot().since(&warm);
+        assert_eq!(delta.mode, 2);
+        assert!(delta.json().contains("\"mode\": \"dstm\""));
     }
 
     #[test]

@@ -344,6 +344,7 @@ fn is_ordering_critical(rel: &str) -> bool {
     const PREFIX: &[&str] = &[
         "crates/core/src/dstm/",
         "crates/algo2/src/",
+        "crates/hybrid/src/",
         "crates/shims/crossbeam-epoch/src/",
     ];
     EXACT.contains(&rel) || PREFIX.iter().any(|p| rel.starts_with(p))

@@ -23,6 +23,10 @@
 //!   hash map, MPMC queue, striped counter) over the word-level
 //!   interface, running unchanged on every STM via dynamic t-variable
 //!   allocation ([`core::api::WordStm::alloc_tvar`]);
+//! * [`hybrid`] — the contention-adaptive backend: a TL2 fast path that
+//!   migrates the whole instance to DSTM arbitration when measured abort
+//!   profiles say optimism is losing, and back once contention subsides
+//!   ([`hybrid::HybridStm`]);
 //! * [`asyncrt`] — the async transaction runtime: aborted transactions
 //!   park as pending futures and are woken by the commit-notification
 //!   subsystem ([`core::notify`]) when their footprint actually changes,
@@ -62,6 +66,7 @@ pub use oftm_baselines as baselines;
 pub use oftm_core as core;
 pub use oftm_foc as foc;
 pub use oftm_histories as histories;
+pub use oftm_hybrid as hybrid;
 pub use oftm_obs as obs;
 pub use oftm_sim as sim;
 pub use oftm_structs as structs;
@@ -74,4 +79,5 @@ pub use oftm_core::{
 };
 pub use oftm_foc::{CasFoc, EventualFoc, FoConsensus, OftmFoc, SplitterFoc};
 pub use oftm_histories::{History, TVarId, TxId};
+pub use oftm_hybrid::{HybridConfig, HybridStm};
 pub use oftm_structs::{TxCounter, TxHashMap, TxIntSet, TxQueue};

@@ -8,7 +8,15 @@ use oftm::Recorder;
 use oftm_histories::{check_of, conflict_serializable, serializable, TVarId};
 use std::sync::Arc;
 
-const STMS: &[&str] = &["dstm", "tl", "tl2", "coarse", "algo2-cas", "algo2-splitter"];
+const STMS: &[&str] = &[
+    "dstm",
+    "tl",
+    "tl2",
+    "coarse",
+    "algo2-cas",
+    "algo2-splitter",
+    "hybrid",
+];
 
 fn instrumented(name: &str) -> (Box<dyn WordStm>, Arc<Recorder>) {
     let rec = Arc::new(Recorder::new());
@@ -64,6 +72,21 @@ mod oftm_bench_shim {
                 }
                 Box::new(s)
             }
+            "hybrid" => match rec {
+                Some(r) => Box::new(oftm::HybridStm::with_recorder(
+                    oftm::HybridConfig::default(),
+                    r,
+                )),
+                None => Box::new(oftm::HybridStm::new(oftm::HybridConfig::default())),
+            },
+            // Hair-trigger migration policy, for the forcing test below.
+            "hybrid-eager" => match rec {
+                Some(r) => Box::new(oftm::HybridStm::with_recorder(
+                    oftm::HybridConfig::eager(),
+                    r,
+                )),
+                None => Box::new(oftm::HybridStm::new(oftm::HybridConfig::eager())),
+            },
             other => panic!("unknown {other}"),
         }
     }
@@ -217,6 +240,43 @@ fn alloc_tvar_uniform_across_stms() {
     }
 }
 
+/// The seventh STM under forced migrations: a hair-trigger hybrid policy
+/// plus a preemption point inside every increment guarantees the run
+/// crosses the TL2→DSTM barrier mid-history. The recorded history —
+/// spanning transactions executed by *both* embedded engines — must still
+/// be conflict-serializable, and no increment may be lost.
+#[test]
+fn hybrid_history_spanning_forced_migration_is_serializable() {
+    let (stm, rec) = instrumented("hybrid-eager");
+    stm.register_tvar(TVarId(0), 0);
+    std::thread::scope(|s| {
+        for p in 0..4u32 {
+            let stm = &stm;
+            s.spawn(move || {
+                for _ in 0..64u64 {
+                    run_transaction(&**stm, p, |tx| {
+                        let v = tx.read(TVarId(0))?;
+                        std::thread::yield_now(); // preemption point
+                        tx.write(TVarId(0), v + 1)
+                    });
+                }
+            });
+        }
+    });
+    let migrations = stm
+        .stats()
+        .snapshot()
+        .get(oftm::obs::Counter::ModeMigrations);
+    assert!(migrations > 0, "forcing workload never migrated");
+    let h = rec.snapshot();
+    assert!(
+        conflict_serializable(&h),
+        "history spanning a migration is not conflict-serializable"
+    );
+    let (v, _) = run_transaction(&*stm, 9, |tx| tx.read(TVarId(0)));
+    assert_eq!(v, 256, "lost update across migration");
+}
+
 #[test]
 fn obstruction_freedom_flags_match_design() {
     let expectations = [
@@ -226,6 +286,9 @@ fn obstruction_freedom_flags_match_design() {
         ("coarse", false),
         ("algo2-cas", true),
         ("algo2-splitter", true),
+        // The hybrid's default mode is a lock-based TM (TL2): it trades
+        // obstruction-freedom for throughput, which is the point.
+        ("hybrid", false),
     ];
     for (name, expect) in expectations {
         let (stm, _) = instrumented(name);
