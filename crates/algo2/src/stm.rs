@@ -69,7 +69,7 @@ use oftm_core::record::{fresh_base_id, Recorder};
 use oftm_core::table::{VarTable, DYNAMIC_TVAR_BASE};
 use oftm_foc::{CasFoc, FoConsensus, SplitterFoc};
 use oftm_histories::{Access, BaseObjId, TVarId, TmOp, TmResp, TxId, Value};
-use oftm_obs::{AbortCause, Counter, StmStats};
+use oftm_obs::{pack_tx, AbortCause, Counter, StmStats, VarAttr, TX_UNKNOWN};
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -149,8 +149,15 @@ impl RegCell {
 }
 
 /// A boolean register cell.
+///
+/// `by` is a **forensic stamp, not part of the algorithm**: the peer
+/// that sets the flag records its own packed id first, so the victim's
+/// `Aborted[Tk]` re-check can name who revoked it (the who-aborted-whom
+/// edge). The model-checked protocol reads only `val`; racing setters
+/// last-write-win on `by`, and any of them is a correct aggressor.
 pub(crate) struct FlagCell {
     val: AtomicBool,
+    by: AtomicU64,
     base: BaseObjId,
 }
 
@@ -158,6 +165,7 @@ impl FlagCell {
     fn new() -> Self {
         FlagCell {
             val: AtomicBool::new(false),
+            by: AtomicU64::new(TX_UNKNOWN),
             base: fresh_base_id(),
         }
     }
@@ -313,10 +321,16 @@ pub struct Algo2Tx<'s> {
 }
 
 impl<'s> Algo2Tx<'s> {
-    fn tag_abort(&mut self, cause: AbortCause) {
+    /// Tags this attempt's abort cause (first tag wins) with its forensic
+    /// attribution: the t-variable fought over (or [`VarAttr::NoVar`]) and
+    /// the packed id of the aggressor, [`TX_UNKNOWN`] when no peer can be
+    /// named.
+    fn tag_abort(&mut self, cause: AbortCause, var: VarAttr, aggressor: u64) {
         if !self.cause_tagged {
             self.cause_tagged = true;
-            self.stm.stats.abort(cause);
+            self.stm
+                .stats
+                .abort_at(cause, var, pack_tx(self.id.proc, self.id.seq), aggressor);
         }
     }
 
@@ -371,8 +385,9 @@ impl<'s> Algo2Tx<'s> {
                 self.rstep(owner_cell.base, Access::Modify);
                 let owner = match owner {
                     None => {
-                        // owner = ⊥: our Owner proposal lost outright.
-                        self.tag_abort(AbortCause::CasLost);
+                        // owner = ⊥: our Owner proposal lost outright. The
+                        // consensus object names no winner, so no aggressor.
+                        self.tag_abort(AbortCause::CasLost, VarAttr::Var(x.0), TX_UNKNOWN);
                         return Err(TxError::Aborted);
                     }
                     Some(o) => decode_tx(o),
@@ -384,8 +399,14 @@ impl<'s> Algo2Tx<'s> {
                     self.rstep(sc.base, Access::Modify);
                     match s {
                         None => {
-                            // s = ⊥: the State proposal itself failed.
-                            self.tag_abort(AbortCause::CasLost);
+                            // s = ⊥: the State proposal itself failed. The
+                            // owner whose fate we tried to decide is the
+                            // peer we lost to — `Owner[x, version]` names it.
+                            self.tag_abort(
+                                AbortCause::CasLost,
+                                VarAttr::Var(x.0),
+                                pack_tx(owner.proc, owner.seq),
+                            );
                             return Err(TxError::Aborted);
                         }
                         Some(s) if s == Fate::Committed as u8 => {
@@ -400,6 +421,10 @@ impl<'s> Algo2Tx<'s> {
                         Some(_) => {
                             // Aborted[owner] ← true
                             let flag = self.stm.aborted.get_or_create(&owner, FlagCell::new);
+                            // ord: Relaxed — forensic stamp, carries no
+                            // payload; the Release `val` store below makes
+                            // it visible to the victim's Acquire re-check.
+                            flag.by.store(encode_tx(self.id), Ordering::Relaxed);
                             // ord: Release pairs with the owner's Acquire
                             // Aborted[Tk] re-check on its own paths.
                             flag.val.store(true, Ordering::Release);
@@ -420,8 +445,10 @@ impl<'s> Algo2Tx<'s> {
                 self.rstep(v_cell.base, Access::Read);
                 if now != v_snapshot {
                     // The V[x] change check: our snapshot of the variable
-                    // is stale (the paper's wait-freedom guard).
-                    self.tag_abort(AbortCause::ReadValidation);
+                    // is stale (the paper's wait-freedom guard). The new
+                    // V[x] value encodes the peer that acquired past us.
+                    let aggressor = if now == V_BOTTOM { TX_UNKNOWN } else { now };
+                    self.tag_abort(AbortCause::ReadValidation, VarAttr::Var(x.0), aggressor);
                     return Err(TxError::Aborted);
                 }
                 version += 1;
@@ -464,8 +491,14 @@ impl<'s> Algo2Tx<'s> {
             self.rstep(flag.base, Access::Read);
             if dead {
                 // Aborted[Tk]: a peer revoked one of our ownerships and
-                // the final re-check stops us — a stale-state abort.
-                self.tag_abort(AbortCause::ReadValidation);
+                // the final re-check stops us — a stale-state abort. The
+                // setter stamped its id on the flag before the Release
+                // store, so the edge names who revoked us; the variable
+                // is whichever acquire tripped the re-check.
+                // ord: Relaxed — forensic stamp, carries no payload; the
+                // Acquire `val` load above ordered it.
+                let by = flag.by.load(Ordering::Relaxed);
+                self.tag_abort(AbortCause::ReadValidation, VarAttr::Var(x.0), by);
                 return Err(TxError::Aborted);
             }
         }
@@ -571,8 +604,20 @@ impl WordTx for Algo2Tx<'_> {
             }
             _ => {
                 // A peer decided our State `aborted` before our own
-                // `committed` proposal: the fate race was lost.
-                self.tag_abort(AbortCause::CasLost);
+                // `committed` proposal: the fate race was lost. The State
+                // cell records the verdict, not the proposer, and the
+                // contested variable is unrecoverable — but the peer also
+                // stamps `Aborted[Tk].by` right after deciding us, so a
+                // best-effort aggressor is often readable (TX_UNKNOWN
+                // when the stamp hasn't landed yet).
+                // ord: Relaxed — forensic stamp, carries no payload.
+                let by = self
+                    .stm
+                    .aborted
+                    .get_or_create(&self.id, FlagCell::new)
+                    .by
+                    .load(Ordering::Relaxed);
+                self.tag_abort(AbortCause::CasLost, VarAttr::NoVar, by);
                 self.rrespond(TmResp::Aborted);
                 Err(TxError::Aborted)
             }
@@ -589,7 +634,7 @@ impl WordTx for Algo2Tx<'_> {
         self.rstep(sc.base, Access::Modify);
         // tryA on a still-viable attempt is an explicit retry; if a cause
         // was already tagged, the attempt was dead anyway.
-        self.tag_abort(AbortCause::ExplicitRetry);
+        self.tag_abort(AbortCause::ExplicitRetry, VarAttr::NoVar, TX_UNKNOWN);
         self.rrespond(TmResp::Aborted);
         // Dropping `grace` releases the reclamation slot; the retire-set
         // is discarded with the transaction.
@@ -612,7 +657,7 @@ impl Drop for Algo2Tx<'_> {
         if !self.completed {
             let sc = self.stm.state_cell(self.id);
             let _ = sc.propose(self.id.proc, Fate::Aborted as u8);
-            self.tag_abort(AbortCause::ExplicitRetry);
+            self.tag_abort(AbortCause::ExplicitRetry, VarAttr::NoVar, TX_UNKNOWN);
         }
     }
 }
@@ -710,27 +755,32 @@ impl<'s> Algo2RoTx<'s> {
     }
 
     /// A recorded read `(x, stop, _)` is still current iff no decided-
-    /// committed version at or past `stop` has appeared since.
-    fn validate(&self) -> bool {
-        self.reads.iter().all(|&(x, stop, _)| {
+    /// committed version at or past `stop` has appeared since. Returns the
+    /// first invalidated read as `(x, committed_owner)`: the owner is the
+    /// peer whose commit broke the snapshot — exactly the aggressor of the
+    /// who-aborted-whom edge this abort will record.
+    fn first_invalid(&self) -> Option<(TVarId, TxId)> {
+        for &(x, stop, _) in &self.reads {
             let mut version = stop;
             loop {
                 let Some(cell) = self.stm.owner.get(&(x, version)) else {
-                    return true;
+                    break;
                 };
                 self.rstep(cell.base, Access::Read);
                 let Some(owner) = cell.decided() else {
-                    return true;
+                    break;
                 };
-                let sc = self.stm.state_cell(decode_tx(owner));
+                let owner = decode_tx(owner);
+                let sc = self.stm.state_cell(owner);
                 self.rstep(sc.base, Access::Read);
                 match sc.decided() {
-                    Some(s) if s == Fate::Committed as u8 => return false,
+                    Some(s) if s == Fate::Committed as u8 => return Some((x, owner)),
                     Some(_) => version += 1,
-                    None => return true,
+                    None => break,
                 }
             }
-        })
+        }
+        None
     }
 }
 
@@ -756,10 +806,15 @@ impl WordTx for Algo2RoTx<'_> {
         // Incremental validation, as in DSTM: every access re-checks the
         // whole read-set so a live read-only transaction never observes a
         // torn snapshot (opacity, not just commit-time serializability).
-        if !self.validate() {
+        if let Some((vx, owner)) = self.first_invalid() {
             if !self.cause_tagged {
                 self.cause_tagged = true;
-                self.stm.stats.abort(AbortCause::ReadValidation);
+                self.stm.stats.abort_at(
+                    AbortCause::ReadValidation,
+                    VarAttr::Var(vx.0),
+                    pack_tx(self.id.proc, self.id.seq),
+                    pack_tx(owner.proc, owner.seq),
+                );
             }
             self.rrespond(TmResp::Aborted);
             return Err(TxError::Aborted);
@@ -778,7 +833,19 @@ impl WordTx for Algo2RoTx<'_> {
         // No peer ever learned of this transaction (it proposed nothing),
         // so there is no `State` cell to decide: the final validation is
         // the commit.
-        if self.validate() {
+        if let Some((vx, owner)) = self.first_invalid() {
+            if !self.cause_tagged {
+                self.cause_tagged = true;
+                self.stm.stats.abort_at(
+                    AbortCause::ReadValidation,
+                    VarAttr::Var(vx.0),
+                    pack_tx(self.id.proc, self.id.seq),
+                    pack_tx(owner.proc, owner.seq),
+                );
+            }
+            self.rrespond(TmResp::Aborted);
+            Err(TxError::Aborted)
+        } else {
             self.stm.stats.incr(Counter::CommitsRo);
             self.rrespond(TmResp::Committed);
             self.stm.reclaim_after_commit(
@@ -786,13 +853,6 @@ impl WordTx for Algo2RoTx<'_> {
                 Vec::new(),
             );
             Ok(())
-        } else {
-            if !self.cause_tagged {
-                self.cause_tagged = true;
-                self.stm.stats.abort(AbortCause::ReadValidation);
-            }
-            self.rrespond(TmResp::Aborted);
-            Err(TxError::Aborted)
         }
     }
 
@@ -801,7 +861,12 @@ impl WordTx for Algo2RoTx<'_> {
         self.completed = true;
         if !self.cause_tagged {
             self.cause_tagged = true;
-            self.stm.stats.abort(AbortCause::ExplicitRetry);
+            self.stm.stats.abort_at(
+                AbortCause::ExplicitRetry,
+                VarAttr::NoVar,
+                pack_tx(self.id.proc, self.id.seq),
+                TX_UNKNOWN,
+            );
         }
         self.rrespond(TmResp::Aborted);
         self.grace.take();
@@ -820,7 +885,12 @@ impl Drop for Algo2RoTx<'_> {
     fn drop(&mut self) {
         if !self.completed && !self.cause_tagged {
             self.cause_tagged = true;
-            self.stm.stats.abort(AbortCause::ExplicitRetry);
+            self.stm.stats.abort_at(
+                AbortCause::ExplicitRetry,
+                VarAttr::NoVar,
+                pack_tx(self.id.proc, self.id.seq),
+                TX_UNKNOWN,
+            );
         }
     }
 }

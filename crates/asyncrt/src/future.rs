@@ -35,7 +35,7 @@ use oftm_core::contention::ContentionPolicy;
 use oftm_core::notify::WaitSnapshot;
 use oftm_core::{BudgetExceeded, TxError};
 use oftm_histories::TVarId;
-use oftm_obs::{AbortCause, Counter};
+use oftm_obs::{pack_tx, AbortCause, Counter, VarAttr, TX_UNKNOWN};
 use std::future::Future;
 use std::pin::Pin;
 use std::task::{Context, Poll, Waker};
@@ -78,6 +78,9 @@ pub(crate) struct ParkCore<'s> {
     /// When the current park began (set with `parked_until`); feeds the
     /// park-duration histogram on the unparking poll.
     parked_at: Option<std::time::Instant>,
+    /// Ring-clock start of the current park: emitted as a `"park"` span
+    /// on the meaningful wake (only when tracing is enabled).
+    park_started_ns: Option<u64>,
     /// When the in-flight attempt began; feeds the attempt-latency
     /// histogram when the attempt's fate settles ([`ParkCore::end_attempt`]).
     attempt_started: Option<std::time::Instant>,
@@ -113,6 +116,7 @@ impl<'s> ParkCore<'s> {
             snap: WaitSnapshot::new(),
             parked_until: None,
             parked_at: None,
+            park_started_ns: None,
             attempt_started: None,
             read_only: false,
         }
@@ -145,6 +149,15 @@ impl<'s> ParkCore<'s> {
                     stats.incr(Counter::Wakes);
                     if let Some(at) = self.parked_at.take() {
                         stats.record_park_ns(at.elapsed().as_nanos() as u64);
+                    }
+                    if let Some(t0) = self.park_started_ns.take() {
+                        oftm_obs::ring::emit_span(
+                            "park",
+                            "async_park_core",
+                            u64::from(self.proc),
+                            u64::from(self.parks),
+                            t0,
+                        );
                     }
                     true
                 } else {
@@ -188,12 +201,13 @@ impl<'s> ParkCore<'s> {
     /// Tags the spent retry budget on the cause taxonomy (the async
     /// analogue of the sync loops' budget accounting).
     pub fn budget_exhausted(&self) -> BudgetExceeded {
-        self.stm.stats().abort(AbortCause::BudgetExhausted);
-        oftm_obs::ring::emit(
-            "budget_exhausted",
-            "async_park_core",
-            u64::from(self.proc),
-            u64::from(self.max_attempts),
+        // No conflicting variable and no aggressor: the budget ran out
+        // across attempts that each tagged their own cause already.
+        self.stm.stats().abort_at(
+            AbortCause::BudgetExhausted,
+            VarAttr::NoVar,
+            pack_tx(self.proc, self.max_attempts),
+            TX_UNKNOWN,
         );
         BudgetExceeded {
             attempts: self.max_attempts,
@@ -252,6 +266,7 @@ impl<'s> ParkCore<'s> {
         let now = std::time::Instant::now();
         self.parked_until = Some(now + timeout);
         self.parked_at = Some(now);
+        self.park_started_ns = oftm_obs::ring::enabled().then(oftm_obs::ring::clock_ns);
         timer::wake_after(timeout, waker.clone());
         AfterAbort::Pend
     }

@@ -30,7 +30,7 @@ use oftm_core::reclaim::{GraceTracker, RetiredBlock, TxGrace};
 use oftm_core::record::{fresh_base_id, Recorder};
 use oftm_core::table::VarTable;
 use oftm_histories::{Access, TVarId, TmOp, TmResp, TxId, Value};
-use oftm_obs::{AbortCause, Counter, StmStats};
+use oftm_obs::{pack_tx, AbortCause, Counter, StmStats, VarAttr, TX_UNKNOWN};
 use parking_lot::{Mutex, MutexGuard};
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -236,8 +236,13 @@ impl WordTx for CoarseTx<'_> {
             .stats
             .record_commit_cs_ns(self.gate_held_at.elapsed().as_nanos() as u64);
         // Coarse transactions never fail: aborting one is always a
-        // voluntary abandonment.
-        self.stm.stats.abort(AbortCause::ExplicitRetry);
+        // voluntary abandonment — no conflicting variable, no aggressor.
+        self.stm.stats.abort_at(
+            AbortCause::ExplicitRetry,
+            VarAttr::NoVar,
+            pack_tx(self.id.proc, self.id.seq),
+            TX_UNKNOWN,
+        );
         if let Some(r) = self.rec() {
             r.respond(self.id, TmResp::Aborted);
         }
@@ -272,7 +277,12 @@ impl Drop for CoarseTx<'_> {
             self.stm
                 .stats
                 .record_commit_cs_ns(self.gate_held_at.elapsed().as_nanos() as u64);
-            self.stm.stats.abort(AbortCause::ExplicitRetry);
+            self.stm.stats.abort_at(
+                AbortCause::ExplicitRetry,
+                VarAttr::NoVar,
+                pack_tx(self.id.proc, self.id.seq),
+                TX_UNKNOWN,
+            );
         }
     }
 }

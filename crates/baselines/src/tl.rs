@@ -39,7 +39,7 @@ use oftm_core::reclaim::{GraceTracker, RetiredBlock, TxGrace};
 use oftm_core::record::{fresh_base_id, Recorder};
 use oftm_core::table::VarTable;
 use oftm_histories::{Access, BaseObjId, TVarId, TmOp, TmResp, TxId, Value};
-use oftm_obs::{AbortCause, Counter, StmStats};
+use oftm_obs::{pack_tx, AbortCause, Counter, StmStats, VarAttr, TX_UNKNOWN};
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -54,6 +54,15 @@ pub(crate) struct VLockVar {
     /// against.
     lock: AtomicU64,
     value: AtomicU64,
+    /// Forensic writer stamp: packed id ([`pack_tx`]) of the last
+    /// transaction to take this variable's commit lock — while the lock is
+    /// held, the current holder; after a successful commit, the last
+    /// committer. A victim aborting on this word reads the stamp to name
+    /// its aggressor (who-aborted-whom edges). An aborted commit attempt
+    /// leaves its id behind until the next holder, so a racing attribution
+    /// can name a contender that never committed — a true contender on the
+    /// variable, just not the committed invalidator.
+    writer: AtomicU64,
     lock_base: BaseObjId,
     value_base: BaseObjId,
 }
@@ -63,6 +72,7 @@ impl VLockVar {
         VLockVar {
             lock: AtomicU64::new(0),
             value: AtomicU64::new(initial),
+            writer: AtomicU64::new(TX_UNKNOWN),
             lock_base: fresh_base_id(),
             value_base: fresh_base_id(),
         }
@@ -277,6 +287,11 @@ impl TlTx<'_> {
             .find(|(w, _, _)| *w == x)
             .map(|(_, v, _)| *v)
     }
+
+    /// This transaction's packed forensic identity ([`pack_tx`]).
+    fn packed_id(&self) -> u64 {
+        pack_tx(self.id.proc, self.id.seq)
+    }
 }
 
 impl WordTx for TlTx<'_> {
@@ -309,7 +324,14 @@ impl WordTx for TlTx<'_> {
             if patience == 0 {
                 self.dead = true;
                 self.conflict_hint = Some(x);
-                self.stm.stats.abort(AbortCause::LockBusy);
+                // ord: Relaxed — forensic stamp, carries no payload.
+                let holder = var.writer.load(Ordering::Relaxed);
+                self.stm.stats.abort_at(
+                    AbortCause::LockBusy,
+                    VarAttr::Var(x.0),
+                    self.packed_id(),
+                    holder,
+                );
                 self.rrespond(TmResp::Aborted);
                 return Err(TxError::Aborted);
             }
@@ -337,19 +359,27 @@ impl WordTx for TlTx<'_> {
             return Err(TxError::Aborted);
         }
 
+        let me = self.packed_id();
         if self.writes.is_empty() {
             // Detect-on-commit promotion: no locks to take and no clock
             // bump. Unlike TL2, the read-set must still be validated —
             // plain TL reads are not anchored to a begin-time snapshot,
             // so this is what makes two reads at different times mutually
             // consistent.
-            for (var, _x, ver) in &self.reads {
+            for (var, x, ver) in &self.reads {
                 self.rstep(var.lock_base, Access::Read);
                 // ord: Acquire pairs with `unlock`'s Release — an unchanged
                 // version word proves the read still holds.
                 let cur = var.lock.load(Ordering::Acquire);
                 if cur != *ver {
-                    self.stm.stats.abort(AbortCause::ReadValidation);
+                    // ord: Relaxed — forensic stamp, carries no payload.
+                    let writer = var.writer.load(Ordering::Relaxed);
+                    self.stm.stats.abort_at(
+                        AbortCause::ReadValidation,
+                        VarAttr::Var(x.0),
+                        me,
+                        writer,
+                    );
                     self.rrespond(TmResp::Aborted);
                     return Err(TxError::Aborted);
                 }
@@ -393,12 +423,21 @@ impl WordTx for TlTx<'_> {
                 self.rstep(var.lock_base, Access::Modify);
                 if let Some(prev) = var.try_lock() {
                     self.locked.push(prev);
+                    // Forensic holder stamp: any peer that aborts on this
+                    // word while we hold it names us as the aggressor.
+                    // ord: Relaxed — forensic stamp, carries no payload.
+                    var.writer.store(me, Ordering::Relaxed);
                     break;
                 }
                 patience = patience.saturating_sub(1);
                 if patience == 0 {
+                    let x = self.writes[i].0;
+                    // ord: Relaxed — forensic stamp, carries no payload.
+                    let holder = var.writer.load(Ordering::Relaxed);
                     unlock_all(&self.writes[..self.locked.len()], &self.locked);
-                    self.stm.stats.abort(AbortCause::LockBusy);
+                    self.stm
+                        .stats
+                        .abort_at(AbortCause::LockBusy, VarAttr::Var(x.0), me, holder);
                     self.rrespond(TmResp::Aborted);
                     return Err(TxError::Aborted);
                 }
@@ -425,8 +464,12 @@ impl WordTx for TlTx<'_> {
             let ours = self.writes.binary_search_by_key(x, |(w, _, _)| *w).is_ok();
             let effective = if ours { cur & !LOCK_BIT } else { cur };
             if effective != *ver || (!ours && cur & LOCK_BIT != 0) {
+                // ord: Relaxed — forensic stamp, carries no payload.
+                let writer = var.writer.load(Ordering::Relaxed);
                 unlock_all(&self.writes, &self.locked);
-                self.stm.stats.abort(AbortCause::ReadValidation);
+                self.stm
+                    .stats
+                    .abort_at(AbortCause::ReadValidation, VarAttr::Var(x.0), me, writer);
                 self.rrespond(TmResp::Aborted);
                 return Err(TxError::Aborted);
             }
@@ -462,7 +505,12 @@ impl WordTx for TlTx<'_> {
         self.finished = true;
         if !self.dead {
             // Abandoning a still-viable attempt: an explicit retry.
-            self.stm.stats.abort(AbortCause::ExplicitRetry);
+            self.stm.stats.abort_at(
+                AbortCause::ExplicitRetry,
+                VarAttr::NoVar,
+                self.packed_id(),
+                TX_UNKNOWN,
+            );
         }
         self.rrespond(TmResp::Aborted);
         // Nothing to undo: writes were buffered; dropping `grace` releases
@@ -485,7 +533,12 @@ impl Drop for TlTx<'_> {
         if !self.finished && !self.dead {
             // Dropped live without tryC/tryA: counted as an explicit retry
             // (the only way an attempt can end with no cause tagged).
-            self.stm.stats.abort(AbortCause::ExplicitRetry);
+            self.stm.stats.abort_at(
+                AbortCause::ExplicitRetry,
+                VarAttr::NoVar,
+                self.packed_id(),
+                TX_UNKNOWN,
+            );
         }
         // Return the (cleared) buffers to the pool: the next transaction
         // begins with warm capacity instead of fresh allocations.
@@ -568,7 +621,14 @@ impl WordTx for TlRoTx<'_> {
                     if patience == 0 {
                         self.dead = true;
                         self.conflict_hint = Some(x);
-                        self.stm.stats.abort(AbortCause::LockBusy);
+                        // ord: Relaxed — forensic stamp, carries no payload.
+                        let holder = var.writer.load(Ordering::Relaxed);
+                        self.stm.stats.abort_at(
+                            AbortCause::LockBusy,
+                            VarAttr::Var(x.0),
+                            pack_tx(self.id.proc, self.id.seq),
+                            holder,
+                        );
                         self.rrespond(TmResp::Aborted);
                         return Err(TxError::Aborted);
                     }
@@ -583,10 +643,18 @@ impl WordTx for TlRoTx<'_> {
         self.rstep(var.value_base, Access::Read);
         if !readable(ver, &self.rv) {
             if self.read_any {
-                // Snapshot frozen; this value postdates it.
+                // Snapshot frozen; this value postdates it. The writer
+                // stamp names the committer whose stamp we tripped on.
                 self.dead = true;
                 self.conflict_hint = Some(x);
-                self.stm.stats.abort(AbortCause::ReadValidation);
+                // ord: Relaxed — forensic stamp, carries no payload.
+                let writer = var.writer.load(Ordering::Relaxed);
+                self.stm.stats.abort_at(
+                    AbortCause::ReadValidation,
+                    VarAttr::Var(x.0),
+                    pack_tx(self.id.proc, self.id.seq),
+                    writer,
+                );
                 self.rrespond(TmResp::Aborted);
                 return Err(TxError::Aborted);
             }
@@ -626,7 +694,12 @@ impl WordTx for TlRoTx<'_> {
         self.rinvoke(TmOp::TryAbort);
         self.finished = true;
         if !self.dead {
-            self.stm.stats.abort(AbortCause::ExplicitRetry);
+            self.stm.stats.abort_at(
+                AbortCause::ExplicitRetry,
+                VarAttr::NoVar,
+                pack_tx(self.id.proc, self.id.seq),
+                TX_UNKNOWN,
+            );
         }
         self.rrespond(TmResp::Aborted);
     }
@@ -643,7 +716,12 @@ impl WordTx for TlRoTx<'_> {
 impl Drop for TlRoTx<'_> {
     fn drop(&mut self) {
         if !self.finished && !self.dead {
-            self.stm.stats.abort(AbortCause::ExplicitRetry);
+            self.stm.stats.abort_at(
+                AbortCause::ExplicitRetry,
+                VarAttr::NoVar,
+                pack_tx(self.id.proc, self.id.seq),
+                TX_UNKNOWN,
+            );
         }
     }
 }

@@ -55,7 +55,7 @@ use oftm_core::reclaim::{GraceTracker, RetiredBlock, TxGrace};
 use oftm_core::record::{fresh_base_id, Recorder};
 use oftm_core::table::VarTable;
 use oftm_histories::{Access, BaseObjId, TVarId, TmOp, TmResp, TxId, Value};
-use oftm_obs::{AbortCause, Counter, StmStats};
+use oftm_obs::{pack_tx, AbortCause, Counter, StmStats, VarAttr, TX_UNKNOWN};
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -68,6 +68,15 @@ struct ClockVar {
     /// High bit: locked; rest: a packed `(shard, count)` timestamp.
     lock: AtomicU64,
     value: AtomicU64,
+    /// Forensic writer stamp: packed id ([`pack_tx`]) of the last
+    /// transaction to take this variable's commit lock — while the lock is
+    /// held, the current holder; after a successful commit, the last
+    /// committer. A victim aborting on this word reads the stamp to name
+    /// its aggressor (who-aborted-whom edges). An aborted commit attempt
+    /// leaves its id behind until the next holder, so a racing attribution
+    /// can name a contender that never committed — a true contender on the
+    /// variable, just not the committed invalidator.
+    writer: AtomicU64,
     lock_base: BaseObjId,
     value_base: BaseObjId,
 }
@@ -77,6 +86,7 @@ impl ClockVar {
         ClockVar {
             lock: AtomicU64::new(0),
             value: AtomicU64::new(initial),
+            writer: AtomicU64::new(TX_UNKNOWN),
             lock_base: fresh_base_id(),
             value_base: fresh_base_id(),
         }
@@ -283,6 +293,11 @@ impl Tl2Tx<'_> {
     fn readable(&self, v: u64) -> bool {
         readable(v, &self.rv)
     }
+
+    /// This transaction's packed forensic identity ([`pack_tx`]).
+    fn packed_id(&self) -> u64 {
+        pack_tx(self.id.proc, self.id.seq)
+    }
 }
 
 impl WordTx for Tl2Tx<'_> {
@@ -316,12 +331,20 @@ impl WordTx for Tl2Tx<'_> {
             self.conflict_hint = Some(x);
             // Locked/torn sandwich means a committer holds the word
             // (lock-busy); an unlocked-but-too-new stamp is the TL2
-            // snapshot check proper (read-validation).
-            self.stm.stats.abort(if v1 & LOCK_BIT != 0 || v1 != v2 {
+            // snapshot check proper (read-validation). Either way the
+            // variable's writer stamp names the aggressor: the current
+            // holder, respectively the committer whose stamp postdates
+            // our snapshot.
+            let cause = if v1 & LOCK_BIT != 0 || v1 != v2 {
                 AbortCause::LockBusy
             } else {
                 AbortCause::ReadValidation
-            });
+            };
+            // ord: Relaxed — forensic stamp, carries no payload.
+            let aggressor = var.writer.load(Ordering::Relaxed);
+            self.stm
+                .stats
+                .abort_at(cause, VarAttr::Var(x.0), self.packed_id(), aggressor);
             self.rrespond(TmResp::Aborted);
             return Err(TxError::Aborted);
         }
@@ -386,6 +409,7 @@ impl WordTx for Tl2Tx<'_> {
         // Commit critical section: from the first lock acquisition to the
         // final stamped release, concurrent accessors of these variables
         // spin or abort.
+        let me = self.packed_id();
         let cs_started = Instant::now();
         self.locked.clear();
         for i in 0..self.writes.len() {
@@ -405,12 +429,22 @@ impl WordTx for Tl2Tx<'_> {
                         .is_ok()
                 {
                     self.locked.push(cur);
+                    // Forensic holder stamp: any peer that aborts on this
+                    // word while we hold it (or validates against our
+                    // commit stamp later) names us as the aggressor.
+                    // ord: Relaxed — forensic stamp, carries no payload.
+                    var.writer.store(me, Ordering::Relaxed);
                     break;
                 }
                 patience = patience.saturating_sub(1);
                 if patience == 0 {
+                    let x = self.writes[i].0;
+                    // ord: Relaxed — forensic stamp, carries no payload.
+                    let holder = var.writer.load(Ordering::Relaxed);
                     unlock_all(&self.writes[..self.locked.len()], &self.locked);
-                    self.stm.stats.abort(AbortCause::LockBusy);
+                    self.stm
+                        .stats
+                        .abort_at(AbortCause::LockBusy, VarAttr::Var(x.0), me, holder);
                     self.rrespond(TmResp::Aborted);
                     return Err(TxError::Aborted);
                 }
@@ -440,16 +474,27 @@ impl WordTx for Tl2Tx<'_> {
                 self.locked[i]
             } else {
                 if cur & LOCK_BIT != 0 {
+                    // ord: Relaxed — forensic stamp, carries no payload.
+                    let holder = var.writer.load(Ordering::Relaxed);
                     unlock_all(&self.writes, &self.locked);
-                    self.stm.stats.abort(AbortCause::ReadValidation);
+                    self.stm.stats.abort_at(
+                        AbortCause::ReadValidation,
+                        VarAttr::Var(x.0),
+                        me,
+                        holder,
+                    );
                     self.rrespond(TmResp::Aborted);
                     return Err(TxError::Aborted);
                 }
                 cur
             };
             if !self.readable(version) {
+                // ord: Relaxed — forensic stamp, carries no payload.
+                let writer = var.writer.load(Ordering::Relaxed);
                 unlock_all(&self.writes, &self.locked);
-                self.stm.stats.abort(AbortCause::ReadValidation);
+                self.stm
+                    .stats
+                    .abort_at(AbortCause::ReadValidation, VarAttr::Var(x.0), me, writer);
                 self.rrespond(TmResp::Aborted);
                 return Err(TxError::Aborted);
             }
@@ -485,8 +530,14 @@ impl WordTx for Tl2Tx<'_> {
         self.rinvoke(TmOp::TryAbort);
         self.finished = true;
         if !self.dead {
-            // Abandoning a still-viable attempt: an explicit retry.
-            self.stm.stats.abort(AbortCause::ExplicitRetry);
+            // Abandoning a still-viable attempt: an explicit retry — no
+            // variable and no peer are attributable by construction.
+            self.stm.stats.abort_at(
+                AbortCause::ExplicitRetry,
+                VarAttr::NoVar,
+                self.packed_id(),
+                TX_UNKNOWN,
+            );
         }
         self.rrespond(TmResp::Aborted);
         // Dropping `grace` releases the reclamation slot; the retire-set
@@ -509,7 +560,12 @@ impl Drop for Tl2Tx<'_> {
         if !self.finished && !self.dead {
             // Dropped live without tryC/tryA: counted as an explicit retry
             // (the only way an attempt can end with no cause tagged).
-            self.stm.stats.abort(AbortCause::ExplicitRetry);
+            self.stm.stats.abort_at(
+                AbortCause::ExplicitRetry,
+                VarAttr::NoVar,
+                self.packed_id(),
+                TX_UNKNOWN,
+            );
         }
         // Return the (cleared) buffers to the pool: the next transaction
         // begins with warm capacity instead of fresh allocations.
@@ -611,7 +667,14 @@ impl WordTx for Tl2RoTx<'_> {
                 if patience == 0 {
                     self.dead = true;
                     self.conflict_hint = Some(x);
-                    self.stm.stats.abort(AbortCause::LockBusy);
+                    // ord: Relaxed — forensic stamp, carries no payload.
+                    let holder = var.writer.load(Ordering::Relaxed);
+                    self.stm.stats.abort_at(
+                        AbortCause::LockBusy,
+                        VarAttr::Var(x.0),
+                        pack_tx(self.id.proc, self.id.seq),
+                        holder,
+                    );
                     self.rrespond(TmResp::Aborted);
                     return Err(TxError::Aborted);
                 }
@@ -629,10 +692,18 @@ impl WordTx for Tl2RoTx<'_> {
         }
         if !readable(v1, &self.rv) {
             if self.read_any {
-                // Snapshot frozen; this value postdates it.
+                // Snapshot frozen; this value postdates it. The writer
+                // stamp names the committer that broke the snapshot.
                 self.dead = true;
                 self.conflict_hint = Some(x);
-                self.stm.stats.abort(AbortCause::ReadValidation);
+                // ord: Relaxed — forensic stamp, carries no payload.
+                let writer = var.writer.load(Ordering::Relaxed);
+                self.stm.stats.abort_at(
+                    AbortCause::ReadValidation,
+                    VarAttr::Var(x.0),
+                    pack_tx(self.id.proc, self.id.seq),
+                    writer,
+                );
                 self.rrespond(TmResp::Aborted);
                 return Err(TxError::Aborted);
             }
@@ -672,7 +743,12 @@ impl WordTx for Tl2RoTx<'_> {
         self.rinvoke(TmOp::TryAbort);
         self.finished = true;
         if !self.dead {
-            self.stm.stats.abort(AbortCause::ExplicitRetry);
+            self.stm.stats.abort_at(
+                AbortCause::ExplicitRetry,
+                VarAttr::NoVar,
+                pack_tx(self.id.proc, self.id.seq),
+                TX_UNKNOWN,
+            );
         }
         self.rrespond(TmResp::Aborted);
     }
@@ -692,7 +768,12 @@ impl WordTx for Tl2RoTx<'_> {
 impl Drop for Tl2RoTx<'_> {
     fn drop(&mut self) {
         if !self.finished && !self.dead {
-            self.stm.stats.abort(AbortCause::ExplicitRetry);
+            self.stm.stats.abort_at(
+                AbortCause::ExplicitRetry,
+                VarAttr::NoVar,
+                pack_tx(self.id.proc, self.id.seq),
+                TX_UNKNOWN,
+            );
         }
     }
 }

@@ -25,7 +25,14 @@
 //!    strictly worse than either fixed choice — the one outcome the
 //!    hybrid exists to rule out. A 0.9 noise floor keeps single-run
 //!    jitter from tripping the gate.
-//! 6. **Overhead guard** — the geometric-mean read-mostly throughput of
+//! 6. **Forensics gate** — every cell carries `hot_vars`/`hot_edges`
+//!    arrays, a cell with var-attributed conflict aborts
+//!    (`read_validation + lock_busy + cm_arbitrated > 0`) has a
+//!    **non-empty** heatmap (`cas_lost` alone does not trigger this:
+//!    Algorithm 2's fate race legitimately declines with
+//!    `VarAttr::NoVar`), and the heatmap counts sum to ≤ the cell's
+//!    exact `aborts` (attributions are sampled, never invented).
+//! 7. **Overhead guard** — the geometric-mean read-mostly throughput of
 //!    a fresh `exp_hotpath --smoke` run (stats always on) must stay
 //!    within noise of the committed pre-telemetry smoke snapshot
 //!    (`bench_baselines/hotpath_smoke_pr6.json`). Smoke cells are tiny
@@ -171,6 +178,71 @@ fn check_table(path: &str, errors: &mut Vec<String>) -> Vec<String> {
     owned
 }
 
+/// The forensics gate: every cell must carry the `hot_vars`/`hot_edges`
+/// arrays, a cell whose stats show var-attributed conflict aborts must
+/// have actually attributed them (non-empty heatmap), and the sampled
+/// heatmap counts can never exceed the exact abort counter. `cas_lost`
+/// does not trigger the non-empty requirement on its own — Algorithm 2's
+/// commit-fate race cannot name a variable and declines with
+/// `VarAttr::NoVar` (the one attributed-cause/no-var pairing by design).
+fn forensics_failures(rows: &[String]) -> Vec<String> {
+    let mut failures = Vec::new();
+    for row in rows {
+        let cell = format!(
+            "[{}/{}]",
+            str_after(row, "scenario")
+                .or_else(|| str_after(row, "structure"))
+                .unwrap_or("?"),
+            str_after(row, "stm").unwrap_or("?")
+        );
+        let (Some(hv_at), Some(he_at), Some(stats_at)) = (
+            row.find("\"hot_vars\": ["),
+            row.find("\"hot_edges\": ["),
+            row.find("\"stats\": {"),
+        ) else {
+            failures.push(format!("{cell}: hot_vars/hot_edges tables missing"));
+            continue;
+        };
+        // The heatmap fragment runs from its own key to the edge table's
+        // (the emitters always write them adjacent, before `stats`);
+        // scoping the `count` sums there keeps histogram counts out.
+        let hot_vars = &row[hv_at..he_at.max(hv_at)];
+        let stats = &row[stats_at..];
+        let attributed = ["read_validation", "lock_busy", "cm_arbitrated"]
+            .iter()
+            .map(|c| u64_after(stats, c).unwrap_or(0))
+            .sum::<u64>();
+        let empty = hot_vars
+            .trim_start_matches("\"hot_vars\": [")
+            .trim_start()
+            .starts_with(']');
+        if attributed > 0 && empty {
+            failures.push(format!(
+                "{cell}: {attributed} var-attributed conflict aborts but an empty hot_vars \
+                 heatmap — attribution wiring regressed"
+            ));
+        }
+        let aborts = u64_after(stats, "aborts").unwrap_or(0);
+        let mut count_sum = 0u64;
+        let mut rest = hot_vars;
+        while let Some(at) = rest.find("\"count\": ") {
+            rest = &rest[at + "\"count\": ".len()..];
+            count_sum += rest
+                .split(|c: char| !c.is_ascii_digit())
+                .next()
+                .and_then(|n| n.parse().ok())
+                .unwrap_or(0);
+        }
+        if count_sum > aborts {
+            failures.push(format!(
+                "{cell}: hot_vars counts sum to {count_sum} but the cell counted only \
+                 {aborts} aborts — attributions invented out of thin air"
+            ));
+        }
+    }
+    failures
+}
+
 /// The phase-loss gate: in every `(contention-phase-shift-* phase,
 /// thread-count)` cell group, the hybrid's throughput must be at least
 /// `0.9 × min(tl2, dstm)` — it may lose to one pure engine (that is the
@@ -257,13 +329,20 @@ fn main() {
 
     let mut errors = Vec::new();
     let mut hotpath_rows = Vec::new();
+    let mut all_rows: Vec<String> = Vec::new();
     for path in &paths {
         let rows = check_table(path, &mut errors);
         println!("{path}: {} cells checked", rows.len());
         if path.contains("hotpath") {
-            hotpath_rows = rows;
+            hotpath_rows = rows.clone();
         }
+        all_rows.extend(rows);
     }
+
+    // Forensics gate over every checked cell.
+    let forensic = forensics_failures(&all_rows);
+    println!("forensics gate: {} violations", forensic.len());
+    errors.extend(forensic);
 
     // Phase-loss gate over the hotpath table's contention-phase-shift
     // cells (present in both smoke and full profiles).
@@ -396,6 +475,61 @@ mod tests {
             failures[0].contains("no tl2/dstm counterparts"),
             "{failures:?}"
         );
+    }
+
+    /// A synthetic cell with the forensics fields wired the way the
+    /// emitters write them (heatmap, edges, then stats on one line).
+    fn fcell(stm: &str, rv: u64, aborts: u64, hot_vars: &str) -> String {
+        format!(
+            "{{\"scenario\": \"duel\", \"stm\": \"{stm}\", \"threads\": 2, \
+             \"hot_vars\": {hot_vars}, \"hot_edges\": [], \
+             \"stats\": {{\"begins\": 50, \"aborts\": {aborts}, \
+             \"read_validation\": {rv}, \"lock_busy\": 0, \"cas_lost\": 0, \
+             \"cm_arbitrated\": 0, \"explicit_retry\": 0, \"budget_exhausted\": 0, \
+             \"attempt_ns\": {{\"count\": 50, \"p50\": 10, \"p99\": 20}}}}}}"
+        )
+    }
+
+    /// The violating table: a cell that counted conflict aborts but
+    /// attributed none of them must trip the forensics gate.
+    #[test]
+    fn forensics_gate_catches_contended_cell_with_empty_heatmap() {
+        let rows = vec![fcell("tl2", 12, 12, "[]")];
+        let failures = forensics_failures(&rows);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("empty hot_vars"), "{failures:?}");
+    }
+
+    /// Heatmap counts are sampled attributions of real aborts: summing
+    /// past the exact counter means the tables are inventing data.
+    #[test]
+    fn forensics_gate_catches_counts_exceeding_aborts() {
+        let hv = "[{\"var\": 0, \"count\": 9, \"dominant\": \"read_validation\"}, \
+                   {\"var\": 3, \"count\": 4, \"dominant\": \"lock_busy\"}]";
+        let rows = vec![fcell("tl", 10, 10, hv)];
+        let failures = forensics_failures(&rows);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("counted only 10"), "{failures:?}");
+    }
+
+    /// The healthy shapes: a quiet cell with empty tables, and a
+    /// contended cell whose counts stay within its abort counter. The
+    /// histogram's own `count` field must not leak into the sum.
+    #[test]
+    fn forensics_gate_accepts_healthy_cells() {
+        let hv = "[{\"var\": 0, \"count\": 7, \"dominant\": \"read_validation\"}]";
+        let rows = vec![fcell("coarse", 0, 0, "[]"), fcell("tl2", 8, 8, hv)];
+        assert!(forensics_failures(&rows).is_empty());
+    }
+
+    /// A cell without the forensics tables at all is a wiring failure,
+    /// not a silent pass.
+    #[test]
+    fn forensics_gate_flags_missing_tables() {
+        let rows = vec![cell("intset-read-mostly", "tl2", 4, 1_000.0)];
+        let failures = forensics_failures(&rows);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("missing"), "{failures:?}");
     }
 
     /// Non-phase-shift scenarios are out of scope for this gate.

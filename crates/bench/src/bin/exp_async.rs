@@ -59,6 +59,11 @@ struct Cell {
     /// Telemetry delta of the run (abort causes, attempt/park latency
     /// percentiles) — the per-cell `stats` block of `BENCH_async.json`.
     stats: oftm_obs::StatsSnapshot,
+    /// Conflict forensics of the run: top hot t-variables and
+    /// who-aborted-whom edges as JSON array fragments (reset after
+    /// structure pre-population, like the stats baseline).
+    hot_vars: String,
+    hot_edges: String,
 }
 
 impl Cell {
@@ -219,6 +224,7 @@ fn measure(
     // Telemetry baseline after setup: the cell's stats block describes
     // the clients' transactions, not the structure pre-population.
     let stats_base = stm.stats().snapshot();
+    stm.forensics().reset();
     let ex = Executor::new(workers);
     let attempts = Arc::new(AtomicU64::new(0));
     let parks = Arc::new(AtomicU64::new(0));
@@ -250,6 +256,10 @@ fn measure(
     let elapsed_s = start.elapsed().as_secs_f64();
     drop(ex);
     let stats = oftm_bench::stats_since(&*stm, &stats_base);
+    // Capture forensics before the oracle probes below run any
+    // transactions of their own.
+    let hot_vars = stm.forensics().hot_vars_json(8);
+    let hot_edges = stm.forensics().hot_edges_json(8);
     let completed = completed.load(Ordering::Relaxed);
 
     // Conservation oracle for the transfer scenario: the two queues must
@@ -290,6 +300,8 @@ fn measure(
         livelocked: livelocked.load(Ordering::Relaxed),
         profile: if small { "small" } else { "full" },
         stats,
+        hot_vars,
+        hot_edges,
     }
 }
 
@@ -373,7 +385,8 @@ fn main() {
             "    {{\"scenario\": \"{}\", \"stm\": \"{}\", \"workers\": {}, \"clients\": {}, \
              \"ops\": {}, \"elapsed_s\": {:.6}, \"ops_per_sec\": {:.1}, \
              \"attempts_per_op\": {:.4}, \"parks\": {}, \"livelocked\": {}, \
-             \"profile\": \"{}\", \"stats\": {}}}{}\n",
+             \"profile\": \"{}\", \"hot_vars\": {}, \"hot_edges\": {}, \
+             \"stats\": {}}}{}\n",
             oftm_bench::json_escape_free(c.scenario),
             oftm_bench::json_escape_free(c.stm),
             c.workers,
@@ -385,6 +398,8 @@ fn main() {
             c.parks,
             c.livelocked,
             oftm_bench::json_escape_free(c.profile),
+            c.hot_vars,
+            c.hot_edges,
             c.stats.json(),
             if i + 1 == cells.len() { "" } else { "," }
         ));

@@ -191,6 +191,7 @@ fn measure_phase_shift(
         .map(|(i, &phase)| {
             let high = i == 1;
             let stats_base = stm.stats().snapshot();
+            stm.forensics().reset();
             let (ops, attempts, elapsed_s, livelocked) = run_shift_phase(
                 &*stm,
                 threads,
@@ -208,6 +209,8 @@ fn measure_phase_shift(
                 livelocked,
                 profile: "full",
                 stats: oftm_bench::stats_since(&*stm, &stats_base),
+                hot_vars: stm.forensics().hot_vars_json(8),
+                hot_edges: stm.forensics().hot_edges_json(8),
             }
         })
         .collect()
@@ -225,6 +228,12 @@ struct Cell {
     /// Telemetry delta of the timed phase (abort causes, latency
     /// percentiles) — the per-cell `stats` block of `BENCH_hotpath.json`.
     stats: oftm_obs::StatsSnapshot,
+    /// Conflict forensics of the timed phase: the top hot t-variables
+    /// (`hot_vars`) and who-aborted-whom edges (`hot_edges`) as JSON
+    /// array fragments — reset after warmup, so a cell's heatmap counts
+    /// are attributions of its own timed aborts only.
+    hot_vars: String,
+    hot_edges: String,
 }
 
 impl Cell {
@@ -387,8 +396,10 @@ fn measure(
     );
 
     // Telemetry baseline after warmup: the cell's stats block describes
-    // the timed phase only.
+    // the timed phase only. Forensics have no snapshot/delta form —
+    // reset them outright so the hot-var table covers the same window.
     let stats_base = stm.stats().snapshot();
+    stm.forensics().reset();
     let start = Instant::now();
     let (attempts, livelocked) = run_phase(
         scenario,
@@ -413,6 +424,8 @@ fn measure(
         livelocked: livelocked || warm_livelock,
         profile: if small { "small" } else { "full" },
         stats,
+        hot_vars: stm.forensics().hot_vars_json(8),
+        hot_edges: stm.forensics().hot_edges_json(8),
     }
 }
 
@@ -495,7 +508,8 @@ fn main() {
         json.push_str(&format!(
             "    {{\"scenario\": \"{}\", \"stm\": \"{}\", \"threads\": {}, \"ops\": {}, \
              \"elapsed_s\": {:.6}, \"ops_per_sec\": {:.1}, \"attempts_per_op\": {:.4}, \
-             \"livelocked\": {}, \"profile\": \"{}\", \"stats\": {}}}{}\n",
+             \"livelocked\": {}, \"profile\": \"{}\", \"hot_vars\": {}, \
+             \"hot_edges\": {}, \"stats\": {}}}{}\n",
             oftm_bench::json_escape_free(c.scenario),
             oftm_bench::json_escape_free(c.stm),
             c.threads,
@@ -505,6 +519,8 @@ fn main() {
             c.attempts_per_op(),
             c.livelocked,
             oftm_bench::json_escape_free(c.profile),
+            c.hot_vars,
+            c.hot_edges,
             c.stats.json(),
             if i + 1 == cells.len() { "" } else { "," }
         ));
@@ -516,6 +532,19 @@ fn main() {
     f.write_all(json.as_bytes())
         .expect("write BENCH_hotpath.json");
     println!("\nwrote {} ({} cells)", path, cells.len());
+
+    // Transaction timelines: with tracing on (`OFTM_TRACE=1`) and an
+    // export path requested, drain every thread's event ring into a
+    // Chrome-trace JSON — the file `check_trace` validates in CI.
+    if let Ok(trace_path) = std::env::var("OFTM_TRACE_CHROME") {
+        match oftm_obs::trace::export_chrome(&trace_path) {
+            Ok(n) => println!("wrote {trace_path} ({n} trace events)"),
+            Err(e) => {
+                eprintln!("ERROR: chrome-trace export to {trace_path} failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
 
     // Every STM must have produced at least one cell.
     for &name in STM_NAMES {

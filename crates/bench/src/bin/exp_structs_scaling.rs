@@ -63,6 +63,11 @@ struct Cell {
     /// Telemetry delta of the timed phase (abort causes, latency
     /// percentiles) — the per-cell `stats` block of `BENCH_structs.json`.
     stats: oftm_obs::StatsSnapshot,
+    /// Conflict forensics of the timed phase: top hot t-variables and
+    /// who-aborted-whom edges as JSON array fragments (reset after
+    /// warmup, captured before the leak-probe transactions run).
+    hot_vars: String,
+    hot_edges: String,
 }
 
 impl Cell {
@@ -226,10 +231,13 @@ fn measure(
     // timed phase only (the leak-probe transactions below run after the
     // delta is taken).
     let stats_base = stm.stats().snapshot();
+    stm.forensics().reset();
     let start = Instant::now();
     run_phase(ops_per_thread, seed, true);
     let elapsed_s = start.elapsed().as_secs_f64();
     let stats = oftm_bench::stats_since(&*stm, &stats_base);
+    let hot_vars = stm.forensics().hot_vars_json(8);
+    let hot_edges = stm.forensics().hot_edges_json(8);
 
     // Reclamation sanity check: after quiescence (the len() transactions
     // below commit with nobody else in flight, flushing every grace bin),
@@ -258,6 +266,8 @@ fn measure(
         expected_live,
         profile: if small { "small" } else { "full" },
         stats,
+        hot_vars,
+        hot_edges,
     }
 }
 
@@ -356,7 +366,8 @@ fn main() {
             "    {{\"structure\": \"{}\", \"stm\": \"{}\", \"threads\": {}, \"ops\": {}, \
              \"elapsed_s\": {:.6}, \"ops_per_sec\": {:.1}, \"attempts_per_op\": {:.4}, \
              \"livelocked\": {}, \"live_tvars\": {}, \"expected_live\": {}, \
-             \"profile\": \"{}\", \"stats\": {}}}{}\n",
+             \"profile\": \"{}\", \"hot_vars\": {}, \"hot_edges\": {}, \
+             \"stats\": {}}}{}\n",
             oftm_bench::json_escape_free(c.structure),
             oftm_bench::json_escape_free(c.stm),
             c.threads,
@@ -368,6 +379,8 @@ fn main() {
             c.live_tvars,
             c.expected_live,
             oftm_bench::json_escape_free(c.profile),
+            c.hot_vars,
+            c.hot_edges,
             c.stats.json(),
             if i + 1 == cells.len() { "" } else { "," }
         ));

@@ -10,7 +10,7 @@
 
 use crate::notify::CommitNotifier;
 use oftm_histories::{TVarId, TxId, Value};
-use oftm_obs::{AbortCause, StmStats};
+use oftm_obs::{pack_tx, AbortCause, Forensics, StmStats, VarAttr, TX_UNKNOWN};
 use std::fmt;
 use std::time::Instant;
 
@@ -173,6 +173,15 @@ pub trait WordStm: Send + Sync {
     /// uncontended relaxed increments per transaction.
     fn stats(&self) -> &StmStats;
 
+    /// The conflict-forensics tables of this STM instance: the per-tvar
+    /// contention heatmap and the who-aborted-whom edge table that every
+    /// var-attributed abort ([`StmStats::abort_at`]) feeds. Bundled inside
+    /// [`WordStm::stats`], so instances that share a stats registry (the
+    /// hybrid's two engines) automatically share one forensic view.
+    fn forensics(&self) -> &Forensics {
+        self.stats().forensics()
+    }
+
     /// True if this implementation claims obstruction-freedom (Definition
     /// 2). Used by experiments to decide which checkers apply.
     fn is_obstruction_free(&self) -> bool;
@@ -235,7 +244,14 @@ pub fn run_transaction_with_budget<R>(
     max_attempts: u32,
     body: impl FnMut(&mut dyn WordTx) -> TxResult<R>,
 ) -> Result<(R, u32), BudgetExceeded> {
-    retry_loop(|| stm.begin(proc), stm.stats(), proc, max_attempts, body)
+    retry_loop(
+        || stm.begin(proc),
+        stm.stats(),
+        stm.name(),
+        proc,
+        max_attempts,
+        body,
+    )
 }
 
 /// Read-only counterpart of [`run_transaction`]: every attempt begins via
@@ -262,7 +278,14 @@ pub fn run_transaction_ro_with_budget<R>(
     max_attempts: u32,
     body: impl FnMut(&mut dyn WordTx) -> TxResult<R>,
 ) -> Result<(R, u32), BudgetExceeded> {
-    retry_loop(|| stm.begin_ro(proc), stm.stats(), proc, max_attempts, body)
+    retry_loop(
+        || stm.begin_ro(proc),
+        stm.stats(),
+        stm.name(),
+        proc,
+        max_attempts,
+        body,
+    )
 }
 
 /// The shared retry loop of [`run_transaction_with_budget`] and
@@ -271,6 +294,7 @@ pub fn run_transaction_ro_with_budget<R>(
 fn retry_loop<'s, R>(
     begin: impl Fn() -> Box<dyn WordTx + 's>,
     stats: &StmStats,
+    stm_name: &'static str,
     proc: u32,
     max_attempts: u32,
     mut body: impl FnMut(&mut dyn WordTx) -> TxResult<R>,
@@ -283,6 +307,10 @@ fn retry_loop<'s, R>(
         }
         attempts += 1;
         let started = Instant::now();
+        // Attempt spans (Chrome-trace "X" slices) only when tracing is on;
+        // the ring clock is sampled per attempt so slices nest correctly
+        // inside the emitting thread's track.
+        let span_started = oftm_obs::ring::enabled().then(oftm_obs::ring::clock_ns);
         let mut tx = begin();
         let committed = match body(tx.as_mut()) {
             Ok(r) => match tx.try_commit() {
@@ -292,18 +320,28 @@ fn retry_loop<'s, R>(
             Err(TxError::Aborted) => None,
         };
         stats.record_attempt_ns(started.elapsed().as_nanos() as u64);
+        if let Some(t0) = span_started {
+            oftm_obs::ring::emit_span(
+                "attempt",
+                stm_name,
+                u64::from(proc),
+                u64::from(attempts),
+                t0,
+            );
+        }
         if let Some(r) = committed {
             return Ok((r, attempts));
         }
     }
     // Only the loop can see its budget run dry; the per-attempt causes
-    // were tagged by the backend as each attempt died.
-    stats.abort(AbortCause::BudgetExhausted);
-    oftm_obs::ring::emit(
-        "budget_exhausted",
-        "retry_loop",
-        u64::from(proc),
-        u64::from(max_attempts),
+    // were tagged by the backend as each attempt died. No single
+    // t-variable is responsible and no peer won anything, hence the
+    // explicit NoVar / unknown-aggressor attribution.
+    stats.abort_at(
+        AbortCause::BudgetExhausted,
+        VarAttr::NoVar,
+        pack_tx(proc, max_attempts),
+        TX_UNKNOWN,
     );
     Err(BudgetExceeded {
         attempts: max_attempts,

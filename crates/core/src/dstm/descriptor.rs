@@ -11,6 +11,7 @@
 //! is what Theorem 13 proves unavoidable.
 
 use oftm_histories::{BaseObjId, TxId};
+use oftm_obs::TX_UNKNOWN;
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 
 /// The three states of a transaction (paper, Section 1: "indicates whether
@@ -50,6 +51,14 @@ pub struct Descriptor {
     /// abort this one; 0 = never. Used by the eventual-ic variant's grace
     /// period (Definition 4).
     first_conflict: AtomicU64,
+    /// Forensic killer stamp: packed id ([`oftm_obs::pack_tx`]) of the
+    /// transaction that aborted this one, [`TX_UNKNOWN`] while alive.
+    /// Write-once, claimed by the aggressor immediately before its
+    /// `try_abort` CAS so the victim can attribute its abort exactly.
+    killer_tx: AtomicU64,
+    /// The t-variable the killer was fighting over (valid once `killer_tx`
+    /// is claimed and the claimant's abort CAS has been observed).
+    killer_var: AtomicU64,
 }
 
 impl Descriptor {
@@ -62,6 +71,9 @@ impl Descriptor {
             birth,
             karma: AtomicU64::new(0),
             first_conflict: AtomicU64::new(0),
+            killer_tx: AtomicU64::new(TX_UNKNOWN),
+            // u64::MAX = unset (t-variable id 0 is legal, MAX is not).
+            killer_var: AtomicU64::new(u64::MAX),
         }
     }
 
@@ -148,6 +160,51 @@ impl Descriptor {
 
     /// Records the first moment a peer wanted this transaction gone;
     /// returns that (stable) first moment. Used by the grace-period policy.
+    /// Claims the forensic killer stamp of this (victim) descriptor:
+    /// `killer` is the aggressor's packed transaction id
+    /// ([`oftm_obs::pack_tx`]), `var` the t-variable fought over. First
+    /// aggressor wins; later claimants are no-ops. Called immediately
+    /// *before* the aggressor's `try_abort`, so a victim that observes
+    /// itself `Aborted` (an Acquire on the status word) also observes the
+    /// winning claimant's stamp when that claimant is the one whose abort
+    /// CAS succeeded — the overwhelmingly common case. A claimant that
+    /// stalls between stamp and abort CAS while a second aggressor kills
+    /// the victim can leave `killer_var` momentarily unset; the victim
+    /// then attributes the abort to the stamped killer with no variable,
+    /// which is imprecise but never fabricated.
+    pub fn stamp_killer(&self, killer: u64, var: u64) {
+        if self
+            .killer_tx
+            // ord: AcqRel keeps the stamp write-once (mirrors
+            // `note_conflict`); failure Acquire pairs with the first
+            // claimant's Release.
+            .compare_exchange(TX_UNKNOWN, killer, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+        {
+            // ord: Release so a reader that Acquires `killer_var` (or the
+            // claimant's subsequent abort CAS on the status word) sees it.
+            self.killer_var.store(var, Ordering::Release);
+        }
+    }
+
+    /// The killer stamp: packed aggressor id (or [`TX_UNKNOWN`] if nobody
+    /// stamped us) and the t-variable fought over (`None` until the
+    /// claimant's var store is visible).
+    pub fn killer(&self) -> (u64, Option<u64>) {
+        // ord: Acquire pairs with the stamping claimant's Release stores.
+        let tx = self.killer_tx.load(Ordering::Acquire);
+        if tx == TX_UNKNOWN {
+            return (TX_UNKNOWN, None);
+        }
+        // ord: Acquire pairs with `stamp_killer`'s Release store; MAX with
+        // a claimed killer_tx means the claimant's store is not yet
+        // visible.
+        match self.killer_var.load(Ordering::Acquire) {
+            u64::MAX => (tx, None),
+            v => (tx, Some(v)),
+        }
+    }
+
     pub fn note_conflict(&self, now: u64) -> u64 {
         let now = now.max(1); // 0 is the "unset" sentinel
         match self
@@ -239,6 +296,22 @@ mod tests {
     fn note_conflict_zero_is_clamped() {
         let d = Descriptor::new(TxId::new(1, 5), 0);
         assert_eq!(d.note_conflict(0), 1);
+    }
+
+    #[test]
+    fn killer_stamp_is_write_once() {
+        let d = Descriptor::new(TxId::new(2, 0), 0);
+        assert_eq!(d.killer(), (TX_UNKNOWN, None));
+        d.stamp_killer(oftm_obs::pack_tx(1, 7), 42);
+        d.stamp_killer(oftm_obs::pack_tx(3, 9), 99); // loses the claim
+        assert_eq!(d.killer(), (oftm_obs::pack_tx(1, 7), Some(42)));
+    }
+
+    #[test]
+    fn killer_stamp_admits_tvar_zero() {
+        let d = Descriptor::new(TxId::new(2, 1), 0);
+        d.stamp_killer(oftm_obs::pack_tx(1, 1), 0);
+        assert_eq!(d.killer(), (oftm_obs::pack_tx(1, 1), Some(0)));
     }
 
     #[test]

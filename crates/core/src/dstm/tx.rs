@@ -24,7 +24,7 @@ use crate::api::{TxError, TxResult};
 use crate::cm::Resolution;
 use crossbeam_epoch::{Guard, Owned};
 use oftm_histories::{Access, ProcId, TxId};
-use oftm_obs::{AbortCause, Counter};
+use oftm_obs::{pack_tx, AbortCause, Counter, VarAttr, TX_UNKNOWN};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -73,11 +73,23 @@ impl<'s> Tx<'s> {
         }
     }
 
-    /// Records the abort cause of this attempt, first tag wins.
-    fn tag_abort(&mut self, cause: AbortCause) {
+    /// This transaction's packed forensic identity ([`pack_tx`]).
+    fn packed_id(&self) -> u64 {
+        let id = self.desc.id();
+        pack_tx(id.proc, id.seq)
+    }
+
+    /// Records the abort cause of this attempt, first tag wins. `var`
+    /// attributes the t-variable the conflict was over and `aggressor`
+    /// names the peer that won it ([`TX_UNKNOWN`] when no peer is
+    /// identifiable), feeding the contention heatmap and the
+    /// who-aborted-whom edge table.
+    fn tag_abort(&mut self, cause: AbortCause, var: VarAttr, aggressor: u64) {
         if !self.cause_tagged {
             self.cause_tagged = true;
-            self.stm.stats().abort(cause);
+            self.stm
+                .stats()
+                .abort_at(cause, var, self.packed_id(), aggressor);
         }
     }
 
@@ -104,46 +116,62 @@ impl<'s> Tx<'s> {
         if self.desc.status() == TxState::Live {
             Ok(())
         } else {
-            self.tag_abort(AbortCause::CmArbitrated);
+            let (killer, kvar) = self.desc.killer();
+            self.tag_abort(AbortCause::CmArbitrated, VarAttr::opt(kvar), killer);
             Err(TxError::Aborted)
         }
     }
 
-    /// Re-validates the entire read-set (incremental validation).
-    fn validate(&self) -> bool {
-        self.read_set.iter().all(|e| {
-            self.rstep(e.tvar.base(), Access::Read);
-            e.tvar.probe(&self.guard, &self.desc) == e.probe
-        })
+    /// Re-validates the entire read-set (incremental validation). Returns
+    /// the first invalidated entry's t-variable (the conflict attribution
+    /// of a `ReadValidation` abort), or `None` when consistent.
+    fn first_invalid(&self) -> Option<oftm_histories::TVarId> {
+        self.read_set
+            .iter()
+            .find(|e| {
+                self.rstep(e.tvar.base(), Access::Read);
+                e.tvar.probe(&self.guard, &self.desc) != e.probe
+            })
+            .map(|e| e.id)
     }
 
     fn validate_or_abort(&mut self) -> TxResult<()> {
-        if self.validate() {
-            Ok(())
-        } else {
-            self.abort_self(AbortCause::ReadValidation);
-            Err(TxError::Aborted)
+        match self.first_invalid() {
+            None => Ok(()),
+            Some(x) => {
+                self.abort_self(AbortCause::ReadValidation, VarAttr::Var(x.0), TX_UNKNOWN);
+                Err(TxError::Aborted)
+            }
         }
     }
 
-    /// Marks ourselves aborted. `cause` attributes the abort when the
-    /// status CAS is ours to win; losing it means a peer got there first,
-    /// which re-attributes the attempt to contention-manager arbitration.
-    fn abort_self(&mut self, cause: AbortCause) {
+    /// Marks ourselves aborted. `cause`, `var` and `aggressor` attribute
+    /// the abort when the status CAS is ours to win; losing it means a
+    /// peer got there first, which re-attributes the attempt to
+    /// contention-manager arbitration by whoever the killer stamp names.
+    fn abort_self(&mut self, cause: AbortCause, var: VarAttr, aggressor: u64) {
         let won = self.desc.try_abort();
         if won {
             self.rstep(self.desc.base(), Access::Modify);
+            self.tag_abort(cause, var, aggressor);
+        } else {
+            let (killer, kvar) = self.desc.killer();
+            self.tag_abort(AbortCause::CmArbitrated, VarAttr::opt(kvar), killer);
         }
-        self.tag_abort(if won { cause } else { AbortCause::CmArbitrated });
         self.stm.cm().on_abort(&self.desc);
         self.finished = true;
     }
 
-    /// Resolves a conflict with the live foreign `owner` per the contention
-    /// manager and the progress policy. Returns when the owner is no longer
-    /// live (aborted by us or completed by itself) or asks the caller to
-    /// re-examine the variable.
-    fn resolve_conflict(&self, owner: &Arc<Descriptor>, attempt: &mut u32) {
+    /// Resolves a conflict over t-variable `var` with the live foreign
+    /// `owner` per the contention manager and the progress policy. Returns
+    /// when the owner is no longer live (aborted by us or completed by
+    /// itself) or asks the caller to re-examine the variable.
+    fn resolve_conflict(
+        &self,
+        owner: &Arc<Descriptor>,
+        var: oftm_histories::TVarId,
+        attempt: &mut u32,
+    ) {
         match self.stm.cm().resolve(&self.desc, owner, *attempt) {
             Resolution::AbortOther => {
                 // The eventual-ic variant (Definition 4) refuses to kill an
@@ -158,6 +186,10 @@ impl<'s> Tx<'s> {
                         return;
                     }
                 }
+                // Leave the forensic who-aborted-whom stamp before the
+                // abort CAS: a victim that sees itself Aborted can then
+                // name us and the variable we fought over exactly.
+                owner.stamp_killer(self.packed_id(), var.0);
                 let killed = owner.try_abort();
                 self.rstep(
                     owner.base(),
@@ -206,7 +238,7 @@ impl<'s> Tx<'s> {
                     // Paper: "T_i just needs to make sure that no other
                     // transaction T_k is currently updating y; if not, then
                     // T_i may have to eventually abort T_k."
-                    self.resolve_conflict(&loc.owner, &mut attempt);
+                    self.resolve_conflict(&loc.owner, v.inner.id, &mut attempt);
                     self.check_self()?;
                     continue;
                 }
@@ -273,7 +305,7 @@ impl<'s> Tx<'s> {
                     loc.old.clone()
                 }
                 TxState::Live => {
-                    self.resolve_conflict(&loc.owner, &mut attempt);
+                    self.resolve_conflict(&loc.owner, v.inner.id, &mut attempt);
                     self.check_self()?;
                     continue;
                 }
@@ -289,7 +321,11 @@ impl<'s> Tx<'s> {
                 .iter()
                 .any(|e| e.id == v.inner.id && e.probe.addr != addr)
             {
-                self.abort_self(AbortCause::ReadValidation);
+                self.abort_self(
+                    AbortCause::ReadValidation,
+                    VarAttr::Var(v.inner.id.0),
+                    TX_UNKNOWN,
+                );
                 return Err(TxError::Aborted);
             }
 
@@ -323,15 +359,16 @@ impl<'s> Tx<'s> {
     /// transaction.
     pub fn commit(mut self) -> TxResult<()> {
         if self.desc.status() != TxState::Live {
-            self.tag_abort(AbortCause::CmArbitrated);
+            let (killer, kvar) = self.desc.killer();
+            self.tag_abort(AbortCause::CmArbitrated, VarAttr::opt(kvar), killer);
             self.finished = true;
             return Err(TxError::Aborted);
         }
         // DSTM has no commit lock; the "critical section" is the terminal
         // validate + status CAS, after which the new values are visible.
         let cs_started = Instant::now();
-        if !self.validate() {
-            self.abort_self(AbortCause::ReadValidation);
+        if let Some(x) = self.first_invalid() {
+            self.abort_self(AbortCause::ReadValidation, VarAttr::Var(x.0), TX_UNKNOWN);
             return Err(TxError::Aborted);
         }
         let won = self.desc.try_commit();
@@ -349,8 +386,10 @@ impl<'s> Tx<'s> {
             Ok(())
         } else {
             // Lost the commit-point CAS on our own status word: a peer's
-            // `try_abort` raced us between validation and the CAS.
-            self.tag_abort(AbortCause::CasLost);
+            // `try_abort` raced us between validation and the CAS; its
+            // killer stamp names it and the fought-over variable.
+            let (killer, kvar) = self.desc.killer();
+            self.tag_abort(AbortCause::CasLost, VarAttr::opt(kvar), killer);
             self.stm.cm().on_abort(&self.desc);
             Err(TxError::Aborted)
         }
@@ -383,13 +422,14 @@ impl<'s> Tx<'s> {
             "commit_read_only on a transaction that acquired variables"
         );
         if self.desc.status() != TxState::Live {
-            self.tag_abort(AbortCause::CmArbitrated);
+            let (killer, kvar) = self.desc.killer();
+            self.tag_abort(AbortCause::CmArbitrated, VarAttr::opt(kvar), killer);
             self.finished = true;
             return Err(TxError::Aborted);
         }
         let cs_started = Instant::now();
-        if !self.validate() {
-            self.abort_self(AbortCause::ReadValidation);
+        if let Some(x) = self.first_invalid() {
+            self.abort_self(AbortCause::ReadValidation, VarAttr::Var(x.0), TX_UNKNOWN);
             return Err(TxError::Aborted);
         }
         self.finished = true;
@@ -404,7 +444,7 @@ impl<'s> Tx<'s> {
     /// `tryA`: voluntarily aborts. Consumes the transaction. Abandoning a
     /// still-viable attempt is an explicit retry in the abort taxonomy.
     pub fn rollback(mut self) {
-        self.abort_self(AbortCause::ExplicitRetry);
+        self.abort_self(AbortCause::ExplicitRetry, VarAttr::NoVar, TX_UNKNOWN);
     }
 
     /// Number of t-variables this transaction has acquired for writing.
@@ -424,7 +464,7 @@ impl Drop for Tx<'_> {
         // early return) must not stay live: its ownerships would make peers
         // abort it anyway, but marking it aborted immediately is cleaner.
         if !self.finished {
-            self.abort_self(AbortCause::ExplicitRetry);
+            self.abort_self(AbortCause::ExplicitRetry, VarAttr::NoVar, TX_UNKNOWN);
         }
         // Return the read-set buffer (cleared, capacity kept) to the pool.
         let mut buf = std::mem::take(&mut self.read_set);

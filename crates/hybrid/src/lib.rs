@@ -430,6 +430,9 @@ impl HybridStm {
             self.migrating.store(false, Ordering::SeqCst);
             return false;
         }
+        // Timeline span for the whole barrier (drain + copy + flip): the
+        // stop-the-world window every backed-off beginner is waiting out.
+        let span_started = oftm_obs::ring::enabled().then(oftm_obs::ring::clock_ns);
         // Drain: wait out every in-flight transaction of the outgoing
         // engine. New begins observe `migrating` (SeqCst on both sides)
         // and back off, so the count is monotonically non-increasing.
@@ -452,6 +455,9 @@ impl HybridStm {
         }
         // ord: SeqCst — beginners may now admit into the new mode.
         self.migrating.store(false, Ordering::SeqCst);
+        if let Some(t0) = span_started {
+            oftm_obs::ring::emit_span("migration", "hybrid", from as u64, target as u64, t0);
+        }
         true
     }
 

@@ -1,0 +1,261 @@
+//! Per-t-variable contention heatmap: *where* progress is lost.
+//!
+//! [`StmStats`](crate::StmStats) says how many attempts died per cause;
+//! this accumulator says which t-variables they died *on*. Every
+//! var-attributed abort ([`crate::StmStats::abort_at`] with
+//! [`crate::VarAttr::Var`]) lands one relaxed increment in the variable's
+//! per-cause counter row; [`Heatmap::top_k`] ranks the hot set.
+//!
+//! Layout mirrors the workspace's `VarTable`: two lazily-populated page
+//! directories — a flat one for static ids (small integers) and one for
+//! the dynamic region (ids at or above [`DYNAMIC_REGION_BASE`], allocated
+//! contiguously from there) — so a lookup is two shifts and two loads,
+//! lock-free and allocation-free once a page exists. Pages materialize on
+//! first touch via `OnceLock`, so an idle STM instance costs two small
+//! directories and nothing else. Ids beyond either region's capacity are
+//! tallied in `overflow` rather than silently ignored.
+
+use crate::{AbortCause, ABORT_CAUSES};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// First dynamic t-variable id (`oftm_core::table::DYNAMIC_TVAR_BASE`);
+/// duplicated here because this crate is a dependency-free leaf below
+/// `oftm-core`.
+pub const DYNAMIC_REGION_BASE: u64 = 1 << 32;
+
+/// Variables per heatmap page.
+const PAGE_SIZE: usize = 1024;
+/// Pages in the static directory: static ids `0..65536` are tracked.
+const STATIC_PAGES: usize = 64;
+/// Pages in the dynamic directory: the first ~1M dynamic ids are tracked
+/// (benches allocate dynamically from the base upward, so the hot set of
+/// any bounded run lives here).
+const DYN_PAGES: usize = 1024;
+
+const CAUSES: usize = ABORT_CAUSES.len();
+
+/// One page: a per-variable row of per-cause counters. ~48 KiB, allocated
+/// only when a variable in its range first takes an attributed abort.
+struct Page {
+    rows: Box<[[AtomicU64; CAUSES]]>,
+}
+
+impl Page {
+    fn new() -> Page {
+        Page {
+            rows: (0..PAGE_SIZE)
+                .map(|_| std::array::from_fn(|_| AtomicU64::new(0)))
+                .collect(),
+        }
+    }
+}
+
+/// One ranked entry of [`Heatmap::top_k`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HotVar {
+    /// The t-variable id (raw word, as passed to `abort_at`).
+    pub var: u64,
+    /// Total attributed aborts on this variable.
+    pub total: u64,
+    /// Per-cause breakdown, indexed like [`ABORT_CAUSES`].
+    pub by_cause: [u64; CAUSES],
+}
+
+impl HotVar {
+    /// The cause with the highest count on this variable.
+    pub fn dominant_cause(&self) -> AbortCause {
+        let (i, _) = self
+            .by_cause
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &c)| c)
+            .expect("cause array is non-empty");
+        ABORT_CAUSES[i]
+    }
+}
+
+/// The per-variable abort-attribution accumulator (see module docs).
+pub struct Heatmap {
+    static_pages: Box<[OnceLock<Page>]>,
+    dyn_pages: Box<[OnceLock<Page>]>,
+    /// Attributed aborts on ids outside both tracked regions.
+    overflow: AtomicU64,
+}
+
+impl Default for Heatmap {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Heatmap {
+    pub fn new() -> Heatmap {
+        Heatmap {
+            static_pages: (0..STATIC_PAGES).map(|_| OnceLock::new()).collect(),
+            dyn_pages: (0..DYN_PAGES).map(|_| OnceLock::new()).collect(),
+            overflow: AtomicU64::new(0),
+        }
+    }
+
+    /// The counter row for `var`, or `None` when it falls outside both
+    /// tracked regions.
+    fn row(&self, var: u64) -> Option<&[AtomicU64; CAUSES]> {
+        let (dir, idx) = if var < DYNAMIC_REGION_BASE {
+            (&self.static_pages, var as usize)
+        } else {
+            (&self.dyn_pages, (var - DYNAMIC_REGION_BASE) as usize)
+        };
+        let page = idx / PAGE_SIZE;
+        if page >= dir.len() {
+            return None;
+        }
+        Some(&dir[page].get_or_init(Page::new).rows[idx % PAGE_SIZE])
+    }
+
+    /// Tallies one attributed abort of `cause` on `var`. Lock-free: a
+    /// page lookup plus one relaxed increment (plus a one-time page
+    /// allocation on the first touch of a 1024-id range).
+    pub fn record(&self, var: u64, cause: AbortCause) {
+        match self.row(var) {
+            Some(row) => {
+                row[cause.index()].fetch_add(1, Ordering::Relaxed);
+            }
+            None => {
+                self.overflow.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Attributed aborts that fell outside the tracked id regions.
+    pub fn overflow(&self) -> u64 {
+        self.overflow.load(Ordering::Relaxed)
+    }
+
+    /// Total attributed aborts across every tracked variable.
+    pub fn total(&self) -> u64 {
+        let mut sum = 0;
+        self.for_each_hot(|h| sum += h.total);
+        sum
+    }
+
+    /// Visits every variable with at least one attributed abort.
+    pub fn for_each_hot(&self, mut f: impl FnMut(HotVar)) {
+        let mut walk = |dir: &[OnceLock<Page>], base: u64| {
+            for (p, slot) in dir.iter().enumerate() {
+                let Some(page) = slot.get() else { continue };
+                for (r, row) in page.rows.iter().enumerate() {
+                    let by_cause: [u64; CAUSES] =
+                        std::array::from_fn(|c| row[c].load(Ordering::Relaxed));
+                    let total: u64 = by_cause.iter().sum();
+                    if total > 0 {
+                        f(HotVar {
+                            var: base + (p * PAGE_SIZE + r) as u64,
+                            total,
+                            by_cause,
+                        });
+                    }
+                }
+            }
+        };
+        walk(&self.static_pages, 0);
+        walk(&self.dyn_pages, DYNAMIC_REGION_BASE);
+    }
+
+    /// The `k` hottest variables, descending by total attributed aborts
+    /// (ties broken by id for determinism).
+    pub fn top_k(&self, k: usize) -> Vec<HotVar> {
+        let mut all = Vec::new();
+        self.for_each_hot(|h| all.push(h));
+        all.sort_by(|a, b| b.total.cmp(&a.total).then(a.var.cmp(&b.var)));
+        all.truncate(k);
+        all
+    }
+
+    /// Zeroes every allocated counter (pages stay allocated). Benches
+    /// call this at the start of a measured phase so a cell's table is
+    /// net of warmup.
+    pub fn reset(&self) {
+        let clear = |dir: &[OnceLock<Page>]| {
+            for slot in dir {
+                let Some(page) = slot.get() else { continue };
+                for row in page.rows.iter() {
+                    for c in row {
+                        c.store(0, Ordering::Relaxed);
+                    }
+                }
+            }
+        };
+        clear(&self.static_pages);
+        clear(&self.dyn_pages);
+        self.overflow.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_ranks_hot_vars() {
+        let h = Heatmap::new();
+        for _ in 0..5 {
+            h.record(7, AbortCause::ReadValidation);
+        }
+        for _ in 0..3 {
+            h.record(7, AbortCause::LockBusy);
+        }
+        h.record(9, AbortCause::CasLost);
+        h.record(DYNAMIC_REGION_BASE + 17, AbortCause::CmArbitrated);
+        h.record(DYNAMIC_REGION_BASE + 17, AbortCause::CmArbitrated);
+
+        let top = h.top_k(2);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].var, 7);
+        assert_eq!(top[0].total, 8);
+        assert_eq!(top[0].dominant_cause(), AbortCause::ReadValidation);
+        assert_eq!(top[1].var, DYNAMIC_REGION_BASE + 17);
+        assert_eq!(top[1].total, 2);
+        assert_eq!(h.total(), 11);
+        assert_eq!(h.overflow(), 0);
+    }
+
+    #[test]
+    fn out_of_region_ids_land_in_overflow_not_silence() {
+        let h = Heatmap::new();
+        h.record((STATIC_PAGES * PAGE_SIZE) as u64 + 1, AbortCause::LockBusy);
+        h.record(u64::MAX - 3, AbortCause::LockBusy);
+        assert_eq!(h.overflow(), 2);
+        assert!(h.top_k(8).is_empty());
+    }
+
+    #[test]
+    fn reset_zeroes_counts() {
+        let h = Heatmap::new();
+        h.record(3, AbortCause::ReadValidation);
+        h.record(u64::MAX, AbortCause::ReadValidation);
+        h.reset();
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.overflow(), 0);
+        assert!(h.top_k(4).is_empty());
+        // Still usable after a reset.
+        h.record(3, AbortCause::LockBusy);
+        assert_eq!(h.top_k(1)[0].total, 1);
+    }
+
+    #[test]
+    fn concurrent_records_all_land() {
+        let h = std::sync::Arc::new(Heatmap::new());
+        std::thread::scope(|s| {
+            for t in 0..8u64 {
+                let h = std::sync::Arc::clone(&h);
+                s.spawn(move || {
+                    for i in 0..1000u64 {
+                        h.record(i % 16 + t * 2048, AbortCause::ReadValidation);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.total(), 8000);
+    }
+}

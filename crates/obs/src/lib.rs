@@ -25,8 +25,15 @@
 //! This crate is a dependency-free leaf so `oftm-core` can expose
 //! [`StmStats`] from the `WordStm` trait itself.
 
+pub mod conflict;
+pub mod heatmap;
 pub mod ring;
+pub mod trace;
 
+pub use conflict::{pack_tx, tx_proc, tx_seq, ConflictTable, Edge, TX_UNKNOWN};
+pub use heatmap::{Heatmap, HotVar};
+
+use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// Why a transaction attempt aborted. Exactly one cause is tagged per
@@ -79,6 +86,12 @@ impl AbortCause {
             AbortCause::ExplicitRetry => "explicit_retry",
             AbortCause::BudgetExhausted => "budget_exhausted",
         }
+    }
+
+    /// This cause's position in [`ABORT_CAUSES`] (heatmap rows and edge
+    /// slots index by it).
+    pub fn index(self) -> usize {
+        self as usize
     }
 
     /// The dedicated counter slot this cause increments.
@@ -178,6 +191,187 @@ pub const COUNTER_NAMES: &[(&str, Counter)] = &[
 /// is the default for single-engine backends; a hybrid stamps which
 /// engine currently runs the default path.
 pub const MODE_NAMES: &[&str] = &["none", "tl2", "dstm"];
+
+/// The t-variable attribution every abort-tagging site must pass
+/// ([`StmStats::abort_at`]): either the variable the conflict was over,
+/// or the explicit [`VarAttr::NoVar`] marker for causes that genuinely
+/// have no variable (budget exhaustion, explicit retries). The marker is
+/// deliberately spelled at every site — `oftm-lint` rejects tag sites
+/// without a `VarAttr`, so "forgot to attribute" cannot compile into
+/// "silently unattributed".
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VarAttr {
+    /// The conflict was over this t-variable (raw id word).
+    Var(u64),
+    /// No variable is attributable to this abort by construction.
+    NoVar,
+}
+
+impl VarAttr {
+    /// The attributed id, if any.
+    pub fn id(self) -> Option<u64> {
+        match self {
+            VarAttr::Var(x) => Some(x),
+            VarAttr::NoVar => None,
+        }
+    }
+
+    /// Attribution from an optional id — for sites that relay a stamp a
+    /// peer may or may not have left (e.g. the DSTM killer stamp).
+    pub fn opt(v: Option<u64>) -> VarAttr {
+        match v {
+            Some(x) => VarAttr::Var(x),
+            None => VarAttr::NoVar,
+        }
+    }
+}
+
+/// Default forensics sampling period: every attributed abort is recorded.
+/// The abort path is never the hot path (a recorded abort already cost a
+/// failed validation or a lost CAS plus backoff), and recording is two
+/// relaxed increments — so exact tables are affordable, and the gates
+/// (`hot_vars` counts ≤ cell aborts, forced-conflict edge exactness) stay
+/// deterministic. Raise `OFTM_FORENSICS_SAMPLE=N` to thin pathological
+/// abort storms to 1-in-N per thread; the first event on each thread is
+/// always recorded, so seeded single-conflict tests survive any rate.
+pub const DEFAULT_FORENSICS_SAMPLE: u64 = 1;
+
+thread_local! {
+    /// Per-thread sampling tick: event `n` is recorded iff
+    /// `n % period == 0`, starting at 0 — the first abort a thread takes
+    /// is always recorded regardless of the period.
+    static SAMPLE_TICK: Cell<u64> = const { Cell::new(0) };
+}
+
+/// The conflict-forensics bundle every [`StmStats`] carries: the
+/// per-variable [`Heatmap`], the who-aborted-whom [`ConflictTable`], and
+/// the sampling gate in front of both. Reached via
+/// [`StmStats::forensics`] (and `WordStm::forensics()` in `oftm-core`).
+pub struct Forensics {
+    heatmap: Heatmap,
+    edges: ConflictTable,
+    /// 1-in-N per-thread sampling period (≥ 1).
+    sample_period: AtomicU64,
+}
+
+impl Default for Forensics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Forensics {
+    pub fn new() -> Forensics {
+        let period = std::env::var("OFTM_FORENSICS_SAMPLE")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or(DEFAULT_FORENSICS_SAMPLE);
+        Forensics {
+            heatmap: Heatmap::new(),
+            edges: ConflictTable::new(),
+            sample_period: AtomicU64::new(period),
+        }
+    }
+
+    /// The per-variable abort-attribution heatmap.
+    pub fn heatmap(&self) -> &Heatmap {
+        &self.heatmap
+    }
+
+    /// The who-aborted-whom conflict-edge table.
+    pub fn edges(&self) -> &ConflictTable {
+        &self.edges
+    }
+
+    /// Current 1-in-N sampling period.
+    pub fn sample_period(&self) -> u64 {
+        self.sample_period.load(Ordering::Relaxed)
+    }
+
+    /// Overrides the sampling period (tests and tools).
+    pub fn set_sample_period(&self, n: u64) {
+        self.sample_period.store(n.max(1), Ordering::Relaxed);
+    }
+
+    /// The sampling gate: ticks this thread's counter and says whether
+    /// this event is in the recorded 1-in-N.
+    fn sampled(&self) -> bool {
+        let period = self.sample_period();
+        if period <= 1 {
+            return true;
+        }
+        SAMPLE_TICK.with(|t| {
+            let n = t.get();
+            t.set(n.wrapping_add(1));
+            n % period == 0
+        })
+    }
+
+    /// Records one attributed abort: heatmap row for the variable (when
+    /// one was named) and, when the aggressor is known, a conflict edge.
+    /// Subject to the sampling gate; recorded counts are therefore always
+    /// ≤ the exact cause counters.
+    pub fn record(&self, cause: AbortCause, var: VarAttr, victim: u64, aggressor: u64) {
+        if !self.sampled() {
+            return;
+        }
+        if let Some(x) = var.id() {
+            self.heatmap.record(x, cause);
+            self.edges.record(aggressor, victim, cause, x);
+        }
+    }
+
+    /// Zeroes both tables (benches call this when a measured cell
+    /// starts, so per-cell tables are net of warmup).
+    pub fn reset(&self) {
+        self.heatmap.reset();
+        self.edges.reset();
+    }
+
+    /// The top-`k` hot variables as a JSON array — the `hot_vars` field
+    /// every contended `BENCH_*.json` cell carries. Per-var `count`s are
+    /// sampled attributions, so they sum to ≤ the cell's exact `aborts`
+    /// (the inequality `check_bench_stats` gates on).
+    pub fn hot_vars_json(&self, k: usize) -> String {
+        let mut s = String::from("[");
+        for (i, h) in self.heatmap.top_k(k).iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!(
+                "{{\"var\": {}, \"count\": {}, \"dominant\": \"{}\"}}",
+                h.var,
+                h.total,
+                h.dominant_cause().name()
+            ));
+        }
+        s.push(']');
+        s
+    }
+
+    /// The top-`k` conflict edges as a JSON array — the `hot_edges`
+    /// field of a `BENCH_*.json` cell.
+    pub fn hot_edges_json(&self, k: usize) -> String {
+        let mut s = String::from("[");
+        for (i, e) in self.edges.top_k(k).iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!(
+                "{{\"aggressor\": {}, \"victim\": {}, \"cause\": \"{}\", \
+                 \"var\": {}, \"count\": {}}}",
+                e.aggressor_proc,
+                e.victim_proc,
+                e.cause.name(),
+                e.var,
+                e.count
+            ));
+        }
+        s.push(']');
+        s
+    }
+}
 
 /// Histogram bucket count: bucket 0 holds the value 0, bucket `b ≥ 1`
 /// holds values in `[2^(b-1), 2^b)`. 64 log2 buckets cover all of `u64`.
@@ -357,6 +551,10 @@ pub struct StmStats {
     /// Index into [`MODE_NAMES`]: which engine currently runs the default
     /// path (hybrid backends only; 0 = "none" everywhere else).
     mode: AtomicUsize,
+    /// The conflict-forensics bundle (heatmap + edges). Lives inside the
+    /// stats so a hybrid's engines, which share one `Arc<StmStats>`,
+    /// automatically share one forensics view too.
+    forensics: Forensics,
 }
 
 impl Default for StmStats {
@@ -370,7 +568,14 @@ impl StmStats {
         StmStats {
             shards: (0..STAT_SHARDS).map(|_| StatShard::new()).collect(),
             mode: AtomicUsize::new(0),
+            forensics: Forensics::new(),
         }
+    }
+
+    /// The conflict-forensics bundle: per-variable heatmap and
+    /// who-aborted-whom edges, fed by [`StmStats::abort_at`].
+    pub fn forensics(&self) -> &Forensics {
+        &self.forensics
     }
 
     /// Stamps the current execution mode (index into [`MODE_NAMES`]).
@@ -401,9 +606,35 @@ impl StmStats {
     }
 
     /// Tags one aborted attempt with its cause.
+    ///
+    /// Prefer [`StmStats::abort_at`] at backend tag sites — it carries
+    /// the var/peer attribution the forensics layer (and `oftm-lint`)
+    /// demand. This bare form remains for pass-through helpers.
     #[inline]
     pub fn abort(&self, cause: AbortCause) {
         self.incr(cause.counter());
+    }
+
+    /// Tags one aborted attempt with its cause *and* its forensic
+    /// attribution: the t-variable the conflict was over (`var`, or the
+    /// explicit [`VarAttr::NoVar`] marker), the aborting transaction
+    /// (`victim`, packed via [`pack_tx`]), and — where the backend knows
+    /// it — the conflicting peer (`aggressor`; [`TX_UNKNOWN`] otherwise).
+    /// Feeds the cause counter exactly like [`StmStats::abort`], plus the
+    /// heatmap/edge tables (sampled) and, when tracing is on, an `abort`
+    /// instant on the event ring carrying cause + var.
+    #[inline]
+    pub fn abort_at(&self, cause: AbortCause, var: VarAttr, victim: u64, aggressor: u64) {
+        self.incr(cause.counter());
+        self.forensics.record(cause, var, victim, aggressor);
+        if ring::enabled() {
+            ring::emit(
+                "abort",
+                cause.name(),
+                var.id().unwrap_or(trace::NO_VAR),
+                victim,
+            );
+        }
     }
 
     /// Records one attempt's wall-clock latency (begin → commit/abort).
@@ -772,6 +1003,84 @@ mod tests {
         let delta = stats.snapshot().since(&warm);
         assert_eq!(delta.mode, 2);
         assert!(delta.json().contains("\"mode\": \"dstm\""));
+    }
+
+    #[test]
+    fn abort_at_feeds_cause_counter_heatmap_and_edges() {
+        let stats = StmStats::new();
+        stats.forensics().set_sample_period(1);
+        stats.abort_at(
+            AbortCause::CmArbitrated,
+            VarAttr::Var(7),
+            pack_tx(2, 5),
+            pack_tx(1, 3),
+        );
+        stats.abort_at(
+            AbortCause::BudgetExhausted,
+            VarAttr::NoVar,
+            pack_tx(2, 6),
+            TX_UNKNOWN,
+        );
+        let snap = stats.snapshot();
+        assert_eq!(snap.aborts(), 2);
+        let hot = stats.forensics().heatmap().top_k(4);
+        assert_eq!(hot.len(), 1, "NoVar must not land in the heatmap");
+        assert_eq!(hot[0].var, 7);
+        let edges = stats.forensics().edges().top_k(4);
+        assert_eq!(edges.len(), 1);
+        assert_eq!(edges[0].aggressor_proc, 1);
+        assert_eq!(edges[0].victim_proc, 2);
+        assert_eq!(edges[0].last_aggressor, pack_tx(1, 3));
+        assert_eq!(edges[0].cause, AbortCause::CmArbitrated);
+    }
+
+    /// The forensics tables are sampled; the cause counters are exact.
+    /// Whatever the period, attributed counts can only undershoot.
+    #[test]
+    fn sampled_attributions_never_exceed_exact_aborts() {
+        let stats = StmStats::new();
+        stats.forensics().set_sample_period(4);
+        for i in 0..100u64 {
+            stats.abort_at(
+                AbortCause::ReadValidation,
+                VarAttr::Var(i % 3),
+                pack_tx(0, i as u32),
+                TX_UNKNOWN,
+            );
+        }
+        let snap = stats.snapshot();
+        assert_eq!(snap.aborts(), 100);
+        let attributed = stats.forensics().heatmap().total();
+        assert!(attributed >= 1, "first event per thread always records");
+        assert!(
+            attributed <= 100,
+            "sampled attributions exceed exact aborts: {attributed}"
+        );
+        stats.forensics().set_sample_period(1);
+    }
+
+    #[test]
+    fn forensics_json_fragments_are_balanced() {
+        let stats = StmStats::new();
+        stats.forensics().set_sample_period(1);
+        stats.abort_at(
+            AbortCause::LockBusy,
+            VarAttr::Var(11),
+            pack_tx(4, 1),
+            pack_tx(3, 9),
+        );
+        let vars = stats.forensics().hot_vars_json(8);
+        let edges = stats.forensics().hot_edges_json(8);
+        assert!(vars.contains("\"var\": 11"), "{vars}");
+        assert!(vars.contains("\"dominant\": \"lock_busy\""), "{vars}");
+        assert!(edges.contains("\"aggressor\": 3"), "{edges}");
+        for j in [&vars, &edges] {
+            assert!(j.starts_with('[') && j.ends_with(']'), "{j}");
+            assert_eq!(j.matches('{').count(), j.matches('}').count(), "{j}");
+        }
+        stats.forensics().reset();
+        assert_eq!(stats.forensics().hot_vars_json(8), "[]");
+        assert_eq!(stats.forensics().hot_edges_json(8), "[]");
     }
 
     #[test]

@@ -27,6 +27,7 @@ pub const RING_CAPACITY: usize = 4096;
 #[derive(Clone, Copy, Debug)]
 pub struct TxEvent {
     /// Monotonic nanoseconds since the process's first trace-clock read.
+    /// For span records ([`emit_span`]) this is the span's *start*.
     pub nanos: u64,
     /// Emitting thread (dense trace-local index, not the OS tid).
     pub thread: u64,
@@ -37,6 +38,9 @@ pub struct TxEvent {
     pub stm: &'static str,
     pub a: u64,
     pub b: u64,
+    /// Span duration in nanoseconds; 0 marks an instant event. Spans are
+    /// what [`crate::trace::export_chrome`] turns into `"X"` slices.
+    pub dur: u64,
 }
 
 struct RingBuf {
@@ -48,6 +52,8 @@ struct RingBuf {
 }
 
 struct Ring {
+    /// Dense trace-local thread index of the owning thread.
+    thread: u64,
     buf: Mutex<RingBuf>,
 }
 
@@ -107,7 +113,9 @@ pub fn set_enabled(on: bool) {
 
 thread_local! {
     static MY_RING: (u64, Arc<Ring>) = {
+        let thread = THREAD_IDS.fetch_add(1, Ordering::Relaxed);
         let ring = Arc::new(Ring {
+            thread,
             buf: Mutex::new(RingBuf {
                 events: Vec::with_capacity(64),
                 next: 0,
@@ -115,7 +123,7 @@ thread_local! {
             }),
         });
         registry().lock().unwrap().push(Arc::clone(&ring));
-        (THREAD_IDS.fetch_add(1, Ordering::Relaxed), ring)
+        (thread, ring)
     };
 }
 
@@ -127,6 +135,23 @@ pub fn emit(kind: &'static str, stm: &'static str, a: u64, b: u64) {
         return;
     }
     let nanos = clock_ns();
+    push_event(nanos, kind, stm, a, b, 0);
+}
+
+/// Records a span that started at `start_ns` (a [`clock_ns`] reading) and
+/// ends now. No-op when tracing is off — callers typically guard the
+/// `start_ns` read with [`enabled`] too, so an untraced attempt pays one
+/// relaxed load in total.
+#[inline]
+pub fn emit_span(kind: &'static str, stm: &'static str, a: u64, b: u64, start_ns: u64) {
+    if !enabled() {
+        return;
+    }
+    let dur = clock_ns().saturating_sub(start_ns).max(1);
+    push_event(start_ns, kind, stm, a, b, dur);
+}
+
+fn push_event(nanos: u64, kind: &'static str, stm: &'static str, a: u64, b: u64, dur: u64) {
     MY_RING.with(|(thread, ring)| {
         ring.push(TxEvent {
             nanos,
@@ -135,48 +160,87 @@ pub fn emit(kind: &'static str, stm: &'static str, a: u64, b: u64) {
             stm,
             a,
             b,
+            dur,
         });
     });
 }
 
-/// Drains every thread's ring into one time-sorted JSON array
-/// (`{"dropped": N, "events": [...]}`), emptying the rings. Returns
-/// `None` when tracing is off and nothing was ever recorded.
-pub fn drain_json() -> Option<String> {
+/// Everything one drain pulled out of the rings: the merged time-sorted
+/// events plus the truncation accounting — total overwrites and the
+/// per-thread breakdown (thread id, events overwritten), so a postmortem
+/// can see *whose* window was too small, not just that one was.
+#[derive(Clone, Debug, Default)]
+pub struct Drained {
+    pub events: Vec<TxEvent>,
+    pub dropped: u64,
+    /// `(thread, dropped_events)` for every thread that overwrote at
+    /// least one event.
+    pub dropped_by_thread: Vec<(u64, u64)>,
+}
+
+/// Drains every thread's ring into one time-sorted batch, emptying the
+/// rings. The structured twin of [`drain_json`]; the Chrome-trace
+/// exporter ([`crate::trace::export_chrome`]) consumes this.
+pub fn drain() -> Drained {
     let rings: Vec<Arc<Ring>> = registry().lock().unwrap().clone();
-    let mut events: Vec<TxEvent> = Vec::new();
-    let mut dropped = 0u64;
+    let mut out = Drained::default();
     for ring in &rings {
         let mut b = ring.buf.lock().unwrap();
-        dropped += b.dropped;
+        if b.dropped > 0 {
+            out.dropped += b.dropped;
+            out.dropped_by_thread.push((ring.thread, b.dropped));
+        }
         // Oldest-first: the slice after `next` (if wrapped), then before.
         if b.events.len() == RING_CAPACITY {
             let next = b.next;
-            events.extend_from_slice(&b.events[next..]);
-            events.extend_from_slice(&b.events[..next]);
+            out.events.extend_from_slice(&b.events[next..]);
+            out.events.extend_from_slice(&b.events[..next]);
         } else {
-            events.extend_from_slice(&b.events);
+            out.events.extend_from_slice(&b.events);
         }
         b.events.clear();
         b.next = 0;
         b.dropped = 0;
     }
-    if events.is_empty() && dropped == 0 {
+    out.events.sort_by_key(|e| e.nanos);
+    out.dropped_by_thread.sort_unstable();
+    out
+}
+
+/// Drains every thread's ring into one time-sorted JSON array
+/// (`{"dropped": N, "dropped_by_thread": [...], "events": [...]}`),
+/// emptying the rings. Truncation is never silent: the total overwrite
+/// count and its per-thread breakdown lead the object. Returns `None`
+/// when tracing is off and nothing was ever recorded.
+pub fn drain_json() -> Option<String> {
+    let d = drain();
+    if d.events.is_empty() && d.dropped == 0 {
         return None;
     }
-    events.sort_by_key(|e| e.nanos);
-    let mut s = format!("{{\"dropped\": {dropped}, \"events\": [\n");
-    for (i, e) in events.iter().enumerate() {
+    let mut s = format!("{{\"dropped\": {}, \"dropped_by_thread\": [", d.dropped);
+    for (i, (thread, n)) in d.dropped_by_thread.iter().enumerate() {
+        s.push_str(&format!(
+            "{{\"thread\": {thread}, \"dropped\": {n}}}{}",
+            if i + 1 == d.dropped_by_thread.len() {
+                ""
+            } else {
+                ", "
+            }
+        ));
+    }
+    s.push_str("], \"events\": [\n");
+    for (i, e) in d.events.iter().enumerate() {
         s.push_str(&format!(
             "  {{\"ns\": {}, \"thread\": {}, \"kind\": \"{}\", \"stm\": \"{}\", \
-             \"a\": {}, \"b\": {}}}{}\n",
+             \"a\": {}, \"b\": {}, \"dur\": {}}}{}\n",
             e.nanos,
             e.thread,
             e.kind,
             e.stm,
             e.a,
             e.b,
-            if i + 1 == events.len() { "" } else { "," }
+            e.dur,
+            if i + 1 == d.events.len() { "" } else { "," }
         ));
     }
     s.push_str("]}\n");
@@ -239,6 +303,60 @@ mod tests {
         })
         .join()
         .unwrap();
+        set_enabled(false);
+    }
+
+    /// Truncation must be *reported per thread*, not silently folded into
+    /// a process-wide total: a drained JSON names each overflowing thread
+    /// with its own overwrite count.
+    #[test]
+    fn truncation_reports_per_thread_dropped_counts() {
+        let _g = serial();
+        set_enabled(true);
+        drain_json(); // start from empty rings
+        let overflow = |extra: u64| {
+            std::thread::spawn(move || {
+                for i in 0..(RING_CAPACITY as u64 + extra) {
+                    emit("tick", "test", i, 0);
+                }
+                MY_RING.with(|(thread, _)| *thread)
+            })
+            .join()
+            .unwrap()
+        };
+        let t1 = overflow(3);
+        let t2 = overflow(7);
+        let json = drain_json().expect("events recorded");
+        assert!(json.contains("\"dropped\": 10"), "{json}");
+        assert!(
+            json.contains(&format!("{{\"thread\": {t1}, \"dropped\": 3}}")),
+            "thread {t1} truncation swallowed: {json}"
+        );
+        assert!(
+            json.contains(&format!("{{\"thread\": {t2}, \"dropped\": 7}}")),
+            "thread {t2} truncation swallowed: {json}"
+        );
+        // Once drained, the counters reset — no double reporting.
+        let again = drain_json().unwrap_or_default();
+        assert!(!again.contains("\"dropped\": 10"), "{again}");
+        set_enabled(false);
+    }
+
+    #[test]
+    fn spans_carry_start_and_duration() {
+        let _g = serial();
+        set_enabled(true);
+        drain_json();
+        let start = clock_ns();
+        emit_span("attempt", "tl2", 1, 2, start);
+        let d = drain();
+        let span = d
+            .events
+            .iter()
+            .find(|e| e.kind == "attempt")
+            .expect("span recorded");
+        assert_eq!(span.nanos, start, "span keeps its start timestamp");
+        assert!(span.dur >= 1, "span duration is never zero");
         set_enabled(false);
     }
 }

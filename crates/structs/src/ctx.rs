@@ -14,7 +14,7 @@
 use oftm_core::api::{retry_backoff, WordStm, WordTx};
 use oftm_core::{BudgetExceeded, TxResult};
 use oftm_histories::{TVarId, Value};
-use oftm_obs::{AbortCause, Counter};
+use oftm_obs::{pack_tx, AbortCause, Counter, VarAttr, TX_UNKNOWN};
 use std::time::Instant;
 
 /// A live transaction paired with its STM.
@@ -219,12 +219,13 @@ fn attempt_loop<R>(
             }
         }
     }
-    stats.abort(AbortCause::BudgetExhausted);
-    oftm_obs::ring::emit(
-        "budget_exhausted",
-        "attempt_loop",
-        u64::from(proc),
-        u64::from(max_attempts),
+    // No single conflicting variable or aggressor: each spent attempt
+    // already tagged its own cause.
+    stats.abort_at(
+        AbortCause::BudgetExhausted,
+        VarAttr::NoVar,
+        pack_tx(proc, max_attempts),
+        TX_UNKNOWN,
     );
     Err(BudgetExceeded {
         attempts: max_attempts,

@@ -66,6 +66,7 @@ pub const RULE_SAFETY: &str = "unsafe-safety";
 pub const RULE_ORD: &str = "ordering-comment";
 pub const RULE_AWAIT: &str = "await-in-attempt";
 pub const RULE_ABORT: &str = "abort-tag-once";
+pub const RULE_ABORT_VAR: &str = "abort-var-attribution";
 pub const RULE_STD_LOCK: &str = "std-sync-lock";
 
 // ---------------------------------------------------------------------------
@@ -119,6 +120,61 @@ fn has_token(code: &str, tok: &str) -> bool {
         from = at + tok.len();
     }
     false
+}
+
+/// Byte offsets of `(` in `code` whose immediately preceding identifier
+/// contains `needle` — the call sites of abort-flavoured functions
+/// (`.abort(`, `.abort_at(`, `tag_abort(`, `abort_self(`, …).
+fn call_opens_with(code: &str, needle: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    for (i, c) in code.char_indices() {
+        if c != '(' {
+            continue;
+        }
+        let ident: String = code[..i]
+            .chars()
+            .rev()
+            .take_while(|&ch| is_ident_char(ch))
+            .collect();
+        if ident.chars().rev().collect::<String>().contains(needle) {
+            out.push(i);
+        }
+    }
+    out
+}
+
+/// Lines a call-argument window may span before the scan gives up —
+/// rustfmt wraps the widest attributed tagging call onto far fewer.
+const CALL_WINDOW_CAP: usize = 12;
+
+/// The code of the call expression whose `(` sits at byte `open` of line
+/// `idx`: subsequent lines' code is appended until the parentheses
+/// balance (or [`CALL_WINDOW_CAP`] lines, for malformed input).
+fn call_window(lines: &[Line], idx: usize, open: usize) -> String {
+    let mut w = String::new();
+    let mut depth = 0usize;
+    for (n, line) in lines.iter().enumerate().skip(idx).take(CALL_WINDOW_CAP) {
+        let code: &str = if n == idx {
+            &line.code[open..]
+        } else {
+            &line.code
+        };
+        for c in code.chars() {
+            w.push(c);
+            match c {
+                '(' => depth += 1,
+                ')' => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        return w;
+                    }
+                }
+                _ => {}
+            }
+        }
+        w.push(' ');
+    }
+    w
 }
 
 /// Splits one line into (code, comment) given the carried-over mode.
@@ -370,8 +426,8 @@ fn is_std_lock_allowed(rel: &str) -> bool {
     EXACT.contains(&rel) || PREFIX.iter().any(|p| rel.starts_with(p))
 }
 
-/// Crates whose `.abort(AbortCause::…)` mentions are not backend tag
-/// sites (the stats sink defining it, and this crate's own scanner).
+/// Crates whose abort-tagging mentions are not backend tag sites (the
+/// stats sink defining `abort`/`abort_at`, and this crate's own scanner).
 fn is_abort_rule_exempt(rel: &str) -> bool {
     rel.starts_with("crates/obs/") || rel.starts_with("crates/verify/")
 }
@@ -489,14 +545,40 @@ pub fn lint_source(rel: &str, src: &str) -> Vec<Violation> {
             }
         }
 
-        // abort-tag-once ----------------------------------------------------
+        // abort-tag-once / abort-var-attribution ----------------------------
+        // Both rules scan the full (possibly rustfmt-wrapped) argument
+        // window of every abort-flavoured call that names a literal
+        // `AbortCause::` — relay calls passing a computed cause are the
+        // callee's problem, enforced at ITS literal-cause call sites.
         if !is_abort_rule_exempt(rel) {
-            if let Some(at) = code.find(".abort(AbortCause::") {
-                let cause: String = code[at + ".abort(AbortCause::".len()..]
+            for open in call_opens_with(code, "abort") {
+                let window = call_window(&lines, idx, open);
+                let Some(cpos) = window.find("AbortCause::") else {
+                    continue;
+                };
+                let cause: String = window[cpos + "AbortCause::".len()..]
                     .chars()
                     .take_while(|&c| is_ident_char(c))
                     .collect();
-                if cause != "BudgetExhausted" {
+                // abort-var-attribution: every tagging call must attribute
+                // the conflicting t-variable, or decline explicitly with
+                // `VarAttr::NoVar` — budget/retry causes included (their
+                // declining is what keeps the heatmap honest).
+                if !window.contains("VarAttr::") {
+                    push(
+                        idx,
+                        RULE_ABORT_VAR,
+                        format!(
+                            "abort cause {cause} tagged without a `VarAttr` attribution — name \
+                             the t-variable fought over or decline with `VarAttr::NoVar`"
+                        ),
+                    );
+                }
+                // abort-tag-once: only direct stats-sink calls — helpers
+                // like `tag_abort` guard internally.
+                let direct =
+                    code[..open].ends_with(".abort") || code[..open].ends_with(".abort_at");
+                if direct && cause != "BudgetExhausted" {
                     // The tag-once flag vocabulary across the backends:
                     // `dead`/`finished` (tl, tl2, dstm), `cause_tagged`
                     // (algo2), `guard` (coarse — the gate handle doubles
@@ -655,6 +737,30 @@ mod tests {
         let inner = innermost_span(&spans, 2).unwrap();
         assert_eq!(inner.start, 1);
         assert!(inner.code.contains("body"));
+    }
+
+    #[test]
+    fn abort_call_opens_are_found_by_ident() {
+        let code = "self.tag_abort(a); tx.try_abort(); plain(); x.abort_at(b)";
+        let opens = call_opens_with(code, "abort");
+        assert_eq!(opens.len(), 3, "{opens:?}"); // tag_abort, try_abort, abort_at
+        assert!(opens.iter().all(|&i| code.as_bytes()[i] == b'('));
+    }
+
+    #[test]
+    fn call_window_joins_wrapped_arguments() {
+        let (lines, _) = analyze(
+            "fn f() {\n    s.abort_at(\n        AbortCause::LockBusy, // cause\n        \
+             VarAttr::Var(x.0),\n    );\n    next();\n}\n",
+        );
+        let open = lines[1].code.find('(').unwrap();
+        let w = call_window(&lines, 1, open);
+        assert!(w.contains("AbortCause::LockBusy"), "{w}");
+        assert!(w.contains("VarAttr::Var"), "{w}");
+        assert!(
+            !w.contains("next"),
+            "window must stop at the balanced close: {w}"
+        );
     }
 
     #[test]

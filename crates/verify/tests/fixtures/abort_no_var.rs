@@ -1,0 +1,35 @@
+//! Lint oracle: a tagging call that names a literal abort cause but
+//! passes no `VarAttr` attribution must trip `abort-var-attribution` —
+//! every abort names the t-variable it fought over, or declines
+//! explicitly with `VarAttr::NoVar` (budget causes included).
+
+impl BadTx {
+    fn abort_on_conflict(&mut self) {
+        if !self.dead {
+            self.dead = true;
+            self.stats.abort_at(AbortCause::LockBusy, self.packed_id(), holder);
+        }
+    }
+}
+
+impl GoodTx {
+    fn abort_on_conflict(&mut self) {
+        if !self.dead {
+            self.dead = true;
+            // rustfmt-wrapped: the attribution sits on a later line of
+            // the same call — the window scan must still see it.
+            self.stats.abort_at(
+                AbortCause::LockBusy,
+                VarAttr::Var(x.0),
+                self.packed_id(),
+                holder,
+            );
+        }
+    }
+
+    fn spend_budget(&self) {
+        // BudgetExhausted is NOT exempt here: it must decline explicitly.
+        self.stats
+            .abort_at(AbortCause::BudgetExhausted, VarAttr::NoVar, me, TX_UNKNOWN);
+    }
+}

@@ -4,8 +4,8 @@
 //! the lint is itself linted.
 
 use oftm_verify::lint::{
-    lint_source, lint_workspace, Violation, RULE_ABORT, RULE_AWAIT, RULE_ORD, RULE_SAFETY,
-    RULE_STD_LOCK,
+    lint_source, lint_workspace, Violation, RULE_ABORT, RULE_ABORT_VAR, RULE_AWAIT, RULE_ORD,
+    RULE_SAFETY, RULE_STD_LOCK,
 };
 
 fn rule_lines(violations: &[Violation], rule: &str) -> Vec<usize> {
@@ -66,6 +66,23 @@ fn unguarded_abort_tag_fails() {
     let lines = rule_lines(&v, RULE_ABORT);
     assert_eq!(lines.len(), 1, "exactly the unguarded tag: {v:?}");
     assert_eq!(lines[0], 7, "{v:?}");
+}
+
+#[test]
+fn missing_var_attribution_fails() {
+    let src = include_str!("fixtures/abort_no_var.rs");
+    let v = lint_source("crates/baselines/src/tl2.rs", src);
+    let lines = rule_lines(&v, RULE_ABORT_VAR);
+    assert_eq!(lines.len(), 1, "exactly the unattributed tag: {v:?}");
+    assert_eq!(lines[0], 10, "{v:?}");
+    assert!(src
+        .lines()
+        .nth(lines[0] - 1)
+        .unwrap()
+        .contains("self.packed_id(), holder"));
+    // The wrapped GoodTx call and the explicit NoVar decline both pass,
+    // and every site sits behind a tag-once flag.
+    assert!(rule_lines(&v, RULE_ABORT).is_empty(), "{v:?}");
 }
 
 #[test]
